@@ -1,0 +1,54 @@
+"""Section 7.3 machinery: Golden Run, injection run and GRC costs.
+
+Times the building blocks every Table-1 estimate is made of: one Golden
+Run of the closed-loop system, one injection run with a one-shot trap,
+and one full Golden Run Comparison — the per-run cost that multiplies
+into the 52 000-run full-grid campaign.
+"""
+
+from __future__ import annotations
+
+from repro.arrestment import build_arrestment_run
+from repro.arrestment.testcases import ArrestmentTestCase
+from repro.injection.error_models import BitFlip
+from repro.injection.golden_run import GoldenRun, compare_to_golden_run
+from repro.injection.traps import InputInjectionTrap
+
+DURATION_MS = 6000
+CASE = ArrestmentTestCase(14000, 60)
+
+
+def test_golden_run(benchmark):
+    runner = build_arrestment_run(CASE)
+    result = benchmark.pedantic(
+        runner.run, args=(DURATION_MS,), rounds=3, iterations=1
+    )
+    assert result.duration_ms == DURATION_MS
+    assert result.telemetry["position_m"] > 0
+
+
+def test_injection_run_with_grc(benchmark):
+    runner = build_arrestment_run(CASE)
+    golden = GoldenRun(CASE.case_id, runner.run(DURATION_MS))
+
+    def one_injection():
+        runner.clear_hooks()
+        trap = InputInjectionTrap.for_system(
+            runner.system, "V_REG", "SetValue", 2500, BitFlip(14)
+        )
+        runner.add_read_interceptor(trap)
+        injected = runner.run(DURATION_MS)
+        runner.clear_hooks()
+        return trap, compare_to_golden_run(golden, injected)
+
+    trap, comparison = benchmark.pedantic(one_injection, rounds=3, iterations=1)
+    assert trap.fired
+    assert comparison.diverged("OutValue")
+
+
+def test_grc_only(benchmark):
+    runner = build_arrestment_run(CASE)
+    golden = GoldenRun(CASE.case_id, runner.run(DURATION_MS))
+    injected = runner.run(DURATION_MS)
+    comparison = benchmark(compare_to_golden_run, golden, injected)
+    assert comparison.error_free()

@@ -1,0 +1,48 @@
+"""Figs. 2–5: the example system, its permeability graph and trees.
+
+Regenerates the Section 4 illustrations: the five-module example system
+(Fig. 2), its permeability graph (Fig. 3), the backtrack tree of
+:math:`O^E_1` (Fig. 4) and the trace tree of :math:`I^A_1` (Fig. 5),
+as ASCII renderings plus Graphviz DOT.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_artifact
+from repro.core.backtrack import build_backtrack_tree
+from repro.core.dot import graph_to_dot, system_to_dot, tree_to_dot
+from repro.core.graph import PermeabilityGraph
+from repro.core.trace import build_trace_tree
+from repro.core.treenode import NodeKind
+
+
+def test_fig2_3_example_graph(benchmark, fig2_matrix):
+    graph = benchmark(PermeabilityGraph, fig2_matrix)
+
+    assert graph.n_arcs() == 13
+    assert len([a for a in graph.arcs() if a.is_self_loop]) == 2
+    write_artifact(
+        "fig2_3_example_graph.txt",
+        system_to_dot(fig2_matrix.system) + "\n\n" + graph_to_dot(graph),
+    )
+
+
+def test_fig4_example_backtrack_tree(benchmark, fig2_matrix):
+    tree = benchmark(build_backtrack_tree, fig2_matrix, "sys_out")
+
+    assert tree.n_paths() == 7
+    feedback = [n for n in tree.root.walk() if n.kind is NodeKind.FEEDBACK]
+    assert feedback and all(n.signal == "b1" for n in feedback)
+    write_artifact(
+        "fig4_example_backtrack.txt", tree.render() + "\n\n" + tree_to_dot(tree)
+    )
+
+
+def test_fig5_example_trace_tree(benchmark, fig2_matrix):
+    tree = benchmark(build_trace_tree, fig2_matrix, "ext_a")
+
+    assert tree.n_paths() == 3
+    assert all(leaf.signal == "sys_out" for leaf in tree.root.leaves())
+    write_artifact(
+        "fig5_example_trace.txt", tree.render() + "\n\n" + tree_to_dot(tree)
+    )

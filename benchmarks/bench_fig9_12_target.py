@@ -1,0 +1,71 @@
+"""Figs. 9–12: the target system's graph, backtrack and trace trees.
+
+Regenerates the Section 7.2 system-analysis artefacts: the permeability
+graph of the arrestment system (Fig. 9), the backtrack tree of ``TOC2``
+(Fig. 10) and the trace trees of ``ADC`` and ``PACNT`` (Figs. 11/12),
+using the experimentally estimated matrix.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_artifact
+from repro.core.backtrack import build_backtrack_tree
+from repro.core.dot import graph_to_dot, tree_to_dot
+from repro.core.graph import PermeabilityGraph
+from repro.core.trace import build_all_trace_trees, build_trace_tree
+from repro.core.treenode import NodeKind
+
+
+def test_fig9_target_permeability_graph(benchmark, estimated_matrix):
+    graph = benchmark(PermeabilityGraph, estimated_matrix)
+
+    # 25 pairs fan out to their consumers: CLOCK 2 (mscnt->CALC,
+    # slot self-loop), DIST_S 9 -> CALC, PRES_S 1 -> V_REG, CALC 10
+    # (5 i self-loops + 5 SetValue -> V_REG), V_REG 2 -> PRES_A,
+    # PRES_A 1 -> environment.
+    assert graph.n_arcs() == 25
+    assert len(graph.environment_arcs()) == 1
+    assert len(graph.incoming_arcs("CALC")) == 15
+    write_artifact("fig9_target_graph.txt", graph_to_dot(graph, include_zero=True))
+
+
+def test_fig10_backtrack_tree_toc2(benchmark, estimated_matrix):
+    tree = benchmark(build_backtrack_tree, estimated_matrix, "TOC2")
+
+    assert tree.n_paths() == 22  # Section 8's path count
+    feedback_signals = {
+        node.signal for node in tree.root.walk() if node.kind is NodeKind.FEEDBACK
+    }
+    assert feedback_signals == {"ms_slot_nbr", "i"}  # Fig. 10's double lines
+    write_artifact(
+        "fig10_backtrack_toc2.txt", tree.render() + "\n\n" + tree_to_dot(tree)
+    )
+
+
+def test_fig11_trace_tree_adc(benchmark, estimated_matrix):
+    tree = benchmark(build_trace_tree, estimated_matrix, "ADC")
+
+    signals = [node.signal for node in tree.root.walk()]
+    assert signals == ["ADC", "InValue", "OutValue", "TOC2"]
+    write_artifact("fig11_trace_adc.txt", tree.render())
+
+
+def test_fig12_trace_tree_pacnt(benchmark, estimated_matrix):
+    tree = benchmark(build_trace_tree, estimated_matrix, "PACNT")
+
+    # Fig. 12: no node carries a child of its own signal (the i->i
+    # recursion is cut), and every leaf is the system output.
+    for node in tree.root.walk():
+        assert all(child.signal != node.signal for child in node.children)
+    assert all(leaf.signal == "TOC2" for leaf in tree.root.leaves())
+    write_artifact("fig12_trace_pacnt.txt", tree.render())
+
+
+def test_fig11_12_all_trace_trees(benchmark, estimated_matrix):
+    trees = benchmark(build_all_trace_trees, estimated_matrix)
+
+    assert set(trees) == {"PACNT", "TIC1", "TCNT", "ADC"}
+    # Paper: "The trees for inputs TIC1 and TCNT are very similar to
+    # the tree for PACNT".
+    assert trees["TIC1"].n_paths() == trees["PACNT"].n_paths()
+    assert trees["TCNT"].n_paths() == trees["PACNT"].n_paths()

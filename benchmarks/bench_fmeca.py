@@ -1,0 +1,69 @@
+"""Extension: FMECA criticality matrix of the target system (§1).
+
+"Error propagation analysis can also complement other analysis
+activities, for instance FMECA."  This benchmark classifies every
+injection of a dedicated campaign by its *physical consequence*
+(overrun / overload / hang / degraded / tolerated) and builds the
+criticality matrix per injection location — the design-stage artefact
+the paper's introduction promises.
+
+The run horizon is long enough for the Golden Run arrestment to
+complete, so hang/overrun verdicts are meaningful.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.arrestment import build_arrestment_model, build_arrestment_run
+from repro.arrestment.testcases import ArrestmentTestCase
+from repro.injection.campaign import CampaignConfig
+from repro.injection.error_models import BitFlip
+from repro.injection.failure_modes import FailureMode, classify_campaign
+
+
+@pytest.fixture(scope="module")
+def criticality():
+    # The heavy/fast workload has the tightest margins, so consequence
+    # classes actually separate (a mid-mass case absorbs most errors).
+    report, result = classify_campaign(
+        build_arrestment_model(),
+        build_arrestment_run,
+        {"m20000-v80": ArrestmentTestCase(20000, 80)},
+        CampaignConfig(
+            duration_ms=14000,
+            injection_times_ms=(1500, 4500),
+            error_models=tuple(BitFlip(b) for b in (0, 4, 8, 12, 15)),
+            seed=2001,
+        ),
+    )
+    return report, result
+
+
+def test_fmeca_criticality_matrix(benchmark, criticality):
+    report, result = criticality
+    ranked = benchmark(report.ranked)
+
+    by_location = report.by_location()
+
+    # The slot counter is the most critical location: its corruption
+    # derails the entire schedule.
+    assert by_location[("CLOCK", "ms_slot_nbr")].effect_fraction == 1.0
+
+    # PRES_S's conditioned input never endangers the mission (OB3).
+    assert by_location[("PRES_S", "ADC")].severe_fraction == 0.0
+
+    # Criticality and propagation are correlated but not identical:
+    # V_REG's inputs propagate every error (Table 1: ~1.0), yet the
+    # closed loop recovers — no severe consequence.
+    assert by_location[("V_REG", "SetValue")].effect_fraction > 0.9
+    assert by_location[("V_REG", "SetValue")].severe_fraction == 0.0
+
+    # The stop-handling flags are the genuinely critical locations: a
+    # corrupted stopped word releases the brake pressure for good.
+    assert ranked[0].severe_fraction > 0.4
+    assert ranked[0].module == "CALC"
+    assert by_location[("CALC", "stopped")].counts[FailureMode.OVERRUN] > 0
+
+    write_artifact("fmeca_criticality.txt", report.render())

@@ -1,0 +1,39 @@
+"""Extension: propagation-latency analysis of the target system.
+
+The paper's permeability is purely probabilistic; its EDM-placement
+discussion (OB3, via [18]) also involves detection latency.  This
+benchmark regenerates the per-pair propagation-latency table from the
+session campaign and checks the temporal structure of the target
+system: regulator-chain pairs propagate within one or two scheduling
+cycles, while checkpoint-driven CALC pairs can take seconds.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_artifact
+from repro.injection.latency import latency_statistics, render_latency_table
+
+
+def test_propagation_latency(benchmark, campaign_result):
+    statistics = benchmark(latency_statistics, campaign_result)
+
+    # Pairs that never propagated are absent; certain pairs must appear.
+    assert ("CLOCK", "ms_slot_nbr", "ms_slot_nbr") in statistics
+    assert ("V_REG", "SetValue", "OutValue") in statistics
+    assert ("PRES_A", "OutValue", "TOC2") in statistics
+
+    # The slot counter corrupts itself within the same frame.
+    assert statistics[("CLOCK", "ms_slot_nbr", "ms_slot_nbr")].max_ms <= 1
+
+    # The regulator chain reacts within roughly one 7 ms cycle.
+    assert statistics[("V_REG", "SetValue", "OutValue")].median_ms <= 14
+    assert statistics[("PRES_A", "OutValue", "TOC2")].median_ms <= 14
+
+    # Checkpoint-driven CALC pairs can be far slower than the
+    # regulator: a corrupted checkpoint index only surfaces on
+    # SetValue when the *next* checkpoint is (not) detected.
+    calc = statistics.get(("CALC", "i", "SetValue"))
+    assert calc is not None
+    assert calc.max_ms > statistics[("V_REG", "SetValue", "OutValue")].max_ms
+
+    write_artifact("latency.txt", render_latency_table(statistics))

@@ -1,0 +1,31 @@
+"""Section 5 / OB1–OB6: the EDM/ERM placement recommendation engine.
+
+Regenerates the paper's placement conclusions from the estimated matrix
+and times the full advisor pass (graph + both tree families + path
+enumeration + ranking).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_artifact
+from repro.core.placement import PlacementAdvisor
+
+
+def test_placement_report(benchmark, estimated_matrix):
+    report = benchmark(lambda: PlacementAdvisor(estimated_matrix).report())
+
+    # OB1: the input-only modules never appear as EDM hosts.
+    edm_hosts = {item.module for item in report.edm_modules}
+    assert "DIST_S" not in edm_hosts and "PRES_S" not in edm_hosts
+
+    # OB4: the paper selects SetValue, OutValue and pulscnt.
+    names = {candidate.signal for candidate in report.edm_signals}
+    assert names & {"SetValue", "OutValue", "pulscnt"}
+
+    # OB4: TOC2 (hardware register) and mscnt are excluded.
+    assert "TOC2" in report.excluded_signals
+
+    # OB6: the sensor front-ends form the input barrier.
+    assert set(report.barrier_modules) == {"DIST_S", "PRES_S"}
+
+    write_artifact("placement_report.txt", report.render())

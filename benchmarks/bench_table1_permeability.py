@@ -1,0 +1,36 @@
+"""Table 1: estimated error permeability of the 25 input/output pairs.
+
+Regenerates the paper's Table 1 from the session campaign.  The
+benchmark times the aggregation stage (campaign outcomes → estimates);
+the campaign itself runs once per session (see conftest).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_artifact
+from repro.core.report import render_table1
+from repro.injection.estimator import estimate_matrix
+
+
+def test_table1_aggregation(benchmark, campaign_result, arrestment_system):
+    matrix = benchmark(estimate_matrix, campaign_result)
+
+    assert matrix.is_complete()
+    assert len(matrix) == 25  # Section 8: 25 input/output pairs
+
+    # Paper-shape checks (see EXPERIMENTS.md for the full comparison):
+    assert matrix.get("CLOCK", "ms_slot_nbr", "ms_slot_nbr") == 1.0
+    # Paper: 0.000.  Our PRES_S retains a small event-timing residue
+    # under exact GRC (see EXPERIMENTS.md); it stays the least
+    # permeable module by a wide margin.
+    assert matrix.get("PRES_S", "ADC", "InValue") <= 0.15
+    assert matrix.relative_permeability("PRES_S") == min(
+        matrix.relative_permeability(m) for m in matrix.system.module_names()
+    )
+    for input_signal in ("PACNT", "TIC1", "TCNT"):
+        assert matrix.get("DIST_S", input_signal, "stopped") == 0.0  # OB2
+    assert matrix.get("V_REG", "SetValue", "OutValue") >= 0.8  # paper: 0.884
+    assert matrix.get("V_REG", "InValue", "OutValue") >= 0.8  # paper: 0.920
+    assert 0.75 <= matrix.get("PRES_A", "OutValue", "TOC2") < 1.0  # paper: 0.860
+
+    write_artifact("table1_permeability.txt", render_table1(matrix))

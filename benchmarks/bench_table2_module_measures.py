@@ -1,0 +1,43 @@
+"""Table 2: relative permeability and error exposure per module.
+
+Regenerates the paper's Table 2 (Eqs. 2–5) from the estimated matrix
+and times the measure computation (matrix → module measures + graph →
+exposures).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_artifact
+from repro.core.exposure import all_module_exposures
+from repro.core.graph import PermeabilityGraph
+from repro.core.report import render_table2
+
+
+def _compute(matrix):
+    measures = matrix.all_module_measures()
+    exposures = all_module_exposures(PermeabilityGraph(matrix))
+    return measures, exposures
+
+
+def test_table2_module_measures(benchmark, estimated_matrix):
+    measures, exposures = benchmark(_compute, estimated_matrix)
+
+    # Paper-exact: P^CLOCK = 0.500, non-weighted 1.000.
+    assert measures["CLOCK"].relative_permeability == 0.5
+    assert measures["CLOCK"].nonweighted_relative_permeability == 1.0
+
+    # OB1: DIST_S and PRES_S have no error exposure values.
+    assert not exposures["DIST_S"].has_exposure
+    assert not exposures["PRES_S"].has_exposure
+
+    # OB1: CALC and V_REG are the most exposed modules.
+    ranked = sorted(
+        (e for e in exposures.values() if e.has_exposure),
+        key=lambda e: -e.nonweighted_exposure,
+    )
+    assert {ranked[0].module, ranked[1].module} >= {"CALC"}
+    assert ranked[0].module in {"CALC", "V_REG"}
+
+    write_artifact(
+        "table2_module_measures.txt", render_table2(measures, exposures)
+    )

@@ -1,0 +1,24 @@
+"""Section 2 baseline: the uniform-propagation hypothesis of [12].
+
+"Our findings do not corroborate this assertion of uniform
+propagation."  Regenerates that claim quantitatively: per injection
+location, the fraction of injections reaching the system output, and
+the verdict on whether locations behave all-or-nothing.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_artifact
+from repro.baselines.uniform import analyse_uniform_propagation
+
+
+def test_uniform_propagation_baseline(benchmark, campaign_result):
+    report = benchmark(analyse_uniform_propagation, campaign_result)
+
+    assert report.n_locations == 13  # all module inputs were injected
+    # The paper's counter-claim: intermediate propagation ratios exist.
+    assert not report.corroborates_uniform_propagation
+    assert report.intermediate_locations()
+    assert 0.0 < report.uniformity_index < 1.0
+
+    write_artifact("uniform_propagation.txt", report.render())

@@ -1,0 +1,105 @@
+"""Shared fixtures for the benchmark suite.
+
+Every table and figure of the paper has a dedicated ``bench_*`` module.
+The expensive part — the injection campaign against the arrestment
+system — runs once per session and is shared; the benchmarks time the
+*analysis* stages and write the regenerated tables/figures to
+``benchmarks/out/`` for comparison with the paper (see EXPERIMENTS.md).
+
+Campaign scale is selected with the ``REPRO_BENCH_SCALE`` environment
+variable:
+
+* ``quick`` (default) — 2 workloads x 2 injection times x 16 bits,
+  832 injection runs, about a minute;
+* ``medium`` — 3 workloads x 3 times, 1 872 runs;
+* ``paper`` — the full Section 7.3 grid: 25 workloads x 10 times x
+  16 bits = 4 000 injections per signal (52 000 runs; hours).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.arrestment import build_arrestment_model, build_arrestment_run
+from repro.arrestment.testcases import paper_test_cases, reduced_test_cases
+from repro.core.analysis import PropagationAnalysis
+from repro.core.permeability import PermeabilityMatrix
+from repro.injection.campaign import CampaignConfig, InjectionCampaign
+from repro.injection.error_models import bit_flip_models
+from repro.injection.estimator import estimate_matrix
+from repro.injection.selection import paper_times
+from repro.model.examples import build_fig2_system, fig2_permeabilities
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+_SCALES = {
+    "quick": dict(times=(1000, 3000), n_cases=2, duration_ms=6000),
+    "medium": dict(times=(800, 2200, 3600), n_cases=3, duration_ms=6000),
+    "paper": dict(times=paper_times(), n_cases=25, duration_ms=6500),
+}
+
+
+def bench_scale() -> str:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    if scale not in _SCALES:
+        raise RuntimeError(
+            f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}, got {scale!r}"
+        )
+    return scale
+
+
+def write_artifact(name: str, text: str) -> pathlib.Path:
+    """Store a regenerated table/figure under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / name
+    path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+@pytest.fixture(scope="session")
+def arrestment_system():
+    return build_arrestment_model()
+
+
+@pytest.fixture(scope="session")
+def campaign_result(arrestment_system):
+    """The session-wide injection campaign (scale via REPRO_BENCH_SCALE)."""
+    params = _SCALES[bench_scale()]
+    cases = (
+        paper_test_cases()
+        if params["n_cases"] == 25
+        else reduced_test_cases(params["n_cases"])
+    )
+    config = CampaignConfig(
+        duration_ms=params["duration_ms"],
+        injection_times_ms=tuple(params["times"]),
+        error_models=tuple(bit_flip_models(16)),
+        seed=2001,
+    )
+    campaign = InjectionCampaign(
+        arrestment_system, lambda case: build_arrestment_run(case), cases, config
+    )
+    return campaign.execute()
+
+
+@pytest.fixture(scope="session")
+def estimated_matrix(campaign_result):
+    return estimate_matrix(campaign_result)
+
+
+@pytest.fixture(scope="session")
+def target_analysis(estimated_matrix):
+    return PropagationAnalysis(estimated_matrix)
+
+
+@pytest.fixture(scope="session")
+def fig2_matrix():
+    return PermeabilityMatrix.from_dict(build_fig2_system(), fig2_permeabilities())
+
+
+@pytest.fixture(scope="session")
+def fig2_analysis(fig2_matrix):
+    return PropagationAnalysis(fig2_matrix)

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""The paper's full experiment on the aircraft-arrestment system.
+
+Reproduces Section 7: runs a SWIFI injection campaign against the
+closed-loop arrestment controller (bit-flips on every module input,
+Golden Run Comparison per workload), estimates the error-permeability
+matrix, and regenerates the paper's Tables 1–4 plus the placement
+observations OB1–OB6.
+
+The campaign scale is selectable::
+
+    python examples/arrestment_experiment.py            # quick (~1 min)
+    python examples/arrestment_experiment.py medium     # ~15 min
+    python examples/arrestment_experiment.py paper      # the full
+        16 bits x 10 times x 25 cases grid of Section 7.3 (hours)
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro import (
+    CampaignConfig,
+    InjectionCampaign,
+    PropagationAnalysis,
+    analyse_uniform_propagation,
+    bit_flip_models,
+    build_arrestment_model,
+    build_arrestment_run,
+    estimate_matrix,
+    greedy_edm_selection,
+    paper_test_cases,
+    paper_times,
+    reduced_test_cases,
+)
+
+SCALES = {
+    # duration_ms, injection times, bit positions, test cases
+    "quick": (6000, (1000, 3000), 16, 2),
+    "medium": (6500, (800, 2200, 3600, 5000), 16, 5),
+    "paper": (6500, paper_times(), 16, 25),
+}
+
+
+def pick_scale() -> tuple[str, CampaignConfig, dict]:
+    name = sys.argv[1] if len(sys.argv) > 1 else "quick"
+    if name not in SCALES:
+        raise SystemExit(f"unknown scale {name!r}; pick one of {sorted(SCALES)}")
+    duration_ms, times, bits, n_cases = SCALES[name]
+    cases = paper_test_cases() if n_cases == 25 else reduced_test_cases(n_cases)
+    config = CampaignConfig(
+        duration_ms=duration_ms,
+        injection_times_ms=tuple(times),
+        error_models=tuple(bit_flip_models(bits)),
+        seed=2001,
+    )
+    return name, config, cases
+
+
+def main() -> None:
+    name, config, cases = pick_scale()
+    system = build_arrestment_model()
+    campaign = InjectionCampaign(
+        system, lambda case: build_arrestment_run(case), cases, config
+    )
+    total = campaign.total_runs()
+    print(f"Scale {name!r}: {len(cases)} workloads x {len(campaign.targets)} "
+          f"target signals x {config.runs_per_target()} injections "
+          f"= {total} injection runs")
+
+    started = time.time()
+    last_report = [0.0]
+
+    def progress(done: int, _total: int) -> None:
+        now = time.time()
+        if now - last_report[0] >= 10.0:
+            rate = done / (now - started)
+            remaining = (_total - done) / rate if rate else float("inf")
+            print(f"  {done}/{_total} runs ({rate:.0f} runs/s, "
+                  f"~{remaining:.0f}s remaining)")
+            last_report[0] = now
+
+    result = campaign.execute(progress=progress)
+    elapsed = time.time() - started
+    print(f"Campaign finished: {len(result)} runs in {elapsed:.0f}s\n")
+
+    matrix = estimate_matrix(result)
+    analysis = PropagationAnalysis(matrix)
+
+    print(analysis.render_table1())
+    print()
+    print(analysis.render_table2())
+    print()
+    print(analysis.render_table3())
+    print()
+    print(analysis.render_table4())
+    print()
+    print(analysis.placement.render())
+    print()
+
+    print(analyse_uniform_propagation(result).render())
+    print()
+    print(greedy_edm_selection(result, max_monitors=3).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""The paper's target system: an aircraft-arrestment embedded controller.
+
+Re-implements the six software modules of Section 7.1 (CLOCK, DIST_S,
+PRES_S, CALC, V_REG, PRES_A), the physical plant (aircraft, cable
+drums, hydraulics, tooth-wheel sensors) and the 25-case workload grid,
+assembled into an executable closed-loop system for fault-injection
+experiments.
+"""
+
+from repro.arrestment.calc import CALC_SPEC, CalcModule
+from repro.arrestment.clock import CLOCK_SPEC, ClockModule
+from repro.arrestment.dist_s import DIST_S_SPEC, DistanceSensorModule
+from repro.arrestment.plant import ArrestmentPlant, PlantConfig
+from repro.arrestment.pres_a import PRES_A_SPEC, PressureActuatorModule
+from repro.arrestment.pres_s import PRES_S_SPEC, PressureSensorModule
+from repro.arrestment.system import (
+    ARRESTMENT_SIGNALS,
+    arrestment_schedule,
+    build_arrestment_model,
+    build_arrestment_modules,
+    build_arrestment_run,
+)
+from repro.arrestment.testcases import (
+    ArrestmentTestCase,
+    paper_test_cases,
+    reduced_test_cases,
+)
+from repro.arrestment.v_reg import V_REG_SPEC, ValveRegulatorModule
+
+__all__ = [
+    "ARRESTMENT_SIGNALS",
+    "ArrestmentPlant",
+    "ArrestmentTestCase",
+    "CALC_SPEC",
+    "CLOCK_SPEC",
+    "CalcModule",
+    "ClockModule",
+    "DIST_S_SPEC",
+    "DistanceSensorModule",
+    "PRES_A_SPEC",
+    "PRES_S_SPEC",
+    "PlantConfig",
+    "PressureActuatorModule",
+    "PressureSensorModule",
+    "V_REG_SPEC",
+    "ValveRegulatorModule",
+    "arrestment_schedule",
+    "build_arrestment_model",
+    "build_arrestment_modules",
+    "build_arrestment_run",
+    "paper_test_cases",
+    "reduced_test_cases",
+]

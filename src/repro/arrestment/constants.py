@@ -1,0 +1,192 @@
+"""Physical and controller constants of the arrestment target system.
+
+The paper's target "is a medium sized embedded control system used for
+arresting aircraft on short runways and aircraft carriers" (Section 7.1,
+built to the specification of [19]): an incoming aircraft catches a
+cable wound on rotating tape drums; hydraulic pressure valves brake the
+drums; the master computer senses drum rotation through a tooth wheel
+and applies a pressure set-point programme over six checkpoints along
+the runway.
+
+The constants here parameterise our physically plausible stand-in for
+that system (see DESIGN.md for the substitution rationale).  All are
+plain module-level values so tests and ablations can build modified
+:class:`~repro.arrestment.plant.PlantConfig` objects around them.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "DRUM_RADIUS_M",
+    "TEETH_PER_REV",
+    "PULSES_PER_METRE",
+    "RUNWAY_LENGTH_M",
+    "TOTAL_PULSES",
+    "SUPPLY_PRESSURE_PA",
+    "BRAKE_TORQUE_PER_PA",
+    "N_DRUMS",
+    "VALVE_TIME_CONSTANT_S",
+    "ROLLING_DECEL_MS2",
+    "TICKS_PER_MS",
+    "CHECKPOINTS_M",
+    "CHECKPOINT_PULSES",
+    "NOMINAL_MASS_KG",
+    "N_SLOTS",
+    "SLOW_SPEED_MS",
+    "SLOW_INTERVAL_TICKS",
+    "SLOW_DEBOUNCE_MS",
+    "STOP_WINDOW_MS",
+    "SLOW_SET_VALUE",
+    "SETPOINT_GAIN",
+    "MIN_REMAINING_PULSES",
+    "PRES_QUANT",
+    "PRES_UPDATE_PERIOD",
+    "TOC2_QUANT_MASK",
+    "VREG_KP",
+    "VREG_KI_SHIFT",
+    "MASS_RANGE_KG",
+    "VELOCITY_RANGE_MS",
+]
+
+# ---------------------------------------------------------------------------
+# Plant geometry and dynamics
+# ---------------------------------------------------------------------------
+
+#: Radius of the tape drum the cable unwinds from.
+DRUM_RADIUS_M = 0.5
+
+#: Teeth on the rotation-sensor tooth wheel (pulses per drum revolution).
+TEETH_PER_REV = 100
+
+#: Tooth-wheel pulses generated per metre of cable run-out.
+PULSES_PER_METRE = TEETH_PER_REV / (2.0 * math.pi * DRUM_RADIUS_M)
+
+#: Usable arrestment distance.
+RUNWAY_LENGTH_M = 335.0
+
+#: Pulse count corresponding to the full runway length.
+TOTAL_PULSES = round(RUNWAY_LENGTH_M * PULSES_PER_METRE)
+
+#: Hydraulic supply pressure (full-scale of the pressure system and ADC).
+SUPPLY_PRESSURE_PA = 20.0e6
+
+#: Brake torque per pascal of applied pressure, per drum.
+BRAKE_TORQUE_PER_PA = 3.75e-3
+
+#: The master applies retarding force on both cable ends (the paper's
+#: setup removed the slave node and let the master act on both drums).
+N_DRUMS = 2
+
+#: First-order lag of the valve/line dynamics.
+VALVE_TIME_CONSTANT_S = 0.05
+
+#: Constant rolling/aero deceleration while the aircraft moves.
+ROLLING_DECEL_MS2 = 0.05
+
+#: Hardware timer rate (2 MHz E-clock: 2000 ticks per millisecond).
+TICKS_PER_MS = 2000
+
+# ---------------------------------------------------------------------------
+# Controller programme
+# ---------------------------------------------------------------------------
+
+#: The six pre-defined checkpoints along the runway (metres).
+CHECKPOINTS_M = (3.0, 40.0, 100.0, 170.0, 240.0, 300.0)
+
+#: The same checkpoints in tooth-wheel pulses — CALC detects them "by
+#: comparing the current pulscnt with pre-defined pulscnt-values".
+CHECKPOINT_PULSES = tuple(round(metres * PULSES_PER_METRE) for metres in CHECKPOINTS_M)
+
+#: Mass assumed by the set-point law (the controller does not know the
+#: actual aircraft mass; the pressure loop absorbs the mismatch).
+NOMINAL_MASS_KG = 14000.0
+
+#: Scheduling slots per cycle ("the system operates in seven 1-ms-slots").
+N_SLOTS = 7
+
+# ---------------------------------------------------------------------------
+# DIST_S velocity supervision
+# ---------------------------------------------------------------------------
+
+#: Velocity below which ``slow_speed`` is asserted.
+SLOW_SPEED_MS = 5.0
+
+#: Tooth-pulse interval (timer ticks) corresponding to SLOW_SPEED_MS.
+SLOW_INTERVAL_TICKS = round(
+    TICKS_PER_MS * 1000.0 / (SLOW_SPEED_MS * PULSES_PER_METRE)
+)
+
+#: Consecutive slow judgements required before ``slow_speed`` asserts.
+#: The interval estimate is already EWMA-smoothed, so the supervisor
+#: reacts on the first judgement; extreme corrupted interval samples
+#: can therefore blip the flag — the small non-zero permeability into
+#: ``slow_speed`` the paper also observed (its Table 3 lists a non-zero
+#: exposure for the signal).
+SLOW_DEBOUNCE_MS = 1
+
+#: Milliseconds without any tooth pulse before ``stopped`` asserts.
+STOP_WINDOW_MS = 200
+
+# ---------------------------------------------------------------------------
+# CALC set-point law
+# ---------------------------------------------------------------------------
+
+#: Pressure set-point commanded while ``slow_speed`` holds (firm final
+#: pull bringing the aircraft to a complete stop).
+SLOW_SET_VALUE = 12000
+
+#: Integer gain of the set-point law:
+#: ``SetValue = SETPOINT_GAIN * v_q**2 // d_rem`` with ``v_q`` the
+#: velocity estimate in pulses/ms << 8 and ``d_rem`` the remaining
+#: pulses.  Derived from the plant constants so that the commanded
+#: pressure decelerates a NOMINAL_MASS_KG aircraft to rest at the
+#: runway end (see repro.arrestment.calc for the derivation).
+SETPOINT_GAIN = 734
+
+#: Lower clamp on the remaining distance, keeping the law finite when
+#: the aircraft overruns the nominal runway length.
+MIN_REMAINING_PULSES = 50
+
+# ---------------------------------------------------------------------------
+# PRES_S conditioning and PRES_A drive
+# ---------------------------------------------------------------------------
+
+#: Output quantisation of PRES_S: ``InValue`` is reported on this grid
+#: (512 counts is 0.8% of full scale, ~156 kPa).  A single corrupted
+#: sample can shift the median-of-5 vote only by the local sample
+#: spread, which almost never crosses a grid boundary.
+PRES_QUANT = 512
+
+#: PRES_S refreshes ``InValue`` every this-many activations (8 x 7 ms =
+#: 56 ms).  The fixed schedule makes the *timing* of output changes
+#: immune to data corruption — the property that level-triggered
+#: dead-band designs lack under exact Golden Run Comparison.
+PRES_UPDATE_PERIOD = 8
+
+#: PRES_A quantises its drive command to the valve's resolution: the
+#: two least significant bits of ``OutValue`` are dropped.
+TOC2_QUANT_MASK = 0xFFFC
+
+# ---------------------------------------------------------------------------
+# V_REG pressure regulator
+# ---------------------------------------------------------------------------
+
+#: Proportional gain of the PI pressure regulator.
+VREG_KP = 1
+
+#: Integral term shift: the integrator accumulates ``error >> VREG_KI_SHIFT``
+#: per 7 ms activation.
+VREG_KI_SHIFT = 3
+
+# ---------------------------------------------------------------------------
+# Workload grid (Section 7.3)
+# ---------------------------------------------------------------------------
+
+#: The paper's aircraft masses: "5 masses ... uniformly distributed
+#: between 8,000-20,000 kg".
+MASS_RANGE_KG = (8000.0, 11000.0, 14000.0, 17000.0, 20000.0)
+
+#: The paper's engagement velocities: "5 velocities ... between 40-80 m/s".
+VELOCITY_RANGE_MS = (40.0, 50.0, 60.0, 70.0, 80.0)

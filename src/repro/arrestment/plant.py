@@ -1,0 +1,220 @@
+"""The arrestment plant: aircraft, cable drums, hydraulics and sensors.
+
+The paper ported the original environment simulator ("the simulator
+handles the rotating drum and the incoming aircraft", Section 7.1) so
+that the desktop software experienced the identical environment.  This
+module is our equivalent: a deterministic physical simulation that
+
+* integrates the aircraft/cable/drum longitudinal dynamics under the
+  hydraulic brake force,
+* models the first-order valve/line lag between the commanded valve
+  opening (``TOC2``) and the applied pressure,
+* generates the tooth-wheel pulse train into the ``PACNT`` pulse
+  accumulator with edge-accurate ``TIC1`` input capture against the
+  free-running ``TCNT`` timer, and
+* quantises the applied pressure into the ``ADC`` register.
+
+It implements the :class:`repro.simulation.runtime.Environment`
+protocol; the runtime calls :meth:`ArrestmentPlant.before_software` once
+per millisecond before dispatching the software and
+:meth:`ArrestmentPlant.after_software` afterwards to latch the actuator
+command.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arrestment import constants
+from repro.simulation.registers import (
+    AdcRegister,
+    FreeRunningCounter,
+    InputCapture,
+    PulseAccumulator,
+)
+from repro.simulation.runtime import SignalStore
+
+__all__ = ["PlantConfig", "ArrestmentPlant"]
+
+
+@dataclass(frozen=True)
+class PlantConfig:
+    """Physical parameters of one arrestment scenario.
+
+    The defaults reproduce the standard plant; ablation studies override
+    individual fields.
+    """
+
+    #: Aircraft mass at engagement [kg].
+    mass_kg: float = 14000.0
+    #: Engagement velocity [m/s].
+    velocity_ms: float = 60.0
+    #: Tape-drum radius [m].
+    drum_radius_m: float = constants.DRUM_RADIUS_M
+    #: Tooth-wheel pulses per metre of cable run-out.
+    pulses_per_metre: float = constants.PULSES_PER_METRE
+    #: Hydraulic supply pressure (ADC full scale) [Pa].
+    supply_pressure_pa: float = constants.SUPPLY_PRESSURE_PA
+    #: Brake torque per pascal, per drum [N·m/Pa].
+    brake_torque_per_pa: float = constants.BRAKE_TORQUE_PER_PA
+    #: Number of braked cable ends.
+    n_drums: int = constants.N_DRUMS
+    #: Valve/line first-order time constant [s].
+    valve_time_constant_s: float = constants.VALVE_TIME_CONSTANT_S
+    #: Constant rolling/aero deceleration while moving [m/s²].
+    rolling_decel_ms2: float = constants.ROLLING_DECEL_MS2
+    #: Hardware timer ticks per millisecond.
+    ticks_per_ms: int = constants.TICKS_PER_MS
+
+    def __post_init__(self) -> None:
+        if self.mass_kg <= 0:
+            raise ValueError("mass_kg must be positive")
+        if self.velocity_ms < 0:
+            raise ValueError("velocity_ms cannot be negative")
+        if self.drum_radius_m <= 0 or self.pulses_per_metre <= 0:
+            raise ValueError("geometry parameters must be positive")
+        if self.supply_pressure_pa <= 0 or self.valve_time_constant_s <= 0:
+            raise ValueError("hydraulic parameters must be positive")
+
+
+class ArrestmentPlant:
+    """Deterministic closed-loop environment for the arrestment system.
+
+    Signal naming follows the paper's Fig. 8: the plant owns the
+    hardware registers ``PACNT``, ``TIC1``, ``TCNT`` and ``ADC`` (the
+    system inputs) and consumes ``TOC2`` (the system output).
+    """
+
+    def __init__(self, config: PlantConfig) -> None:
+        self._config = config
+        self._tcnt = FreeRunningCounter("TCNT", ticks_per_ms=config.ticks_per_ms)
+        self._pacnt = PulseAccumulator("PACNT")
+        self._tic1 = InputCapture("TIC1", counter=self._tcnt)
+        self._adc = AdcRegister("ADC", 0.0, config.supply_pressure_pa)
+        self.reset()
+
+    # ------------------------------------------------------------------
+    # Environment protocol
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Restore the physical state to the moment of cable engagement."""
+        config = self._config
+        self._position_m = 0.0
+        self._velocity_ms = config.velocity_ms
+        self._pressure_pa = 0.0
+        self._valve_fraction = 0.0
+        self._pulse_position = 0.0  # cable run-out in tooth-wheel pulses
+        self._pulses_emitted = 0
+        self._peak_decel_ms2 = 0.0
+        self._stop_time_ms: int | None = None
+        self._tcnt.reset()
+        self._pacnt.reset()
+        self._tic1.reset()
+        self._adc.reset()
+
+    def before_software(self, now_ms: int, store: SignalStore) -> None:
+        """Integrate 1 ms of physics and refresh the input registers."""
+        self._integrate_one_ms(now_ms)
+        store.write("PACNT", self._pacnt.read())
+        store.write("TIC1", self._tic1.read())
+        store.write("TCNT", self._tcnt.read())
+        store.write("ADC", self._adc.read())
+
+    def after_software(self, now_ms: int, store: SignalStore) -> None:
+        """Latch the valve command written to ``TOC2``."""
+        raw = store.read("TOC2")
+        self._valve_fraction = raw / 0xFFFF
+
+    def telemetry(self) -> dict[str, float]:
+        """Physical quantities for reporting (invisible to the software)."""
+        return {
+            "position_m": self._position_m,
+            "velocity_ms": self._velocity_ms,
+            "pressure_pa": self._pressure_pa,
+            "valve_fraction": self._valve_fraction,
+            "peak_decel_ms2": self._peak_decel_ms2,
+            "stop_time_ms": float(
+                self._stop_time_ms if self._stop_time_ms is not None else -1
+            ),
+            "pulses_emitted": float(self._pulses_emitted),
+        }
+
+    # ------------------------------------------------------------------
+    # Physics
+    # ------------------------------------------------------------------
+
+    @property
+    def config(self) -> PlantConfig:
+        return self._config
+
+    @property
+    def position_m(self) -> float:
+        """Cable run-out / aircraft position along the runway."""
+        return self._position_m
+
+    @property
+    def velocity_ms(self) -> float:
+        """Current aircraft velocity."""
+        return self._velocity_ms
+
+    @property
+    def pressure_pa(self) -> float:
+        """Currently applied hydraulic pressure."""
+        return self._pressure_pa
+
+    @property
+    def is_stopped(self) -> bool:
+        """Whether the aircraft has come to rest."""
+        return self._velocity_ms <= 0.0
+
+    def _brake_force_n(self) -> float:
+        """Total retarding force on the aircraft at the current pressure."""
+        config = self._config
+        torque = config.brake_torque_per_pa * self._pressure_pa
+        return config.n_drums * torque / config.drum_radius_m
+
+    def _integrate_one_ms(self, now_ms: int) -> None:
+        config = self._config
+        dt = 1.0e-3
+
+        # Valve/line lag toward the commanded fraction of supply pressure.
+        target = config.supply_pressure_pa * self._valve_fraction
+        alpha = dt / config.valve_time_constant_s
+        self._pressure_pa += (target - self._pressure_pa) * alpha
+
+        # Longitudinal dynamics.
+        start_position = self._pulse_position
+        if self._velocity_ms > 0.0:
+            decel = self._brake_force_n() / config.mass_kg + config.rolling_decel_ms2
+            self._peak_decel_ms2 = max(self._peak_decel_ms2, decel)
+            new_velocity = self._velocity_ms - decel * dt
+            if new_velocity <= 0.0:
+                new_velocity = 0.0
+                if self._stop_time_ms is None:
+                    self._stop_time_ms = now_ms
+            # Trapezoidal position update for a smoother pulse train.
+            self._position_m += 0.5 * (self._velocity_ms + new_velocity) * dt
+            self._velocity_ms = new_velocity
+            self._pulse_position = self._position_m * config.pulses_per_metre
+
+        # Tooth-wheel pulse train and timer registers.
+        self._tcnt.advance_ms(1)
+        end_pulses = math.floor(self._pulse_position)
+        new_pulses = end_pulses - self._pulses_emitted
+        if new_pulses > 0:
+            self._pacnt.count(new_pulses)
+            advance = self._pulse_position - start_position
+            if advance > 0.0:
+                # Fraction of the millisecond at which the last edge fell.
+                last_edge_fraction = (end_pulses - start_position) / advance
+                last_edge_fraction = min(1.0, max(0.0, last_edge_fraction))
+            else:  # pragma: no cover - defensive; advance>0 when pulses>0
+                last_edge_fraction = 1.0
+            ticks_ago = round((1.0 - last_edge_fraction) * config.ticks_per_ms)
+            self._tic1.capture(ticks_ago=ticks_ago)
+            self._pulses_emitted = end_pulses
+
+        # Pressure transducer.
+        self._adc.convert(self._pressure_pa)

@@ -1,0 +1,155 @@
+"""Assembly of the arrestment target system (paper Figs. 6–8).
+
+Provides the static topology (:func:`build_arrestment_model`), the
+7-slot schedule (:func:`arrestment_schedule`), the behavioural module
+set (:func:`build_arrestment_modules`) and the complete executable
+closed-loop runtime (:func:`build_arrestment_run`).
+
+Topology summary (system inputs on the left, output on the right)::
+
+    PACNT ──┐
+    TIC1  ──┼─ DIST_S ── pulscnt/slow_speed/stopped ─┐
+    TCNT  ──┘                                        ├─ CALC ── SetValue ─┐
+             CLOCK ── mscnt ─────────────────────────┘        (i feedback)│
+    ADC ──── PRES_S ── InValue ───────────────────────────────── V_REG ───┴─ OutValue ── PRES_A ── TOC2
+"""
+
+from __future__ import annotations
+
+from repro.arrestment.calc import CALC_SPEC, CalcModule
+from repro.arrestment.clock import CLOCK_SPEC, ClockModule
+from repro.arrestment.constants import N_SLOTS
+from repro.arrestment.dist_s import DIST_S_SPEC, DistanceSensorModule
+from repro.arrestment.plant import ArrestmentPlant, PlantConfig
+from repro.arrestment.pres_a import PRES_A_SPEC, PressureActuatorModule
+from repro.arrestment.pres_s import PRES_S_SPEC, PressureSensorModule
+from repro.arrestment.testcases import ArrestmentTestCase
+from repro.arrestment.v_reg import V_REG_SPEC, ValveRegulatorModule
+from repro.model.module import SoftwareModule
+from repro.model.signal import SignalKind, SignalSpec
+from repro.model.system import SystemModel
+from repro.simulation.runtime import SimulationRun
+from repro.simulation.scheduler import SlotSchedule
+
+__all__ = [
+    "ARRESTMENT_SIGNALS",
+    "build_arrestment_model",
+    "arrestment_schedule",
+    "build_arrestment_modules",
+    "build_arrestment_run",
+]
+
+#: Signal declarations of the target system (all 16-bit, Section 7.3:
+#: "The input signals were all 16 bits wide").
+ARRESTMENT_SIGNALS: tuple[SignalSpec, ...] = (
+    SignalSpec("PACNT", description="Tooth-wheel pulse accumulator register"),
+    SignalSpec("TIC1", description="Input capture of TCNT at the last pulse edge"),
+    SignalSpec("TCNT", description="Free-running 2 MHz timer register", unit="ticks"),
+    SignalSpec("ADC", description="Pressure transducer conversion result"),
+    SignalSpec("mscnt", description="Millisecond clock", unit="ms"),
+    SignalSpec("ms_slot_nbr", description="Current execution slot (0..6)"),
+    SignalSpec("pulscnt", description="Total tooth pulses this arrestment"),
+    SignalSpec(
+        "slow_speed",
+        kind=SignalKind.BOOLEAN,
+        description="Velocity below the slow threshold",
+    ),
+    SignalSpec(
+        "stopped", kind=SignalKind.BOOLEAN, description="Aircraft has stopped"
+    ),
+    SignalSpec("i", description="Current checkpoint index"),
+    SignalSpec("SetValue", description="Pressure set point (ADC units)"),
+    SignalSpec("InValue", description="Conditioned measured pressure (ADC units)"),
+    SignalSpec("OutValue", description="Valve drive command"),
+    SignalSpec("TOC2", description="Output-compare register driving the valves"),
+)
+
+
+def build_arrestment_model() -> SystemModel:
+    """The static topology of the target system (Fig. 8).
+
+    Six modules, 14 signals, 25 input/output pairs; system inputs
+    ``PACNT``, ``TIC1``, ``TCNT``, ``ADC``; system output ``TOC2``.
+    """
+    return SystemModel(
+        name="arrestment",
+        modules=[
+            CLOCK_SPEC,
+            DIST_S_SPEC,
+            PRES_S_SPEC,
+            CALC_SPEC,
+            V_REG_SPEC,
+            PRES_A_SPEC,
+        ],
+        system_inputs=["PACNT", "TIC1", "TCNT", "ADC"],
+        system_outputs=["TOC2"],
+        signals=ARRESTMENT_SIGNALS,
+        description=(
+            "Embedded control system arresting aircraft on short runways "
+            "(paper Section 7.1)"
+        ),
+    )
+
+
+def arrestment_schedule() -> SlotSchedule:
+    """The 7-slot schedule of Section 7.1.
+
+    CLOCK and DIST_S run every millisecond (period 1 ms); PRES_S, V_REG
+    and PRES_A run once per 7 ms cycle in their own slots; CALC is the
+    background task filling the frame slack.
+    """
+    schedule = SlotSchedule(n_slots=N_SLOTS)
+    schedule.assign_every_slot("CLOCK")
+    schedule.assign_every_slot("DIST_S")
+    schedule.assign("PRES_S", [1])
+    schedule.assign("V_REG", [3])
+    schedule.assign("PRES_A", [5])
+    schedule.add_background("CALC")
+    return schedule
+
+
+def build_arrestment_modules() -> list[SoftwareModule]:
+    """Fresh behavioural instances of all six modules."""
+    return [
+        ClockModule(),
+        DistanceSensorModule(),
+        PressureSensorModule(),
+        CalcModule(),
+        ValveRegulatorModule(),
+        PressureActuatorModule(),
+    ]
+
+
+def build_arrestment_run(
+    case: ArrestmentTestCase | None = None,
+    plant_config: PlantConfig | None = None,
+    trace_signals: tuple[str, ...] | None = None,
+) -> SimulationRun:
+    """A complete executable closed-loop instance of the target system.
+
+    Parameters
+    ----------
+    case:
+        Workload (mass/velocity); defaults to a 14 000 kg aircraft at
+        60 m/s.  Ignored when ``plant_config`` is given.
+    plant_config:
+        Full plant parameterisation, for ablations beyond the workload
+        grid.
+    trace_signals:
+        Signals to record; defaults to all 14 (the paper traces every
+        signal).
+    """
+    if plant_config is None:
+        if case is None:
+            case = ArrestmentTestCase(mass_kg=14000.0, velocity_ms=60.0)
+        plant_config = PlantConfig(mass_kg=case.mass_kg, velocity_ms=case.velocity_ms)
+    system = build_arrestment_model()
+    plant = ArrestmentPlant(plant_config)
+    return SimulationRun(
+        system=system,
+        modules=build_arrestment_modules(),
+        schedule=arrestment_schedule(),
+        environment=plant,
+        slot_signal="ms_slot_nbr",
+        trace_signals=trace_signals,
+    )

@@ -1,0 +1,77 @@
+"""Workload grid of the paper's experiment (Section 7.3).
+
+"In order to get a realistic load on the system and the modules, we
+subjected the system to 25 test cases: 5 masses and 5 velocities of the
+incoming aircraft uniformly distributed between 8,000-20,000 kg, and
+between 40-80 m/s, respectively."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arrestment.constants import MASS_RANGE_KG, VELOCITY_RANGE_MS
+
+__all__ = ["ArrestmentTestCase", "paper_test_cases", "reduced_test_cases"]
+
+
+@dataclass(frozen=True)
+class ArrestmentTestCase:
+    """One workload: an aircraft of a given mass engaging at a velocity."""
+
+    mass_kg: float
+    velocity_ms: float
+
+    def __post_init__(self) -> None:
+        if self.mass_kg <= 0:
+            raise ValueError("mass_kg must be positive")
+        if self.velocity_ms <= 0:
+            raise ValueError("velocity_ms must be positive")
+
+    @property
+    def case_id(self) -> str:
+        """Stable identifier, e.g. ``m14000-v60``."""
+        return f"m{self.mass_kg:.0f}-v{self.velocity_ms:.0f}"
+
+    def __str__(self) -> str:
+        return f"{self.mass_kg:.0f} kg @ {self.velocity_ms:.0f} m/s"
+
+
+def paper_test_cases() -> dict[str, ArrestmentTestCase]:
+    """The paper's full 5 × 5 workload grid, keyed by case id."""
+    cases = {}
+    for mass in MASS_RANGE_KG:
+        for velocity in VELOCITY_RANGE_MS:
+            case = ArrestmentTestCase(mass_kg=mass, velocity_ms=velocity)
+            cases[case.case_id] = case
+    return cases
+
+
+def reduced_test_cases(n_cases: int = 5) -> dict[str, ArrestmentTestCase]:
+    """A structured subset of the grid for cheaper campaigns.
+
+    Picks the grid diagonal first (covering the mass *and* velocity
+    ranges jointly), then the anti-diagonal, preserving the workload
+    spread that makes permeability estimates representative.
+    """
+    if not 1 <= n_cases <= 25:
+        raise ValueError("n_cases must lie in [1, 25]")
+    masses = MASS_RANGE_KG
+    velocities = VELOCITY_RANGE_MS
+    order: list[tuple[float, float]] = []
+    for index in range(5):
+        order.append((masses[index], velocities[index]))
+    for index in range(5):
+        pair = (masses[index], velocities[4 - index])
+        if pair not in order:
+            order.append(pair)
+    for mass in masses:
+        for velocity in velocities:
+            pair = (mass, velocity)
+            if pair not in order:
+                order.append(pair)
+    cases = {}
+    for mass, velocity in order[:n_cases]:
+        case = ArrestmentTestCase(mass_kg=mass, velocity_ms=velocity)
+        cases[case.case_id] = case
+    return cases

@@ -1,0 +1,29 @@
+"""Baseline analyses the paper positions itself against (Section 2).
+
+* :mod:`repro.baselines.uniform` — the uniform-propagation hypothesis
+  of reference [12], which the paper refutes.
+* :mod:`repro.baselines.edm_selection` — coverage/latency-driven EDM
+  subset optimisation in the style of reference [18].
+"""
+
+from repro.baselines.edm_selection import (
+    EdmCandidate,
+    EdmSelection,
+    evaluate_candidates,
+    greedy_edm_selection,
+)
+from repro.baselines.uniform import (
+    LocationPropagation,
+    UniformPropagationReport,
+    analyse_uniform_propagation,
+)
+
+__all__ = [
+    "EdmCandidate",
+    "EdmSelection",
+    "LocationPropagation",
+    "UniformPropagationReport",
+    "analyse_uniform_propagation",
+    "evaluate_candidates",
+    "greedy_edm_selection",
+]

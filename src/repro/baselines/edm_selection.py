@@ -1,0 +1,185 @@
+"""Coverage/latency EDM subset selection — the baseline of reference [18].
+
+"Finding optimal combinations of hardware EDM's based on experimental
+results was described in [18].  They used coverage and latency estimates
+for a given set of EDM's to form subsets which minimised overlapping
+between different EDM's, thereby giving the best cost-performance
+ratio" (Section 2).
+
+Here the candidate EDMs are perfect trace monitors, one per internal
+signal: a monitor on signal *S* detects an injected error exactly when
+the error propagates through *S* (its trace diverges from the Golden
+Run), with latency equal to the divergence delay.  Greedy
+maximum-marginal-coverage selection then builds the subset, which is
+exactly the minimise-overlap heuristic of [18]: each added monitor is
+the one contributing the most *not-yet-covered* errors.
+
+Comparing the greedy selection against the paper's exposure-based
+placement (Section 5) is the purpose of the ``bench_edm_selection``
+benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.injection.outcomes import CampaignResult
+
+__all__ = ["EdmCandidate", "EdmSelection", "evaluate_candidates", "greedy_edm_selection"]
+
+
+@dataclass(frozen=True)
+class EdmCandidate:
+    """A candidate detector: a perfect trace monitor on one signal."""
+
+    signal: str
+    #: Fraction of error-producing injections this monitor detects.
+    coverage: float
+    #: Mean detection latency (ms) over the detected injections.
+    mean_latency_ms: float
+    #: Indices (into the campaign's propagated-outcome list) detected.
+    detected: frozenset[int]
+
+    @property
+    def n_detected(self) -> int:
+        return len(self.detected)
+
+
+@dataclass(frozen=True)
+class EdmSelection:
+    """A greedy-selected subset of monitors."""
+
+    candidates: tuple[EdmCandidate, ...]
+    #: Cumulative coverage after each selection step.
+    cumulative_coverage: tuple[float, ...]
+    #: Total number of detectable (error-producing) injections.
+    n_detectable: int
+
+    @property
+    def signals(self) -> tuple[str, ...]:
+        return tuple(candidate.signal for candidate in self.candidates)
+
+    @property
+    def total_coverage(self) -> float:
+        """Coverage of the full selection."""
+        if not self.cumulative_coverage:
+            return 0.0
+        return self.cumulative_coverage[-1]
+
+    def render(self) -> str:
+        """Human-readable selection table."""
+        lines = [
+            "Greedy EDM subset selection (baseline of [18])",
+            f"  detectable injections: {self.n_detectable}",
+        ]
+        for candidate, cumulative in zip(self.candidates, self.cumulative_coverage):
+            lines.append(
+                f"  + {candidate.signal}: own coverage {candidate.coverage:.3f}, "
+                f"mean latency {candidate.mean_latency_ms:.0f} ms, "
+                f"cumulative {cumulative:.3f}"
+            )
+        return "\n".join(lines)
+
+
+def evaluate_candidates(
+    result: CampaignResult,
+    signals: Sequence[str] | None = None,
+) -> tuple[list[EdmCandidate], int]:
+    """Coverage/latency estimates for monitors on the given signals.
+
+    Parameters
+    ----------
+    result:
+        The campaign to evaluate against.
+    signals:
+        Candidate monitor locations; defaults to every internal signal
+        (system inputs are excluded — a monitor there sees the raw
+        environment, not propagating errors; system outputs are kept,
+        they correspond to last-line detection).
+
+    Returns the candidate list and the number of detectable injections
+    (those that corrupted at least one traced signal).
+    """
+    system = result.system
+    if signals is None:
+        signals = [
+            signal
+            for signal in system.signal_names()
+            if not system.is_system_input(signal)
+        ]
+    # Only injections that produced *some* observable error can ever be
+    # detected; coverage is normalised on those, as in [18].
+    detectable_indices: list[int] = []
+    for index, outcome in enumerate(result):
+        if outcome.fired and not outcome.comparison.error_free():
+            detectable_indices.append(index)
+    outcomes = list(result)
+    candidates: list[EdmCandidate] = []
+    for signal in signals:
+        detected: set[int] = set()
+        latencies: list[int] = []
+        for index in detectable_indices:
+            outcome = outcomes[index]
+            divergence = outcome.comparison.divergence_time(signal)
+            if divergence is None:
+                continue
+            detected.add(index)
+            latencies.append(divergence - outcome.scheduled_time_ms)
+        coverage = (
+            len(detected) / len(detectable_indices) if detectable_indices else 0.0
+        )
+        mean_latency = sum(latencies) / len(latencies) if latencies else 0.0
+        candidates.append(
+            EdmCandidate(
+                signal=signal,
+                coverage=coverage,
+                mean_latency_ms=mean_latency,
+                detected=frozenset(detected),
+            )
+        )
+    return candidates, len(detectable_indices)
+
+
+def greedy_edm_selection(
+    result: CampaignResult,
+    max_monitors: int = 3,
+    signals: Sequence[str] | None = None,
+) -> EdmSelection:
+    """Select up to ``max_monitors`` monitors by marginal coverage.
+
+    Ties in marginal coverage are broken toward lower mean latency,
+    then lexicographically, making the selection deterministic.
+    """
+    if max_monitors < 1:
+        raise ValueError("max_monitors must be >= 1")
+    candidates, n_detectable = evaluate_candidates(result, signals)
+    remaining = list(candidates)
+    covered: set[int] = set()
+    chosen: list[EdmCandidate] = []
+    cumulative: list[float] = []
+    for _ in range(max_monitors):
+        best: EdmCandidate | None = None
+        best_gain = 0
+        for candidate in remaining:
+            gain = len(candidate.detected - covered)
+            if best is None or gain > best_gain or (
+                gain == best_gain
+                and best is not None
+                and (candidate.mean_latency_ms, candidate.signal)
+                < (best.mean_latency_ms, best.signal)
+            ):
+                if gain > 0 or best is None:
+                    best = candidate
+                    best_gain = gain
+        if best is None or best_gain == 0:
+            break
+        chosen.append(best)
+        remaining.remove(best)
+        covered |= best.detected
+        cumulative.append(len(covered) / n_detectable if n_detectable else 0.0)
+    return EdmSelection(
+        candidates=tuple(chosen),
+        cumulative_coverage=tuple(cumulative),
+        n_detectable=n_detectable,
+    )

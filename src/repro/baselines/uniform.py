@@ -1,0 +1,134 @@
+"""Uniform-propagation analysis — the baseline claim of reference [12].
+
+"An investigation in [12] reported that there was evidence of uniform
+propagation of data errors.  That is, a data error occurring at a
+location *l* in a program would, to a high degree, exhibit uniform
+propagation, meaning that for location *l* either all data errors would
+propagate to the system output or none of them would.  Our findings do
+not corroborate this assertion" (Section 2).
+
+This module quantifies the claim against a campaign: for every injection
+location (module input), the *propagation ratio* is the fraction of
+injections whose error reached a system output.  Under strict uniform
+propagation every location's ratio is 0 or 1; the paper's counter-claim
+predicts a substantial mass of intermediate ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.injection.outcomes import CampaignResult
+
+__all__ = [
+    "LocationPropagation",
+    "UniformPropagationReport",
+    "analyse_uniform_propagation",
+]
+
+
+@dataclass(frozen=True)
+class LocationPropagation:
+    """Propagation statistics of one injection location."""
+
+    module: str
+    input_signal: str
+    n_injections: int
+    n_propagated: int
+
+    @property
+    def ratio(self) -> float:
+        """Fraction of injections that reached a system output."""
+        if self.n_injections == 0:
+            return 0.0
+        return self.n_propagated / self.n_injections
+
+    def is_uniform(self, tolerance: float = 0.05) -> bool:
+        """Whether the location behaves uniformly within ``tolerance``."""
+        return self.ratio <= tolerance or self.ratio >= 1.0 - tolerance
+
+
+@dataclass(frozen=True)
+class UniformPropagationReport:
+    """Aggregate verdict over all injection locations."""
+
+    locations: tuple[LocationPropagation, ...]
+    tolerance: float
+
+    @property
+    def n_locations(self) -> int:
+        return len(self.locations)
+
+    @property
+    def n_uniform(self) -> int:
+        """Locations whose ratio is near 0 or near 1."""
+        return sum(1 for loc in self.locations if loc.is_uniform(self.tolerance))
+
+    @property
+    def uniformity_index(self) -> float:
+        """Fraction of uniform locations; 1.0 would corroborate [12]."""
+        if not self.locations:
+            return 1.0
+        return self.n_uniform / self.n_locations
+
+    @property
+    def corroborates_uniform_propagation(self) -> bool:
+        """Whether the data supports [12]'s claim (all locations uniform)."""
+        return self.n_uniform == self.n_locations
+
+    def intermediate_locations(self) -> tuple[LocationPropagation, ...]:
+        """Locations with genuinely partial propagation."""
+        return tuple(
+            loc for loc in self.locations if not loc.is_uniform(self.tolerance)
+        )
+
+    def render(self) -> str:
+        """Human-readable summary table."""
+        lines = [
+            "Uniform-propagation analysis (baseline of [12])",
+            f"  tolerance: ratio <= {self.tolerance:.2f} or >= {1 - self.tolerance:.2f}",
+            f"  uniform locations: {self.n_uniform}/{self.n_locations} "
+            f"(index {self.uniformity_index:.2f})",
+            "  location ratios:",
+        ]
+        for loc in sorted(self.locations, key=lambda l: -l.ratio):
+            marker = "uniform" if loc.is_uniform(self.tolerance) else "PARTIAL"
+            lines.append(
+                f"    {loc.module}.{loc.input_signal}: "
+                f"{loc.n_propagated}/{loc.n_injections} = {loc.ratio:.3f} [{marker}]"
+            )
+        verdict = (
+            "corroborates" if self.corroborates_uniform_propagation else "refutes"
+        )
+        lines.append(f"  verdict: the campaign {verdict} uniform propagation")
+        return "\n".join(lines)
+
+
+def analyse_uniform_propagation(
+    result: CampaignResult, tolerance: float = 0.05
+) -> UniformPropagationReport:
+    """Evaluate [12]'s uniform-propagation hypothesis on a campaign.
+
+    An injection is counted as propagated when any system output of the
+    analysed system diverged from the Golden Run.
+    """
+    outputs = result.system.system_outputs
+    stats: dict[tuple[str, str], list[int]] = {}
+    for outcome in result:
+        key = (outcome.module, outcome.input_signal)
+        counters = stats.setdefault(key, [0, 0])
+        counters[0] += 1
+        if outcome.fired and any(
+            outcome.comparison.diverged(output) for output in outputs
+        ):
+            counters[1] += 1
+    locations = tuple(
+        LocationPropagation(
+            module=module,
+            input_signal=input_signal,
+            n_injections=counters[0],
+            n_propagated=counters[1],
+        )
+        for (module, input_signal), counters in sorted(stats.items())
+    )
+    return UniformPropagationReport(locations=locations, tolerance=tolerance)

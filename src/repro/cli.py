@@ -1,0 +1,215 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``
+    Run the paper's Fig. 2 example analysis and print all tables/trees.
+``simulate``
+    Run one closed-loop arrestment (mass/velocity selectable) and print
+    the telemetry and the terminal signal values.
+``campaign``
+    Run an injection campaign against the arrestment system and print
+    the paper's Tables 1–4, the placement report and the baselines.
+    Results can be saved to JSON and re-analysed later.
+``analyze``
+    Re-run the analysis on a permeability matrix saved by ``campaign``.
+
+The CLI is a thin layer over the library; everything it does is
+available programmatically (see README.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from repro.arrestment import (
+    build_arrestment_model,
+    build_arrestment_run,
+    paper_test_cases,
+    reduced_test_cases,
+)
+from repro.arrestment.testcases import ArrestmentTestCase
+from repro.baselines.uniform import analyse_uniform_propagation
+from repro.baselines.edm_selection import greedy_edm_selection
+from repro.core.analysis import PropagationAnalysis
+from repro.core.permeability import PermeabilityMatrix
+from repro.injection.campaign import CampaignConfig, InjectionCampaign
+from repro.injection.error_models import bit_flip_models
+from repro.injection.estimator import estimate_matrix
+from repro.injection.latency import latency_statistics, render_latency_table
+from repro.injection.selection import paper_times
+from repro.model.examples import build_fig2_system, fig2_permeabilities
+
+__all__ = ["main"]
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    system = build_fig2_system()
+    matrix = PermeabilityMatrix.from_dict(system, fig2_permeabilities())
+    analysis = PropagationAnalysis(matrix)
+    print(analysis.render_summary())
+    print()
+    print("Backtrack tree of sys_out (Fig. 4):")
+    print(analysis.backtrack_trees["sys_out"].render())
+    print()
+    print("Trace tree of ext_a (Fig. 5):")
+    print(analysis.trace_trees["ext_a"].render())
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    case = ArrestmentTestCase(mass_kg=args.mass, velocity_ms=args.velocity)
+    runner = build_arrestment_run(case)
+    result = runner.run(args.duration)
+    print(f"Arrestment of {case}: {args.duration} ms simulated")
+    for key, value in result.telemetry.items():
+        print(f"  {key}: {value:.2f}")
+    print("Final signal values:")
+    for signal, value in result.final_signals.items():
+        print(f"  {signal}: {value}")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    if args.twonode:
+        from repro.arrestment.twonode import build_twonode_model, build_twonode_run
+
+        system = build_twonode_model()
+        factory = build_twonode_run
+    else:
+        system = build_arrestment_model()
+        factory = build_arrestment_run
+    if args.cases >= 25:
+        cases = paper_test_cases()
+    else:
+        cases = reduced_test_cases(args.cases)
+    times = (
+        paper_times()
+        if args.paper_grid
+        else tuple(
+            round(500 + index * (5000 - 500) / max(1, args.times - 1))
+            for index in range(args.times)
+        )
+    )
+    config = CampaignConfig(
+        duration_ms=args.duration,
+        injection_times_ms=times,
+        error_models=tuple(bit_flip_models(args.bits)),
+        seed=args.seed,
+    )
+    campaign = InjectionCampaign(system, factory, cases, config)
+    total = campaign.total_runs()
+    print(f"{len(cases)} workloads x {len(campaign.targets)} signals x "
+          f"{config.runs_per_target()} injections = {total} runs")
+    started = time.time()
+    last = [0.0]
+
+    def progress(done: int, _total: int) -> None:
+        now = time.time()
+        if now - last[0] >= 10.0:
+            print(f"  {done}/{_total} ({done / (now - started):.1f}/s)")
+            last[0] = now
+
+    if args.parallel > 1:
+        result = campaign.execute_parallel(
+            max_workers=args.parallel, progress=progress
+        )
+    else:
+        result = campaign.execute(progress=progress)
+    print(f"done in {time.time() - started:.0f}s")
+
+    matrix = estimate_matrix(result)
+    if args.save:
+        with open(args.save, "w", encoding="utf-8") as handle:
+            handle.write(matrix.to_json())
+        print(f"matrix saved to {args.save}")
+
+    analysis = PropagationAnalysis(matrix)
+    print()
+    print(analysis.render_summary())
+    print()
+    print(render_latency_table(latency_statistics(result)))
+    print()
+    print(analyse_uniform_propagation(result).render())
+    print()
+    print(greedy_edm_selection(result, max_monitors=args.monitors).render())
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.twonode:
+        from repro.arrestment.twonode import build_twonode_model
+
+        system = build_twonode_model()
+    else:
+        system = build_arrestment_model()
+    with open(args.matrix, "r", encoding="utf-8") as handle:
+        matrix = PermeabilityMatrix.from_json(system, handle.read())
+    analysis = PropagationAnalysis(matrix)
+    print(analysis.render_summary())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Error-propagation analysis (Hiller/Jhumka/Suri, DSN 2001)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    demo = commands.add_parser("demo", help="analyse the paper's Fig. 2 example")
+    demo.set_defaults(func=_cmd_demo)
+
+    simulate = commands.add_parser(
+        "simulate", help="run one closed-loop arrestment"
+    )
+    simulate.add_argument("--mass", type=float, default=14000.0, help="kg")
+    simulate.add_argument("--velocity", type=float, default=60.0, help="m/s")
+    simulate.add_argument("--duration", type=int, default=12000, help="ms")
+    simulate.set_defaults(func=_cmd_simulate)
+
+    campaign = commands.add_parser(
+        "campaign", help="run an injection campaign and print Tables 1-4"
+    )
+    campaign.add_argument("--cases", type=int, default=2,
+                          help="workloads (25 = the paper's full grid)")
+    campaign.add_argument("--times", type=int, default=2,
+                          help="injection instants between 0.5s and 5s")
+    campaign.add_argument("--bits", type=int, default=16,
+                          help="bit positions to flip")
+    campaign.add_argument("--duration", type=int, default=6000, help="run ms")
+    campaign.add_argument("--seed", type=int, default=2001)
+    campaign.add_argument("--monitors", type=int, default=3,
+                          help="EDM subset size for the [18] baseline")
+    campaign.add_argument("--paper-grid", action="store_true",
+                          help="use the paper's ten half-second instants")
+    campaign.add_argument("--parallel", type=int, default=1, metavar="N",
+                          help="worker processes (one test case each)")
+    campaign.add_argument("--twonode", action="store_true",
+                          help="analyse the master/slave configuration")
+    campaign.add_argument("--save", metavar="FILE",
+                          help="save the estimated matrix as JSON")
+    campaign.set_defaults(func=_cmd_campaign)
+
+    analyze = commands.add_parser(
+        "analyze", help="re-analyse a saved permeability matrix"
+    )
+    analyze.add_argument("matrix", help="JSON file from 'campaign --save'")
+    analyze.add_argument("--twonode", action="store_true",
+                         help="the matrix belongs to the master/slave system")
+    analyze.set_defaults(func=_cmd_analyze)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,109 @@
+"""The paper's primary contribution: error-permeability analysis.
+
+Implements Sections 4–5: the permeability measures (Eqs. 1–3), the
+permeability graph, the exposure measures (Eqs. 4–6), backtrack trees
+(Output Error Tracing), trace trees (Input Error Tracing), propagation
+paths with ranked weights, placement recommendations for error detection
+and recovery mechanisms, and paper-style table renderers.
+"""
+
+from repro.core.analysis import PropagationAnalysis
+from repro.core.backtrack import (
+    BacktrackTree,
+    build_all_backtrack_trees,
+    build_backtrack_tree,
+)
+from repro.core.compare import (
+    MatrixComparison,
+    compare_matrices,
+    spearman_rank_correlation,
+)
+from repro.core.dot import graph_to_dot, system_to_dot, tree_to_dot
+from repro.core.exposure import (
+    ModuleExposure,
+    all_module_exposures,
+    all_signal_exposures,
+    module_exposure,
+    rank_by_exposure,
+    signal_exposure,
+)
+from repro.core.graph import ENVIRONMENT, PermeabilityArc, PermeabilityGraph
+from repro.core.paths import (
+    PathEdge,
+    PropagationPath,
+    nonzero_paths,
+    paths_of_backtrack_tree,
+    paths_of_trace_tree,
+    rank_paths,
+)
+from repro.core.permeability import (
+    ModuleMeasures,
+    PermeabilityEstimate,
+    PermeabilityMatrix,
+)
+from repro.core.placement import PlacementAdvisor, PlacementReport, SignalCandidate
+from repro.core.report import (
+    format_table,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+from repro.core.sensitivity import (
+    PairSensitivity,
+    SensitivityReport,
+    output_reach,
+    output_sensitivities,
+    what_if,
+)
+from repro.core.trace import TraceTree, build_all_trace_trees, build_trace_tree
+from repro.core.treenode import NodeKind, PropagationNode
+
+__all__ = [
+    "ENVIRONMENT",
+    "BacktrackTree",
+    "MatrixComparison",
+    "ModuleExposure",
+    "ModuleMeasures",
+    "NodeKind",
+    "PathEdge",
+    "PermeabilityArc",
+    "PermeabilityEstimate",
+    "PermeabilityGraph",
+    "PermeabilityMatrix",
+    "PairSensitivity",
+    "PlacementAdvisor",
+    "PlacementReport",
+    "PropagationAnalysis",
+    "PropagationNode",
+    "PropagationPath",
+    "SignalCandidate",
+    "TraceTree",
+    "all_module_exposures",
+    "all_signal_exposures",
+    "build_all_backtrack_trees",
+    "build_all_trace_trees",
+    "build_backtrack_tree",
+    "build_trace_tree",
+    "compare_matrices",
+    "format_table",
+    "graph_to_dot",
+    "module_exposure",
+    "nonzero_paths",
+    "output_reach",
+    "output_sensitivities",
+    "paths_of_backtrack_tree",
+    "paths_of_trace_tree",
+    "rank_by_exposure",
+    "rank_paths",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "SensitivityReport",
+    "what_if",
+    "signal_exposure",
+    "spearman_rank_correlation",
+    "system_to_dot",
+    "tree_to_dot",
+]

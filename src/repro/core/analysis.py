@@ -1,0 +1,238 @@
+"""The :class:`PropagationAnalysis` facade.
+
+Ties the individual analyses of Sections 4–5 together behind one object:
+given a complete :class:`~repro.core.permeability.PermeabilityMatrix`,
+it lazily builds and caches the permeability graph, the backtrack and
+trace trees, the module/signal measures, the ranked propagation paths
+and the placement report, and renders the paper-style tables.
+
+This is the class most users interact with::
+
+    analysis = PropagationAnalysis(matrix)
+    print(analysis.render_table2())
+    for path in analysis.ranked_output_paths("TOC2")[:5]:
+        print(path)
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Mapping
+
+from repro.core.backtrack import BacktrackTree, build_all_backtrack_trees
+from repro.core.exposure import (
+    ModuleExposure,
+    all_module_exposures,
+    all_signal_exposures,
+)
+from repro.core.graph import PermeabilityGraph
+from repro.core.paths import (
+    PropagationPath,
+    nonzero_paths,
+    paths_of_backtrack_tree,
+    paths_of_trace_tree,
+    rank_paths,
+)
+from repro.core.permeability import ModuleMeasures, PermeabilityMatrix
+from repro.core.placement import PlacementAdvisor, PlacementReport
+from repro.core.report import (
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+from repro.core.trace import TraceTree, build_all_trace_trees
+from repro.model.system import SystemModel
+
+__all__ = ["PropagationAnalysis"]
+
+
+class PropagationAnalysis:
+    """One-stop propagation analysis of a system with known permeabilities.
+
+    All derived artefacts are computed lazily and cached; the underlying
+    matrix must be complete and must not be mutated afterwards (make a
+    new analysis object after re-estimating).
+    """
+
+    def __init__(self, matrix: PermeabilityMatrix) -> None:
+        matrix.require_complete()
+        self._matrix = matrix
+
+    # ------------------------------------------------------------------
+    # Underlying artefacts
+    # ------------------------------------------------------------------
+
+    @property
+    def matrix(self) -> PermeabilityMatrix:
+        """The permeability matrix under analysis."""
+        return self._matrix
+
+    @property
+    def system(self) -> SystemModel:
+        """The analysed system model."""
+        return self._matrix.system
+
+    @cached_property
+    def graph(self) -> PermeabilityGraph:
+        """The permeability graph (Fig. 3 / Fig. 9 analogue)."""
+        return PermeabilityGraph(self._matrix)
+
+    @cached_property
+    def backtrack_trees(self) -> Mapping[str, BacktrackTree]:
+        """One backtrack tree per system output."""
+        return build_all_backtrack_trees(self._matrix)
+
+    @cached_property
+    def trace_trees(self) -> Mapping[str, TraceTree]:
+        """One trace tree per system input."""
+        return build_all_trace_trees(self._matrix)
+
+    # ------------------------------------------------------------------
+    # Measures
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def module_measures(self) -> Mapping[str, ModuleMeasures]:
+        """Eq. 2/3 per module."""
+        return self._matrix.all_module_measures()
+
+    @cached_property
+    def module_exposures(self) -> Mapping[str, ModuleExposure]:
+        """Eq. 4/5 per module."""
+        return all_module_exposures(self.graph)
+
+    @cached_property
+    def signal_exposures(self) -> Mapping[str, float]:
+        """Eq. 6 per signal, over all backtrack trees."""
+        return all_signal_exposures(
+            self.backtrack_trees.values(), signals=self.system.signal_names()
+        )
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+
+    def output_paths(self, system_output: str) -> list[PropagationPath]:
+        """All propagation paths of one system output's backtrack tree."""
+        return paths_of_backtrack_tree(self.backtrack_trees[system_output])
+
+    def ranked_output_paths(
+        self, system_output: str, only_nonzero: bool = False
+    ) -> list[PropagationPath]:
+        """Backtrack-tree paths ranked by weight (Table 4 ordering)."""
+        paths = self.output_paths(system_output)
+        if only_nonzero:
+            paths = nonzero_paths(paths)
+        return rank_paths(paths)
+
+    def input_paths(self, system_input: str) -> list[PropagationPath]:
+        """All propagation paths of one system input's trace tree."""
+        return paths_of_trace_tree(self.trace_trees[system_input])
+
+    def ranked_input_paths(
+        self, system_input: str, only_nonzero: bool = False
+    ) -> list[PropagationPath]:
+        """Trace-tree paths ranked by weight."""
+        paths = self.input_paths(system_input)
+        if only_nonzero:
+            paths = nonzero_paths(paths)
+        return rank_paths(paths)
+
+    def all_ranked_paths(self, only_nonzero: bool = False) -> list[PropagationPath]:
+        """Ranked paths over every system output's backtrack tree."""
+        paths: list[PropagationPath] = []
+        for output in self.system.system_outputs:
+            paths.extend(self.output_paths(output))
+        if only_nonzero:
+            paths = nonzero_paths(paths)
+        return rank_paths(paths)
+
+    def adjusted_output_paths(
+        self, system_output: str
+    ) -> list[tuple[PropagationPath, float | None]]:
+        """Paths with the paper's :math:`P' = \\Pr(err) \\cdot P` scaling.
+
+        Section 4.2: "If the probability of an error appearing on
+        :math:`I^A_1` is :math:`\\Pr(A_1)`, then the P can be adjusted
+        with this factor."  The prior comes from each source signal's
+        :attr:`~repro.model.signal.SignalSpec.error_probability`;
+        sources without a declared prior yield ``None`` (the analysis
+        then falls back to the conditional weight, as the paper does
+        when the error distribution is unknown).  Paths are ordered by
+        adjusted weight where available, conditional weight otherwise.
+        """
+        adjusted: list[tuple[PropagationPath, float | None]] = []
+        for path in self.output_paths(system_output):
+            prior = self.system.signal(path.source).error_probability
+            adjusted.append(
+                (path, None if prior is None else path.adjusted_weight(prior))
+            )
+        adjusted.sort(
+            key=lambda item: -(item[1] if item[1] is not None else item[0].weight)
+        )
+        return adjusted
+
+    # ------------------------------------------------------------------
+    # Placement and sensitivity
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def placement(self) -> PlacementReport:
+        """EDM/ERM placement recommendations (Section 5, OB1–OB6)."""
+        return PlacementAdvisor(self._matrix).report()
+
+    def sensitivity(self, system_output: str | None = None):
+        """Gradient of an output's reach mass over the pair estimates.
+
+        See :mod:`repro.core.sensitivity`; defaults to the first system
+        output.
+        """
+        from repro.core.sensitivity import output_sensitivities
+
+        if system_output is None:
+            system_output = self.system.system_outputs[0]
+        return output_sensitivities(self._matrix, system_output)
+
+    # ------------------------------------------------------------------
+    # Paper-style rendering
+    # ------------------------------------------------------------------
+
+    def render_table1(self) -> str:
+        """Table 1: per-pair permeability values."""
+        return render_table1(self._matrix)
+
+    def render_table2(self) -> str:
+        """Table 2: module measures (Eqs. 2–5)."""
+        return render_table2(self.module_measures, self.module_exposures)
+
+    def render_table3(self) -> str:
+        """Table 3: signal error exposures (Eq. 6)."""
+        return render_table3(dict(self.signal_exposures))
+
+    def render_table4(
+        self, system_output: str | None = None, only_nonzero: bool = True
+    ) -> str:
+        """Table 4: ranked propagation paths.
+
+        Defaults to the first system output (the paper analyses its only
+        output, ``TOC2``) and non-zero paths only.
+        """
+        if system_output is None:
+            system_output = self.system.system_outputs[0]
+        paths = self.ranked_output_paths(system_output, only_nonzero=only_nonzero)
+        return render_table4(paths)
+
+    def render_summary(self) -> str:
+        """All four tables plus the placement report in one string."""
+        blocks = [
+            self.system.summary(),
+            self.render_table1(),
+            self.render_table2(),
+            self.render_table3(),
+        ]
+        blocks.extend(
+            self.render_table4(output) for output in self.system.system_outputs
+        )
+        blocks.append(self.placement.render())
+        return "\n\n".join(blocks)

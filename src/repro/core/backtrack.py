@@ -1,0 +1,181 @@
+"""Backtrack trees: Output Error Tracing (Section 4.2, steps A1–A4).
+
+A backtrack tree answers: *along which paths, and with what probability,
+do errors reach a given system output?*  Construction follows the
+paper's steps:
+
+A1. Select a system output signal as the root node of the tree.
+A2. For each error permeability value associated with the signal
+    (i.e. each :math:`P^M_{i,k}` of the producing module *M* whose
+    output *k* carries the signal), generate a child node associated
+    with the corresponding input signal.
+A3. For each child node: if the signal is a system input it is a leaf;
+    otherwise backtrack to the module producing the signal and expand
+    from A2 — *unless* that producing output has already been expanded
+    on the current root path, in which case the child is a leaf.  For
+    module feedback this realises the paper's double-line rule: the
+    feedback loop is traversed exactly once, and the cut leaf hangs
+    directly under the output node carrying the same signal (Fig. 4's
+    "double line between I^B_1 and O^B_1"; Fig. 10's "the parent node
+    is also either ``ms_slot_nbr`` or ``i``").  As all permeability
+    values are ≤ 1, the one-pass sub-tree is the one with the highest
+    probability (Section 4.2), so no recursion is lost.
+A4. Repeat from A1 for every system output.
+
+All vertices carry an error-permeability weight; root-to-leaf path
+weights (products of the edge weights) rank the propagation paths — the
+basis of the paper's Table 4 (22 paths for the target system's ``TOC2``).
+
+The same expand-each-output-once-per-path rule also terminates
+cross-module cycles (which the paper's systems do not contain); such
+cuts are labelled :class:`repro.core.treenode.NodeKind.CYCLE` instead of
+``FEEDBACK`` since the re-entered module differs from the producing one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.permeability import PermeabilityMatrix
+from repro.core.treenode import NodeKind, PropagationNode
+from repro.model.errors import NotASystemSignalError
+from repro.model.system import SystemModel
+
+__all__ = ["BacktrackTree", "build_backtrack_tree", "build_all_backtrack_trees"]
+
+
+@dataclass(frozen=True)
+class BacktrackTree:
+    """A backtrack tree rooted at one system output.
+
+    Attributes
+    ----------
+    system_output:
+        Name of the system output signal at the root.
+    root:
+        The root :class:`PropagationNode`.
+    """
+
+    system_output: str
+    root: PropagationNode
+
+    def render(self) -> str:
+        """ASCII rendering of the tree (paper Fig. 4 / Fig. 10 analogue)."""
+        return self.root.render()
+
+    def n_nodes(self) -> int:
+        """Total vertex count."""
+        return self.root.n_nodes()
+
+    def n_paths(self) -> int:
+        """Number of root-to-leaf paths (the paper reports 22 for TOC2)."""
+        return sum(1 for _ in self.root.leaves())
+
+
+def _expand_output(
+    system: SystemModel,
+    matrix: PermeabilityMatrix,
+    node: PropagationNode,
+    producer_module: str,
+    output_signal: str,
+    outputs_on_path: frozenset[tuple[str, str]],
+) -> None:
+    """Apply steps A2–A3 to ``node``, which represents ``output_signal``
+    as produced by ``producer_module``.
+
+    ``outputs_on_path`` holds the (module, output signal) pairs already
+    expanded between the root and this node, including this one.
+    """
+    spec = system.module(producer_module)
+    for input_signal in spec.inputs:
+        weight = matrix.get(producer_module, input_signal, output_signal)
+        producer = system.producer_of(input_signal)
+        if producer is None:
+            # System input: a leaf of the tree (step A3, first case).
+            kind = NodeKind.BOUNDARY
+        elif (producer.module, input_signal) in outputs_on_path:
+            # The producing output was already expanded on this path:
+            # cut.  A same-module producer is the paper's double-line
+            # feedback leaf; a different module means a wider cycle.
+            kind = (
+                NodeKind.FEEDBACK
+                if producer.module == producer_module
+                else NodeKind.CYCLE
+            )
+        else:
+            kind = NodeKind.INTERNAL
+        child = PropagationNode(
+            signal=input_signal,
+            kind=kind,
+            module=None if producer is None else producer.module,
+            pair_module=producer_module,
+            input_signal=input_signal,
+            output_signal=output_signal,
+            permeability=weight,
+        )
+        node.children.append(child)
+        if kind is NodeKind.INTERNAL:
+            assert producer is not None
+            _expand_output(
+                system,
+                matrix,
+                child,
+                producer_module=producer.module,
+                output_signal=input_signal,
+                outputs_on_path=outputs_on_path
+                | {(producer.module, input_signal)},
+            )
+            if child.is_leaf:
+                # A module declared with zero inputs cannot be
+                # backtracked through; treat its output as a boundary
+                # of the analysis.
+                child.kind = NodeKind.BOUNDARY
+
+
+def build_backtrack_tree(
+    matrix: PermeabilityMatrix, system_output: str
+) -> BacktrackTree:
+    """Construct the backtrack tree for one system output (steps A1–A3).
+
+    Parameters
+    ----------
+    matrix:
+        A complete permeability matrix for the analysed system.
+    system_output:
+        Name of the system output signal to use as the root.
+
+    Raises
+    ------
+    NotASystemSignalError
+        If ``system_output`` is not one of the model's system outputs.
+    MissingPermeabilityError
+        If the matrix is incomplete.
+    """
+    system = matrix.system
+    matrix.require_complete()
+    if not system.is_system_output(system_output):
+        raise NotASystemSignalError(system_output, "system output")
+    producer = system.producer_of(system_output)
+    assert producer is not None  # validated by the model
+    root = PropagationNode(
+        signal=system_output,
+        kind=NodeKind.ROOT,
+        module=producer.module,
+    )
+    _expand_output(
+        system,
+        matrix,
+        root,
+        producer_module=producer.module,
+        output_signal=system_output,
+        outputs_on_path=frozenset({(producer.module, system_output)}),
+    )
+    return BacktrackTree(system_output=system_output, root=root)
+
+
+def build_all_backtrack_trees(matrix: PermeabilityMatrix) -> dict[str, BacktrackTree]:
+    """Step A4: one backtrack tree per system output, keyed by signal name."""
+    return {
+        output: build_backtrack_tree(matrix, output)
+        for output in matrix.system.system_outputs
+    }

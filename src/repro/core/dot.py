@@ -1,0 +1,115 @@
+"""Graphviz DOT exporters for permeability graphs and propagation trees.
+
+The paper presents its structures graphically (Figs. 3–5 and 9–12).
+These functions emit DOT source so the same figures can be rendered with
+any Graphviz installation; no external dependency is required to
+*generate* the text.
+"""
+
+from __future__ import annotations
+
+from repro.core.backtrack import BacktrackTree
+from repro.core.graph import ENVIRONMENT, PermeabilityGraph
+from repro.core.trace import TraceTree
+from repro.core.treenode import NodeKind, PropagationNode
+from repro.model.system import SystemModel
+
+__all__ = ["graph_to_dot", "tree_to_dot", "system_to_dot"]
+
+
+def _quote(text: str) -> str:
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def system_to_dot(system: SystemModel) -> str:
+    """The module/signal topology (Fig. 2 / Fig. 8 analogue).
+
+    Modules become boxes; each signal becomes one labelled edge per
+    consumer.  System inputs/outputs appear as plaintext terminals.
+    """
+    lines = [f"digraph {_quote(system.name)} {{", "  rankdir=LR;"]
+    lines.append("  node [shape=box];")
+    for module in system.module_names():
+        lines.append(f"  {_quote(module)};")
+    lines.append("  node [shape=plaintext];")
+    for signal in system.system_inputs:
+        lines.append(f"  {_quote('in:' + signal)} [label={_quote(signal)}];")
+    for signal in system.system_outputs:
+        lines.append(f"  {_quote('out:' + signal)} [label={_quote(signal)}];")
+    for connection in system.connections():
+        lines.append(
+            f"  {_quote(connection.producer.module)} -> "
+            f"{_quote(connection.consumer.module)} "
+            f"[label={_quote(connection.signal)}];"
+        )
+    for link in system.external_input_links():
+        lines.append(
+            f"  {_quote('in:' + link.signal)} -> {_quote(link.consumer.module)};"
+        )
+    for link in system.external_output_links():
+        lines.append(
+            f"  {_quote(link.producer.module)} -> {_quote('out:' + link.signal)};"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def graph_to_dot(graph: PermeabilityGraph, include_zero: bool = False) -> str:
+    """The permeability graph with weighted arcs (Fig. 3 / Fig. 9 analogue).
+
+    ``include_zero=False`` matches the paper's convention of omitting
+    zero-weight arcs.
+    """
+    lines = [f"digraph {_quote(graph.system.name + '-permeability')} {{"]
+    lines.append("  rankdir=LR;")
+    lines.append("  node [shape=circle];")
+    for node in graph.nodes():
+        lines.append(f"  {_quote(node)};")
+    lines.append(f"  {_quote(ENVIRONMENT)} [shape=doublecircle, label=\"env\"];")
+    for arc in graph.arcs(include_zero=include_zero):
+        label = f"{arc.input_signal}->{arc.output_signal}: {arc.weight:.3f}"
+        style = ", style=dashed" if arc.is_self_loop else ""
+        lines.append(
+            f"  {_quote(arc.producer)} -> {_quote(arc.consumer)} "
+            f"[label={_quote(label)}{style}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _tree_nodes_to_dot(
+    node: PropagationNode, lines: list[str], counter: list[int]
+) -> str:
+    node_id = f"n{counter[0]}"
+    counter[0] += 1
+    shape = {
+        NodeKind.ROOT: "doubleoctagon",
+        NodeKind.BOUNDARY: "box",
+        NodeKind.FEEDBACK: "diamond",
+        NodeKind.CYCLE: "triangle",
+    }.get(node.kind, "ellipse")
+    lines.append(f"  {node_id} [label={_quote(node.signal)}, shape={shape}];")
+    for child in node.children:
+        child_id = _tree_nodes_to_dot(child, lines, counter)
+        # Feedback edges use the paper's "double line" notation, which
+        # DOT approximates with a bold edge.
+        style = ", style=bold" if child.kind is NodeKind.FEEDBACK else ""
+        lines.append(
+            f"  {node_id} -> {child_id} "
+            f"[label={_quote(f'{child.permeability:.3f}')}{style}];"
+        )
+    return node_id
+
+
+def tree_to_dot(tree: BacktrackTree | TraceTree) -> str:
+    """A backtrack or trace tree (Fig. 4/5 and 10–12 analogue)."""
+    if isinstance(tree, BacktrackTree):
+        name = f"backtrack-{tree.system_output}"
+    else:
+        name = f"trace-{tree.system_input}"
+    lines = [f"digraph {_quote(name)} {{"]
+    counter = [0]
+    _tree_nodes_to_dot(tree.root, lines, counter)
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,213 @@
+"""Permeability graph construction and queries (Section 4.2, Fig. 3/9).
+
+Once all pair permeabilities are known, the paper builds a *permeability
+graph*: "Each node in the graph corresponds to a particular module and
+has a number of incoming arcs and a number of outgoing arcs.  Each arc
+has a weight associated with it, namely the error permeability value.
+Hence, there may be more arcs between two nodes than there are signals
+between the corresponding modules (each input/output pair of a module
+has an error permeability value)."
+
+Concretely, for every module *A*, every (input *i*, output *k*) pair of
+*A*, and every consumer *B* of the signal produced at output *k*, the
+graph contains an arc *A → B* with weight :math:`P^A_{i,k}`.  If the
+output signal is a system output, the arc instead leads to the
+environment pseudo-node.  Self-loops arise from module feedback.
+
+Arcs with zero weight may be omitted per the paper; here they are kept
+(so exposure denominators and path enumeration stay exact) and filtering
+is offered at query time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.permeability import PermeabilityMatrix
+from repro.model.errors import UnknownModuleError
+from repro.model.system import SystemModel
+
+__all__ = ["PermeabilityArc", "PermeabilityGraph", "ENVIRONMENT"]
+
+#: Pseudo-node name representing the external environment (system
+#: boundary).  Arcs whose carried signal is a system output point here.
+ENVIRONMENT = "<environment>"
+
+
+@dataclass(frozen=True, order=True)
+class PermeabilityArc:
+    """One weighted arc of the permeability graph.
+
+    Attributes
+    ----------
+    producer:
+        Module whose input/output pair the arc represents.
+    consumer:
+        Module consuming the carried signal, or :data:`ENVIRONMENT`.
+    input_signal:
+        Input signal of the producer's pair (the error source side).
+    output_signal:
+        Output signal of the producer's pair (the signal the arc carries).
+    weight:
+        The pair's error permeability :math:`P^{producer}_{i,k}`.
+    """
+
+    producer: str
+    consumer: str
+    input_signal: str
+    output_signal: str
+    weight: float
+
+    @property
+    def is_self_loop(self) -> bool:
+        """Whether the arc loops back into the producing module (feedback)."""
+        return self.producer == self.consumer
+
+    @property
+    def to_environment(self) -> bool:
+        """Whether the arc crosses the system boundary."""
+        return self.consumer == ENVIRONMENT
+
+    def label(self) -> str:
+        """Paper-style arc label, e.g. ``P^CALC_2,1``."""
+        return f"P^{self.producer}[{self.input_signal}->{self.output_signal}]"
+
+    def __str__(self) -> str:
+        return (
+            f"{self.producer} -> {self.consumer} "
+            f"[{self.input_signal} => {self.output_signal}] w={self.weight:.3f}"
+        )
+
+
+class PermeabilityGraph:
+    """The weighted module-interaction graph of Section 4.2.
+
+    Construction requires a *complete* permeability matrix; the graph is
+    immutable afterwards.
+    """
+
+    def __init__(self, matrix: PermeabilityMatrix) -> None:
+        matrix.require_complete()
+        self._matrix = matrix
+        self._system = matrix.system
+        self._arcs: list[PermeabilityArc] = []
+        self._incoming: dict[str, list[PermeabilityArc]] = {
+            name: [] for name in self._system.module_names()
+        }
+        self._incoming[ENVIRONMENT] = []
+        self._outgoing: dict[str, list[PermeabilityArc]] = {
+            name: [] for name in self._system.module_names()
+        }
+        self._build()
+
+    def _build(self) -> None:
+        system = self._system
+        for module_name in system.module_names():
+            spec = system.module(module_name)
+            for input_signal, output_signal in spec.pairs():
+                weight = self._matrix.get(module_name, input_signal, output_signal)
+                consumers = [
+                    port.module for port in system.consumers_of(output_signal)
+                ]
+                if system.is_system_output(output_signal):
+                    consumers.append(ENVIRONMENT)
+                for consumer in consumers:
+                    arc = PermeabilityArc(
+                        producer=module_name,
+                        consumer=consumer,
+                        input_signal=input_signal,
+                        output_signal=output_signal,
+                        weight=weight,
+                    )
+                    self._arcs.append(arc)
+                    self._incoming[consumer].append(arc)
+                    self._outgoing[module_name].append(arc)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def system(self) -> SystemModel:
+        """The underlying system model."""
+        return self._system
+
+    @property
+    def matrix(self) -> PermeabilityMatrix:
+        """The permeability matrix the graph was built from."""
+        return self._matrix
+
+    def nodes(self) -> tuple[str, ...]:
+        """Module names (the environment pseudo-node is not included)."""
+        return self._system.module_names()
+
+    def arcs(self, include_zero: bool = True) -> Iterator[PermeabilityArc]:
+        """All arcs; pass ``include_zero=False`` to drop zero-weight arcs.
+
+        The paper notes "arcs with a zero weight (representing
+        non-permeability from an input to an output) can be omitted".
+        """
+        for arc in self._arcs:
+            if include_zero or arc.weight > 0.0:
+                yield arc
+
+    def incoming_arcs(
+        self, module: str, include_zero: bool = True, include_self_loops: bool = True
+    ) -> tuple[PermeabilityArc, ...]:
+        """Arcs pointing into ``module`` (basis of Eqs. 4–5)."""
+        if module not in self._incoming:
+            raise UnknownModuleError(module)
+        return tuple(
+            arc
+            for arc in self._incoming[module]
+            if (include_zero or arc.weight > 0.0)
+            and (include_self_loops or not arc.is_self_loop)
+        )
+
+    def outgoing_arcs(
+        self, module: str, include_zero: bool = True, include_self_loops: bool = True
+    ) -> tuple[PermeabilityArc, ...]:
+        """Arcs leaving ``module``."""
+        if module not in self._outgoing:
+            raise UnknownModuleError(module)
+        return tuple(
+            arc
+            for arc in self._outgoing[module]
+            if (include_zero or arc.weight > 0.0)
+            and (include_self_loops or not arc.is_self_loop)
+        )
+
+    def arcs_between(self, producer: str, consumer: str) -> tuple[PermeabilityArc, ...]:
+        """All arcs from ``producer`` to ``consumer`` (possibly several)."""
+        return tuple(
+            arc for arc in self._outgoing.get(producer, ()) if arc.consumer == consumer
+        )
+
+    def arcs_carrying(self, signal: str) -> tuple[PermeabilityArc, ...]:
+        """All arcs whose carried (output) signal is ``signal``."""
+        return tuple(arc for arc in self._arcs if arc.output_signal == signal)
+
+    def environment_arcs(self) -> tuple[PermeabilityArc, ...]:
+        """Arcs crossing the system boundary (carrying system outputs)."""
+        return tuple(self._incoming[ENVIRONMENT])
+
+    def n_arcs(self, include_zero: bool = True) -> int:
+        """Total arc count."""
+        return sum(1 for _ in self.arcs(include_zero=include_zero))
+
+    def adjacency(self, include_zero: bool = True) -> dict[str, dict[str, int]]:
+        """Arc multiplicity between module pairs: ``{producer: {consumer: n}}``."""
+        table: dict[str, dict[str, int]] = {}
+        for arc in self.arcs(include_zero=include_zero):
+            table.setdefault(arc.producer, {})
+            table[arc.producer][arc.consumer] = (
+                table[arc.producer].get(arc.consumer, 0) + 1
+            )
+        return table
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<PermeabilityGraph {self._system.name!r} "
+            f"nodes={len(self.nodes())} arcs={len(self._arcs)}>"
+        )

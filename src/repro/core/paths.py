@@ -1,0 +1,201 @@
+"""Propagation-path extraction, weighting and ranking (Section 4.2).
+
+"The weight for each path is the product of the error permeability
+values along the path."  Ranking root-to-leaf paths of a backtrack tree
+by weight yields the paper's Table 4 (the 22 paths of the ``TOC2``
+backtrack tree, 13 of which have non-zero weight).
+
+If the probability of an error appearing on a system input is known
+(:attr:`repro.model.signal.SignalSpec.error_probability`), the
+conditional path weight :math:`P` can be scaled into the unconditional
+:math:`P' = \\Pr(\\text{err on input}) \\cdot P` — the paper's
+``Pr(A_1)`` adjustment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.backtrack import BacktrackTree
+from repro.core.trace import TraceTree
+from repro.core.treenode import NodeKind, PropagationNode
+
+__all__ = [
+    "PathEdge",
+    "PropagationPath",
+    "paths_of_backtrack_tree",
+    "paths_of_trace_tree",
+    "rank_paths",
+    "nonzero_paths",
+]
+
+
+@dataclass(frozen=True)
+class PathEdge:
+    """One edge of a propagation path: a traversed permeability value."""
+
+    module: str
+    input_signal: str
+    output_signal: str
+    permeability: float
+
+    def label(self) -> str:
+        """Paper-style factor label, e.g. ``P^CALC[pulscnt->SetValue]``."""
+        return f"P^{self.module}[{self.input_signal}->{self.output_signal}]"
+
+    def __str__(self) -> str:
+        return f"{self.label()}={self.permeability:.3f}"
+
+
+@dataclass(frozen=True)
+class PropagationPath:
+    """One root-to-leaf path of a backtrack or trace tree.
+
+    Attributes
+    ----------
+    source:
+        Signal where the error originates (the leaf of a backtrack
+        tree, the root of a trace tree).
+    sink:
+        Signal the error propagates to (the root of a backtrack tree,
+        the leaf of a trace tree).
+    signals:
+        The full signal sequence from source to sink.
+    edges:
+        The traversed permeability values, in source-to-sink order.
+    weight:
+        Product of the edge permeabilities (the conditional propagation
+        probability of Section 4.2).
+    terminal_kind:
+        Kind of the tree leaf the path ends at (boundary, feedback or
+        cycle), i.e. why the path stopped.
+    """
+
+    source: str
+    sink: str
+    signals: tuple[str, ...]
+    edges: tuple[PathEdge, ...]
+    weight: float
+    terminal_kind: NodeKind
+
+    @property
+    def length(self) -> int:
+        """Number of traversed permeability values."""
+        return len(self.edges)
+
+    @property
+    def ends_at_boundary(self) -> bool:
+        """Whether the path reaches the system boundary (vs. a cut leaf)."""
+        return self.terminal_kind is NodeKind.BOUNDARY
+
+    def adjusted_weight(self, source_error_probability: float) -> float:
+        """The paper's :math:`P' = \\Pr(\\text{err}) \\cdot P` scaling."""
+        return source_error_probability * self.weight
+
+    def factor_expression(self) -> str:
+        """The product expression, e.g. ``P^A[..] * P^B[..] = 0.123``."""
+        if not self.edges:
+            return f"1.0 = {self.weight:.3f}"
+        factors = " * ".join(edge.label() for edge in self.edges)
+        return f"{factors} = {self.weight:.6f}"
+
+    def __str__(self) -> str:
+        chain = " -> ".join(self.signals)
+        return f"{chain}  (w={self.weight:.6f})"
+
+
+def _collect_paths(
+    node: PropagationNode,
+    prefix_signals: list[str],
+    prefix_edges: list[PathEdge],
+    prefix_weight: float,
+    out: list[tuple[tuple[str, ...], tuple[PathEdge, ...], float, NodeKind]],
+) -> None:
+    prefix_signals.append(node.signal)
+    if node.pair_module is not None:
+        assert node.input_signal is not None and node.output_signal is not None
+        prefix_edges.append(
+            PathEdge(
+                module=node.pair_module,
+                input_signal=node.input_signal,
+                output_signal=node.output_signal,
+                permeability=node.permeability,
+            )
+        )
+        prefix_weight *= node.permeability
+    if node.is_leaf:
+        out.append(
+            (
+                tuple(prefix_signals),
+                tuple(prefix_edges),
+                prefix_weight,
+                node.kind,
+            )
+        )
+    else:
+        for child in node.children:
+            _collect_paths(child, prefix_signals, prefix_edges, prefix_weight, out)
+    prefix_signals.pop()
+    if node.pair_module is not None:
+        prefix_edges.pop()
+
+
+def paths_of_backtrack_tree(tree: BacktrackTree) -> list[PropagationPath]:
+    """All root-to-leaf paths of a backtrack tree.
+
+    Paths are reported source-to-sink: the *leaf* (where the error
+    enters) comes first and the system output last, so the printed
+    chains read in propagation direction like the paper's Table 4.
+    """
+    raw: list[tuple[tuple[str, ...], tuple[PathEdge, ...], float, NodeKind]] = []
+    _collect_paths(tree.root, [], [], 1.0, raw)
+    paths = []
+    for signals, edges, weight, terminal_kind in raw:
+        # Tree order is sink -> source; reverse into propagation order.
+        paths.append(
+            PropagationPath(
+                source=signals[-1],
+                sink=signals[0],
+                signals=tuple(reversed(signals)),
+                edges=tuple(reversed(edges)),
+                weight=weight,
+                terminal_kind=terminal_kind,
+            )
+        )
+    return paths
+
+
+def paths_of_trace_tree(tree: TraceTree) -> list[PropagationPath]:
+    """All root-to-leaf paths of a trace tree (already in propagation order)."""
+    raw: list[tuple[tuple[str, ...], tuple[PathEdge, ...], float, NodeKind]] = []
+    _collect_paths(tree.root, [], [], 1.0, raw)
+    return [
+        PropagationPath(
+            source=signals[0],
+            sink=signals[-1],
+            signals=signals,
+            edges=edges,
+            weight=weight,
+            terminal_kind=terminal_kind,
+        )
+        for signals, edges, weight, terminal_kind in raw
+    ]
+
+
+def rank_paths(paths: Iterable[PropagationPath]) -> list[PropagationPath]:
+    """Paths ordered by descending weight (ties: shorter path first).
+
+    "Ordering the paths according to their total weight gives us some
+    knowledge of the more probable paths for error propagation."
+    """
+    return sorted(paths, key=lambda p: (-p.weight, p.length, p.signals))
+
+
+def nonzero_paths(paths: Iterable[PropagationPath]) -> list[PropagationPath]:
+    """Only the paths along which errors might propagate (weight > 0).
+
+    The paper's Table 4 "depicts the thirteen paths that acquired
+    weights greater than zero".
+    """
+    return [path for path in paths if path.weight > 0.0]

@@ -1,0 +1,314 @@
+"""EDM/ERM placement recommendations (Section 5, observations OB1–OB6).
+
+The paper's rules of thumb:
+
+* "The higher the error exposure values of a module, the higher the
+  probability that it will be subjected to errors propagating through
+  the system ... it may be more cost effective to place **EDM's** in
+  those modules."  The analogous reasoning holds for signal exposure.
+* "The higher the error permeability values of a module, the higher the
+  probability of subsequent modules being subjected to propagating
+  errors ... it may be more cost effective to place **ERM's** in those
+  modules."
+
+The observations of Section 8 refine this into the heuristics
+implemented here:
+
+* OB1 — rank modules by non-weighted exposure; input-only modules have
+  no exposure value.
+* OB3 — a high-permeability pair guarding a low-exposure signal is not
+  cost effective; signal candidates are gated on exposure.
+* OB4 — select signals with the highest signal error exposure that lie
+  on non-zero propagation paths; add the internal signal most likely to
+  be affected by errors on the system inputs (from the trace trees);
+  exclude signals that no internal error reaches (zero exposure) and
+  hardware-boundary outputs.
+* OB5 — signals appearing on *every* non-zero propagation path are
+  bottleneck candidates for ERMs; the module with the highest relative
+  permeability is a strong recovery candidate.
+* OB6 — modules receiving system inputs form barriers against errors
+  entering the system and are worth recovery mechanisms regardless of
+  their relative permeability rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.backtrack import build_all_backtrack_trees
+from repro.core.exposure import (
+    ModuleExposure,
+    all_signal_exposures,
+    rank_by_exposure,
+)
+from repro.core.graph import PermeabilityGraph
+from repro.core.paths import (
+    PropagationPath,
+    nonzero_paths,
+    paths_of_backtrack_tree,
+    paths_of_trace_tree,
+)
+from repro.core.permeability import ModuleMeasures, PermeabilityMatrix
+from repro.core.trace import build_all_trace_trees
+
+__all__ = ["SignalCandidate", "PlacementReport", "PlacementAdvisor"]
+
+
+@dataclass(frozen=True)
+class SignalCandidate:
+    """A signal recommended for a detection or recovery mechanism."""
+
+    signal: str
+    exposure: float
+    on_nonzero_path: bool
+    on_all_nonzero_paths: bool
+    reach_probability: float
+    rationale: str
+
+    def __str__(self) -> str:
+        return f"{self.signal} (X^S={self.exposure:.3f}) - {self.rationale}"
+
+
+@dataclass
+class PlacementReport:
+    """Aggregated placement recommendations for one analysed system."""
+
+    #: Modules ranked as EDM hosts (highest non-weighted exposure first;
+    #: modules without exposure values are excluded per OB1).
+    edm_modules: list[ModuleExposure] = field(default_factory=list)
+    #: Modules ranked as ERM hosts (highest relative permeability first).
+    erm_modules: list[ModuleMeasures] = field(default_factory=list)
+    #: Signals recommended for EDMs (high exposure, on non-zero paths).
+    edm_signals: list[SignalCandidate] = field(default_factory=list)
+    #: Bottleneck signals on every non-zero path (strong ERM hosts, OB5).
+    bottleneck_signals: list[SignalCandidate] = field(default_factory=list)
+    #: Input-barrier modules (consume system inputs, OB6).
+    barrier_modules: list[str] = field(default_factory=list)
+    #: Signals excluded from recommendation, with the reason.
+    excluded_signals: dict[str, str] = field(default_factory=dict)
+    #: Free-form observation lines mirroring the paper's OB table.
+    observations: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Human-readable multi-line report."""
+        lines = ["Placement recommendations", "=" * 25]
+        lines.append("EDM module candidates (by non-weighted exposure):")
+        for item in self.edm_modules:
+            lines.append(
+                f"  {item.module}: X̄={item.nonweighted_exposure:.3f} "
+                f"(X={item.exposure:.3f}, arcs={item.n_incoming_arcs})"
+            )
+        lines.append("ERM module candidates (by relative permeability):")
+        for measures in self.erm_modules:
+            lines.append(
+                f"  {measures.module}: P={measures.relative_permeability:.3f} "
+                f"(P̄={measures.nonweighted_relative_permeability:.3f})"
+            )
+        lines.append("EDM signal candidates:")
+        for candidate in self.edm_signals:
+            lines.append(f"  {candidate}")
+        lines.append("Bottleneck signals (on every non-zero path):")
+        for candidate in self.bottleneck_signals:
+            lines.append(f"  {candidate}")
+        lines.append(
+            "Input-barrier modules: " + (", ".join(self.barrier_modules) or "(none)")
+        )
+        if self.excluded_signals:
+            lines.append("Excluded signals:")
+            for signal, reason in sorted(self.excluded_signals.items()):
+                lines.append(f"  {signal}: {reason}")
+        lines.append("Observations:")
+        for observation in self.observations:
+            lines.append(f"  - {observation}")
+        return "\n".join(lines)
+
+
+class PlacementAdvisor:
+    """Derives a :class:`PlacementReport` from a complete permeability matrix."""
+
+    def __init__(
+        self,
+        matrix: PermeabilityMatrix,
+        signal_candidate_count: int = 3,
+        exposure_threshold: float = 0.0,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        matrix:
+            Complete permeability matrix of the analysed system.
+        signal_candidate_count:
+            How many top-exposure signals to shortlist for EDMs (the
+            paper's OB4 selects three) before adding the most
+            input-vulnerable signal.
+        exposure_threshold:
+            Signals whose exposure does not exceed this value are
+            excluded (OB4 rejects signals "independent of all signals").
+        """
+        matrix.require_complete()
+        self._matrix = matrix
+        self._system = matrix.system
+        self._graph = PermeabilityGraph(matrix)
+        self._signal_candidate_count = signal_candidate_count
+        self._exposure_threshold = exposure_threshold
+
+    # ------------------------------------------------------------------
+    # Sub-analyses
+    # ------------------------------------------------------------------
+
+    def _nonzero_backtrack_paths(self) -> list[PropagationPath]:
+        trees = build_all_backtrack_trees(self._matrix)
+        paths: list[PropagationPath] = []
+        for tree in trees.values():
+            paths.extend(paths_of_backtrack_tree(tree))
+        return nonzero_paths(paths)
+
+    def _signal_reach_probabilities(self) -> dict[str, float]:
+        """For every signal: the maximum probability (over all trace
+        trees and paths) that an error on *some* system input reaches it.
+
+        This drives OB4's "signal most likely to be affected by errors
+        in system input" selection (``pulscnt`` in the paper).
+        """
+        reach: dict[str, float] = {}
+        for tree in build_all_trace_trees(self._matrix).values():
+            for path in paths_of_trace_tree(tree):
+                weight = 1.0
+                # Walk prefix products: the probability of reaching each
+                # intermediate signal along the path.
+                for edge, signal in zip(path.edges, path.signals[1:]):
+                    weight *= edge.permeability
+                    if weight > reach.get(signal, 0.0):
+                        reach[signal] = weight
+        return reach
+
+    # ------------------------------------------------------------------
+    # Report
+    # ------------------------------------------------------------------
+
+    def report(self) -> PlacementReport:
+        """Compute the full placement recommendation report."""
+        report = PlacementReport()
+
+        exposures = rank_by_exposure(self._graph, nonweighted=True)
+        report.edm_modules = [item for item in exposures if item.has_exposure]
+        no_exposure = [item.module for item in exposures if not item.has_exposure]
+        if no_exposure:
+            report.observations.append(
+                f"Modules {', '.join(sorted(no_exposure))} have no error "
+                "exposure values as they only receive system input signals "
+                "(OB1); their exposure depends on the environment's error "
+                "probabilities."
+            )
+        if report.edm_modules:
+            top = report.edm_modules[0]
+            report.observations.append(
+                f"Module {top.module} has the highest non-weighted error "
+                f"exposure (X̄={top.nonweighted_exposure:.3f}) and is a "
+                "prime EDM candidate (OB1)."
+            )
+
+        report.erm_modules = self._matrix.rank_by_relative_permeability()
+        if report.erm_modules:
+            top_perm = report.erm_modules[0]
+            report.observations.append(
+                f"Module {top_perm.module} has the highest relative "
+                f"permeability (P={top_perm.relative_permeability:.3f}); "
+                "recovery mechanisms there keep incoming errors from "
+                "propagating onwards (OB5)."
+            )
+
+        trees = list(build_all_backtrack_trees(self._matrix).values())
+        exposures_by_signal = all_signal_exposures(
+            trees, signals=self._system.signal_names()
+        )
+        paths = self._nonzero_backtrack_paths()
+        signals_on_paths: set[str] = set()
+        for path in paths:
+            signals_on_paths.update(path.signals)
+        signals_on_all_paths = (
+            set.intersection(*(set(p.signals) for p in paths)) if paths else set()
+        )
+        reach = self._signal_reach_probabilities()
+
+        candidates: list[SignalCandidate] = []
+        for signal, exposure_value in exposures_by_signal.items():
+            if self._system.is_system_output(signal):
+                report.excluded_signals[signal] = (
+                    "system output register; errors here originate upstream (OB4)"
+                )
+                continue
+            if self._system.is_system_input(signal):
+                report.excluded_signals[signal] = (
+                    "system input; exposure depends on the environment (OB1)"
+                )
+                continue
+            if exposure_value <= self._exposure_threshold and not reach.get(signal):
+                report.excluded_signals[signal] = (
+                    "independent of other signals; errors will not show up "
+                    "here unless they originate here (OB4)"
+                )
+                continue
+            candidates.append(
+                SignalCandidate(
+                    signal=signal,
+                    exposure=exposure_value,
+                    on_nonzero_path=signal in signals_on_paths,
+                    on_all_nonzero_paths=signal in signals_on_all_paths,
+                    reach_probability=reach.get(signal, 0.0),
+                    rationale="high signal error exposure"
+                    if exposure_value > self._exposure_threshold
+                    else "most likely affected by errors on system inputs",
+                )
+            )
+
+        candidates.sort(key=lambda c: (-c.exposure, c.signal))
+        shortlist = candidates[: self._signal_candidate_count]
+        # OB4's extra pick: the internal signal most reachable from the
+        # system inputs, if not already shortlisted.
+        by_reach = sorted(candidates, key=lambda c: -c.reach_probability)
+        for candidate in by_reach:
+            if candidate.reach_probability <= 0.0:
+                break
+            if candidate.signal not in {c.signal for c in shortlist}:
+                shortlist.append(
+                    SignalCandidate(
+                        signal=candidate.signal,
+                        exposure=candidate.exposure,
+                        on_nonzero_path=candidate.on_nonzero_path,
+                        on_all_nonzero_paths=candidate.on_all_nonzero_paths,
+                        reach_probability=candidate.reach_probability,
+                        rationale="most likely affected by errors on system inputs",
+                    )
+                )
+            break
+        report.edm_signals = shortlist
+
+        report.bottleneck_signals = [
+            candidate
+            for candidate in candidates
+            if candidate.on_all_nonzero_paths
+        ]
+        if report.bottleneck_signals:
+            names = ", ".join(c.signal for c in report.bottleneck_signals)
+            report.observations.append(
+                f"Signals {names} are part of all non-zero propagation "
+                "paths; eliminating errors there shields the system output "
+                "(OB5)."
+            )
+
+        barrier = sorted(
+            {
+                port.module
+                for signal in self._system.system_inputs
+                for port in self._system.consumers_of(signal)
+            }
+        )
+        report.barrier_modules = barrier
+        if barrier:
+            report.observations.append(
+                f"Modules {', '.join(barrier)} receive external data "
+                "sources; recovery mechanisms there form a barrier against "
+                "errors entering the system (OB6)."
+            )
+        return report

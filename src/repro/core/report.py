@@ -1,0 +1,180 @@
+"""Plain-text renderers for the paper's tables and trees.
+
+The four result tables of Section 8 are reproduced in layout:
+
+* :func:`render_table1` — estimated error permeability per I/O pair;
+* :func:`render_table2` — relative permeability and error exposure per
+  module (Eqs. 2–5);
+* :func:`render_table3` — signal error exposures (Eq. 6);
+* :func:`render_table4` — propagation paths ranked by weight.
+
+All renderers return strings; nothing is printed directly, so the same
+functions serve tests, benchmarks and the example scripts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.exposure import ModuleExposure
+from repro.core.paths import PropagationPath
+from repro.core.permeability import ModuleMeasures, PermeabilityMatrix
+
+__all__ = [
+    "format_table",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Format a simple monospace table with a header rule.
+
+    Column widths adapt to the longest cell; all values are rendered
+    with ``str``.  Numeric alignment is not attempted — callers format
+    their numbers before passing them in.
+    """
+    materialised = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialised:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row!r}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(
+        header.ljust(width) for header, width in zip(headers, widths)
+    )
+    lines.append(header_line)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in materialised:
+        lines.append(
+            " | ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value: float | None, precision: int = 3) -> str:
+    """Format a measure value; ``None`` renders as the paper's em-dash."""
+    if value is None:
+        return "-"
+    return f"{value:.{precision}f}"
+
+
+def render_table1(matrix: PermeabilityMatrix, precision: int = 3) -> str:
+    """Paper Table 1: estimated error permeability of every I/O pair.
+
+    Rows are ordered module by module, inputs outermost — the same
+    iteration order as :meth:`SystemModel.pair_index`.
+    """
+    rows = []
+    for (module, input_signal, output_signal), estimate in matrix.items():
+        spec = matrix.system.module(module)
+        name = f"P^{module}_{spec.input_index(input_signal)},{spec.output_index(output_signal)}"
+        counts = (
+            f"{estimate.n_errors}/{estimate.n_injections}"
+            if estimate.is_experimental
+            else "-"
+        )
+        rows.append(
+            (
+                f"{input_signal} -> {output_signal}",
+                name,
+                _fmt(estimate.value, precision),
+                counts,
+            )
+        )
+    return format_table(
+        headers=("Input -> Output", "Name", "Value", "n_err/n_inj"),
+        rows=rows,
+        title="Table 1. Estimated error permeability values of the input/output pairs",
+    )
+
+
+def render_table2(
+    measures: Mapping[str, ModuleMeasures],
+    exposures: Mapping[str, ModuleExposure],
+    precision: int = 3,
+) -> str:
+    """Paper Table 2: Eq. 2/3 permeabilities and Eq. 4/5 exposures per module."""
+    rows = []
+    for module, measure in measures.items():
+        exposure = exposures.get(module)
+        rows.append(
+            (
+                module,
+                _fmt(measure.relative_permeability, precision),
+                _fmt(measure.nonweighted_relative_permeability, precision),
+                _fmt(exposure.exposure if exposure else None, precision),
+                _fmt(exposure.nonweighted_exposure, precision)
+                if exposure and exposure.has_exposure
+                else "-",
+            )
+        )
+    return format_table(
+        headers=("Module", "P^M", "P̄^M", "X^M", "X̄^M"),
+        rows=rows,
+        title=(
+            "Table 2. Estimated relative permeability and error exposure "
+            "values of the modules"
+        ),
+    )
+
+
+def render_table3(
+    signal_exposures: Mapping[str, float],
+    precision: int = 3,
+    include_zero: bool = True,
+) -> str:
+    """Paper Table 3: signal error exposures, highest first."""
+    rows = [
+        (signal, _fmt(value, precision))
+        for signal, value in sorted(
+            signal_exposures.items(), key=lambda item: (-item[1], item[0])
+        )
+        if include_zero or value > 0.0
+    ]
+    return format_table(
+        headers=("Signal", "X^S"),
+        rows=rows,
+        title="Table 3. Estimated signal error exposures",
+    )
+
+
+def render_table4(
+    paths: Sequence[PropagationPath],
+    precision: int = 6,
+    max_paths: int | None = None,
+) -> str:
+    """Paper Table 4: propagation paths ordered by total weight.
+
+    Pass the ranked path list (see :func:`repro.core.paths.rank_paths`);
+    ``max_paths`` truncates the listing.
+    """
+    rows = []
+    for rank, path in enumerate(paths, start=1):
+        if max_paths is not None and rank > max_paths:
+            break
+        rows.append(
+            (
+                rank,
+                " -> ".join(path.signals),
+                f"{path.weight:.{precision}f}",
+                str(path.terminal_kind),
+            )
+        )
+    return format_table(
+        headers=("#", "Path", "Weight", "Terminal"),
+        rows=rows,
+        title="Table 4. Propagation paths ordered by their total weight",
+    )

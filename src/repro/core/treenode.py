@@ -1,0 +1,198 @@
+"""Shared node type for backtrack and trace trees (Section 4.2).
+
+Both tree constructions of the paper produce trees whose vertices are
+signals and whose edges carry error-permeability weights:
+
+* in a **backtrack tree** the root is a system output, intermediate
+  nodes are internal outputs and leaves are system inputs (or feedback
+  inputs, drawn with a "double line" in the paper's figures);
+* in a **trace tree** the root is a system input, intermediate nodes
+  are internal inputs and leaves are system outputs.
+
+:class:`PropagationNode` is the common vertex record.  It stores the
+signal, the port context through which the node was reached, the
+permeability weight of the edge from its parent, and its children.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+__all__ = ["NodeKind", "PropagationNode"]
+
+
+class NodeKind(enum.Enum):
+    """Role of a node within a propagation tree."""
+
+    #: The tree root (a system output for backtrack trees, a system
+    #: input for trace trees).
+    ROOT = "root"
+    #: An internal node that was expanded further.
+    INTERNAL = "internal"
+    #: A leaf at the system boundary (system input in a backtrack tree,
+    #: system output in a trace tree).
+    BOUNDARY = "boundary"
+    #: A node created by the paper's module-feedback rule: the signal
+    #: loops back into its own module.  The loop is traversed exactly
+    #: once; in a backtrack tree the cut leaf hangs under a node of the
+    #: same signal (the paper's double line), in a trace tree the
+    #: followed-once feedback node itself carries this kind.
+    FEEDBACK = "feedback"
+    #: A leaf created by the cross-module cycle guard.  The paper's
+    #: algorithm only handles *self*-feedback because its systems
+    #: contain no wider cycles; we additionally cut a path when it would
+    #: re-expand a (module, signal) already on it, which generalises the
+    #: paper's "one pass through the loop" argument (all weights are
+    #: <= 1, so any further traversal can only lower the path weight).
+    CYCLE = "cycle"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass
+class PropagationNode:
+    """One vertex of a backtrack or trace tree.
+
+    Attributes
+    ----------
+    signal:
+        Name of the signal the node represents.
+    kind:
+        Role of the node (see :class:`NodeKind`).
+    module:
+        The module providing the node's expansion context: the producer
+        of the signal in a backtrack tree, the consumer in a trace tree.
+        ``None`` for boundary leaves with no such module.
+    input_signal, output_signal:
+        The (input, output) pair of the *parent edge*'s permeability
+        value, i.e. which :math:`P^M_{i,k}` weights the edge from the
+        parent to this node.  ``None`` on the root.
+    pair_module:
+        The module owning that pair.  ``None`` on the root.
+    permeability:
+        Weight of the edge from the parent (1.0 on the root so that path
+        products are unaffected).
+    children:
+        Child nodes in construction order.
+    """
+
+    signal: str
+    kind: NodeKind
+    module: str | None = None
+    pair_module: str | None = None
+    input_signal: str | None = None
+    output_signal: str | None = None
+    permeability: float = 1.0
+    children: list["PropagationNode"] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether the node has no children."""
+        return not self.children
+
+    @property
+    def edge_key(self) -> tuple[str, str, str] | None:
+        """Identity of the parent edge's permeability value.
+
+        The triple ``(pair_module, input_signal, output_signal)``
+        identifies one :math:`P^M_{i,k}`; Eq. 6's "counted once" rule
+        de-duplicates on this key.
+        """
+        if self.pair_module is None:
+            return None
+        assert self.input_signal is not None and self.output_signal is not None
+        return (self.pair_module, self.input_signal, self.output_signal)
+
+    def walk(self) -> Iterator["PropagationNode"]:
+        """Depth-first pre-order traversal of the subtree."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def leaves(self) -> Iterator["PropagationNode"]:
+        """All leaves of the subtree in left-to-right order."""
+        for node in self.walk():
+            if node.is_leaf:
+                yield node
+
+    def depth(self) -> int:
+        """Height of the subtree (a lone node has depth 1)."""
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def n_nodes(self) -> int:
+        """Total number of vertices in the subtree."""
+        return sum(1 for _ in self.walk())
+
+    def find(self, signal: str) -> list["PropagationNode"]:
+        """All nodes of the subtree representing ``signal``."""
+        return [node for node in self.walk() if node.signal == signal]
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def render(
+        self,
+        weight_format: str = "{:.3f}",
+        annotate: Callable[["PropagationNode"], str] | None = None,
+    ) -> str:
+        """ASCII rendering of the subtree, one node per line.
+
+        Feedback leaves are marked with ``==`` (the paper's double
+        line), cycle leaves with ``~~``, boundary leaves with ``*``.
+        """
+        lines: list[str] = []
+        self._render_into(lines, prefix="", is_last=True, is_root=True,
+                          weight_format=weight_format, annotate=annotate)
+        return "\n".join(lines)
+
+    def _render_into(
+        self,
+        lines: list[str],
+        prefix: str,
+        is_last: bool,
+        is_root: bool,
+        weight_format: str,
+        annotate: Callable[["PropagationNode"], str] | None,
+    ) -> None:
+        marker = {
+            NodeKind.FEEDBACK: " ==",
+            NodeKind.CYCLE: " ~~",
+            NodeKind.BOUNDARY: " *",
+        }.get(self.kind, "")
+        if is_root:
+            stem = ""
+        else:
+            stem = prefix + ("`-- " if is_last else "|-- ")
+        if self.pair_module is not None:
+            weight = weight_format.format(self.permeability)
+            edge = f"[{weight}] "
+        else:
+            edge = ""
+        extra = f"  {annotate(self)}" if annotate is not None else ""
+        lines.append(f"{stem}{edge}{self.signal}{marker}{extra}")
+        child_prefix = "" if is_root else prefix + ("    " if is_last else "|   ")
+        for index, child in enumerate(self.children):
+            child._render_into(
+                lines,
+                prefix=child_prefix,
+                is_last=index == len(self.children) - 1,
+                is_root=False,
+                weight_format=weight_format,
+                annotate=annotate,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<PropagationNode {self.signal!r} {self.kind} "
+            f"children={len(self.children)}>"
+        )

@@ -1,0 +1,38 @@
+"""Executable-assertion EDMs and their campaign-based evaluation.
+
+Extends the paper along its OB3 discussion (and the authors' companion
+study [7]): concrete error detection mechanisms — range, rate-of-change,
+constancy and monotonicity assertions — that can be placed at the
+locations the permeability analysis recommends and evaluated for
+coverage, latency and false alarms against an injection campaign.
+"""
+
+from repro.edm.detectors import (
+    ConstancyCheck,
+    DeltaCheck,
+    ErrorDetector,
+    MonotonicCheck,
+    RangeCheck,
+    calibrate_delta,
+    calibrate_range,
+)
+from repro.edm.evaluation import (
+    DetectorEvaluation,
+    DetectorStats,
+    effectiveness_score,
+    evaluate_detectors,
+)
+
+__all__ = [
+    "ConstancyCheck",
+    "DeltaCheck",
+    "DetectorEvaluation",
+    "DetectorStats",
+    "ErrorDetector",
+    "MonotonicCheck",
+    "RangeCheck",
+    "calibrate_delta",
+    "calibrate_range",
+    "effectiveness_score",
+    "evaluate_detectors",
+]

@@ -1,0 +1,189 @@
+"""Executable-assertion error detection mechanisms (EDMs).
+
+The paper's OB3 refers to the authors' companion study [7] "of a number
+of error detection mechanisms based on the concept of executable
+assertions" and argues that a detector's *location* matters as much as
+its detection capability.  This module supplies that missing piece: a
+family of assertion-style detectors that can be evaluated against
+injection campaigns (see :mod:`repro.edm.evaluation`) and placed at the
+locations the permeability analysis recommends.
+
+Detectors are pure functions over a signal's per-millisecond trace —
+the same observations PROPANE records — so they can be replayed over
+campaign runs without re-executing the system:
+
+* :class:`RangeCheck` — value must stay inside ``[low, high]``;
+* :class:`DeltaCheck` — per-millisecond change must stay within a bound
+  (a rate-of-change assertion, natural for physical quantities);
+* :class:`ConstancyCheck` — the value must not freeze for longer than a
+  bound (detects dead producers);
+* :class:`MonotonicCheck` — the value must not decrease (for totaliser
+  signals such as ``pulscnt``).
+
+:func:`calibrate_range` and :func:`calibrate_delta` derive assertion
+bounds from Golden Run traces with a safety margin, mirroring how such
+assertions are tuned from field data in practice.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+__all__ = [
+    "ErrorDetector",
+    "RangeCheck",
+    "DeltaCheck",
+    "ConstancyCheck",
+    "MonotonicCheck",
+    "calibrate_range",
+    "calibrate_delta",
+]
+
+
+class ErrorDetector(abc.ABC):
+    """An executable assertion monitoring one signal's trace."""
+
+    def __init__(self, signal: str) -> None:
+        self.signal = signal
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Stable identifier used in evaluation reports."""
+
+    @abc.abstractmethod
+    def first_detection(self, samples: Sequence[int]) -> int | None:
+        """Millisecond index of the first assertion violation, or ``None``."""
+
+    def fires_on(self, samples: Sequence[int]) -> bool:
+        """Whether the assertion is violated anywhere in the trace."""
+        return self.first_detection(samples) is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class RangeCheck(ErrorDetector):
+    """Assert ``low <= value <= high`` every millisecond."""
+
+    def __init__(self, signal: str, low: int, high: int) -> None:
+        super().__init__(signal)
+        if high < low:
+            raise ValueError("high must be >= low")
+        self.low = low
+        self.high = high
+
+    @property
+    def name(self) -> str:
+        return f"range[{self.signal}:{self.low}..{self.high}]"
+
+    def first_detection(self, samples: Sequence[int]) -> int | None:
+        low, high = self.low, self.high
+        for index, value in enumerate(samples):
+            if value < low or value > high:
+                return index
+        return None
+
+
+class DeltaCheck(ErrorDetector):
+    """Assert ``|value[t] - value[t-1]| <= max_delta`` every millisecond."""
+
+    def __init__(self, signal: str, max_delta: int) -> None:
+        super().__init__(signal)
+        if max_delta < 0:
+            raise ValueError("max_delta must be >= 0")
+        self.max_delta = max_delta
+
+    @property
+    def name(self) -> str:
+        return f"delta[{self.signal}:<={self.max_delta}]"
+
+    def first_detection(self, samples: Sequence[int]) -> int | None:
+        max_delta = self.max_delta
+        for index in range(1, len(samples)):
+            if abs(samples[index] - samples[index - 1]) > max_delta:
+                return index
+        return None
+
+
+class ConstancyCheck(ErrorDetector):
+    """Assert the value changes at least once every ``max_constant_ms``."""
+
+    def __init__(self, signal: str, max_constant_ms: int) -> None:
+        super().__init__(signal)
+        if max_constant_ms < 1:
+            raise ValueError("max_constant_ms must be >= 1")
+        self.max_constant_ms = max_constant_ms
+
+    @property
+    def name(self) -> str:
+        return f"constancy[{self.signal}:<={self.max_constant_ms}ms]"
+
+    def first_detection(self, samples: Sequence[int]) -> int | None:
+        if not samples:
+            return None
+        run_length = 1
+        for index in range(1, len(samples)):
+            if samples[index] == samples[index - 1]:
+                run_length += 1
+                if run_length > self.max_constant_ms:
+                    return index
+            else:
+                run_length = 1
+        return None
+
+
+class MonotonicCheck(ErrorDetector):
+    """Assert the value never decreases (totaliser signals).
+
+    ``allow_wrap`` tolerates a single full-range wrap-around step (a
+    16-bit totaliser rolling over), detected as a decrease larger than
+    half the range.
+    """
+
+    def __init__(self, signal: str, allow_wrap: bool = True, width: int = 16) -> None:
+        super().__init__(signal)
+        self.allow_wrap = allow_wrap
+        self._half_range = 1 << (width - 1)
+
+    @property
+    def name(self) -> str:
+        return f"monotonic[{self.signal}]"
+
+    def first_detection(self, samples: Sequence[int]) -> int | None:
+        for index in range(1, len(samples)):
+            drop = samples[index - 1] - samples[index]
+            if drop > 0:
+                if self.allow_wrap and drop >= self._half_range:
+                    continue
+                return index
+        return None
+
+
+def calibrate_range(
+    samples: Sequence[int], margin_fraction: float = 0.1
+) -> tuple[int, int]:
+    """Range-assertion bounds from a Golden Run trace plus a margin.
+
+    The margin widens the observed envelope by ``margin_fraction`` of
+    its span on each side, so workload variation inside the envelope
+    never raises false alarms.
+    """
+    if not samples:
+        raise ValueError("cannot calibrate from an empty trace")
+    low, high = min(samples), max(samples)
+    margin = round((high - low) * margin_fraction)
+    return (low - margin, high + margin)
+
+
+def calibrate_delta(
+    samples: Sequence[int], margin_factor: float = 2.0
+) -> int:
+    """Delta-assertion bound: the largest Golden Run step times a factor."""
+    if len(samples) < 2:
+        raise ValueError("need at least two samples to calibrate a delta bound")
+    largest = max(
+        abs(b - a) for a, b in zip(samples, samples[1:])
+    )
+    return max(1, round(largest * margin_factor))

@@ -1,0 +1,315 @@
+"""Injection-campaign orchestration (Sections 6 and 7.3).
+
+An :class:`InjectionCampaign` reproduces the paper's experimental
+procedure:
+
+1. for every test case (workload), record one Golden Run;
+2. for every targeted module input, every injection time and every
+   error model, execute one injection run with a single one-shot trap
+   ("for each injection run (IR) only one error was injected at one
+   time, i.e., no multiple errors were injected");
+3. compare every IR against its test case's GR (Golden Run Comparison)
+   and record an :class:`~repro.injection.outcomes.InjectionOutcome`.
+
+The runtime object produced by the ``run_factory`` is reused across the
+runs of one test case (``SimulationRun.run`` resets software, store,
+clock and environment), so factories are invoked once per test case.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence, TypeVar
+
+from repro.injection.error_models import ErrorModel, bit_flip_models
+from repro.injection.golden_run import GoldenRun, compare_to_golden_run
+from repro.injection.outcomes import CampaignResult, InjectionOutcome
+from repro.injection.selection import paper_times
+from repro.injection.traps import InputInjectionTrap
+from repro.model.errors import CampaignError
+from repro.model.system import SystemModel
+from repro.simulation.runtime import RunResult, SimulationRun
+
+__all__ = ["CampaignConfig", "InjectionCampaign"]
+
+CaseT = TypeVar("CaseT")
+
+#: Callback reporting campaign progress: (completed runs, total runs).
+ProgressCallback = Callable[[int, int], None]
+
+#: Callback seeing each injection run with its full traces (see
+#: :meth:`InjectionCampaign.execute`).
+InspectorCallback = Callable[[InjectionOutcome, RunResult, GoldenRun], None]
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Static configuration of one injection campaign.
+
+    Parameters
+    ----------
+    duration_ms:
+        Length of every run (GR and IR).  Must exceed the largest
+        injection time.
+    injection_times_ms:
+        The injection instants; defaults to the paper's ten half-second
+        steps from 0.5 s to 5.0 s.
+    error_models:
+        The corruption models; defaults to the paper's 16 single
+        bit-flips.
+    targets:
+        The (module, input signal) pairs to inject; ``None`` targets
+        every input of every module — the full Table 1 campaign.
+    seed:
+        Campaign master seed; per-run trap seeds are derived from it
+        deterministically, so equal configurations give equal results.
+    """
+
+    duration_ms: int = 8000
+    injection_times_ms: tuple[int, ...] = field(default_factory=paper_times)
+    error_models: tuple[ErrorModel, ...] = field(
+        default_factory=lambda: tuple(bit_flip_models())
+    )
+    targets: tuple[tuple[str, str], ...] | None = None
+    seed: int = 2001
+
+    def __post_init__(self) -> None:
+        if self.duration_ms < 1:
+            raise CampaignError("duration_ms must be >= 1")
+        if not self.injection_times_ms:
+            raise CampaignError("at least one injection time is required")
+        if not self.error_models:
+            raise CampaignError("at least one error model is required")
+        if max(self.injection_times_ms) >= self.duration_ms:
+            raise CampaignError(
+                "latest injection time "
+                f"({max(self.injection_times_ms)} ms) must fall inside the "
+                f"run duration ({self.duration_ms} ms)"
+            )
+
+    def runs_per_target(self) -> int:
+        """IRs per targeted signal per test case (the paper: 16·10 = 160)."""
+        return len(self.injection_times_ms) * len(self.error_models)
+
+
+def _derive_seed(
+    master: int, case_id: str, module: str, signal: str, time_ms: int, model: str
+) -> int:
+    """Stable per-run seed (process-independent, unlike ``hash``)."""
+    text = f"{master}|{case_id}|{module}|{signal}|{time_ms}|{model}"
+    return zlib.crc32(text.encode("utf-8"))
+
+
+def _execute_one_case(payload: tuple) -> list[InjectionOutcome]:
+    """Worker entry point for :meth:`InjectionCampaign.execute_parallel`.
+
+    Rebuilds a single-case campaign inside the worker process and
+    returns its outcome list (traces stay worker-local).
+    """
+    system, run_factory, case_id, case, config = payload
+    campaign = InjectionCampaign(system, run_factory, {case_id: case}, config)
+    return list(campaign.execute())
+
+
+class InjectionCampaign:
+    """Runs the full GR/IR experiment grid over a set of test cases.
+
+    Parameters
+    ----------
+    system:
+        The static system model (defines targets and signal widths).
+    run_factory:
+        Builds a fresh :class:`SimulationRun` for a given test case.
+        Called once per test case.
+    test_cases:
+        Mapping from case id to the (opaque) case object handed to the
+        factory; a sequence is accepted and auto-labelled ``case00`` ...
+    config:
+        The campaign grid.
+    """
+
+    def __init__(
+        self,
+        system: SystemModel,
+        run_factory: Callable[[CaseT], SimulationRun],
+        test_cases: Mapping[str, CaseT] | Sequence[CaseT],
+        config: CampaignConfig | None = None,
+    ) -> None:
+        self._system = system
+        self._run_factory = run_factory
+        if isinstance(test_cases, Mapping):
+            self._test_cases: dict[str, CaseT] = dict(test_cases)
+        else:
+            self._test_cases = {
+                f"case{index:02d}": case for index, case in enumerate(test_cases)
+            }
+        if not self._test_cases:
+            raise CampaignError("at least one test case is required")
+        self._config = config if config is not None else CampaignConfig()
+        self._targets = self._resolve_targets()
+        self._golden_runs: dict[str, GoldenRun] = {}
+
+    def _resolve_targets(self) -> tuple[tuple[str, str], ...]:
+        if self._config.targets is not None:
+            for module, signal in self._config.targets:
+                spec = self._system.module(module)
+                spec.input_index(signal)  # validates
+            return tuple(self._config.targets)
+        targets: list[tuple[str, str]] = []
+        for module_name in self._system.module_names():
+            for signal in self._system.module(module_name).inputs:
+                targets.append((module_name, signal))
+        return tuple(targets)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def config(self) -> CampaignConfig:
+        return self._config
+
+    @property
+    def targets(self) -> tuple[tuple[str, str], ...]:
+        """The (module, input signal) pairs that will be injected."""
+        return self._targets
+
+    def total_runs(self) -> int:
+        """Total IR count of the campaign (excluding Golden Runs)."""
+        return (
+            len(self._test_cases)
+            * len(self._targets)
+            * self._config.runs_per_target()
+        )
+
+    def golden_runs(self) -> Mapping[str, GoldenRun]:
+        """Golden runs recorded so far (populated during execution)."""
+        return dict(self._golden_runs)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        progress: ProgressCallback | None = None,
+        inspector: "InspectorCallback | None" = None,
+    ) -> CampaignResult:
+        """Run the whole campaign and return the collected outcomes.
+
+        Parameters
+        ----------
+        progress:
+            Optional ``(completed, total)`` callback.
+        inspector:
+            Optional callback invoked for every injection run *while
+            its full traces are still available* (they are discarded
+            afterwards to bound memory).  Receives the outcome record,
+            the injection run's :class:`RunResult` and the test case's
+            Golden Run.  Used e.g. by the EDM evaluation layer to replay
+            detectors over the traces.
+        """
+        result = CampaignResult(self._system)
+        completed = 0
+        total = self.total_runs()
+        for case_id, case in self._test_cases.items():
+            runner = self._run_factory(case)
+            runner.clear_hooks()
+            golden = GoldenRun(
+                case_id=case_id, result=runner.run(self._config.duration_ms)
+            )
+            self._golden_runs[case_id] = golden
+            for module, signal in self._targets:
+                for time_ms in self._config.injection_times_ms:
+                    for model in self._config.error_models:
+                        outcome, injected = self._one_injection(
+                            runner, golden, case_id, module, signal, time_ms, model
+                        )
+                        if inspector is not None:
+                            inspector(outcome, injected, golden)
+                        result.add(outcome)
+                        completed += 1
+                        if progress is not None:
+                            progress(completed, total)
+        return result
+
+    def _one_injection(
+        self,
+        runner: SimulationRun,
+        golden: GoldenRun,
+        case_id: str,
+        module: str,
+        signal: str,
+        time_ms: int,
+        model: ErrorModel,
+    ) -> tuple[InjectionOutcome, "RunResult"]:
+        trap = InputInjectionTrap.for_system(
+            self._system,
+            module=module,
+            signal=signal,
+            time_ms=time_ms,
+            error_model=model,
+            seed=_derive_seed(
+                self._config.seed, case_id, module, signal, time_ms, model.name
+            ),
+        )
+        runner.clear_hooks()
+        runner.add_read_interceptor(trap)
+        injected = runner.run(self._config.duration_ms)
+        runner.clear_hooks()
+        comparison = compare_to_golden_run(golden, injected)
+        outcome = InjectionOutcome(
+            case_id=case_id,
+            module=module,
+            input_signal=signal,
+            scheduled_time_ms=time_ms,
+            fired_at_ms=trap.fired_at_ms,
+            error_model=model.name,
+            comparison=comparison,
+        )
+        return outcome, injected
+
+    # ------------------------------------------------------------------
+    # Parallel execution
+    # ------------------------------------------------------------------
+
+    def execute_parallel(
+        self,
+        max_workers: int | None = None,
+        progress: ProgressCallback | None = None,
+    ) -> CampaignResult:
+        """Run the campaign with one worker process per test case.
+
+        Produces bit-identical outcomes to :meth:`execute` (per-run
+        seeds are derived from the configuration, not from execution
+        order).  Restrictions compared to the serial path:
+
+        * ``run_factory`` must be picklable (a module-level callable,
+          e.g. :func:`repro.arrestment.build_arrestment_run`);
+        * :meth:`golden_runs` stays empty — Golden Run traces are not
+          shipped back across the process boundary;
+        * no ``inspector`` hook (traces never leave the workers).
+
+        ``progress`` is reported at test-case granularity.
+        """
+        import concurrent.futures
+        import dataclasses
+
+        config = dataclasses.replace(self._config, targets=self._targets)
+        payloads = [
+            (self._system, self._run_factory, case_id, case, config)
+            for case_id, case in self._test_cases.items()
+        ]
+        result = CampaignResult(self._system)
+        completed = 0
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=max_workers
+        ) as pool:
+            for outcomes in pool.map(_execute_one_case, payloads):
+                for outcome in outcomes:
+                    result.add(outcome)
+                completed += 1
+                if progress is not None:
+                    progress(completed, len(payloads))
+        return result

@@ -1,0 +1,183 @@
+"""Error models: how injected data errors corrupt a signal value.
+
+The paper's campaign injects single bit-flips ("We injected bit-flips in
+each bit position", Section 7.3).  Because "the type of injected errors
+can also effect the estimates" (Section 6), the framework supports a
+family of models so the sensitivity can be studied (the error-model
+ablation benchmark):
+
+* :class:`BitFlip` — invert one fixed bit position (the paper's model);
+* :class:`RandomBitFlip` — invert a uniformly chosen bit;
+* :class:`DoubleBitFlip` — invert two distinct fixed positions;
+* :class:`StuckAtZero` / :class:`StuckAtOne` — clear/set one bit;
+* :class:`Offset` — add a signed offset (wrapping), modelling
+  computation slips rather than bus glitches;
+* :class:`RandomReplacement` — replace the value with a uniform random
+  word.
+
+Models are deterministic given their parameters and the supplied RNG,
+so campaigns are reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+
+from repro.model.signal import wrap_unsigned
+
+__all__ = [
+    "ErrorModel",
+    "BitFlip",
+    "RandomBitFlip",
+    "DoubleBitFlip",
+    "StuckAtZero",
+    "StuckAtOne",
+    "Offset",
+    "RandomReplacement",
+    "bit_flip_models",
+]
+
+
+class ErrorModel(abc.ABC):
+    """A transformation corrupting one raw signal value."""
+
+    @abc.abstractmethod
+    def apply(self, value: int, width: int, rng: random.Random) -> int:
+        """Return the corrupted value (wrapped to ``width`` bits)."""
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Stable identifier used in campaign records."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class BitFlip(ErrorModel):
+    """Invert one fixed bit position — the paper's error model."""
+
+    def __init__(self, bit: int) -> None:
+        if bit < 0:
+            raise ValueError(f"bit position must be >= 0, got {bit}")
+        self.bit = bit
+
+    def apply(self, value: int, width: int, rng: random.Random) -> int:
+        if self.bit >= width:
+            raise ValueError(
+                f"bit {self.bit} outside the {width}-bit signal width"
+            )
+        return wrap_unsigned(value ^ (1 << self.bit), width)
+
+    @property
+    def name(self) -> str:
+        return f"bitflip[{self.bit}]"
+
+
+class RandomBitFlip(ErrorModel):
+    """Invert a uniformly random bit position."""
+
+    def apply(self, value: int, width: int, rng: random.Random) -> int:
+        bit = rng.randrange(width)
+        return wrap_unsigned(value ^ (1 << bit), width)
+
+    @property
+    def name(self) -> str:
+        return "bitflip[random]"
+
+
+class DoubleBitFlip(ErrorModel):
+    """Invert two distinct fixed bit positions (burst-style corruption)."""
+
+    def __init__(self, bit_a: int, bit_b: int) -> None:
+        if bit_a == bit_b:
+            raise ValueError("the two bit positions must differ")
+        if min(bit_a, bit_b) < 0:
+            raise ValueError("bit positions must be >= 0")
+        self.bit_a = bit_a
+        self.bit_b = bit_b
+
+    def apply(self, value: int, width: int, rng: random.Random) -> int:
+        if max(self.bit_a, self.bit_b) >= width:
+            raise ValueError(
+                f"bits {self.bit_a},{self.bit_b} outside the "
+                f"{width}-bit signal width"
+            )
+        return wrap_unsigned(value ^ (1 << self.bit_a) ^ (1 << self.bit_b), width)
+
+    @property
+    def name(self) -> str:
+        return f"bitflip2[{self.bit_a},{self.bit_b}]"
+
+
+class StuckAtZero(ErrorModel):
+    """Force one bit position to zero."""
+
+    def __init__(self, bit: int) -> None:
+        if bit < 0:
+            raise ValueError(f"bit position must be >= 0, got {bit}")
+        self.bit = bit
+
+    def apply(self, value: int, width: int, rng: random.Random) -> int:
+        if self.bit >= width:
+            raise ValueError(f"bit {self.bit} outside the {width}-bit width")
+        return wrap_unsigned(value & ~(1 << self.bit), width)
+
+    @property
+    def name(self) -> str:
+        return f"stuck0[{self.bit}]"
+
+
+class StuckAtOne(ErrorModel):
+    """Force one bit position to one."""
+
+    def __init__(self, bit: int) -> None:
+        if bit < 0:
+            raise ValueError(f"bit position must be >= 0, got {bit}")
+        self.bit = bit
+
+    def apply(self, value: int, width: int, rng: random.Random) -> int:
+        if self.bit >= width:
+            raise ValueError(f"bit {self.bit} outside the {width}-bit width")
+        return wrap_unsigned(value | (1 << self.bit), width)
+
+    @property
+    def name(self) -> str:
+        return f"stuck1[{self.bit}]"
+
+
+class Offset(ErrorModel):
+    """Add a signed offset to the value (wrapping at the signal width)."""
+
+    def __init__(self, delta: int) -> None:
+        if delta == 0:
+            raise ValueError("an offset of zero injects no error")
+        self.delta = delta
+
+    def apply(self, value: int, width: int, rng: random.Random) -> int:
+        return wrap_unsigned(value + self.delta, width)
+
+    @property
+    def name(self) -> str:
+        return f"offset[{self.delta:+d}]"
+
+
+class RandomReplacement(ErrorModel):
+    """Replace the value with a uniformly random word (guaranteed change)."""
+
+    def apply(self, value: int, width: int, rng: random.Random) -> int:
+        limit = 1 << width
+        corrupted = rng.randrange(limit)
+        if corrupted == value:
+            corrupted = wrap_unsigned(corrupted + 1, width)
+        return corrupted
+
+    @property
+    def name(self) -> str:
+        return "replace[random]"
+
+
+def bit_flip_models(width: int = 16) -> list[BitFlip]:
+    """One :class:`BitFlip` per bit position — the paper's model set."""
+    return [BitFlip(bit) for bit in range(width)]

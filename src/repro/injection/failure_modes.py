@@ -1,0 +1,231 @@
+"""Failure-mode classification of injection runs (FMECA support).
+
+Section 1 of the paper: "Analysing error propagation can also
+complement other analysis activities, for instance FMECA (Failure Mode
+Effect and Criticality Analysis).  Consequently, modules and signals
+found to be vulnerable and/or critical during propagation analysis
+might be given more attention during design activities."
+
+The Golden Run Comparison says *whether* an error propagated; for
+criticality one also needs the *physical consequence*.  This module
+classifies every injection run by its end-of-run plant telemetry:
+
+* :attr:`FailureMode.NO_EFFECT` — no trace deviated from the GR;
+* :attr:`FailureMode.TOLERATED` — traces deviated, but the arrestment
+  outcome stayed within limits;
+* :attr:`FailureMode.DEGRADED` — the arrestment succeeded but missed a
+  comfort/margin limit (longer roll-out or harder deceleration than
+  the Golden Run by more than the configured tolerances);
+* :attr:`FailureMode.OVERRUN` — the aircraft left the usable runway;
+* :attr:`FailureMode.OVERLOAD` — the deceleration exceeded the
+  structural limit (cable/airframe);
+* :attr:`FailureMode.HUNG` — the Golden Run stopped the aircraft inside
+  the horizon but the injected run did not.
+
+Aggregating the classes per injection location yields the FMECA-style
+criticality matrix: which module inputs produce *severe* failures, not
+merely propagating errors.
+
+Classification runs inside the campaign's ``inspector`` hook (the
+telemetry is only available while the run result is alive), see
+:func:`classify_campaign`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.injection.campaign import CampaignConfig, InjectionCampaign
+from repro.injection.golden_run import GoldenRun
+from repro.injection.outcomes import InjectionOutcome
+from repro.model.system import SystemModel
+from repro.simulation.runtime import RunResult, SimulationRun
+
+__all__ = [
+    "FailureMode",
+    "SeverityLimits",
+    "LocationCriticality",
+    "CriticalityReport",
+    "classify_run",
+    "classify_campaign",
+]
+
+
+class FailureMode(enum.Enum):
+    """Physical consequence classes, ordered by severity."""
+
+    NO_EFFECT = 0
+    TOLERATED = 1
+    DEGRADED = 2
+    HUNG = 3
+    OVERLOAD = 4
+    OVERRUN = 5
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+    @property
+    def is_severe(self) -> bool:
+        """Whether the mode endangers the arrestment mission."""
+        return self in (FailureMode.HUNG, FailureMode.OVERLOAD, FailureMode.OVERRUN)
+
+
+@dataclass(frozen=True)
+class SeverityLimits:
+    """Acceptance limits for one arrestment.
+
+    Defaults fit the default plant: a 335 m runway with some paved
+    overrun margin, a 3 g structural limit, and tolerances on how much
+    worse than the Golden Run a run may be before counting as degraded.
+    """
+
+    #: Absolute overrun limit [m].
+    max_position_m: float = 350.0
+    #: Structural deceleration limit [m/s^2] (~3 g).
+    max_decel_ms2: float = 30.0
+    #: Extra roll-out beyond the Golden Run tolerated as benign [m].
+    position_tolerance_m: float = 10.0
+    #: Extra peak deceleration beyond the Golden Run tolerated [m/s^2].
+    decel_tolerance_ms2: float = 2.0
+
+
+def classify_run(
+    injected: RunResult,
+    golden: GoldenRun,
+    outcome: InjectionOutcome,
+    limits: SeverityLimits,
+) -> FailureMode:
+    """Classify one injection run against its Golden Run."""
+    if outcome.comparison.error_free():
+        return FailureMode.NO_EFFECT
+    telemetry = injected.telemetry
+    reference = golden.result.telemetry
+    if telemetry["position_m"] > limits.max_position_m:
+        return FailureMode.OVERRUN
+    if telemetry["peak_decel_ms2"] > limits.max_decel_ms2:
+        return FailureMode.OVERLOAD
+    golden_stopped = reference["stop_time_ms"] >= 0
+    injected_stopped = telemetry["stop_time_ms"] >= 0
+    if golden_stopped and not injected_stopped:
+        return FailureMode.HUNG
+    position_excess = telemetry["position_m"] - reference["position_m"]
+    decel_excess = telemetry["peak_decel_ms2"] - reference["peak_decel_ms2"]
+    if (
+        position_excess > limits.position_tolerance_m
+        or decel_excess > limits.decel_tolerance_ms2
+    ):
+        return FailureMode.DEGRADED
+    return FailureMode.TOLERATED
+
+
+@dataclass
+class LocationCriticality:
+    """FMECA row: failure-mode distribution of one injection location."""
+
+    module: str
+    input_signal: str
+    counts: dict[FailureMode, int] = field(
+        default_factory=lambda: {mode: 0 for mode in FailureMode}
+    )
+
+    @property
+    def n_injections(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def severe_fraction(self) -> float:
+        """Fraction of injections with mission-endangering consequence."""
+        if self.n_injections == 0:
+            return 0.0
+        severe = sum(
+            count for mode, count in self.counts.items() if mode.is_severe
+        )
+        return severe / self.n_injections
+
+    @property
+    def effect_fraction(self) -> float:
+        """Fraction of injections with any observable effect."""
+        if self.n_injections == 0:
+            return 0.0
+        return 1.0 - self.counts[FailureMode.NO_EFFECT] / self.n_injections
+
+
+@dataclass(frozen=True)
+class CriticalityReport:
+    """The criticality matrix over all injected locations."""
+
+    locations: tuple[LocationCriticality, ...]
+    limits: SeverityLimits
+
+    def ranked(self) -> list[LocationCriticality]:
+        """Locations by descending severe-failure fraction."""
+        return sorted(
+            self.locations,
+            key=lambda loc: (-loc.severe_fraction, -loc.effect_fraction),
+        )
+
+    def by_location(self) -> Mapping[tuple[str, str], LocationCriticality]:
+        return {(loc.module, loc.input_signal): loc for loc in self.locations}
+
+    def render(self) -> str:
+        from repro.core.report import format_table
+
+        rows = []
+        for loc in self.ranked():
+            rows.append(
+                (
+                    f"{loc.module}.{loc.input_signal}",
+                    loc.n_injections,
+                    f"{loc.effect_fraction:.3f}",
+                    f"{loc.severe_fraction:.3f}",
+                    loc.counts[FailureMode.OVERRUN],
+                    loc.counts[FailureMode.OVERLOAD],
+                    loc.counts[FailureMode.HUNG],
+                    loc.counts[FailureMode.DEGRADED],
+                )
+            )
+        return format_table(
+            headers=(
+                "Location", "n", "effect", "severe",
+                "overrun", "overload", "hung", "degraded",
+            ),
+            rows=rows,
+            title="Criticality matrix (FMECA view of the campaign)",
+        )
+
+
+def classify_campaign(
+    system: SystemModel,
+    run_factory: Callable[..., SimulationRun],
+    test_cases: Mapping[str, object] | Sequence[object],
+    config: CampaignConfig,
+    limits: SeverityLimits | None = None,
+) -> tuple[CriticalityReport, "CampaignResult"]:
+    """Run one campaign and classify every injection's consequence.
+
+    Returns the criticality report together with the ordinary campaign
+    result (so permeability estimation does not need a second campaign).
+    """
+    from repro.injection.outcomes import CampaignResult  # local: avoid cycle
+
+    if limits is None:
+        limits = SeverityLimits()
+    locations: dict[tuple[str, str], LocationCriticality] = {}
+
+    def inspector(
+        outcome: InjectionOutcome, injected: RunResult, golden: GoldenRun
+    ) -> None:
+        key = (outcome.module, outcome.input_signal)
+        if key not in locations:
+            locations[key] = LocationCriticality(*key)
+        mode = classify_run(injected, golden, outcome, limits)
+        locations[key].counts[mode] += 1
+
+    campaign = InjectionCampaign(system, run_factory, test_cases, config)
+    result = campaign.execute(inspector=inspector)
+    report = CriticalityReport(
+        locations=tuple(locations.values()), limits=limits
+    )
+    return report, result

@@ -1,0 +1,210 @@
+"""Records of individual injection experiments and their aggregation.
+
+Each injection run (IR) produces one :class:`InjectionOutcome`; a
+campaign produces a :class:`CampaignResult` holding all of them plus the
+aggregation into per-pair error counts — the raw material of the paper's
+Table 1 estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from repro.injection.golden_run import GoldenRunComparison
+from repro.model.system import SystemModel
+
+__all__ = ["InjectionOutcome", "PairCounts", "CampaignResult"]
+
+
+@dataclass(frozen=True)
+class InjectionOutcome:
+    """One injection run: what was injected, and what the GRC found."""
+
+    #: Workload/test case identifier.
+    case_id: str
+    #: Module whose input was injected.
+    module: str
+    #: Input signal that was injected.
+    input_signal: str
+    #: Scheduled injection time (the trap fires at the first read at or
+    #: after this time).
+    scheduled_time_ms: int
+    #: Millisecond at which the trap actually fired, or ``None`` if the
+    #: module never read the signal after the scheduled time.
+    fired_at_ms: int | None
+    #: Name of the applied error model (e.g. ``bitflip[7]``).
+    error_model: str
+    #: The GRC verdict for every traced signal.
+    comparison: GoldenRunComparison
+
+    @property
+    def fired(self) -> bool:
+        """Whether the injection actually took place."""
+        return self.fired_at_ms is not None
+
+    def output_diverged(self, output_signal: str) -> bool:
+        """Whether the given signal diverged from the Golden Run."""
+        return self.comparison.diverged(output_signal)
+
+    def direct_output_error(
+        self, output_signal: str, input_is_feedback: bool = False
+    ) -> bool:
+        """Whether the divergence on ``output_signal`` was *direct*.
+
+        Section 7.3: "We only took into account the direct errors on the
+        outputs.  We did not count errors originating from errors that
+        propagated via one of the other outputs and then came back to
+        the original input producing an error in the first output."
+
+        Because injection is consumer-scoped, the *stored* value of the
+        injected input signal is only perturbed if the error travels
+        through the system and arrives back at the signal.  An output
+        divergence is therefore direct iff it occurs no later than the
+        injected signal's own stored trace diverges.
+
+        ``input_is_feedback`` marks injected inputs that are outputs of
+        the injected module itself (e.g. CALC's ``i``).  There the
+        stored trace diverges immediately through the module's own
+        write — that is the direct feedback, not a return "via one of
+        the other outputs", so the loop test does not apply.
+        """
+        output_time = self.comparison.divergence_time(output_signal)
+        if output_time is None:
+            return False
+        if input_is_feedback:
+            return True
+        loop_time = self.comparison.divergence_time(self.input_signal)
+        return loop_time is None or output_time <= loop_time
+
+
+@dataclass
+class PairCounts:
+    """Raw counts for one (module, input, output) pair."""
+
+    module: str
+    input_signal: str
+    output_signal: str
+    n_injections: int = 0
+    n_errors: int = 0
+
+    @property
+    def permeability(self) -> float:
+        """The paper's point estimate :math:`n_{err} / n_{inj}`."""
+        if self.n_injections == 0:
+            return 0.0
+        return self.n_errors / self.n_injections
+
+
+class CampaignResult:
+    """All outcomes of one campaign, with aggregation helpers."""
+
+    def __init__(self, system: SystemModel, outcomes: Iterable[InjectionOutcome] = ()):
+        self._system = system
+        self._outcomes: list[InjectionOutcome] = list(outcomes)
+
+    @property
+    def system(self) -> SystemModel:
+        return self._system
+
+    def add(self, outcome: InjectionOutcome) -> None:
+        """Record one injection run."""
+        self._outcomes.append(outcome)
+
+    def __len__(self) -> int:
+        return len(self._outcomes)
+
+    def __iter__(self) -> Iterator[InjectionOutcome]:
+        return iter(self._outcomes)
+
+    def outcomes_for(
+        self, module: str, input_signal: str | None = None
+    ) -> list[InjectionOutcome]:
+        """Outcomes of injections into one module (optionally one input)."""
+        return [
+            outcome
+            for outcome in self._outcomes
+            if outcome.module == module
+            and (input_signal is None or outcome.input_signal == input_signal)
+        ]
+
+    def pair_counts(
+        self,
+        direct_only: bool = True,
+        count_unfired: bool = True,
+        predicate: Callable[[InjectionOutcome], bool] | None = None,
+    ) -> dict[tuple[str, str, str], PairCounts]:
+        """Aggregate outcomes into per-pair injection/error counts.
+
+        Parameters
+        ----------
+        direct_only:
+            Apply the paper's direct-error rule (Section 7.3) instead of
+            counting any divergence.
+        count_unfired:
+            Whether injections whose trap never fired still count in the
+            denominator.  The paper counts *conducted* injections
+            (:math:`16 \\cdot 10 \\cdot 25 = 4000` per signal), so the
+            default is ``True``; unfired traps contribute no errors
+            either way.
+        predicate:
+            Optional extra filter over outcomes (e.g. one test case or
+            one error model) for ablation studies.
+
+        Returns counts for every pair of every module that received at
+        least one injection; pairs of uninjected modules are absent.
+        """
+        counts: dict[tuple[str, str, str], PairCounts] = {}
+        injected_inputs = {
+            (outcome.module, outcome.input_signal) for outcome in self._outcomes
+        }
+        for module, input_signal in injected_inputs:
+            spec = self._system.module(module)
+            for output_signal in spec.outputs:
+                key = (module, input_signal, output_signal)
+                counts[key] = PairCounts(module, input_signal, output_signal)
+        for outcome in self._outcomes:
+            if predicate is not None and not predicate(outcome):
+                continue
+            if not outcome.fired and not count_unfired:
+                continue
+            spec = self._system.module(outcome.module)
+            input_is_feedback = outcome.input_signal in spec.outputs
+            for output_signal in spec.outputs:
+                key = (outcome.module, outcome.input_signal, output_signal)
+                counts[key].n_injections += 1
+                if not outcome.fired:
+                    continue
+                if direct_only:
+                    hit = outcome.direct_output_error(
+                        output_signal, input_is_feedback=input_is_feedback
+                    )
+                else:
+                    hit = outcome.output_diverged(output_signal)
+                if hit:
+                    counts[key].n_errors += 1
+        return counts
+
+    def n_fired(self) -> int:
+        """Number of injection runs whose trap actually fired."""
+        return sum(1 for outcome in self._outcomes if outcome.fired)
+
+    def case_ids(self) -> tuple[str, ...]:
+        """All distinct test-case identifiers, in first-seen order."""
+        seen: dict[str, None] = {}
+        for outcome in self._outcomes:
+            seen.setdefault(outcome.case_id, None)
+        return tuple(seen)
+
+    def error_model_names(self) -> tuple[str, ...]:
+        """All distinct error-model names, in first-seen order."""
+        seen: dict[str, None] = {}
+        for outcome in self._outcomes:
+            seen.setdefault(outcome.error_model, None)
+        return tuple(seen)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CampaignResult {len(self._outcomes)} injections, "
+            f"{self.n_fired()} fired>"
+        )

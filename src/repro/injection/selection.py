@@ -1,0 +1,73 @@
+"""Injection-point selection strategies: times and error models.
+
+The paper's grid (Section 7.3): bit-flips in each of 16 bit positions at
+10 time instances "distributed in half-second intervals between 0.5 s
+and 5.0 s from start of arrestment" — 160 injections per signal per test
+case.  :func:`paper_times` and :func:`paper_grid` reproduce that layout;
+:func:`sampled_grid` draws a random subset for cheaper campaigns, which
+keeps the grid's coverage structure while reducing cost.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.injection.error_models import ErrorModel, bit_flip_models
+
+__all__ = ["paper_times", "full_grid", "paper_grid", "sampled_grid"]
+
+
+def paper_times(
+    start_ms: int = 500, end_ms: int = 5000, n_times: int = 10
+) -> tuple[int, ...]:
+    """The paper's injection instants: evenly spaced, inclusive of both ends.
+
+    Defaults reproduce "10 different time instances distributed in
+    half-second intervals between 0.5 s and 5.0 s".
+    """
+    if n_times < 1:
+        raise ValueError("n_times must be >= 1")
+    if n_times == 1:
+        return (start_ms,)
+    if end_ms <= start_ms:
+        raise ValueError("end_ms must exceed start_ms")
+    step = (end_ms - start_ms) / (n_times - 1)
+    return tuple(round(start_ms + index * step) for index in range(n_times))
+
+
+def full_grid(
+    times_ms: Sequence[int], models: Sequence[ErrorModel]
+) -> list[tuple[int, ErrorModel]]:
+    """The cartesian product of injection times and error models."""
+    return [(time_ms, model) for time_ms in times_ms for model in models]
+
+
+def paper_grid(
+    width: int = 16,
+    start_ms: int = 500,
+    end_ms: int = 5000,
+    n_times: int = 10,
+) -> list[tuple[int, ErrorModel]]:
+    """The paper's per-signal grid: every bit position at every instant.
+
+    With the defaults this is :math:`16 \\cdot 10 = 160` injections per
+    signal per test case (4 000 over the 25-case workload).
+    """
+    return full_grid(paper_times(start_ms, end_ms, n_times), bit_flip_models(width))
+
+
+def sampled_grid(
+    times_ms: Sequence[int],
+    models: Sequence[ErrorModel],
+    n_samples: int,
+    seed: int = 0,
+) -> list[tuple[int, ErrorModel]]:
+    """A uniform random subset of the full grid (without replacement)."""
+    grid = full_grid(times_ms, models)
+    if n_samples >= len(grid):
+        return grid
+    if n_samples < 1:
+        raise ValueError("n_samples must be >= 1")
+    rng = random.Random(seed)
+    return rng.sample(grid, n_samples)

@@ -1,0 +1,171 @@
+"""Software traps: the SWIFI instrumentation points.
+
+"For logging and injection, the target system was instrumented with
+high-level software traps.  As a trap is reached during execution, an
+error is injected and/or data logged" (Section 7.3).
+
+Two trap flavours are provided, matching the runtime's two hook points:
+
+* :class:`InputInjectionTrap` — consumer-scoped: corrupts the value a
+  *specific module* reads from a *specific input signal*, leaving the
+  stored signal (and every other consumer) untouched.  This is the trap
+  used for permeability estimation: "injecting errors in the input
+  signals of the module and logging its output signals" (Section 6).
+* :class:`StoreInjectionTrap` — producer-scoped: corrupts the stored
+  value itself, visible to all consumers; used to model errors arising
+  in the producing computation or the shared memory.
+
+Both fire exactly once, at the first opportunity at or after their
+scheduled time ("although only at one time in each IR", Section 7.3);
+after firing they are inert, and they record when and what they changed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.injection.error_models import ErrorModel
+from repro.model.system import SystemModel
+from repro.simulation.runtime import SignalStore
+
+__all__ = ["InputInjectionTrap", "StoreInjectionTrap"]
+
+
+class InputInjectionTrap:
+    """One-shot consumer-scoped injection on a module input read.
+
+    Implements the :class:`repro.simulation.runtime.ReadInterceptor`
+    protocol.
+
+    Parameters
+    ----------
+    module, signal:
+        The module input to corrupt.
+    time_ms:
+        Earliest millisecond at which to fire; the trap triggers on the
+        first matching read at or after this time.
+    error_model:
+        The corruption to apply.
+    width:
+        Bit width of the signal (for the error model).
+    seed:
+        Seed for the trap-local RNG used by stochastic error models.
+    """
+
+    def __init__(
+        self,
+        module: str,
+        signal: str,
+        time_ms: int,
+        error_model: ErrorModel,
+        width: int = 16,
+        seed: int = 0,
+    ) -> None:
+        if time_ms < 0:
+            raise ValueError(f"time_ms must be >= 0, got {time_ms}")
+        self.module = module
+        self.signal = signal
+        self.time_ms = time_ms
+        self.error_model = error_model
+        self.width = width
+        self._rng = random.Random(seed)
+        self.fired_at_ms: int | None = None
+        self.original_value: int | None = None
+        self.injected_value: int | None = None
+
+    @property
+    def fired(self) -> bool:
+        """Whether the trap has triggered."""
+        return self.fired_at_ms is not None
+
+    def on_read(self, module: str, signal: str, value: int, now_ms: int) -> int:
+        """ReadInterceptor hook: corrupt the first matching read."""
+        if self.fired:
+            return value
+        if module != self.module or signal != self.signal or now_ms < self.time_ms:
+            return value
+        corrupted = self.error_model.apply(value, self.width, self._rng)
+        self.fired_at_ms = now_ms
+        self.original_value = value
+        self.injected_value = corrupted
+        return corrupted
+
+    @classmethod
+    def for_system(
+        cls,
+        system: SystemModel,
+        module: str,
+        signal: str,
+        time_ms: int,
+        error_model: ErrorModel,
+        seed: int = 0,
+    ) -> "InputInjectionTrap":
+        """Build a trap with the width taken from the system's signal spec."""
+        spec = system.module(module)
+        spec.input_index(signal)  # validates the signal is an input
+        return cls(
+            module=module,
+            signal=signal,
+            time_ms=time_ms,
+            error_model=error_model,
+            width=system.signal(signal).width,
+            seed=seed,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"fired@{self.fired_at_ms}" if self.fired else "armed"
+        return (
+            f"<InputInjectionTrap {self.module}.{self.signal} "
+            f"t>={self.time_ms} {self.error_model.name} {state}>"
+        )
+
+
+class StoreInjectionTrap:
+    """One-shot producer-scoped injection on a stored signal value.
+
+    Implements the :class:`repro.simulation.runtime.StoreMutator`
+    protocol: fires at the start of the first millisecond at or after
+    ``time_ms``.
+    """
+
+    def __init__(
+        self,
+        signal: str,
+        time_ms: int,
+        error_model: ErrorModel,
+        width: int = 16,
+        seed: int = 0,
+    ) -> None:
+        if time_ms < 0:
+            raise ValueError(f"time_ms must be >= 0, got {time_ms}")
+        self.signal = signal
+        self.time_ms = time_ms
+        self.error_model = error_model
+        self.width = width
+        self._rng = random.Random(seed)
+        self.fired_at_ms: int | None = None
+        self.original_value: int | None = None
+        self.injected_value: int | None = None
+
+    @property
+    def fired(self) -> bool:
+        """Whether the trap has triggered."""
+        return self.fired_at_ms is not None
+
+    def apply(self, store: SignalStore, now_ms: int) -> None:
+        """StoreMutator hook: corrupt the stored value once."""
+        if self.fired or now_ms < self.time_ms:
+            return
+        value = store.read(self.signal)
+        corrupted = self.error_model.apply(value, self.width, self._rng)
+        store.write(self.signal, corrupted)
+        self.fired_at_ms = now_ms
+        self.original_value = value
+        self.injected_value = corrupted
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"fired@{self.fired_at_ms}" if self.fired else "armed"
+        return (
+            f"<StoreInjectionTrap {self.signal} t>={self.time_ms} "
+            f"{self.error_model.name} {state}>"
+        )

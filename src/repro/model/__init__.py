@@ -1,0 +1,75 @@
+"""Software-system model substrate (Section 3 of the paper).
+
+Modular software is modelled as black-box modules inter-linked by named
+signals.  This subpackage provides the static declarations
+(:class:`SignalSpec`, :class:`ModuleSpec`), the behavioural base class
+(:class:`SoftwareModule`), the validated topology container
+(:class:`SystemModel`), a fluent builder, and the paper's Fig. 2 example
+system.
+"""
+
+from repro.model.builder import SystemBuilder
+from repro.model.connection import Connection, ExternalInput, ExternalOutput
+from repro.model.errors import (
+    AnalysisError,
+    CampaignError,
+    DanglingSignalError,
+    DuplicateNameError,
+    DuplicateProducerError,
+    InjectionError,
+    InvalidProbabilityError,
+    MissingPermeabilityError,
+    ModelError,
+    NotASystemSignalError,
+    ReproError,
+    ScheduleError,
+    SimulationError,
+    TraceMismatchError,
+    UnknownModuleError,
+    UnknownSignalError,
+    ValidationError,
+)
+from repro.model.examples import build_fig2_system, fig2_permeabilities
+from repro.model.module import BACKGROUND, ModuleSpec, SoftwareModule
+from repro.model.ports import InputPort, OutputPort, Port, PortDirection
+from repro.model.signal import SignalKind, SignalSpec, from_signed, to_signed, wrap_unsigned
+from repro.model.system import SystemModel
+
+__all__ = [
+    "BACKGROUND",
+    "AnalysisError",
+    "CampaignError",
+    "Connection",
+    "DanglingSignalError",
+    "DuplicateNameError",
+    "DuplicateProducerError",
+    "ExternalInput",
+    "ExternalOutput",
+    "InjectionError",
+    "InputPort",
+    "InvalidProbabilityError",
+    "MissingPermeabilityError",
+    "ModelError",
+    "ModuleSpec",
+    "NotASystemSignalError",
+    "OutputPort",
+    "Port",
+    "PortDirection",
+    "ReproError",
+    "ScheduleError",
+    "SignalKind",
+    "SignalSpec",
+    "SimulationError",
+    "SoftwareModule",
+    "SystemBuilder",
+    "SystemModel",
+    "TraceMismatchError",
+    "UnknownModuleError",
+    "UnknownSignalError",
+    "ValidationError",
+    "build_fig2_system",
+    "fig2_permeabilities",
+    "from_signed",
+    "to_signed",
+    "wrap_unsigned",
+]

@@ -1,0 +1,161 @@
+"""Fluent construction API for :class:`~repro.model.system.SystemModel`.
+
+Example
+-------
+The five-module example system of the paper's Fig. 2 can be written as::
+
+    builder = SystemBuilder("fig2-example")
+    builder.add_module("A", inputs=["ext_a"], outputs=["a_out"])
+    builder.add_module("B", inputs=["a_out", "b_fb"], outputs=["b_fb", "b_out"])
+    ...
+    builder.mark_system_input("ext_a")
+    builder.mark_system_output("sys_out")
+    model = builder.build()
+
+The builder accumulates declarations and defers every topology check to
+:meth:`SystemBuilder.build`, which constructs (and thereby validates) the
+model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.model.errors import DuplicateNameError
+from repro.model.module import ModuleSpec
+from repro.model.signal import SignalKind, SignalSpec
+from repro.model.system import SystemModel
+
+__all__ = ["SystemBuilder"]
+
+
+class SystemBuilder:
+    """Incrementally assemble a :class:`SystemModel`.
+
+    All mutator methods return ``self`` so calls can be chained.
+    """
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self._name = name
+        self._description = description
+        self._modules: list[ModuleSpec] = []
+        self._module_names: set[str] = set()
+        self._signals: list[SignalSpec] = []
+        self._signal_names: set[str] = set()
+        self._system_inputs: list[str] = []
+        self._system_outputs: list[str] = []
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+
+    def add_signal(
+        self,
+        name: str,
+        width: int = 16,
+        kind: SignalKind = SignalKind.UNSIGNED,
+        description: str = "",
+        initial: int = 0,
+        unit: str = "",
+        error_probability: float | None = None,
+    ) -> "SystemBuilder":
+        """Declare a signal with non-default parameters.
+
+        Signals referenced by modules but never declared explicitly are
+        auto-declared by the model with 16-bit unsigned defaults.
+        """
+        if name in self._signal_names:
+            raise DuplicateNameError("signal", name)
+        self._signals.append(
+            SignalSpec(
+                name=name,
+                width=width,
+                kind=kind,
+                description=description,
+                initial=initial,
+                unit=unit,
+                error_probability=error_probability,
+            )
+        )
+        self._signal_names.add(name)
+        return self
+
+    def add_signal_spec(self, spec: SignalSpec) -> "SystemBuilder":
+        """Declare a signal from a prebuilt :class:`SignalSpec`."""
+        if spec.name in self._signal_names:
+            raise DuplicateNameError("signal", spec.name)
+        self._signals.append(spec)
+        self._signal_names.add(spec.name)
+        return self
+
+    def add_module(
+        self,
+        name: str,
+        inputs: Sequence[str],
+        outputs: Sequence[str],
+        description: str = "",
+        period_ms: int | None = 1,
+    ) -> "SystemBuilder":
+        """Declare a module with ordered input and output signal lists."""
+        if name in self._module_names:
+            raise DuplicateNameError("module", name)
+        self._modules.append(
+            ModuleSpec(
+                name=name,
+                inputs=tuple(inputs),
+                outputs=tuple(outputs),
+                description=description,
+                period_ms=period_ms,
+            )
+        )
+        self._module_names.add(name)
+        return self
+
+    def add_module_spec(self, spec: ModuleSpec) -> "SystemBuilder":
+        """Declare a module from a prebuilt :class:`ModuleSpec`."""
+        if spec.name in self._module_names:
+            raise DuplicateNameError("module", spec.name)
+        self._modules.append(spec)
+        self._module_names.add(spec.name)
+        return self
+
+    # ------------------------------------------------------------------
+    # Environment boundary
+    # ------------------------------------------------------------------
+
+    def mark_system_input(self, *signals: str) -> "SystemBuilder":
+        """Designate signals as fed by the external environment."""
+        for signal in signals:
+            if signal not in self._system_inputs:
+                self._system_inputs.append(signal)
+        return self
+
+    def mark_system_output(self, *signals: str) -> "SystemBuilder":
+        """Designate signals as consumed by the external environment."""
+        for signal in signals:
+            if signal not in self._system_outputs:
+                self._system_outputs.append(signal)
+        return self
+
+    def mark_system_inputs(self, signals: Iterable[str]) -> "SystemBuilder":
+        """Iterable variant of :meth:`mark_system_input`."""
+        return self.mark_system_input(*signals)
+
+    def mark_system_outputs(self, signals: Iterable[str]) -> "SystemBuilder":
+        """Iterable variant of :meth:`mark_system_output`."""
+        return self.mark_system_output(*signals)
+
+    # ------------------------------------------------------------------
+    # Finalisation
+    # ------------------------------------------------------------------
+
+    def build(self) -> SystemModel:
+        """Construct and validate the :class:`SystemModel`."""
+        return SystemModel(
+            name=self._name,
+            modules=self._modules,
+            system_inputs=self._system_inputs,
+            system_outputs=self._system_outputs,
+            signals=self._signals,
+            description=self._description,
+        )

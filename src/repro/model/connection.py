@@ -1,0 +1,101 @@
+"""Resolved producer→consumer connection records.
+
+With the global-signal model used by :class:`repro.model.system.SystemModel`
+connections are implicit: a module output *emits* a named signal and any
+module input naming the same signal *consumes* it.  For graph building
+and reporting it is convenient to materialise the resolved pairs, which
+is what :class:`Connection` provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.ports import Port
+
+__all__ = ["Connection", "ExternalInput", "ExternalOutput"]
+
+
+@dataclass(frozen=True, order=True)
+class Connection:
+    """A resolved link from a module output port to a module input port.
+
+    ``producer.signal == consumer.signal`` always holds; the class exists
+    to carry both endpoints (with their paper-style indices) together.
+    """
+
+    producer: Port
+    consumer: Port
+
+    def __post_init__(self) -> None:
+        if not self.producer.is_output:
+            raise ValueError(f"producer must be an output port: {self.producer}")
+        if not self.consumer.is_input:
+            raise ValueError(f"consumer must be an input port: {self.consumer}")
+        if self.producer.signal != self.consumer.signal:
+            raise ValueError(
+                "connection endpoints carry different signals: "
+                f"{self.producer.signal!r} vs {self.consumer.signal!r}"
+            )
+
+    @property
+    def signal(self) -> str:
+        """Name of the signal carried by the connection."""
+        return self.producer.signal
+
+    @property
+    def is_feedback(self) -> bool:
+        """Whether the connection loops back into the producing module.
+
+        The paper treats module feedback specially in both tree
+        constructions (steps A3/B3): the recursion it generates is
+        followed at most once.
+        """
+        return self.producer.module == self.consumer.module
+
+    def __str__(self) -> str:
+        return f"{self.producer} -> {self.consumer}"
+
+
+@dataclass(frozen=True, order=True)
+class ExternalInput:
+    """A system input: a signal arriving from outside the software.
+
+    Examples from the paper's target system: the hardware registers
+    ``PACNT``, ``TIC1``, ``TCNT`` and ``ADC``.
+    """
+
+    consumer: Port
+
+    def __post_init__(self) -> None:
+        if not self.consumer.is_input:
+            raise ValueError(f"consumer must be an input port: {self.consumer}")
+
+    @property
+    def signal(self) -> str:
+        return self.consumer.signal
+
+    def __str__(self) -> str:
+        return f"(external) -> {self.consumer}"
+
+
+@dataclass(frozen=True, order=True)
+class ExternalOutput:
+    """A system output: a signal leaving the software.
+
+    Example from the paper's target system: the output-compare register
+    ``TOC2`` driving the pressure valves.
+    """
+
+    producer: Port
+
+    def __post_init__(self) -> None:
+        if not self.producer.is_output:
+            raise ValueError(f"producer must be an output port: {self.producer}")
+
+    @property
+    def signal(self) -> str:
+        return self.producer.signal
+
+    def __str__(self) -> str:
+        return f"{self.producer} -> (external)"

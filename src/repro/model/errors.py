@@ -1,0 +1,180 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate the individual failure modes.
+
+The hierarchy mirrors the package layout:
+
+* :class:`ModelError` -- problems in the static software-system model
+  (unknown signals, duplicate producers, dangling inputs, ...).
+* :class:`AnalysisError` -- problems during propagation analysis
+  (missing permeability values, malformed graphs, ...).
+* :class:`SimulationError` -- problems in the embedded-runtime simulator.
+* :class:`InjectionError` -- problems in the fault-injection environment.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ModelError",
+    "UnknownSignalError",
+    "UnknownModuleError",
+    "DuplicateNameError",
+    "DuplicateProducerError",
+    "DanglingSignalError",
+    "ValidationError",
+    "AnalysisError",
+    "MissingPermeabilityError",
+    "InvalidProbabilityError",
+    "NotASystemSignalError",
+    "SimulationError",
+    "ScheduleError",
+    "InjectionError",
+    "CampaignError",
+    "TraceMismatchError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the library."""
+
+
+# ---------------------------------------------------------------------------
+# Static model errors
+# ---------------------------------------------------------------------------
+
+
+class ModelError(ReproError):
+    """Base class for errors in the static software-system model."""
+
+
+class UnknownSignalError(ModelError):
+    """A signal name was referenced but never declared."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown signal: {name!r}")
+        self.name = name
+
+
+class UnknownModuleError(ModelError):
+    """A module name was referenced but never declared."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown module: {name!r}")
+        self.name = name
+
+
+class DuplicateNameError(ModelError):
+    """A module or signal was declared twice under the same name."""
+
+    def __init__(self, kind: str, name: str) -> None:
+        super().__init__(f"duplicate {kind} name: {name!r}")
+        self.kind = kind
+        self.name = name
+
+
+class DuplicateProducerError(ModelError):
+    """Two module outputs claim to produce the same signal.
+
+    In the paper's system model a signal originates from exactly one
+    source (a module output or the external environment), so a second
+    producer is always a modelling mistake.
+    """
+
+    def __init__(self, signal: str, first: str, second: str) -> None:
+        super().__init__(
+            f"signal {signal!r} produced by both {first!r} and {second!r}"
+        )
+        self.signal = signal
+        self.first = first
+        self.second = second
+
+
+class DanglingSignalError(ModelError):
+    """A signal is produced but never consumed, or consumed but never produced."""
+
+    def __init__(self, signal: str, problem: str) -> None:
+        super().__init__(f"signal {signal!r}: {problem}")
+        self.signal = signal
+        self.problem = problem
+
+
+class ValidationError(ModelError):
+    """Aggregate of all validation problems found in a system model."""
+
+    def __init__(self, problems: list[str]) -> None:
+        joined = "; ".join(problems)
+        super().__init__(f"system model validation failed: {joined}")
+        self.problems = list(problems)
+
+
+# ---------------------------------------------------------------------------
+# Analysis errors
+# ---------------------------------------------------------------------------
+
+
+class AnalysisError(ReproError):
+    """Base class for errors in the propagation-analysis layer."""
+
+
+class MissingPermeabilityError(AnalysisError):
+    """A permeability value required by the analysis has not been set."""
+
+    def __init__(self, module: str, input_signal: str, output_signal: str) -> None:
+        super().__init__(
+            "missing permeability value for "
+            f"{module}: {input_signal} -> {output_signal}"
+        )
+        self.module = module
+        self.input_signal = input_signal
+        self.output_signal = output_signal
+
+
+class InvalidProbabilityError(AnalysisError):
+    """A probability-valued quantity fell outside the closed interval [0, 1]."""
+
+    def __init__(self, what: str, value: float) -> None:
+        super().__init__(f"{what} must lie in [0, 1], got {value!r}")
+        self.what = what
+        self.value = value
+
+
+class NotASystemSignalError(AnalysisError):
+    """A tree was requested for a signal that is not a system input/output."""
+
+    def __init__(self, signal: str, expected: str) -> None:
+        super().__init__(f"signal {signal!r} is not a {expected}")
+        self.signal = signal
+        self.expected = expected
+
+
+# ---------------------------------------------------------------------------
+# Simulation errors
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Base class for errors raised by the embedded-runtime simulator."""
+
+
+class ScheduleError(SimulationError):
+    """The slot-based schedule is inconsistent (bad slot index, overlap, ...)."""
+
+
+# ---------------------------------------------------------------------------
+# Fault-injection errors
+# ---------------------------------------------------------------------------
+
+
+class InjectionError(ReproError):
+    """Base class for errors raised by the fault-injection environment."""
+
+
+class CampaignError(InjectionError):
+    """An injection campaign was configured inconsistently."""
+
+
+class TraceMismatchError(InjectionError):
+    """Two traces that must be comparable (same signal set / length) are not."""

@@ -1,0 +1,101 @@
+"""Built-in example systems.
+
+:func:`build_fig2_system` reconstructs the five-module example system of
+the paper's Fig. 2 (modules *A* through *E*), used throughout Section 4
+to illustrate the permeability graph (Fig. 3), the backtrack tree of the
+system output :math:`O^E_1` (Fig. 4) and the trace tree of the system
+input :math:`I^A_1` (Fig. 5).
+
+The paper gives the example's structure but not its permeability
+numbers; :func:`fig2_permeabilities` supplies a fixed, documented set of
+analytic values so that the example trees and paths are deterministic
+and usable in tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.model.builder import SystemBuilder
+from repro.model.system import SystemModel
+
+__all__ = ["build_fig2_system", "fig2_permeabilities", "FIG2_PERMEABILITIES"]
+
+
+def build_fig2_system() -> SystemModel:
+    """The five-module A–E example system of the paper's Fig. 2.
+
+    Topology (signal names in parentheses):
+
+    * ``A``: system input ``ext_a`` → output ``a1``.
+    * ``B``: inputs ``b1`` (local feedback, the paper's
+      :math:`O^B_1 \\to I^B_1` double line) and ``a1``;
+      outputs ``b1`` and ``b2``.
+    * ``C``: system input ``ext_c`` → output ``c1``.
+    * ``D``: inputs ``b1`` and ``c1`` → output ``d1``.
+    * ``E``: inputs ``b2``, ``d1`` and system input ``ext_e`` →
+      system output ``sys_out`` (the paper's :math:`O^E_1`).
+
+    External input is received at :math:`I^A_1`, :math:`I^C_1` and
+    :math:`I^E_3`; the output produced by the system is :math:`O^E_1`.
+    """
+    builder = SystemBuilder(
+        "fig2-example",
+        description="Five-module example system of the paper's Fig. 2",
+    )
+    builder.add_module(
+        "A",
+        inputs=["ext_a"],
+        outputs=["a1"],
+        description="Front-end module fed by system input ext_a",
+    )
+    builder.add_module(
+        "B",
+        inputs=["b1", "a1"],
+        outputs=["b1", "b2"],
+        description="Module with local feedback (O^B_1 -> I^B_1)",
+    )
+    builder.add_module(
+        "C",
+        inputs=["ext_c"],
+        outputs=["c1"],
+        description="Front-end module fed by system input ext_c",
+    )
+    builder.add_module(
+        "D",
+        inputs=["b1", "c1"],
+        outputs=["d1"],
+        description="Merging module combining B's feedback branch with C",
+    )
+    builder.add_module(
+        "E",
+        inputs=["b2", "d1", "ext_e"],
+        outputs=["sys_out"],
+        description="Back-end module producing the system output O^E_1",
+    )
+    builder.mark_system_input("ext_a", "ext_c", "ext_e")
+    builder.mark_system_output("sys_out")
+    return builder.build()
+
+
+#: Fixed analytic permeability values for the Fig. 2 example system.
+#: Keys are (module, input signal, output signal); values are the
+#: conditional propagation probabilities of Eq. 1.  Chosen so that
+#: every structural feature of the example is exercised: a certain
+#: pair (1.0), a blocked pair (0.0), and distinct path weights.
+FIG2_PERMEABILITIES: dict[tuple[str, str, str], float] = {
+    ("A", "ext_a", "a1"): 0.8,
+    ("B", "b1", "b1"): 0.5,
+    ("B", "b1", "b2"): 0.3,
+    ("B", "a1", "b1"): 0.6,
+    ("B", "a1", "b2"): 0.7,
+    ("C", "ext_c", "c1"): 1.0,
+    ("D", "b1", "d1"): 0.4,
+    ("D", "c1", "d1"): 0.9,
+    ("E", "b2", "sys_out"): 0.65,
+    ("E", "d1", "sys_out"): 0.55,
+    ("E", "ext_e", "sys_out"): 0.0,
+}
+
+
+def fig2_permeabilities() -> dict[tuple[str, str, str], float]:
+    """A fresh copy of :data:`FIG2_PERMEABILITIES`."""
+    return dict(FIG2_PERMEABILITIES)

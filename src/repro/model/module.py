@@ -1,0 +1,205 @@
+"""Module declarations and the behavioural base class.
+
+Section 3 of the paper: "A module is a generalised black-box having
+multiple inputs and outputs. ... A software module performs computations
+using the provided inputs to generate the outputs."
+
+Two layers are separated here:
+
+* :class:`ModuleSpec` -- the *static* declaration (name, ordered input
+  and output signals, scheduling period).  This is all the propagation
+  analysis needs.
+* :class:`SoftwareModule` -- the *behavioural* base class executed by
+  the runtime simulator.  Concrete modules (e.g. the arrestment
+  system's ``CALC``) subclass it and implement :meth:`SoftwareModule.activate`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.model.errors import DuplicateNameError, UnknownSignalError
+from repro.model.ports import InputPort, OutputPort, Port
+
+__all__ = ["ModuleSpec", "SoftwareModule", "BACKGROUND"]
+
+#: Sentinel period for background tasks that run "when other modules are
+#: dormant" (the paper's CALC module has "Period = n/a (background task)").
+BACKGROUND: None = None
+
+
+@dataclass(frozen=True)
+class ModuleSpec:
+    """Static declaration of a software module.
+
+    Parameters
+    ----------
+    name:
+        Unique module name, e.g. ``"CALC"``.
+    inputs:
+        Ordered tuple of input signal names.  Order defines the paper's
+        1-based input numbering (``inputs[0]`` is input #1).
+    outputs:
+        Ordered tuple of output signal names, numbered likewise.
+    description:
+        Human-readable documentation.
+    period_ms:
+        Scheduling period in milliseconds, or ``None`` for a background
+        task scheduled whenever no periodic module is due.
+    """
+
+    name: str
+    inputs: tuple[str, ...]
+    outputs: tuple[str, ...]
+    description: str = ""
+    period_ms: int | None = field(default=1)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("module name must be non-empty")
+        object.__setattr__(self, "inputs", tuple(self.inputs))
+        object.__setattr__(self, "outputs", tuple(self.outputs))
+        seen: set[str] = set()
+        for signal in self.inputs:
+            if signal in seen:
+                raise DuplicateNameError("input signal", signal)
+            seen.add(signal)
+        seen.clear()
+        for signal in self.outputs:
+            if signal in seen:
+                raise DuplicateNameError("output signal", signal)
+            seen.add(signal)
+        if self.period_ms is not None and self.period_ms < 1:
+            raise ValueError(
+                f"module {self.name!r}: period must be >= 1 ms or None"
+            )
+
+    # -- port arithmetic ---------------------------------------------------
+
+    @property
+    def n_inputs(self) -> int:
+        """Number of inputs (the paper's *m*)."""
+        return len(self.inputs)
+
+    @property
+    def n_outputs(self) -> int:
+        """Number of outputs (the paper's *n*)."""
+        return len(self.outputs)
+
+    @property
+    def n_pairs(self) -> int:
+        """Number of input/output pairs (*m* · *n*), one permeability each."""
+        return self.n_inputs * self.n_outputs
+
+    @property
+    def is_background(self) -> bool:
+        """Whether the module is a background task (no fixed period)."""
+        return self.period_ms is BACKGROUND
+
+    def input_index(self, signal: str) -> int:
+        """1-based index of an input signal (the paper's *i*)."""
+        try:
+            return self.inputs.index(signal) + 1
+        except ValueError:
+            raise UnknownSignalError(f"{self.name} input {signal}") from None
+
+    def output_index(self, signal: str) -> int:
+        """1-based index of an output signal (the paper's *k*)."""
+        try:
+            return self.outputs.index(signal) + 1
+        except ValueError:
+            raise UnknownSignalError(f"{self.name} output {signal}") from None
+
+    def input_port(self, signal: str) -> Port:
+        """The :class:`Port` record for an input signal."""
+        return InputPort(self.name, self.input_index(signal), signal)
+
+    def output_port(self, signal: str) -> Port:
+        """The :class:`Port` record for an output signal."""
+        return OutputPort(self.name, self.output_index(signal), signal)
+
+    def input_ports(self) -> Iterator[Port]:
+        """All input ports in declaration order."""
+        for index, signal in enumerate(self.inputs, start=1):
+            yield InputPort(self.name, index, signal)
+
+    def output_ports(self) -> Iterator[Port]:
+        """All output ports in declaration order."""
+        for index, signal in enumerate(self.outputs, start=1):
+            yield OutputPort(self.name, index, signal)
+
+    def pairs(self) -> Iterator[tuple[str, str]]:
+        """All (input signal, output signal) pairs in index order.
+
+        The iteration order matches the paper's Table 1 layout: for each
+        input *i*, all outputs *k* in turn.
+        """
+        for input_signal in self.inputs:
+            for output_signal in self.outputs:
+                yield (input_signal, output_signal)
+
+    def has_feedback(self) -> bool:
+        """Whether any signal is both an input and an output of the module."""
+        return bool(set(self.inputs) & set(self.outputs))
+
+    def feedback_signals(self) -> tuple[str, ...]:
+        """Signals wired from one of the module's outputs back to its input."""
+        inputs = set(self.inputs)
+        return tuple(s for s in self.outputs if s in inputs)
+
+
+class SoftwareModule(abc.ABC):
+    """Behavioural base class executed by the runtime simulator.
+
+    Concrete modules own arbitrary internal state (reset via
+    :meth:`reset`) and implement :meth:`activate`, which maps a snapshot
+    of the module's input signals to new values for its output signals.
+
+    The simulator calls :meth:`activate` once per scheduled activation
+    with the *raw* (bit-pattern) values of the inputs; the module returns
+    raw values for any outputs it wishes to update.  Outputs omitted from
+    the returned mapping keep their previous value, which models the
+    common embedded pattern of registers holding state between writes.
+    """
+
+    def __init__(self, spec: ModuleSpec) -> None:
+        self._spec = spec
+
+    @property
+    def spec(self) -> ModuleSpec:
+        """The static declaration of this module."""
+        return self._spec
+
+    @property
+    def name(self) -> str:
+        """The module name (shorthand for ``spec.name``)."""
+        return self._spec.name
+
+    def reset(self) -> None:
+        """Reset internal state to power-on defaults.
+
+        The default implementation is a no-op; stateful modules override.
+        """
+
+    @abc.abstractmethod
+    def activate(self, inputs: Mapping[str, int], now_ms: int) -> Mapping[str, int]:
+        """Execute one activation.
+
+        Parameters
+        ----------
+        inputs:
+            Mapping from input-signal name to its current raw value.
+            Contains exactly the signals declared in ``spec.inputs``.
+        now_ms:
+            Current simulated time in milliseconds.
+
+        Returns
+        -------
+        Mapping from output-signal name to new raw value.  May be a
+        subset of ``spec.outputs``; omitted outputs are left unchanged.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

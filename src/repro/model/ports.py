@@ -1,0 +1,85 @@
+"""Port descriptors: the (module, direction, index, signal) tuples.
+
+The paper numbers module inputs and outputs (Fig. 8: "the numbers shown
+at the inputs and outputs are used for numbering the signals", e.g.
+``PACNT`` is input #1 of ``DIST_S``).  Ports make this numbering a
+first-class concept so that permeability values can be addressed both by
+signal name and by the paper's :math:`P^{M}_{i,k}` index notation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["PortDirection", "Port", "InputPort", "OutputPort"]
+
+
+class PortDirection(enum.Enum):
+    """Whether a port consumes (input) or produces (output) its signal."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Port:
+    """A single input or output of a module.
+
+    Attributes
+    ----------
+    module:
+        Name of the owning module.
+    direction:
+        :class:`PortDirection.INPUT` or :class:`PortDirection.OUTPUT`.
+    index:
+        1-based position of the port within the module's input (or
+        output) list, matching the paper's subscript notation.
+    signal:
+        Name of the signal carried by the port.
+    """
+
+    module: str
+    direction: PortDirection
+    index: int
+    signal: str
+
+    def __post_init__(self) -> None:
+        if self.index < 1:
+            raise ValueError(
+                f"port index must be 1-based, got {self.index} "
+                f"for {self.module}.{self.signal}"
+            )
+
+    @property
+    def is_input(self) -> bool:
+        return self.direction is PortDirection.INPUT
+
+    @property
+    def is_output(self) -> bool:
+        return self.direction is PortDirection.OUTPUT
+
+    def label(self) -> str:
+        """Paper-style label, e.g. ``I^DIST_S_1`` or ``O^CALC_2``.
+
+        The paper writes :math:`I^{M}_{i}` for the *i*-th input of module
+        *M* and :math:`O^{M}_{k}` for the *k*-th output.
+        """
+        prefix = "I" if self.is_input else "O"
+        return f"{prefix}^{self.module}_{self.index}"
+
+    def __str__(self) -> str:
+        return f"{self.label()}({self.signal})"
+
+
+def InputPort(module: str, index: int, signal: str) -> Port:
+    """Convenience constructor for an input port."""
+    return Port(module=module, direction=PortDirection.INPUT, index=index, signal=signal)
+
+
+def OutputPort(module: str, index: int, signal: str) -> Port:
+    """Convenience constructor for an output port."""
+    return Port(module=module, direction=PortDirection.OUTPUT, index=index, signal=signal)

@@ -1,0 +1,158 @@
+"""Signal declarations for the software-system model.
+
+The paper's system model (Section 3) treats software as a set of
+black-box modules inter-linked by *signals*, "much like for hardware
+components on a circuit board".  A signal is a named, typed value that
+originates either from a module output or from the external environment
+(e.g. a sensor register) and is consumed by module inputs or by the
+external environment (e.g. an actuator register).
+
+This module defines :class:`SignalSpec`, the static declaration of a
+signal, together with helpers for its bit-level value domain.  The
+evaluation system of the paper uses 16-bit signals throughout, which is
+therefore the default width.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.model.errors import InvalidProbabilityError
+
+__all__ = ["SignalKind", "SignalSpec", "wrap_unsigned", "to_signed", "from_signed"]
+
+
+class SignalKind(enum.Enum):
+    """Interpretation of a signal's raw integer value.
+
+    All signals are carried as integers of a fixed bit width (the paper
+    injects bit-flips into 16-bit words), but the *meaning* of the word
+    differs per signal.  The kind is metadata used by reports, error
+    models and the plant simulation; the propagation analysis itself is
+    agnostic to it.
+    """
+
+    UNSIGNED = "unsigned"
+    SIGNED = "signed"
+    BOOLEAN = "boolean"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+def wrap_unsigned(value: int, width: int) -> int:
+    """Wrap ``value`` into the unsigned range of a ``width``-bit register.
+
+    Hardware counters such as the HC11's ``TCNT`` free-running counter
+    wrap modulo ``2**width``; the same rule is applied to every signal so
+    that injected bit patterns always remain representable.
+    """
+    return value & ((1 << width) - 1)
+
+
+def to_signed(raw: int, width: int) -> int:
+    """Interpret a raw ``width``-bit pattern as a two's-complement integer."""
+    raw = wrap_unsigned(raw, width)
+    sign_bit = 1 << (width - 1)
+    if raw & sign_bit:
+        return raw - (1 << width)
+    return raw
+
+
+def from_signed(value: int, width: int) -> int:
+    """Encode a (possibly negative) integer as a raw ``width``-bit pattern."""
+    return wrap_unsigned(value, width)
+
+
+@dataclass(frozen=True)
+class SignalSpec:
+    """Static declaration of a signal.
+
+    Parameters
+    ----------
+    name:
+        Globally unique signal name, e.g. ``"pulscnt"`` or ``"SetValue"``.
+    width:
+        Bit width of the signal's value domain.  The paper's target
+        system uses 16-bit signals exclusively.
+    kind:
+        How the raw bit pattern is interpreted (see :class:`SignalKind`).
+    description:
+        Human-readable documentation shown in reports.
+    initial:
+        Reset value of the signal at simulation start.
+    unit:
+        Physical unit of the encoded quantity (documentation only).
+    error_probability:
+        Optional prior probability of an error occurring on this signal,
+        used to scale propagation-path weights (the ``Pr(A_1)`` factor of
+        Section 4.2).  ``None`` means "unknown", in which case paths are
+        reported with conditional weights only.
+    """
+
+    name: str
+    width: int = 16
+    kind: SignalKind = SignalKind.UNSIGNED
+    description: str = ""
+    initial: int = 0
+    unit: str = ""
+    error_probability: float | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("signal name must be non-empty")
+        if self.width < 1:
+            raise ValueError(f"signal {self.name!r}: width must be >= 1")
+        if self.error_probability is not None and not (
+            0.0 <= self.error_probability <= 1.0
+        ):
+            raise InvalidProbabilityError(
+                f"error probability of signal {self.name!r}", self.error_probability
+            )
+
+    @property
+    def max_unsigned(self) -> int:
+        """Largest raw value representable in this signal's width."""
+        return (1 << self.width) - 1
+
+    def wrap(self, value: int) -> int:
+        """Wrap an arbitrary integer into this signal's raw value domain."""
+        return wrap_unsigned(value, self.width)
+
+    def encode(self, value: int | bool) -> int:
+        """Encode a logical value (per :attr:`kind`) as a raw bit pattern."""
+        if self.kind is SignalKind.BOOLEAN:
+            return 1 if value else 0
+        if self.kind is SignalKind.SIGNED:
+            return from_signed(int(value), self.width)
+        return wrap_unsigned(int(value), self.width)
+
+    def decode(self, raw: int) -> int | bool:
+        """Decode a raw bit pattern into the logical value (per :attr:`kind`)."""
+        if self.kind is SignalKind.BOOLEAN:
+            return bool(raw & 1)
+        if self.kind is SignalKind.SIGNED:
+            return to_signed(raw, self.width)
+        return wrap_unsigned(raw, self.width)
+
+    def flip_bit(self, raw: int, bit: int) -> int:
+        """Return ``raw`` with bit position ``bit`` inverted.
+
+        This is the elementary operation of the paper's error model
+        (Section 7.3: "We injected bit-flips in each bit position").
+        """
+        if not 0 <= bit < self.width:
+            raise ValueError(
+                f"signal {self.name!r}: bit {bit} outside width {self.width}"
+            )
+        return self.wrap(raw ^ (1 << bit))
+
+    def describe(self) -> str:
+        """One-line human-readable summary used by reports."""
+        parts = [f"{self.name} ({self.width}-bit {self.kind})"]
+        if self.unit:
+            parts.append(f"[{self.unit}]")
+        if self.description:
+            parts.append(f"- {self.description}")
+        return " ".join(parts)

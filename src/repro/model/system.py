@@ -1,0 +1,293 @@
+"""The software-system model: modules inter-linked by signals.
+
+This is the substrate on which the whole propagation analysis operates
+(Section 3 of the paper).  A :class:`SystemModel` owns
+
+* a set of :class:`~repro.model.signal.SignalSpec` declarations,
+* a set of :class:`~repro.model.module.ModuleSpec` declarations whose
+  inputs and outputs reference those signals, and
+* the designation of *system inputs* (signals with no producing module,
+  fed by the environment) and *system outputs* (signals consumed by the
+  environment).
+
+From these it derives the resolved connection list, producer/consumer
+look-ups, and the validation rules that make the topology well-formed:
+
+* every signal has at most one producer;
+* a signal without a producer must be declared a system input;
+* every signal is consumed by at least one module or declared a system
+  output;
+* system outputs must have a producer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.model.connection import Connection, ExternalInput, ExternalOutput
+from repro.model.errors import (
+    DuplicateNameError,
+    DuplicateProducerError,
+    UnknownModuleError,
+    UnknownSignalError,
+    ValidationError,
+)
+from repro.model.module import ModuleSpec
+from repro.model.ports import Port
+from repro.model.signal import SignalSpec
+
+__all__ = ["SystemModel"]
+
+
+class SystemModel:
+    """Immutable-after-validation container for a modular software system.
+
+    Instances are usually built through
+    :class:`repro.model.builder.SystemBuilder`; direct construction takes
+    pre-made spec collections.
+
+    Parameters
+    ----------
+    name:
+        Name of the system (used in reports).
+    signals:
+        Signal declarations.  Any signal referenced by a module but not
+        declared here is auto-declared with default parameters, so
+        explicit declaration is only needed for non-default widths,
+        kinds or documentation.
+    modules:
+        Module declarations.
+    system_inputs:
+        Names of signals fed by the external environment.
+    system_outputs:
+        Names of signals consumed by the external environment.
+    description:
+        Human-readable documentation.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        modules: Iterable[ModuleSpec],
+        system_inputs: Iterable[str],
+        system_outputs: Iterable[str],
+        signals: Iterable[SignalSpec] = (),
+        description: str = "",
+    ) -> None:
+        self.name = name
+        self.description = description
+        self._modules: dict[str, ModuleSpec] = {}
+        for module in modules:
+            if module.name in self._modules:
+                raise DuplicateNameError("module", module.name)
+            self._modules[module.name] = module
+
+        self._signals: dict[str, SignalSpec] = {}
+        for signal in signals:
+            if signal.name in self._signals:
+                raise DuplicateNameError("signal", signal.name)
+            self._signals[signal.name] = signal
+        # Auto-declare referenced-but-undeclared signals with defaults.
+        for module in self._modules.values():
+            for signal_name in (*module.inputs, *module.outputs):
+                if signal_name not in self._signals:
+                    self._signals[signal_name] = SignalSpec(name=signal_name)
+
+        self._system_inputs: tuple[str, ...] = tuple(dict.fromkeys(system_inputs))
+        self._system_outputs: tuple[str, ...] = tuple(dict.fromkeys(system_outputs))
+
+        self._producer: dict[str, Port] = {}
+        self._consumers: dict[str, tuple[Port, ...]] = {}
+        self._index_topology()
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def _index_topology(self) -> None:
+        """Build producer/consumer indices from the module declarations."""
+        consumers: dict[str, list[Port]] = {name: [] for name in self._signals}
+        for module in self._modules.values():
+            for port in module.output_ports():
+                existing = self._producer.get(port.signal)
+                if existing is not None:
+                    raise DuplicateProducerError(
+                        port.signal, existing.module, port.module
+                    )
+                self._producer[port.signal] = port
+            for port in module.input_ports():
+                consumers[port.signal].append(port)
+        self._consumers = {
+            signal: tuple(sorted(ports)) for signal, ports in consumers.items()
+        }
+
+    def validate(self) -> None:
+        """Check the topology rules; raise :class:`ValidationError` on failure."""
+        problems: list[str] = []
+        for signal in self._system_inputs:
+            if signal not in self._signals:
+                problems.append(f"system input {signal!r} is not a known signal")
+            elif signal in self._producer:
+                port = self._producer[signal]
+                problems.append(
+                    f"system input {signal!r} is produced internally by "
+                    f"{port.module!r}"
+                )
+        for signal in self._system_outputs:
+            if signal not in self._signals:
+                problems.append(f"system output {signal!r} is not a known signal")
+            elif signal not in self._producer:
+                problems.append(f"system output {signal!r} has no producing module")
+        external_inputs = set(self._system_inputs)
+        external_outputs = set(self._system_outputs)
+        for signal in self._signals:
+            produced = signal in self._producer
+            consumed = bool(self._consumers.get(signal))
+            if not produced and signal not in external_inputs:
+                problems.append(
+                    f"signal {signal!r} has no producer and is not a system input"
+                )
+            if not consumed and signal not in external_outputs:
+                problems.append(
+                    f"signal {signal!r} has no consumer and is not a system output"
+                )
+        if problems:
+            raise ValidationError(problems)
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+
+    @property
+    def modules(self) -> Mapping[str, ModuleSpec]:
+        """Module declarations, keyed by name."""
+        return dict(self._modules)
+
+    @property
+    def signals(self) -> Mapping[str, SignalSpec]:
+        """Signal declarations, keyed by name."""
+        return dict(self._signals)
+
+    @property
+    def system_inputs(self) -> tuple[str, ...]:
+        """Signals fed by the external environment, in declaration order."""
+        return self._system_inputs
+
+    @property
+    def system_outputs(self) -> tuple[str, ...]:
+        """Signals consumed by the external environment, in declaration order."""
+        return self._system_outputs
+
+    def module(self, name: str) -> ModuleSpec:
+        """Look up a module declaration by name."""
+        try:
+            return self._modules[name]
+        except KeyError:
+            raise UnknownModuleError(name) from None
+
+    def signal(self, name: str) -> SignalSpec:
+        """Look up a signal declaration by name."""
+        try:
+            return self._signals[name]
+        except KeyError:
+            raise UnknownSignalError(name) from None
+
+    def module_names(self) -> tuple[str, ...]:
+        """All module names in declaration order."""
+        return tuple(self._modules)
+
+    def signal_names(self) -> tuple[str, ...]:
+        """All signal names (declaration order, then auto-declared)."""
+        return tuple(self._signals)
+
+    # ------------------------------------------------------------------
+    # Topology queries
+    # ------------------------------------------------------------------
+
+    def producer_of(self, signal: str) -> Port | None:
+        """The output port producing ``signal``, or ``None`` for system inputs."""
+        if signal not in self._signals:
+            raise UnknownSignalError(signal)
+        return self._producer.get(signal)
+
+    def consumers_of(self, signal: str) -> tuple[Port, ...]:
+        """All input ports consuming ``signal`` (possibly empty)."""
+        if signal not in self._signals:
+            raise UnknownSignalError(signal)
+        return self._consumers.get(signal, ())
+
+    def is_system_input(self, signal: str) -> bool:
+        """Whether ``signal`` is fed by the external environment."""
+        return signal in set(self._system_inputs)
+
+    def is_system_output(self, signal: str) -> bool:
+        """Whether ``signal`` is consumed by the external environment."""
+        return signal in set(self._system_outputs)
+
+    def connections(self) -> Iterator[Connection]:
+        """All resolved internal producer→consumer links."""
+        for signal, producer in sorted(self._producer.items()):
+            for consumer in self._consumers.get(signal, ()):
+                yield Connection(producer=producer, consumer=consumer)
+
+    def external_input_links(self) -> Iterator[ExternalInput]:
+        """All links from the environment into module inputs."""
+        for signal in self._system_inputs:
+            for consumer in self._consumers.get(signal, ()):
+                yield ExternalInput(consumer=consumer)
+
+    def external_output_links(self) -> Iterator[ExternalOutput]:
+        """All links from module outputs to the environment."""
+        for signal in self._system_outputs:
+            producer = self._producer.get(signal)
+            if producer is not None:
+                yield ExternalOutput(producer=producer)
+
+    def feedback_modules(self) -> tuple[str, ...]:
+        """Names of modules with at least one output wired back to an input."""
+        return tuple(
+            name for name, spec in self._modules.items() if spec.has_feedback()
+        )
+
+    # ------------------------------------------------------------------
+    # Aggregate statistics
+    # ------------------------------------------------------------------
+
+    def n_pairs(self) -> int:
+        """Total number of input/output pairs across all modules.
+
+        The paper's target system has 25 such pairs ("In the target
+        system, we have 25 input/output pairs", Section 8).
+        """
+        return sum(spec.n_pairs for spec in self._modules.values())
+
+    def pair_index(self) -> Iterator[tuple[str, str, str]]:
+        """All (module, input signal, output signal) triples in order."""
+        for module in self._modules.values():
+            for input_signal, output_signal in module.pairs():
+                yield (module.name, input_signal, output_signal)
+
+    def summary(self) -> str:
+        """Multi-line human-readable description of the topology."""
+        lines = [
+            f"System {self.name!r}: {len(self._modules)} modules, "
+            f"{len(self._signals)} signals, {self.n_pairs()} input/output pairs",
+            f"  system inputs : {', '.join(self._system_inputs) or '(none)'}",
+            f"  system outputs: {', '.join(self._system_outputs) or '(none)'}",
+        ]
+        for module in self._modules.values():
+            period = (
+                "background" if module.is_background else f"{module.period_ms} ms"
+            )
+            lines.append(
+                f"  {module.name}: in=[{', '.join(module.inputs)}] "
+                f"out=[{', '.join(module.outputs)}] period={period}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SystemModel {self.name!r} modules={len(self._modules)} "
+            f"signals={len(self._signals)}>"
+        )

@@ -1,0 +1,46 @@
+"""Embedded-runtime substrate: simulated time, registers, scheduling.
+
+Reproduces the execution environment of the paper's target system
+(Section 7.1): a slot-based non-preemptive schedule of software modules
+running in simulated time against simulated hardware registers, with
+trap hook points for the fault-injection environment.
+"""
+
+from repro.simulation.registers import (
+    AdcRegister,
+    FreeRunningCounter,
+    HardwareRegister,
+    InputCapture,
+    OutputCompare,
+    PulseAccumulator,
+)
+from repro.simulation.runtime import (
+    Environment,
+    ReadInterceptor,
+    RunResult,
+    SignalStore,
+    SimulationRun,
+    StoreMutator,
+)
+from repro.simulation.scheduler import SlotSchedule
+from repro.simulation.simtime import SimClock
+from repro.simulation.traces import SignalTrace, TraceSet
+
+__all__ = [
+    "AdcRegister",
+    "Environment",
+    "FreeRunningCounter",
+    "HardwareRegister",
+    "InputCapture",
+    "OutputCompare",
+    "PulseAccumulator",
+    "ReadInterceptor",
+    "RunResult",
+    "SignalStore",
+    "SignalTrace",
+    "SimClock",
+    "SimulationRun",
+    "SlotSchedule",
+    "StoreMutator",
+    "TraceSet",
+]

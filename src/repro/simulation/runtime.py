@@ -1,0 +1,328 @@
+"""The embedded runtime: signal store, dispatcher and run loop.
+
+Reproduces the execution model of the paper's target (Section 7.1): a
+slot-based, non-preemptive schedule of software modules exchanging data
+through signals, closed over an environment simulator that feeds the
+hardware input registers and consumes the actuator outputs, all in
+simulated time.
+
+The runtime also provides the two hook points used by the
+fault-injection environment (Section 7.3: "the target system was
+instrumented with high-level software traps"):
+
+* **read interceptors** see (and may replace) every value a module reads
+  from one of its input signals — consumer-scoped injection, so other
+  consumers of the same signal are unaffected;
+* **store mutators** run once at the start of every millisecond and may
+  rewrite stored signal values — producer-scoped injection.
+
+Tracing is built in: every signal (or a chosen subset) is sampled at
+the end of each millisecond into a :class:`~repro.simulation.traces.TraceSet`.
+
+Implementation note: campaigns execute tens of thousands of runs of
+several thousand milliseconds each, so the frame loop is written for
+speed — per-slot dispatch lists, per-module input tuples and per-signal
+width masks are precomputed, and hot paths bypass the checked
+:class:`SignalStore` accessors (which remain the public interface).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Protocol, Sequence
+
+from repro.model.errors import SimulationError, UnknownSignalError
+from repro.model.module import SoftwareModule
+from repro.model.system import SystemModel
+from repro.simulation.scheduler import SlotSchedule
+from repro.simulation.simtime import SimClock
+from repro.simulation.traces import SignalTrace, TraceSet
+
+__all__ = [
+    "SignalStore",
+    "Environment",
+    "ReadInterceptor",
+    "StoreMutator",
+    "RunResult",
+    "SimulationRun",
+]
+
+
+class SignalStore:
+    """Shared-memory signal values, one slot per declared signal.
+
+    Values are raw bit patterns, wrapped to each signal's width on
+    write (the communication style of the target: shared variables and
+    hardware registers).
+    """
+
+    def __init__(self, system: SystemModel) -> None:
+        self._system = system
+        self._masks: dict[str, int] = {
+            name: (1 << spec.width) - 1 for name, spec in system.signals.items()
+        }
+        self._initials: dict[str, int] = {
+            name: spec.wrap(spec.initial) for name, spec in system.signals.items()
+        }
+        self._values: dict[str, int] = dict(self._initials)
+
+    def reset(self) -> None:
+        """Restore every signal to its declared initial value."""
+        self._values = dict(self._initials)
+
+    def read(self, signal: str) -> int:
+        """Current raw value of a signal."""
+        try:
+            return self._values[signal]
+        except KeyError:
+            raise UnknownSignalError(signal) from None
+
+    def write(self, signal: str, value: int) -> None:
+        """Store a raw value, wrapped to the signal's declared width."""
+        mask = self._masks.get(signal)
+        if mask is None:
+            raise UnknownSignalError(signal)
+        self._values[signal] = value & mask
+
+    def snapshot(self) -> dict[str, int]:
+        """A copy of all current signal values."""
+        return dict(self._values)
+
+    @property
+    def signals(self) -> tuple[str, ...]:
+        return tuple(self._values)
+
+
+class Environment(Protocol):
+    """The plant/environment simulator seen by the runtime.
+
+    The paper's setup ported the original environment simulator ("the
+    environment experienced by the real system and the desktop system
+    was identical"); any object with these four methods can play that
+    role.
+    """
+
+    def reset(self) -> None:
+        """Restore the physical state for a fresh run."""
+
+    def before_software(self, now_ms: int, store: SignalStore) -> None:
+        """Advance physics by 1 ms and refresh the system-input signals."""
+
+    def after_software(self, now_ms: int, store: SignalStore) -> None:
+        """Consume the system-output signals (actuator commands)."""
+
+    def telemetry(self) -> Mapping[str, float]:
+        """Physical quantities for reporting (not visible to software)."""
+
+
+class ReadInterceptor(Protocol):
+    """Hook seeing every module input read; may replace the value."""
+
+    def on_read(self, module: str, signal: str, value: int, now_ms: int) -> int:
+        """Return the value the module should observe."""
+
+
+class StoreMutator(Protocol):
+    """Hook run at the start of each millisecond; may rewrite the store."""
+
+    def apply(self, store: SignalStore, now_ms: int) -> None:
+        """Mutate stored signals in place."""
+
+
+@dataclass
+class RunResult:
+    """Everything recorded during one simulation run."""
+
+    #: Per-signal, per-millisecond traces.
+    traces: TraceSet
+    #: Total simulated duration in milliseconds.
+    duration_ms: int
+    #: Final raw value of every signal.
+    final_signals: dict[str, int]
+    #: Final environment telemetry (physical quantities).
+    telemetry: dict[str, float] = field(default_factory=dict)
+
+
+class SimulationRun:
+    """One executable instance of a modelled system.
+
+    Parameters
+    ----------
+    system:
+        The static topology (used for signal widths and validation).
+    modules:
+        Behavioural module instances; exactly one per scheduled module.
+    schedule:
+        The slot schedule to dispatch.
+    environment:
+        The plant simulator closing the loop.
+    slot_signal:
+        Name of the signal carrying the current slot number
+        (``ms_slot_nbr`` in the target system).  ``None`` falls back to
+        ``now_ms % n_slots``, for systems without a software slot
+        counter.
+    trace_signals:
+        Signals to record; defaults to *all* signals (the paper traces
+        every input and output signal).
+    """
+
+    def __init__(
+        self,
+        system: SystemModel,
+        modules: Sequence[SoftwareModule],
+        schedule: SlotSchedule,
+        environment: Environment,
+        slot_signal: str | None = None,
+        trace_signals: Sequence[str] | None = None,
+    ) -> None:
+        self._system = system
+        self._schedule = schedule
+        self._environment = environment
+        self._modules: dict[str, SoftwareModule] = {}
+        for module in modules:
+            if module.name in self._modules:
+                raise SimulationError(f"duplicate module instance: {module.name!r}")
+            if module.name not in system.modules:
+                raise SimulationError(
+                    f"module instance {module.name!r} not declared in system "
+                    f"{system.name!r}"
+                )
+            self._modules[module.name] = module
+        for name in schedule.all_modules():
+            if name not in self._modules:
+                raise SimulationError(f"scheduled module {name!r} has no instance")
+        if slot_signal is not None and slot_signal not in system.signals:
+            raise UnknownSignalError(slot_signal)
+        self._slot_signal = slot_signal
+        self._trace_signals = (
+            tuple(trace_signals) if trace_signals is not None else system.signal_names()
+        )
+        for signal in self._trace_signals:
+            if signal not in system.signals:
+                raise UnknownSignalError(signal)
+        self._store = SignalStore(system)
+        self._clock = SimClock()
+        self._read_interceptors: list[ReadInterceptor] = []
+        self._store_mutators: list[StoreMutator] = []
+        # --- precomputed dispatch tables (hot loop) -------------------
+        #: Per-slot dispatch: list of (module instance, activate bound
+        #: method, inputs tuple, allowed outputs, masks).
+        self._contexts: dict[str, tuple] = {}
+        for name, module in self._modules.items():
+            spec = module.spec
+            masks = {
+                signal: (1 << system.signal(signal).width) - 1
+                for signal in spec.outputs
+            }
+            self._contexts[name] = (
+                name,
+                module,
+                spec.inputs,
+                frozenset(spec.outputs),
+                masks,
+            )
+        self._dispatch: tuple[tuple, ...] = tuple(
+            tuple(self._contexts[name] for name in schedule.dispatch_order(slot))
+            for slot in range(schedule.n_slots)
+        )
+
+    # ------------------------------------------------------------------
+    # Hook registration
+    # ------------------------------------------------------------------
+
+    @property
+    def store(self) -> SignalStore:
+        """The live signal store (for inspection between runs)."""
+        return self._store
+
+    @property
+    def system(self) -> SystemModel:
+        return self._system
+
+    def add_read_interceptor(self, interceptor: ReadInterceptor) -> None:
+        """Install a consumer-scoped trap on module input reads."""
+        self._read_interceptors.append(interceptor)
+
+    def add_store_mutator(self, mutator: StoreMutator) -> None:
+        """Install a producer-scoped trap on the signal store."""
+        self._store_mutators.append(mutator)
+
+    def clear_hooks(self) -> None:
+        """Remove all installed traps (between campaign runs)."""
+        self._read_interceptors.clear()
+        self._store_mutators.clear()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Restore software, store, clock and environment to time zero."""
+        self._clock.reset()
+        self._store.reset()
+        self._environment.reset()
+        for module in self._modules.values():
+            module.reset()
+
+    def _activate_context(self, context: tuple, now_ms: int) -> None:
+        """Execute one module activation (hot path)."""
+        name, module, input_names, allowed_outputs, masks = context
+        values = self._store._values
+        if self._read_interceptors:
+            inputs = {}
+            for signal in input_names:
+                value = values[signal]
+                for interceptor in self._read_interceptors:
+                    value = interceptor.on_read(name, signal, value, now_ms)
+                inputs[signal] = value
+        else:
+            inputs = {signal: values[signal] for signal in input_names}
+        outputs = module.activate(inputs, now_ms)
+        for signal, value in outputs.items():
+            if signal not in allowed_outputs:
+                raise SimulationError(
+                    f"module {name!r} wrote undeclared output {signal!r}"
+                )
+            values[signal] = value & masks[signal]
+
+    def step_ms(self) -> None:
+        """Execute one millisecond frame."""
+        now_ms = self._clock.now_ms
+        self._environment.before_software(now_ms, self._store)
+        for mutator in self._store_mutators:
+            mutator.apply(self._store, now_ms)
+        if self._slot_signal is not None:
+            slot = self._store._values[self._slot_signal]
+        else:
+            slot = now_ms
+        for context in self._dispatch[slot % self._schedule.n_slots]:
+            self._activate_context(context, now_ms)
+        self._environment.after_software(now_ms, self._store)
+        self._clock.advance_ms(1)
+
+    def run(self, duration_ms: int) -> RunResult:
+        """Execute a complete run of ``duration_ms`` milliseconds.
+
+        The runtime resets itself first, so each call is an independent
+        experiment (one Golden Run or one injection run).
+        """
+        if duration_ms < 1:
+            raise SimulationError(f"duration must be >= 1 ms, got {duration_ms}")
+        self.reset()
+        samples: list[tuple[str, list[int]]] = [
+            (signal, []) for signal in self._trace_signals
+        ]
+        step = self.step_ms
+        values = self._store._values
+        for _ in range(duration_ms):
+            step()
+            for signal, sink in samples:
+                sink.append(values[signal])
+        return RunResult(
+            traces=TraceSet(
+                SignalTrace(signal, sink) for signal, sink in samples
+            ),
+            duration_ms=duration_ms,
+            final_signals=self._store.snapshot(),
+            telemetry=dict(self._environment.telemetry()),
+        )

@@ -1,0 +1,147 @@
+"""Slot-based non-preemptive scheduling (Section 7.1).
+
+"The scheduling is slot-based and non-preemptive. ... The system
+operates in seven 1-ms-slots.  In each slot, one or more modules (except
+for CALC) are invoked."  CALC is a background task that "runs when other
+modules are dormant".
+
+:class:`SlotSchedule` captures this: a fixed number of 1 ms slots, each
+holding an ordered list of module names, plus an ordered list of
+background modules dispatched after the slot's periodic modules each
+millisecond (the remaining slack of the 1 ms frame).
+
+The slot selector is deliberately *data-driven*: the runtime reads the
+current slot number from a configurable signal (``ms_slot_nbr`` in the
+target system) so that data errors in the slot counter genuinely
+disturb scheduling — one of the propagation effects the paper measures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.model.errors import ScheduleError
+
+__all__ = ["SlotSchedule"]
+
+
+class SlotSchedule:
+    """An n-slot cyclic schedule with background tasks.
+
+    Parameters
+    ----------
+    n_slots:
+        Number of 1 ms slots in the scheduling cycle (the paper's
+        target uses seven).
+    """
+
+    def __init__(self, n_slots: int = 7) -> None:
+        if n_slots < 1:
+            raise ScheduleError(f"schedule needs at least one slot, got {n_slots}")
+        self._n_slots = n_slots
+        self._slots: list[list[str]] = [[] for _ in range(n_slots)]
+        self._background: list[str] = []
+
+    @property
+    def n_slots(self) -> int:
+        """Number of slots in the cycle."""
+        return self._n_slots
+
+    @property
+    def background_modules(self) -> tuple[str, ...]:
+        """Background modules in dispatch order."""
+        return tuple(self._background)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _check_slot(self, slot: int) -> int:
+        if not 0 <= slot < self._n_slots:
+            raise ScheduleError(
+                f"slot {slot} outside schedule of {self._n_slots} slots"
+            )
+        return slot
+
+    def assign(self, module: str, slots: Iterable[int]) -> "SlotSchedule":
+        """Invoke ``module`` in each of the given slots (order of calls
+        defines dispatch order within a slot)."""
+        for slot in slots:
+            index = self._check_slot(slot)
+            if module in self._slots[index]:
+                raise ScheduleError(
+                    f"module {module!r} already assigned to slot {slot}"
+                )
+            self._slots[index].append(module)
+        return self
+
+    def assign_every_slot(self, module: str) -> "SlotSchedule":
+        """Invoke ``module`` in every slot (a 1 ms-period module)."""
+        return self.assign(module, range(self._n_slots))
+
+    def assign_period(
+        self, module: str, period_ms: int, phase: int = 0
+    ) -> "SlotSchedule":
+        """Invoke ``module`` every ``period_ms`` slots starting at ``phase``.
+
+        ``period_ms`` must divide the cycle length so the pattern repeats
+        cleanly (e.g. a 7 ms module occupies exactly one of seven slots).
+        """
+        if period_ms < 1:
+            raise ScheduleError(f"period must be >= 1 ms, got {period_ms}")
+        if self._n_slots % period_ms != 0:
+            raise ScheduleError(
+                f"period {period_ms} ms does not divide the "
+                f"{self._n_slots}-slot cycle"
+            )
+        self._check_slot(phase)
+        if phase >= period_ms:
+            raise ScheduleError(
+                f"phase {phase} must be smaller than period {period_ms}"
+            )
+        return self.assign(module, range(phase, self._n_slots, period_ms))
+
+    def add_background(self, module: str) -> "SlotSchedule":
+        """Dispatch ``module`` in the slack of every millisecond frame."""
+        if module in self._background:
+            raise ScheduleError(f"module {module!r} already a background task")
+        self._background.append(module)
+        return self
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def modules_for_slot(self, slot: int) -> tuple[str, ...]:
+        """The periodic modules of one slot, in dispatch order.
+
+        ``slot`` is taken modulo the cycle length: the slot number is
+        read from a software signal at runtime and a corrupted value
+        must still select *some* slot, exactly as the original indexing
+        into a slot table would.
+        """
+        return tuple(self._slots[slot % self._n_slots])
+
+    def dispatch_order(self, slot: int) -> tuple[str, ...]:
+        """Periodic modules of ``slot`` followed by the background tasks."""
+        return self.modules_for_slot(slot) + tuple(self._background)
+
+    def all_modules(self) -> tuple[str, ...]:
+        """Every scheduled module (periodic and background), deduplicated."""
+        seen: dict[str, None] = {}
+        for slot in self._slots:
+            for module in slot:
+                seen.setdefault(module, None)
+        for module in self._background:
+            seen.setdefault(module, None)
+        return tuple(seen)
+
+    def describe(self) -> str:
+        """Human-readable slot table."""
+        lines = [f"Slot schedule ({self._n_slots} x 1 ms):"]
+        for index, modules in enumerate(self._slots):
+            lines.append(f"  slot {index}: {', '.join(modules) or '(idle)'}")
+        lines.append(
+            f"  background: {', '.join(self._background) or '(none)'}"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,105 @@
+"""Tests for the adjusted-path (P') analysis and related extensions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analysis import PropagationAnalysis
+from repro.core.permeability import PermeabilityMatrix
+from repro.model.builder import SystemBuilder
+from repro.model.examples import fig2_permeabilities
+
+
+def build_system_with_priors():
+    """The Fig. 2 topology with declared input-error probabilities."""
+    builder = SystemBuilder("fig2-with-priors")
+    builder.add_signal("ext_a", error_probability=0.10)
+    builder.add_signal("ext_c", error_probability=0.01)
+    # ext_e deliberately has no declared prior.
+    builder.add_module("A", inputs=["ext_a"], outputs=["a1"])
+    builder.add_module("B", inputs=["b1", "a1"], outputs=["b1", "b2"])
+    builder.add_module("C", inputs=["ext_c"], outputs=["c1"])
+    builder.add_module("D", inputs=["b1", "c1"], outputs=["d1"])
+    builder.add_module("E", inputs=["b2", "d1", "ext_e"], outputs=["sys_out"])
+    builder.mark_system_input("ext_a", "ext_c", "ext_e")
+    builder.mark_system_output("sys_out")
+    return builder.build()
+
+
+@pytest.fixture()
+def prior_analysis():
+    system = build_system_with_priors()
+    values = {
+        (module, i, k): value
+        for (module, i, k), value in fig2_permeabilities().items()
+    }
+    return PropagationAnalysis(PermeabilityMatrix.from_dict(system, values))
+
+
+class TestAdjustedPaths:
+    def test_adjustment_scales_by_source_prior(self, prior_analysis):
+        adjusted = dict_by_source(prior_analysis)
+        # ext_c path: conditional 0.495, prior 0.01 -> 0.00495.
+        path, value = adjusted["ext_c"][0]
+        assert value == pytest.approx(0.01 * path.weight)
+
+    def test_priors_reorder_paths(self, prior_analysis):
+        """The conditional ranking puts ext_c first (weight 0.495); the
+        rare-error prior on ext_c demotes it below the ext_a paths."""
+        items = prior_analysis.adjusted_output_paths("sys_out")
+        sources_in_order = [path.source for path, _ in items]
+        assert sources_in_order.index("ext_a") < sources_in_order.index("ext_c")
+        best_ext_a = next(
+            value for path, value in items if path.source == "ext_a"
+        )
+        best_conditional_ext_a = max(
+            path.weight for path, _ in items if path.source == "ext_a"
+        )
+        assert best_ext_a == pytest.approx(0.10 * best_conditional_ext_a)
+
+    def test_missing_prior_yields_none(self, prior_analysis):
+        items = prior_analysis.adjusted_output_paths("sys_out")
+        ext_e = next(item for item in items if item[0].source == "ext_e")
+        assert ext_e[1] is None
+
+    def test_feedback_sources_have_no_prior(self, prior_analysis):
+        items = prior_analysis.adjusted_output_paths("sys_out")
+        b1_items = [item for item in items if item[0].source == "b1"]
+        assert b1_items
+        assert all(value is None for _, value in b1_items)
+
+    def test_ordering_is_descending(self, prior_analysis):
+        items = prior_analysis.adjusted_output_paths("sys_out")
+        keys = [
+            value if value is not None else path.weight
+            for path, value in items
+        ]
+        assert keys == sorted(keys, reverse=True)
+
+
+class TestCliLatencyIntegration:
+    def test_public_api_exports(self):
+        import repro
+
+        assert hasattr(repro, "latency_statistics")
+        assert hasattr(repro, "RangeCheck")
+        assert hasattr(repro, "evaluate_detectors")
+        assert callable(repro.render_latency_table)
+
+
+def dict_by_source(analysis: PropagationAnalysis):
+    grouped: dict[str, list] = {}
+    for path, value in analysis.adjusted_output_paths("sys_out"):
+        grouped.setdefault(path.source, []).append((path, value))
+    return grouped
+
+
+class TestSensitivityFacade:
+    def test_defaults_to_first_output(self, prior_analysis):
+        report = prior_analysis.sensitivity()
+        assert report.system_output == "sys_out"
+        assert report.reach > 0
+
+    def test_explicit_output(self, prior_analysis):
+        report = prior_analysis.sensitivity("sys_out")
+        assert {item.pair for item in report.sensitivities}

@@ -1,0 +1,140 @@
+"""End-to-end campaign on the target system: paper-shape assertions.
+
+Runs a reduced injection campaign (one workload, one injection time,
+all 16 bit positions, all 13 module inputs — 208 injection runs) and
+checks that the qualitative structure of the paper's Tables 1–4 and
+observations OB1–OB6 emerges from the experiment.  Marked ``slow``; the
+full-resolution reproduction lives in the benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arrestment import build_arrestment_model, build_arrestment_run
+from repro.arrestment.testcases import ArrestmentTestCase
+from repro.baselines.uniform import analyse_uniform_propagation
+from repro.core.analysis import PropagationAnalysis
+from repro.injection.campaign import CampaignConfig, InjectionCampaign
+from repro.injection.error_models import bit_flip_models
+from repro.injection.estimator import estimate_matrix
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def campaign_result():
+    system = build_arrestment_model()
+    config = CampaignConfig(
+        duration_ms=4500,
+        injection_times_ms=(2500,),
+        error_models=tuple(bit_flip_models(16)),
+        seed=7,
+    )
+    campaign = InjectionCampaign(
+        system,
+        lambda case: build_arrestment_run(case),
+        {"m14000-v60": ArrestmentTestCase(14000, 60)},
+        config,
+    )
+    return campaign.execute()
+
+
+@pytest.fixture(scope="module")
+def matrix(campaign_result):
+    return estimate_matrix(campaign_result)
+
+
+class TestTable1Shape:
+    def test_clock_matches_paper_exactly(self, matrix):
+        """Table 1/2: P^CLOCK[slot->slot] = 1.000, P^CLOCK = 0.500."""
+        assert matrix.get("CLOCK", "ms_slot_nbr", "ms_slot_nbr") == 1.0
+        assert matrix.get("CLOCK", "ms_slot_nbr", "mscnt") == 0.0
+        assert matrix.relative_permeability("CLOCK") == 0.5
+
+    def test_ob2_stopped_column_non_permeable(self, matrix):
+        """OB2: permeability into DIST_S's stopped output is zero."""
+        for input_signal in ("PACNT", "TIC1", "TCNT"):
+            assert matrix.get("DIST_S", input_signal, "stopped") == 0.0
+
+    def test_pulscnt_driven_by_pacnt_only(self, matrix):
+        assert matrix.get("DIST_S", "PACNT", "pulscnt") >= 0.9
+        assert matrix.get("DIST_S", "TIC1", "pulscnt") == 0.0
+        assert matrix.get("DIST_S", "TCNT", "pulscnt") == 0.0
+
+    def test_ob3_pres_s_non_permeable(self, matrix):
+        """OB3: PRES_S's conditioning blocks (nearly) all input errors."""
+        assert matrix.get("PRES_S", "ADC", "InValue") <= 0.15
+
+    def test_v_reg_highly_permeable(self, matrix):
+        """Paper: 0.884 and 0.920 for V_REG's two pairs."""
+        assert matrix.get("V_REG", "SetValue", "OutValue") >= 0.8
+        assert matrix.get("V_REG", "InValue", "OutValue") >= 0.8
+
+    def test_pres_a_quantisation_loss(self, matrix):
+        """Paper: 0.860 — the drive drops its low bits, so the
+        permeability is high but clearly below one."""
+        value = matrix.get("PRES_A", "OutValue", "TOC2")
+        assert 0.75 <= value < 1.0
+
+    def test_calc_feedback_certain(self, matrix):
+        assert matrix.get("CALC", "i", "i") == 1.0
+
+    def test_no_uniform_propagation(self, matrix):
+        """Section 2: intermediate permeabilities exist (contra [12])."""
+        intermediate = [
+            estimate.value
+            for _, estimate in matrix.items()
+            if 0.05 < estimate.value < 0.95
+        ]
+        assert intermediate, "expected non-uniform (partial) propagation"
+
+
+class TestDerivedMeasures:
+    @pytest.fixture(scope="class")
+    def analysis(self, matrix):
+        return PropagationAnalysis(matrix)
+
+    def test_ob1_exposure_ranking(self, analysis):
+        exposures = analysis.module_exposures
+        assert not exposures["DIST_S"].has_exposure
+        assert not exposures["PRES_S"].has_exposure
+        ranked = sorted(
+            (e for e in exposures.values() if e.has_exposure),
+            key=lambda e: -e.nonweighted_exposure,
+        )
+        assert ranked[0].module in {"CALC", "V_REG"}
+
+    def test_ob4_signal_exposure_leaders(self, analysis):
+        """SetValue, i and OutValue dominate Table 3."""
+        exposures = dict(analysis.signal_exposures)
+        leaders = sorted(exposures, key=lambda s: -exposures[s])[:4]
+        assert "SetValue" in leaders
+        assert "OutValue" in leaders or "i" in leaders
+
+    def test_table4_nonzero_path_sparsity(self, analysis):
+        """Table 4: of the 22 paths only a subset (13 in the paper)
+        carries non-zero weight."""
+        paths = analysis.ranked_output_paths("TOC2")
+        nonzero = analysis.ranked_output_paths("TOC2", only_nonzero=True)
+        assert len(paths) == 22
+        # The paper's full grid yields 13 non-zero paths; this reduced
+        # single-time grid measures several DIST_S pairs as zero, so
+        # only the sparsity property (some but not all) is asserted.
+        assert 3 <= len(nonzero) < 22
+
+    def test_ob5_setvalue_outvalue_on_top_paths(self, analysis):
+        top = analysis.ranked_output_paths("TOC2", only_nonzero=True)[:5]
+        for path in top:
+            assert "OutValue" in path.signals
+
+    def test_placement_report_recommends_core_signals(self, analysis):
+        names = {candidate.signal for candidate in analysis.placement.edm_signals}
+        assert names & {"SetValue", "OutValue", "pulscnt", "i"}
+
+
+class TestUniformBaseline:
+    def test_paper_refutes_uniform_propagation(self, campaign_result):
+        report = analyse_uniform_propagation(campaign_result)
+        assert not report.corroborates_uniform_propagation
+        assert report.intermediate_locations()

@@ -1,0 +1,380 @@
+"""Unit tests for the six software modules of the target system."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arrestment.calc import CalcModule
+from repro.arrestment.clock import ClockModule
+from repro.arrestment.constants import (
+    CHECKPOINT_PULSES,
+    SLOW_DEBOUNCE_MS,
+    SLOW_INTERVAL_TICKS,
+    SLOW_SET_VALUE,
+    STOP_WINDOW_MS,
+    TOTAL_PULSES,
+)
+from repro.arrestment.dist_s import DistanceSensorModule
+from repro.arrestment.pres_a import PressureActuatorModule
+from repro.arrestment.pres_s import PressureSensorModule
+from repro.arrestment.v_reg import ValveRegulatorModule
+
+
+class TestClock:
+    def test_mscnt_counts_from_internal_state(self):
+        clock = ClockModule()
+        out = clock.activate({"ms_slot_nbr": 0}, 0)
+        assert out["mscnt"] == 1
+        out = clock.activate({"ms_slot_nbr": out["ms_slot_nbr"]}, 1)
+        assert out["mscnt"] == 2
+
+    def test_slot_increments_mod_7(self):
+        clock = ClockModule()
+        assert clock.activate({"ms_slot_nbr": 5}, 0)["ms_slot_nbr"] == 6
+        assert clock.activate({"ms_slot_nbr": 6}, 1)["ms_slot_nbr"] == 0
+
+    def test_slot_error_persists(self):
+        """The source of the paper's P^CLOCK[slot->slot] = 1.000: the
+        counter is incremented from its own previous value, so a
+        corrupted value never re-converges."""
+        clock = ClockModule()
+        golden, faulty = 3, 3 ^ 0x2000
+        for step in range(32):
+            golden = clock.activate({"ms_slot_nbr": golden}, step)["ms_slot_nbr"]
+        clock.reset()
+        for step in range(32):
+            faulty = clock.activate({"ms_slot_nbr": faulty}, step)["ms_slot_nbr"]
+        assert golden != faulty
+
+    def test_mscnt_independent_of_slot_errors(self):
+        a, b = ClockModule(), ClockModule()
+        out_a = [a.activate({"ms_slot_nbr": 0}, t)["mscnt"] for t in range(5)]
+        out_b = [b.activate({"ms_slot_nbr": 0x8000}, t)["mscnt"] for t in range(5)]
+        assert out_a == out_b
+
+    def test_mscnt_wraps_16_bit(self):
+        clock = ClockModule()
+        clock._mscnt = 0xFFFF
+        assert clock.activate({"ms_slot_nbr": 0}, 0)["mscnt"] == 0
+
+    def test_reset(self):
+        clock = ClockModule()
+        clock.activate({"ms_slot_nbr": 0}, 0)
+        clock.reset()
+        assert clock.activate({"ms_slot_nbr": 0}, 0)["mscnt"] == 1
+
+    def test_bad_slot_count_rejected(self):
+        with pytest.raises(ValueError):
+            ClockModule(n_slots=0)
+
+
+def feed_dist(dist: DistanceSensorModule, samples):
+    """Feed (PACNT, TIC1, TCNT) tuples; return the last output."""
+    out = None
+    for t, (pacnt, tic1, tcnt) in enumerate(samples):
+        out = dist.activate({"PACNT": pacnt, "TIC1": tic1, "TCNT": tcnt}, t)
+    return out
+
+
+class TestDistS:
+    def test_pulscnt_accumulates_deltas(self):
+        dist = DistanceSensorModule()
+        out = feed_dist(
+            dist,
+            [(0, 0, 0), (3, 500, 2000), (7, 900, 4000)],
+        )
+        assert out["pulscnt"] == 7
+
+    def test_pulscnt_wrap_safe(self):
+        """PACNT wrapping at 16 bits must not corrupt the total."""
+        dist = DistanceSensorModule()
+        out = feed_dist(dist, [(0xFFFE, 0, 0), (2, 100, 2000)])
+        assert out["pulscnt"] == 4  # 0xFFFE->2 is a delta of 4
+
+    def test_fast_rotation_not_slow(self):
+        dist = DistanceSensorModule()
+        samples = [(t * 2, 2000 * t, 2000 * t) for t in range(20)]
+        out = feed_dist(dist, samples)
+        assert out["slow_speed"] == 0
+        assert out["stopped"] == 0
+
+    def test_slow_rotation_asserts_slow_speed(self):
+        dist = DistanceSensorModule()
+        # One pulse every 20 ms: interval 40_000 ticks > threshold.
+        samples = []
+        for t in range(200):
+            pulses = t // 20
+            tic1 = (pulses * 20 * 2000) & 0xFFFF
+            samples.append((pulses, tic1, (t * 2000) & 0xFFFF))
+        out = feed_dist(dist, samples)
+        assert out["slow_speed"] == 1
+
+    def test_stopped_after_window(self):
+        dist = DistanceSensorModule()
+        samples = [(5, 100, 100)] + [
+            (5, 100, (100 + 2000 * t) & 0xFFFF) for t in range(STOP_WINDOW_MS + 10)
+        ]
+        out = feed_dist(dist, samples)
+        assert out["stopped"] == 1
+        assert out["slow_speed"] == 1
+
+    def test_single_pulse_resets_stop_counter(self):
+        dist = DistanceSensorModule()
+        samples = [(0, 0, 0)]
+        samples += [(0, 0, 2000 * t) for t in range(1, STOP_WINDOW_MS - 5)]
+        samples.append((1, 50, (2000 * STOP_WINDOW_MS) & 0xFFFF))
+        samples += [(1, 50, (2000 * (STOP_WINDOW_MS + t)) & 0xFFFF) for t in range(5)]
+        out = feed_dist(dist, samples)
+        assert out["stopped"] == 0
+
+    def test_transient_gap_spike_debounced(self):
+        """A single corrupted TIC1 read cannot assert slow_speed through
+        the debounce (OB2's built-in resiliency)."""
+        dist = DistanceSensorModule()
+        good = [(t * 2, (t * 2 * 1000) & 0xFFFF, (t * 2000) & 0xFFFF) for t in range(10)]
+        feed_dist(dist, good)
+        # One corrupted sample with a huge gap, then good samples again.
+        out = dist.activate({"PACNT": 20, "TIC1": 0, "TCNT": 30000}, 10)
+        assert out["slow_speed"] == 0
+
+    def test_reset_clears_state(self):
+        dist = DistanceSensorModule()
+        feed_dist(dist, [(100, 0, 0)])
+        dist.reset()
+        out = feed_dist(dist, [(100, 0, 0)])
+        assert out["pulscnt"] == 0  # first sample only initialises
+
+
+class TestPresS:
+    def run_stream(self, pres, samples):
+        outputs = []
+        for t, sample in enumerate(samples):
+            outputs.append(pres.activate({"ADC": sample}, t * 7)["InValue"])
+        return outputs
+
+    def test_passes_steady_value_quantised(self):
+        pres = PressureSensorModule()
+        outputs = self.run_stream(pres, [10000] * 20)
+        # 10000 rounds to the nearest 512 grid point.
+        assert outputs[-1] == round(10000 / 512) * 512
+        assert len(set(outputs)) == 1
+
+    def test_single_outlier_rejected_any_bit(self):
+        """The median-of-5 vote absorbs any single corrupted sample:
+        the output stream is identical with and without corruption."""
+        golden = PressureSensorModule()
+        reference = self.run_stream(golden, [10000] * 30)
+        for bit in range(16):
+            pres = PressureSensorModule()
+            samples = [10000] * 30
+            samples[12] = 10000 ^ (1 << bit)
+            assert self.run_stream(pres, samples) == reference, bit
+
+    def test_small_jitter_quantised_away(self):
+        pres = PressureSensorModule()
+        jittery = [10000 + (t % 3) * 10 for t in range(30)]
+        outputs = self.run_stream(pres, jittery)
+        assert len(set(outputs)) == 1
+
+    def test_tracks_genuine_ramp(self):
+        pres = PressureSensorModule()
+        outputs = self.run_stream(pres, [t * 2000 for t in range(40)])
+        # Staleness is bounded by the update period plus median depth
+        # (and one quantisation step).
+        assert outputs[-1] >= (40 - 10) * 2000 - 512
+
+    def test_updates_only_on_schedule(self):
+        """InValue changes only at fixed activation multiples — timing
+        robustness under exact Golden Run Comparison."""
+        pres = PressureSensorModule()
+        outputs = self.run_stream(pres, [t * 1000 for t in range(33)])
+        change_points = [
+            index
+            for index in range(1, len(outputs))
+            if outputs[index] != outputs[index - 1]
+        ]
+        assert change_points
+        assert all(index % 8 == 0 for index in change_points)
+
+    def test_outlier_during_ramp_bounded(self):
+        """During a ramp a surviving outlier can shift the median by at
+        most one order statistic (one sample step), transiently."""
+        ramp = [t * 500 for t in range(40)]
+        reference = self.run_stream(PressureSensorModule(), list(ramp))
+        corrupted_samples = list(ramp)
+        corrupted_samples[20] ^= 0x4000
+        corrupted = self.run_stream(PressureSensorModule(), corrupted_samples)
+        deviations = [abs(a - b) for a, b in zip(corrupted, reference)]
+        assert max(deviations) <= 500 + 512  # one step + one grid cell
+        # The deviation window is bounded by the median depth plus one
+        # update period: afterwards the streams re-converge.
+        assert corrupted[33:] == reference[33:]
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            PressureSensorModule(quant=0)
+        with pytest.raises(ValueError):
+            PressureSensorModule(update_period=0)
+
+
+class TestCalc:
+    def idle_inputs(self, **overrides):
+        inputs = {
+            "i": 0,
+            "mscnt": 100,
+            "pulscnt": 0,
+            "slow_speed": 0,
+            "stopped": 0,
+        }
+        inputs.update(overrides)
+        return inputs
+
+    def test_no_setvalue_before_first_checkpoint(self):
+        calc = CalcModule()
+        out = calc.activate(self.idle_inputs(), 0)
+        assert out == {"i": 0}
+
+    def test_checkpoint_crossing_increments_i_and_sets_value(self):
+        calc = CalcModule()
+        out = calc.activate(
+            self.idle_inputs(pulscnt=CHECKPOINT_PULSES[0], mscnt=50), 0
+        )
+        assert out["i"] == 1
+        assert out["SetValue"] > 0
+
+    def test_set_point_decreases_with_remaining_distance(self):
+        fresh = CalcModule()
+        early = fresh.activate(
+            self.idle_inputs(pulscnt=CHECKPOINT_PULSES[0], mscnt=50), 0
+        )["SetValue"]
+        late = CalcModule()
+        late.activate(self.idle_inputs(pulscnt=CHECKPOINT_PULSES[0], mscnt=50), 0)
+        # Same velocity later on the runway demands more pressure.
+        out = late.activate(
+            self.idle_inputs(
+                i=4, pulscnt=CHECKPOINT_PULSES[4], mscnt=CHECKPOINT_PULSES[4] * 50 // CHECKPOINT_PULSES[0]
+            ),
+            1,
+        )
+        assert out["SetValue"] > early
+
+    def test_faster_aircraft_gets_more_pressure(self):
+        slow = CalcModule().activate(
+            self.idle_inputs(pulscnt=CHECKPOINT_PULSES[0], mscnt=80), 0
+        )["SetValue"]
+        fast = CalcModule().activate(
+            self.idle_inputs(pulscnt=CHECKPOINT_PULSES[0], mscnt=30), 0
+        )["SetValue"]
+        assert fast > slow
+
+    def test_set_value_clamped_to_16_bit(self):
+        calc = CalcModule()
+        out = calc.activate(
+            self.idle_inputs(pulscnt=TOTAL_PULSES - 10, mscnt=1), 0
+        )
+        assert out["SetValue"] <= 0xFFFF
+
+    def test_all_checkpoints_exhausted(self):
+        calc = CalcModule()
+        out = calc.activate(self.idle_inputs(i=6, pulscnt=TOTAL_PULSES), 0)
+        assert out == {"i": 6}
+
+    def test_slow_speed_holds_gentle_pull(self):
+        calc = CalcModule()
+        out = calc.activate(self.idle_inputs(slow_speed=1, i=6), 0)
+        assert out["SetValue"] == SLOW_SET_VALUE
+        assert out["i"] == 6
+
+    def test_stopped_releases_pressure(self):
+        calc = CalcModule()
+        out = calc.activate(self.idle_inputs(stopped=1, slow_speed=1, i=6), 0)
+        assert out["SetValue"] == 0
+
+    def test_nonzero_flag_bits_treated_as_true(self):
+        """Flags are C-style truthy words: any set bit counts."""
+        calc = CalcModule()
+        out = calc.activate(self.idle_inputs(stopped=0x8000), 0)
+        assert out["SetValue"] == 0
+
+    def test_corrupted_i_feedback_passes_through(self):
+        calc = CalcModule()
+        out = calc.activate(self.idle_inputs(i=9999), 0)
+        assert out["i"] == 9999
+
+    def test_degenerate_deltas_guarded(self):
+        calc = CalcModule()
+        # mscnt going backwards (corruption) must not divide by zero or
+        # produce negative set points.
+        out = calc.activate(self.idle_inputs(pulscnt=CHECKPOINT_PULSES[0], mscnt=0), 0)
+        assert out["SetValue"] >= 0
+
+    def test_requires_checkpoints(self):
+        with pytest.raises(ValueError):
+            CalcModule(checkpoints=())
+
+
+class TestVReg:
+    def test_converges_to_set_point_through_plant_lag(self):
+        """Closed loop against a first-order plant (the valve lag of the
+        real system, tau = 50 ms at a 7 ms activation period)."""
+        vreg = ValveRegulatorModule()
+        measured = 0.0
+        for _ in range(300):
+            drive = vreg.activate(
+                {"SetValue": 20000, "InValue": round(measured)}, 0
+            )["OutValue"]
+            measured += (drive - measured) * (7.0 / 50.0)
+        assert measured == pytest.approx(20000, abs=200)
+
+    def test_drive_clamped(self):
+        vreg = ValveRegulatorModule()
+        out = vreg.activate({"SetValue": 0xFFFF, "InValue": 0}, 0)
+        assert 0 <= out["OutValue"] <= 0xFFFF
+        vreg.reset()
+        out = vreg.activate({"SetValue": 0, "InValue": 0xFFFF}, 0)
+        assert out["OutValue"] == 0
+
+    def test_integral_antiwindup(self):
+        vreg = ValveRegulatorModule()
+        for _ in range(1000):
+            vreg.activate({"SetValue": 0xFFFF, "InValue": 0}, 0)
+        # After removing the error, the drive must unwind promptly
+        # rather than staying pegged for thousands of activations.
+        outputs = [
+            vreg.activate({"SetValue": 0, "InValue": 0xFFFF}, 0)["OutValue"]
+            for _ in range(40)
+        ]
+        assert outputs[-1] == 0
+
+    def test_reset_clears_integrator(self):
+        vreg = ValveRegulatorModule()
+        for _ in range(50):
+            vreg.activate({"SetValue": 30000, "InValue": 0}, 0)
+        vreg.reset()
+        fresh = ValveRegulatorModule()
+        assert (
+            vreg.activate({"SetValue": 100, "InValue": 0}, 0)
+            == fresh.activate({"SetValue": 100, "InValue": 0}, 0)
+        )
+
+    def test_bad_gains_rejected(self):
+        with pytest.raises(ValueError):
+            ValveRegulatorModule(kp=-1)
+        with pytest.raises(ValueError):
+            ValveRegulatorModule(ki_shift=-1)
+
+
+class TestPresA:
+    def test_quantises_low_bits(self):
+        pres_a = PressureActuatorModule()
+        out = pres_a.activate({"OutValue": 0x1234 | 0x3}, 0)
+        assert out["TOC2"] == 0x1234
+        assert pres_a.activate({"OutValue": 0x1234}, 0)["TOC2"] == 0x1234
+
+    def test_full_scale_passthrough(self):
+        pres_a = PressureActuatorModule()
+        assert pres_a.activate({"OutValue": 0xFFFF}, 0)["TOC2"] == 0xFFFC
+
+    def test_custom_mask(self):
+        pres_a = PressureActuatorModule(quant_mask=0xFF00)
+        assert pres_a.activate({"OutValue": 0x12FF}, 0)["TOC2"] == 0x1200

@@ -1,0 +1,181 @@
+"""Property-based tests (hypothesis) for the arrestment modules.
+
+These pin the robustness properties the permeability results rest on:
+wrap-safety of the pulse totaliser, single-sample immunity of PRES_S,
+clamping of CALC and V_REG outputs, and the persistence of slot-counter
+corruption.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arrestment.calc import CalcModule
+from repro.arrestment.clock import ClockModule
+from repro.arrestment.dist_s import DistanceSensorModule
+from repro.arrestment.pres_a import PressureActuatorModule
+from repro.arrestment.pres_s import PressureSensorModule
+from repro.arrestment.v_reg import ValveRegulatorModule
+
+words = st.integers(min_value=0, max_value=0xFFFF)
+
+
+# ---------------------------------------------------------------------------
+# CLOCK
+# ---------------------------------------------------------------------------
+
+
+@given(words, st.integers(min_value=1, max_value=64))
+def test_clock_slot_always_valid(initial_slot, steps):
+    """Whatever garbage the slot counter holds, the next value is a
+    valid slot index — the modulo arithmetic the scheduler relies on."""
+    clock = ClockModule()
+    slot = initial_slot
+    for step in range(steps):
+        slot = clock.activate({"ms_slot_nbr": slot}, step)["ms_slot_nbr"]
+        assert 0 <= slot < 7
+
+
+@given(words)
+def test_clock_corruption_persists_unless_congruent(corrupted):
+    """A corrupted slot value re-converges iff it is congruent to the
+    true value modulo 7 — the mechanism behind P[slot->slot] = 1."""
+    healthy, faulty = ClockModule(), ClockModule()
+    a, b = 3, corrupted
+    for step in range(20):
+        a = healthy.activate({"ms_slot_nbr": a}, step)["ms_slot_nbr"]
+        b = faulty.activate({"ms_slot_nbr": b}, step)["ms_slot_nbr"]
+    if corrupted % 7 == 3 % 7:
+        assert a == b
+    else:
+        assert a != b
+
+
+# ---------------------------------------------------------------------------
+# DIST_S
+# ---------------------------------------------------------------------------
+
+
+@given(st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=200))
+def test_dist_s_pulscnt_equals_total_pulses(deltas):
+    """pulscnt equals the true pulse total regardless of 16-bit PACNT
+    wraps (as long as fewer than 2^16 pulses arrive between reads)."""
+    dist = DistanceSensorModule()
+    pacnt = 0xFFF0  # start near the wrap point on purpose
+    dist.activate({"PACNT": pacnt, "TIC1": 0, "TCNT": 0}, 0)
+    total = 0
+    for step, delta in enumerate(deltas, start=1):
+        pacnt = (pacnt + delta) & 0xFFFF
+        total += delta
+        out = dist.activate(
+            {"PACNT": pacnt, "TIC1": (step * 997) & 0xFFFF, "TCNT": (step * 2000) & 0xFFFF},
+            step,
+        )
+    assert out["pulscnt"] == total & 0xFFFF
+
+
+@given(words, words, words)
+def test_dist_s_outputs_always_well_typed(pacnt, tic1, tcnt):
+    dist = DistanceSensorModule()
+    for step in range(3):
+        out = dist.activate({"PACNT": pacnt, "TIC1": tic1, "TCNT": tcnt}, step)
+        assert out["slow_speed"] in (0, 1)
+        assert out["stopped"] in (0, 1)
+        assert 0 <= out["pulscnt"] <= 0xFFFF
+
+
+@given(st.integers(min_value=0, max_value=15), st.integers(min_value=6, max_value=60))
+def test_dist_s_stopped_immune_to_single_flip(bit, when):
+    """OB2's property: no single bit flip on any input can assert
+    ``stopped`` while the wheel is turning."""
+    def run(flip_at: int | None):
+        dist = DistanceSensorModule()
+        outputs = []
+        for step in range(80):
+            pacnt = step * 2
+            tic1 = (step * 2 * 1000) & 0xFFFF
+            tcnt = (step * 2000) & 0xFFFF
+            if flip_at is not None and step == flip_at:
+                pacnt ^= 1 << bit
+            out = dist.activate(
+                {"PACNT": pacnt & 0xFFFF, "TIC1": tic1, "TCNT": tcnt}, step
+            )
+            outputs.append(out["stopped"])
+        return outputs
+
+    assert run(when) == run(None) == [0] * 80
+
+
+# ---------------------------------------------------------------------------
+# PRES_S
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.integers(min_value=0, max_value=0xFFFF),
+    st.integers(min_value=0, max_value=15),
+    st.integers(min_value=6, max_value=40),
+)
+def test_pres_s_single_flip_invisible_on_steady_pressure(level, bit, when):
+    """At steady pressure, no single bit flip of the ADC sample may
+    alter the InValue stream — the paper's P^PRES_S = 0.000."""
+    def run(flip_at: int | None):
+        pres = PressureSensorModule()
+        stream = []
+        for step in range(60):
+            sample = level
+            if flip_at is not None and step == flip_at:
+                sample ^= 1 << bit
+            stream.append(pres.activate({"ADC": sample}, step)["InValue"])
+        return stream
+
+    assert run(when) == run(None)
+
+
+@given(st.lists(words, min_size=1, max_size=100))
+def test_pres_s_output_on_grid(samples):
+    pres = PressureSensorModule()
+    for step, sample in enumerate(samples):
+        out = pres.activate({"ADC": sample}, step)["InValue"]
+        assert out % 512 == 0
+
+
+# ---------------------------------------------------------------------------
+# CALC and the actuation chain
+# ---------------------------------------------------------------------------
+
+
+@given(words, words, words, words, words)
+def test_calc_outputs_always_in_range(i, mscnt, pulscnt, slow, stopped):
+    calc = CalcModule()
+    out = calc.activate(
+        {
+            "i": i,
+            "mscnt": mscnt,
+            "pulscnt": pulscnt,
+            "slow_speed": slow,
+            "stopped": stopped,
+        },
+        0,
+    )
+    assert 0 <= out["i"] <= 0xFFFF
+    if "SetValue" in out:
+        assert 0 <= out["SetValue"] <= 0xFFFF
+
+
+@given(words, words)
+def test_v_reg_drive_always_clamped(set_value, in_value):
+    vreg = ValveRegulatorModule()
+    for _ in range(5):
+        out = vreg.activate({"SetValue": set_value, "InValue": in_value}, 0)
+        assert 0 <= out["OutValue"] <= 0xFFFF
+
+
+@given(words)
+def test_pres_a_idempotent_quantisation(drive):
+    pres_a = PressureActuatorModule()
+    once = pres_a.activate({"OutValue": drive}, 0)["TOC2"]
+    twice = pres_a.activate({"OutValue": once}, 0)["TOC2"]
+    assert once == twice
+    assert once <= drive

@@ -1,0 +1,139 @@
+"""Closed-loop integration tests of the full target system."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arrestment.constants import CHECKPOINT_PULSES, RUNWAY_LENGTH_M
+from repro.arrestment.system import (
+    arrestment_schedule,
+    build_arrestment_model,
+    build_arrestment_run,
+)
+from repro.arrestment.testcases import (
+    ArrestmentTestCase,
+    paper_test_cases,
+    reduced_test_cases,
+)
+
+
+class TestTopology:
+    def test_paper_inventory(self):
+        system = build_arrestment_model()
+        assert len(system.modules) == 6
+        assert system.n_pairs() == 25
+        assert system.system_inputs == ("PACNT", "TIC1", "TCNT", "ADC")
+        assert system.system_outputs == ("TOC2",)
+
+    def test_paper_signal_numbering(self):
+        """Fig. 8: PACNT is input #1 of DIST_S; SetValue is output #2 of
+        CALC; P^CALC_2,1 maps mscnt to i."""
+        system = build_arrestment_model()
+        assert system.module("DIST_S").input_index("PACNT") == 1
+        assert system.module("CALC").output_index("SetValue") == 2
+        assert system.module("CALC").input_index("mscnt") == 2
+        assert system.module("CALC").output_index("i") == 1
+
+    def test_feedback_modules(self):
+        system = build_arrestment_model()
+        assert set(system.feedback_modules()) == {"CLOCK", "CALC"}
+
+    def test_schedule_layout(self):
+        schedule = arrestment_schedule()
+        assert schedule.n_slots == 7
+        for slot in range(7):
+            modules = schedule.modules_for_slot(slot)
+            assert modules[0] == "CLOCK"
+            assert "DIST_S" in modules
+        assert schedule.background_modules == ("CALC",)
+        # One 7 ms module per dedicated slot.
+        assert "PRES_S" in schedule.modules_for_slot(1)
+        assert "V_REG" in schedule.modules_for_slot(3)
+        assert "PRES_A" in schedule.modules_for_slot(5)
+
+
+class TestWorkloads:
+    def test_paper_grid_has_25_cases(self):
+        cases = paper_test_cases()
+        assert len(cases) == 25
+        masses = {case.mass_kg for case in cases.values()}
+        velocities = {case.velocity_ms for case in cases.values()}
+        assert masses == {8000.0, 11000.0, 14000.0, 17000.0, 20000.0}
+        assert velocities == {40.0, 50.0, 60.0, 70.0, 80.0}
+
+    def test_reduced_cases_cover_ranges(self):
+        cases = reduced_test_cases(5)
+        assert len(cases) == 5
+        masses = {case.mass_kg for case in cases.values()}
+        assert len(masses) == 5  # the diagonal covers every mass
+
+    def test_reduced_cases_bounds(self):
+        assert len(reduced_test_cases(25)) == 25
+        with pytest.raises(ValueError):
+            reduced_test_cases(0)
+        with pytest.raises(ValueError):
+            reduced_test_cases(26)
+
+    def test_case_ids_stable(self):
+        case = ArrestmentTestCase(14000, 60)
+        assert case.case_id == "m14000-v60"
+        assert "14000" in str(case)
+
+    def test_invalid_cases_rejected(self):
+        with pytest.raises(ValueError):
+            ArrestmentTestCase(0, 60)
+        with pytest.raises(ValueError):
+            ArrestmentTestCase(14000, 0)
+
+
+class TestClosedLoop:
+    @pytest.fixture(scope="class")
+    def nominal_run(self):
+        return build_arrestment_run(ArrestmentTestCase(14000, 60)).run(12000)
+
+    def test_arrestment_completes(self, nominal_run):
+        telemetry = nominal_run.telemetry
+        assert telemetry["stop_time_ms"] > 0
+        assert telemetry["position_m"] < RUNWAY_LENGTH_M * 1.05
+
+    def test_all_checkpoints_visited(self, nominal_run):
+        i_trace = nominal_run.traces["i"].samples
+        assert i_trace[-1] == len(CHECKPOINT_PULSES)
+        # i increases monotonically through all checkpoints.
+        assert all(b >= a for a, b in zip(i_trace, i_trace[1:]))
+
+    def test_pressure_loop_tracks_set_point(self, nominal_run):
+        set_values = nominal_run.traces["SetValue"].samples
+        in_values = nominal_run.traces["InValue"].samples
+        # Mid-arrestment (after the loop settles, before the end game)
+        # the measured pressure stays close to the set point.
+        window = range(2000, 5000)
+        errors = [abs(set_values[t] - in_values[t]) for t in window]
+        assert max(errors) < 2000
+
+    def test_terminal_sequence(self, nominal_run):
+        slow = nominal_run.traces["slow_speed"].samples
+        stopped = nominal_run.traces["stopped"].samples
+        first_slow = slow.index(1)
+        first_stop = stopped.index(1)
+        assert first_slow < first_stop
+        # After stop detection CALC releases the pressure.
+        set_values = nominal_run.traces["SetValue"].samples
+        assert set_values[-1] == 0
+
+    def test_mscnt_counts_milliseconds(self, nominal_run):
+        mscnt = nominal_run.traces["mscnt"].samples
+        assert mscnt[0] == 1
+        assert mscnt[4999] == 5000 & 0xFFFF
+
+    def test_runs_are_deterministic(self):
+        case = ArrestmentTestCase(11000, 70)
+        first = build_arrestment_run(case).run(3000)
+        second = build_arrestment_run(case).run(3000)
+        assert first.traces["TOC2"].samples == second.traces["TOC2"].samples
+
+    @pytest.mark.parametrize("mass,velocity", [(8000, 80), (20000, 40)])
+    def test_workload_corners_complete(self, mass, velocity):
+        result = build_arrestment_run(ArrestmentTestCase(mass, velocity)).run(16000)
+        assert result.telemetry["stop_time_ms"] > 0
+        assert result.telemetry["position_m"] < RUNWAY_LENGTH_M * 1.1

@@ -1,0 +1,184 @@
+"""Unit tests for backtrack trees (Output Error Tracing, steps A1–A4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.backtrack import build_all_backtrack_trees, build_backtrack_tree
+from repro.core.permeability import PermeabilityMatrix
+from repro.core.treenode import NodeKind
+from repro.model.builder import SystemBuilder
+from repro.model.errors import MissingPermeabilityError, NotASystemSignalError
+
+
+class TestFig2Tree:
+    """Structure of the tree for the example system's output (Fig. 4)."""
+
+    @pytest.fixture()
+    def tree(self, fig2_matrix):
+        return build_backtrack_tree(fig2_matrix, "sys_out")
+
+    def test_root(self, tree):
+        assert tree.system_output == "sys_out"
+        assert tree.root.signal == "sys_out"
+        assert tree.root.kind is NodeKind.ROOT
+        assert tree.root.permeability == 1.0
+
+    def test_root_children_are_producing_module_inputs(self, tree):
+        children = [child.signal for child in tree.root.children]
+        assert children == ["b2", "d1", "ext_e"]
+
+    def test_child_edge_weights(self, tree, fig2_matrix):
+        by_signal = {child.signal: child for child in tree.root.children}
+        assert by_signal["b2"].permeability == fig2_matrix.get("E", "b2", "sys_out")
+        assert by_signal["ext_e"].permeability == 0.0
+
+    def test_system_input_leaves(self, tree):
+        leaves = list(tree.root.leaves())
+        boundary = [leaf for leaf in leaves if leaf.kind is NodeKind.BOUNDARY]
+        assert {leaf.signal for leaf in boundary} == {"ext_a", "ext_c", "ext_e"}
+
+    def test_feedback_leaves_not_expanded(self, tree):
+        """The paper's double-line rule: b1 as input of B is a leaf."""
+        feedback = [
+            node for node in tree.root.walk() if node.kind is NodeKind.FEEDBACK
+        ]
+        assert feedback, "expected feedback leaves for module B"
+        assert all(node.signal == "b1" for node in feedback)
+        assert all(node.is_leaf for node in feedback)
+        assert all(node.pair_module == "B" for node in feedback)
+
+    def test_intermediate_nodes_are_internal_signals(self, tree):
+        internal = [
+            node.signal
+            for node in tree.root.walk()
+            if node.kind is NodeKind.INTERNAL
+        ]
+        assert set(internal) <= {"a1", "b1", "b2", "c1", "d1"}
+
+    def test_path_count(self, tree):
+        # The b1 feedback is followed exactly once on each branch:
+        # b2 -> {b1 -> {b1(fb), a1->ext_a}, a1->ext_a}        (3 paths)
+        # d1 -> {b1 -> {b1(fb), a1->ext_a}, c1->ext_c}        (3 paths)
+        # ext_e                                               (1 path)
+        assert tree.n_paths() == 7
+
+    def test_node_count_stable(self, tree):
+        assert tree.n_nodes() == tree.root.n_nodes() == 16
+
+    def test_feedback_followed_exactly_once(self, tree):
+        """The double-line leaf hangs under a node of the same signal
+        (Fig. 4: the double line runs between I^B_1 and O^B_1)."""
+        b2_branch = tree.root.children[0]
+        b1_node = b2_branch.children[0]
+        assert b1_node.signal == "b1"
+        assert b1_node.kind is NodeKind.INTERNAL
+        assert b1_node.children[0].signal == "b1"
+        assert b1_node.children[0].kind is NodeKind.FEEDBACK
+
+    def test_render_contains_double_line_marker(self, tree):
+        text = tree.render()
+        assert "==" in text
+        assert "sys_out" in text
+        assert "[0.650]" in text
+
+
+class TestValidationAndEdgeCases:
+    def test_not_a_system_output_rejected(self, fig2_matrix):
+        with pytest.raises(NotASystemSignalError):
+            build_backtrack_tree(fig2_matrix, "ext_a")
+        with pytest.raises(NotASystemSignalError):
+            build_backtrack_tree(fig2_matrix, "b1")
+
+    def test_incomplete_matrix_rejected(self, fig2_system):
+        matrix = PermeabilityMatrix(fig2_system)
+        with pytest.raises(MissingPermeabilityError):
+            build_backtrack_tree(matrix, "sys_out")
+
+    def test_all_trees(self, fig2_matrix):
+        trees = build_all_backtrack_trees(fig2_matrix)
+        assert set(trees) == {"sys_out"}
+
+    def test_multi_output_system(self):
+        builder = SystemBuilder("multi")
+        builder.add_module("A", inputs=["x"], outputs=["y1", "y2"])
+        builder.mark_system_input("x")
+        builder.mark_system_output("y1", "y2")
+        matrix = PermeabilityMatrix.uniform(builder.build(), 0.5)
+        trees = build_all_backtrack_trees(matrix)
+        assert set(trees) == {"y1", "y2"}
+        for tree in trees.values():
+            assert tree.n_paths() == 1
+
+    def test_cross_module_cycle_terminates(self):
+        """Two modules feeding each other must not recurse forever."""
+        builder = SystemBuilder("cycle")
+        builder.add_module("P", inputs=["x", "q_out"], outputs=["p_out"])
+        builder.add_module("Q", inputs=["p_out"], outputs=["q_out", "sys"])
+        builder.mark_system_input("x")
+        builder.mark_system_output("sys")
+        matrix = PermeabilityMatrix.uniform(builder.build(), 0.9)
+        tree = build_backtrack_tree(matrix, "sys")
+        cycle_leaves = [
+            node for node in tree.root.walk() if node.kind is NodeKind.CYCLE
+        ]
+        assert cycle_leaves, "cycle guard should have cut the recursion"
+        # The loop is traversed exactly once before the cut.
+        assert tree.root.depth() >= 4
+
+    def test_deep_chain_depth(self):
+        builder = SystemBuilder("deep")
+        n = 12
+        builder.add_module("M0", inputs=["ext"], outputs=["s0"])
+        for index in range(1, n):
+            builder.add_module(
+                f"M{index}", inputs=[f"s{index - 1}"], outputs=[f"s{index}"]
+            )
+        builder.mark_system_input("ext")
+        builder.mark_system_output(f"s{n - 1}")
+        matrix = PermeabilityMatrix.uniform(builder.build(), 1.0)
+        tree = build_backtrack_tree(matrix, f"s{n - 1}")
+        assert tree.root.depth() == n + 1
+        assert tree.n_paths() == 1
+
+
+class TestArrestmentBacktrackTree:
+    """The TOC2 backtrack tree of the target system (paper Fig. 10)."""
+
+    @pytest.fixture()
+    def tree(self):
+        from repro.arrestment import build_arrestment_model
+
+        system = build_arrestment_model()
+        matrix = PermeabilityMatrix.uniform(system, 1.0)
+        return build_backtrack_tree(matrix, "TOC2")
+
+    def test_paper_path_count(self, tree):
+        """Section 8: 'we can generate 22 propagation paths' for TOC2."""
+        assert tree.n_paths() == 22
+
+    def test_feedback_leaves_for_slot_and_i(self, tree):
+        """Fig. 10 shows the special relation for ms_slot_nbr and i."""
+        feedback_signals = {
+            node.signal
+            for node in tree.root.walk()
+            if node.kind is NodeKind.FEEDBACK
+        }
+        assert feedback_signals == {"ms_slot_nbr", "i"}
+
+    def test_leaves_are_system_inputs_or_feedback(self, tree):
+        for leaf in tree.root.leaves():
+            assert leaf.kind in (NodeKind.BOUNDARY, NodeKind.FEEDBACK)
+
+    def test_boundary_leaf_signals(self, tree):
+        boundary = {
+            leaf.signal
+            for leaf in tree.root.leaves()
+            if leaf.kind is NodeKind.BOUNDARY
+        }
+        assert boundary == {"PACNT", "TIC1", "TCNT", "ADC"}
+
+    def test_root_is_toc2_from_pres_a(self, tree):
+        assert tree.root.signal == "TOC2"
+        assert tree.root.module == "PRES_A"
+        assert [child.signal for child in tree.root.children] == ["OutValue"]

@@ -1,0 +1,148 @@
+"""Unit tests for the baseline analyses ([12] and [18])."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.edm_selection import evaluate_candidates, greedy_edm_selection
+from repro.baselines.uniform import analyse_uniform_propagation
+from repro.injection.golden_run import GoldenRunComparison
+from repro.injection.outcomes import CampaignResult, InjectionOutcome
+
+from tests.conftest import build_toy_model
+
+
+def outcome(
+    module: str,
+    input_signal: str,
+    divergences: dict[str, int | None],
+    fired: bool = True,
+) -> InjectionOutcome:
+    base = {"src": None, "filt": None, "out": None}
+    base.update(divergences)
+    return InjectionOutcome(
+        case_id="case0",
+        module=module,
+        input_signal=input_signal,
+        scheduled_time_ms=10,
+        fired_at_ms=10 if fired else None,
+        error_model="bitflip[0]",
+        comparison=GoldenRunComparison("case0", base),
+    )
+
+
+@pytest.fixture()
+def mixed_result() -> CampaignResult:
+    """FILT.src propagates half the time; AMP.filt always."""
+    result = CampaignResult(build_toy_model())
+    for index in range(10):
+        if index < 5:
+            result.add(outcome("FILT", "src", {"filt": 11, "out": 12}))
+        else:
+            result.add(outcome("FILT", "src", {}))
+        result.add(outcome("AMP", "filt", {"out": 11}))
+    return result
+
+
+class TestUniformPropagation:
+    def test_partial_location_detected(self, mixed_result):
+        report = analyse_uniform_propagation(mixed_result)
+        assert report.n_locations == 2
+        by_name = {
+            (loc.module, loc.input_signal): loc for loc in report.locations
+        }
+        assert by_name[("FILT", "src")].ratio == pytest.approx(0.5)
+        assert by_name[("AMP", "filt")].ratio == pytest.approx(1.0)
+
+    def test_refutes_uniform_claim(self, mixed_result):
+        """The paper: 'Our findings do not corroborate this assertion'."""
+        report = analyse_uniform_propagation(mixed_result)
+        assert not report.corroborates_uniform_propagation
+        assert report.uniformity_index == pytest.approx(0.5)
+        partial = report.intermediate_locations()
+        assert len(partial) == 1
+        assert partial[0].module == "FILT"
+
+    def test_all_uniform_case(self):
+        result = CampaignResult(build_toy_model())
+        for _ in range(4):
+            result.add(outcome("AMP", "filt", {"out": 3}))
+            result.add(outcome("FILT", "src", {}))
+        report = analyse_uniform_propagation(result)
+        assert report.corroborates_uniform_propagation
+        assert report.uniformity_index == 1.0
+
+    def test_tolerance(self, mixed_result):
+        tight = analyse_uniform_propagation(mixed_result, tolerance=0.0)
+        assert tight.n_uniform == 1  # only the all-propagate location
+        loose = analyse_uniform_propagation(mixed_result, tolerance=0.5)
+        assert loose.n_uniform == 2
+
+    def test_unfired_never_propagates(self):
+        result = CampaignResult(build_toy_model())
+        result.add(outcome("AMP", "filt", {"out": 3}, fired=False))
+        report = analyse_uniform_propagation(result)
+        assert report.locations[0].n_propagated == 0
+
+    def test_render(self, mixed_result):
+        text = analyse_uniform_propagation(mixed_result).render()
+        assert "refutes" in text
+        assert "FILT.src" in text
+        assert "PARTIAL" in text
+
+
+class TestEdmSelection:
+    def test_candidate_coverage_and_latency(self, mixed_result):
+        candidates, n_detectable = evaluate_candidates(mixed_result)
+        by_signal = {candidate.signal: candidate for candidate in candidates}
+        # Detectable: 5 FILT injections + 10 AMP injections = 15.
+        assert n_detectable == 15
+        assert by_signal["out"].coverage == pytest.approx(1.0)
+        assert by_signal["filt"].coverage == pytest.approx(5 / 15)
+        assert by_signal["out"].mean_latency_ms == pytest.approx(
+            (5 * 2 + 10 * 1) / 15
+        )
+
+    def test_system_inputs_excluded_by_default(self, mixed_result):
+        candidates, _ = evaluate_candidates(mixed_result)
+        assert "src" not in {candidate.signal for candidate in candidates}
+
+    def test_greedy_picks_highest_marginal_first(self, mixed_result):
+        selection = greedy_edm_selection(mixed_result, max_monitors=2)
+        assert selection.signals[0] == "out"
+        assert selection.total_coverage == pytest.approx(1.0)
+        # The second monitor adds nothing new; greedy stops early.
+        assert len(selection.signals) == 1
+
+    def test_greedy_complementary_monitors(self):
+        """Two monitors covering disjoint halves are both selected."""
+        result = CampaignResult(build_toy_model())
+        for index in range(4):
+            if index % 2:
+                result.add(outcome("FILT", "src", {"filt": 11}))
+            else:
+                result.add(outcome("AMP", "filt", {"out": 11}))
+        selection = greedy_edm_selection(result, max_monitors=3)
+        assert set(selection.signals) == {"filt", "out"}
+        assert selection.total_coverage == pytest.approx(1.0)
+        assert selection.cumulative_coverage[0] == pytest.approx(0.5)
+
+    def test_max_monitors_limit(self, mixed_result):
+        selection = greedy_edm_selection(mixed_result, max_monitors=1)
+        assert len(selection.signals) == 1
+
+    def test_bad_limit_rejected(self, mixed_result):
+        with pytest.raises(ValueError):
+            greedy_edm_selection(mixed_result, max_monitors=0)
+
+    def test_render(self, mixed_result):
+        text = greedy_edm_selection(mixed_result).render()
+        assert "Greedy EDM subset selection" in text
+        assert "cumulative" in text
+
+    def test_no_detectable_errors(self):
+        result = CampaignResult(build_toy_model())
+        result.add(outcome("AMP", "filt", {}))
+        selection = greedy_edm_selection(result)
+        assert selection.n_detectable == 0
+        assert selection.total_coverage == 0.0

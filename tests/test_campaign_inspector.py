@@ -1,0 +1,76 @@
+"""Tests for the campaign inspector hook (trace access per injection run)."""
+
+from __future__ import annotations
+
+from repro.injection.campaign import CampaignConfig, InjectionCampaign
+from repro.injection.error_models import BitFlip
+
+from tests.conftest import build_toy_model, build_toy_run
+
+
+def make_campaign() -> InjectionCampaign:
+    return InjectionCampaign(
+        build_toy_model(),
+        lambda case: build_toy_run(),
+        {"c0": None, "c1": None},
+        CampaignConfig(
+            duration_ms=20,
+            injection_times_ms=(5,),
+            error_models=(BitFlip(15), BitFlip(0)),
+        ),
+    )
+
+
+class TestInspector:
+    def test_called_once_per_injection_run(self):
+        campaign = make_campaign()
+        calls = []
+        campaign.execute(
+            inspector=lambda outcome, injected, golden: calls.append(
+                (outcome.case_id, outcome.module, outcome.error_model)
+            )
+        )
+        assert len(calls) == campaign.total_runs() == 8
+
+    def test_receives_full_traces(self):
+        campaign = make_campaign()
+        durations = []
+
+        def inspector(outcome, injected, golden):
+            durations.append(injected.duration_ms)
+            assert set(injected.traces.signals) == {"src", "filt", "out"}
+            assert golden.duration_ms == injected.duration_ms
+
+        campaign.execute(inspector=inspector)
+        assert set(durations) == {20}
+
+    def test_outcome_matches_traces(self):
+        """The outcome's GRC verdict agrees with a re-comparison of the
+        traces handed to the inspector."""
+        from repro.injection.golden_run import compare_to_golden_run
+
+        campaign = make_campaign()
+
+        def inspector(outcome, injected, golden):
+            fresh = compare_to_golden_run(golden, injected)
+            assert fresh.first_divergence_ms == outcome.comparison.first_divergence_ms
+
+        campaign.execute(inspector=inspector)
+
+    def test_golden_run_matches_case(self):
+        campaign = make_campaign()
+        seen = set()
+
+        def inspector(outcome, injected, golden):
+            assert golden.case_id == outcome.case_id
+            seen.add(golden.case_id)
+
+        campaign.execute(inspector=inspector)
+        assert seen == {"c0", "c1"}
+
+    def test_result_identical_with_and_without_inspector(self):
+        with_inspector = make_campaign().execute(inspector=lambda *a: None)
+        without = make_campaign().execute()
+        assert [o.comparison.first_divergence_ms for o in with_inspector] == [
+            o.comparison.first_divergence_ms for o in without
+        ]

@@ -1,0 +1,63 @@
+"""Tests for parallel campaign execution."""
+
+from __future__ import annotations
+
+from repro.injection.campaign import CampaignConfig, InjectionCampaign
+from repro.injection.error_models import BitFlip, RandomBitFlip
+from repro.injection.estimator import estimate_matrix
+
+from tests.conftest import build_toy_model, toy_factory
+
+
+def make_campaign() -> InjectionCampaign:
+    return InjectionCampaign(
+        build_toy_model(),
+        toy_factory,
+        {"c0": None, "c1": None, "c2": None},
+        CampaignConfig(
+            duration_ms=30,
+            injection_times_ms=(5, 15),
+            # Include a stochastic model so seed derivation is covered.
+            error_models=(BitFlip(15), BitFlip(3), RandomBitFlip()),
+            seed=77,
+        ),
+    )
+
+
+class TestExecuteParallel:
+    def test_identical_to_serial(self):
+        serial = make_campaign().execute()
+        parallel = make_campaign().execute_parallel(max_workers=2)
+        assert len(parallel) == len(serial)
+        serial_records = [
+            (o.case_id, o.module, o.input_signal, o.scheduled_time_ms,
+             o.error_model, o.fired_at_ms, o.comparison.first_divergence_ms)
+            for o in serial
+        ]
+        parallel_records = [
+            (o.case_id, o.module, o.input_signal, o.scheduled_time_ms,
+             o.error_model, o.fired_at_ms, o.comparison.first_divergence_ms)
+            for o in parallel
+        ]
+        assert parallel_records == serial_records
+
+    def test_matrix_identical(self):
+        serial = estimate_matrix(make_campaign().execute())
+        parallel = estimate_matrix(make_campaign().execute_parallel(max_workers=3))
+        assert serial.to_jsonable() == parallel.to_jsonable()
+
+    def test_progress_per_case(self):
+        seen = []
+        make_campaign().execute_parallel(
+            max_workers=2, progress=lambda done, total: seen.append((done, total))
+        )
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_single_worker(self):
+        result = make_campaign().execute_parallel(max_workers=1)
+        assert len(result) == make_campaign().total_runs()
+
+    def test_golden_runs_not_collected(self):
+        campaign = make_campaign()
+        campaign.execute_parallel(max_workers=2)
+        assert campaign.golden_runs() == {}

@@ -1,0 +1,91 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_campaign_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.cases == 2
+        assert args.bits == 16
+        assert args.seed == 2001
+
+    def test_simulate_options(self):
+        args = build_parser().parse_args(
+            ["simulate", "--mass", "9000", "--velocity", "45"]
+        )
+        assert args.mass == 9000.0
+        assert args.velocity == 45.0
+
+
+class TestDemo:
+    def test_demo_prints_all_tables(self, capsys):
+        assert main(["demo"]) == 0
+        output = capsys.readouterr().out
+        for marker in ("Table 1.", "Table 2.", "Table 3.", "Table 4.",
+                       "Placement recommendations", "sys_out", "ext_a"):
+            assert marker in output
+
+
+class TestSimulate:
+    def test_simulate_reports_telemetry(self, capsys):
+        assert main(["simulate", "--duration", "500"]) == 0
+        output = capsys.readouterr().out
+        assert "position_m" in output
+        assert "TOC2" in output
+
+
+class TestCampaignAndAnalyze:
+    @pytest.mark.slow
+    def test_campaign_save_and_reanalyze(self, tmp_path, capsys):
+        matrix_file = tmp_path / "matrix.json"
+        code = main(
+            [
+                "campaign",
+                "--cases", "1",
+                "--times", "1",
+                "--bits", "2",
+                "--duration", "5600",
+                "--save", str(matrix_file),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Table 1." in output
+        assert "Propagation latency" in output
+        assert "Greedy EDM subset selection" in output
+
+        data = json.loads(matrix_file.read_text())
+        assert len(data["entries"]) == 25
+
+        assert main(["analyze", str(matrix_file)]) == 0
+        assert "Table 2." in capsys.readouterr().out
+
+
+class TestTwoNodeFlags:
+    def test_campaign_twonode_flag(self):
+        args = build_parser().parse_args(["campaign", "--twonode", "--parallel", "4"])
+        assert args.twonode is True
+        assert args.parallel == 4
+
+    def test_analyze_twonode_flag(self):
+        args = build_parser().parse_args(["analyze", "m.json", "--twonode"])
+        assert args.twonode is True
+
+    def test_paper_grid_flag(self):
+        args = build_parser().parse_args(["campaign", "--paper-grid"])
+        assert args.paper_grid is True

@@ -1,0 +1,31 @@
+"""CLI analyze --twonode round-trip on a synthetic matrix."""
+
+from __future__ import annotations
+
+import json
+
+from repro.arrestment.twonode import build_twonode_model
+from repro.cli import main
+from repro.core.permeability import PermeabilityMatrix
+
+
+def test_analyze_twonode_roundtrip(tmp_path, capsys):
+    matrix = PermeabilityMatrix.uniform(build_twonode_model(), 0.5)
+    path = tmp_path / "two.json"
+    path.write_text(matrix.to_json())
+    assert main(["analyze", str(path), "--twonode"]) == 0
+    output = capsys.readouterr().out
+    assert "COMM" in output
+    assert output.count("Table 4.") == 2
+
+
+def test_analyze_single_node_rejects_twonode_matrix(tmp_path):
+    matrix = PermeabilityMatrix.uniform(build_twonode_model(), 0.5)
+    path = tmp_path / "two.json"
+    path.write_text(matrix.to_json())
+    try:
+        main(["analyze", str(path)])
+    except Exception:
+        pass  # a mismatched system must not be analysed silently
+    else:  # pragma: no cover - defensive
+        raise AssertionError("expected a failure loading a twonode matrix")

@@ -1,0 +1,72 @@
+"""Unit tests for the resolved connection records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.connection import Connection, ExternalInput, ExternalOutput
+from repro.model.ports import InputPort, OutputPort
+
+
+class TestConnection:
+    def test_valid_connection(self):
+        connection = Connection(
+            producer=OutputPort("A", 1, "sig"),
+            consumer=InputPort("B", 2, "sig"),
+        )
+        assert connection.signal == "sig"
+        assert not connection.is_feedback
+        assert "A" in str(connection) and "B" in str(connection)
+
+    def test_feedback_detection(self):
+        connection = Connection(
+            producer=OutputPort("M", 1, "loop"),
+            consumer=InputPort("M", 1, "loop"),
+        )
+        assert connection.is_feedback
+
+    def test_producer_must_be_output(self):
+        with pytest.raises(ValueError):
+            Connection(
+                producer=InputPort("A", 1, "sig"),
+                consumer=InputPort("B", 1, "sig"),
+            )
+
+    def test_consumer_must_be_input(self):
+        with pytest.raises(ValueError):
+            Connection(
+                producer=OutputPort("A", 1, "sig"),
+                consumer=OutputPort("B", 1, "sig"),
+            )
+
+    def test_signal_names_must_agree(self):
+        with pytest.raises(ValueError):
+            Connection(
+                producer=OutputPort("A", 1, "x"),
+                consumer=InputPort("B", 1, "y"),
+            )
+
+
+class TestExternalLinks:
+    def test_external_input(self):
+        link = ExternalInput(consumer=InputPort("DIST_S", 1, "PACNT"))
+        assert link.signal == "PACNT"
+        assert "external" in str(link)
+
+    def test_external_input_requires_input_port(self):
+        with pytest.raises(ValueError):
+            ExternalInput(consumer=OutputPort("M", 1, "x"))
+
+    def test_external_output(self):
+        link = ExternalOutput(producer=OutputPort("PRES_A", 1, "TOC2"))
+        assert link.signal == "TOC2"
+        assert "external" in str(link)
+
+    def test_external_output_requires_output_port(self):
+        with pytest.raises(ValueError):
+            ExternalOutput(producer=InputPort("M", 1, "x"))
+
+    def test_ordering(self):
+        a = ExternalInput(consumer=InputPort("A", 1, "x"))
+        b = ExternalInput(consumer=InputPort("B", 1, "y"))
+        assert sorted([b, a]) == [a, b]

@@ -1,0 +1,133 @@
+"""Edge-case topologies: source modules, sinks, and boundary overlaps.
+
+The paper's systems are well-behaved; these tests pin the framework's
+documented behaviour on the unusual-but-legal shapes the model admits.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.backtrack import build_backtrack_tree
+from repro.core.exposure import all_module_exposures
+from repro.core.graph import PermeabilityGraph
+from repro.core.permeability import PermeabilityMatrix
+from repro.core.trace import build_trace_tree
+from repro.core.treenode import NodeKind
+from repro.model.builder import SystemBuilder
+
+
+class TestSourceModule:
+    """A module with no inputs (a pure generator)."""
+
+    @pytest.fixture()
+    def matrix(self):
+        builder = SystemBuilder("source")
+        builder.add_module("GEN", inputs=[], outputs=["g"])
+        builder.add_module("USE", inputs=["g", "x"], outputs=["out"])
+        builder.mark_system_input("x")
+        builder.mark_system_output("out")
+        return PermeabilityMatrix.uniform(builder.build(), 0.5)
+
+    def test_source_has_no_pairs(self, matrix):
+        assert matrix.system.module("GEN").n_pairs == 0
+        assert matrix.relative_permeability("GEN") == 0.0
+        assert matrix.nonweighted_relative_permeability("GEN") == 0.0
+
+    def test_backtrack_stops_at_source_output(self, matrix):
+        """A generator output cannot be backtracked through: the child
+        is treated as an analysis boundary."""
+        tree = build_backtrack_tree(matrix, "out")
+        g_nodes = tree.root.find("g")
+        assert len(g_nodes) == 1
+        assert g_nodes[0].kind is NodeKind.BOUNDARY
+        assert g_nodes[0].is_leaf
+
+    def test_source_contributes_no_arcs(self, matrix):
+        graph = PermeabilityGraph(matrix)
+        assert graph.outgoing_arcs("GEN") == ()
+        exposures = all_module_exposures(graph)
+        # USE receives no internal arcs either (GEN has no pairs).
+        assert not exposures["USE"].has_exposure
+
+
+class TestSinkModule:
+    """A module with no outputs (a pure consumer, e.g. a logger)."""
+
+    @pytest.fixture()
+    def matrix(self):
+        builder = SystemBuilder("sink")
+        builder.add_module("A", inputs=["x"], outputs=["mid", "out"])
+        builder.add_module("LOG", inputs=["mid"], outputs=[])
+        builder.mark_system_input("x")
+        builder.mark_system_output("out")
+        return PermeabilityMatrix.uniform(builder.build(), 0.5)
+
+    def test_sink_has_no_pairs(self, matrix):
+        assert matrix.system.module("LOG").n_pairs == 0
+
+    def test_trace_tree_cuts_at_sink(self, matrix):
+        """A signal absorbed by a sink cannot be followed further; the
+        node is labelled as a cut (CYCLE kind documents 'cannot follow')."""
+        tree = build_trace_tree(matrix, "x")
+        mid_nodes = tree.root.find("mid")
+        assert len(mid_nodes) == 1
+        assert mid_nodes[0].is_leaf
+        assert mid_nodes[0].kind is NodeKind.CYCLE
+
+    def test_backtrack_unaffected_by_sink(self, matrix):
+        tree = build_backtrack_tree(matrix, "out")
+        assert tree.n_paths() == 1
+        assert next(tree.root.leaves()).signal == "x"
+
+
+class TestBoundaryOverlap:
+    """A system output that is also consumed internally."""
+
+    @pytest.fixture()
+    def matrix(self):
+        builder = SystemBuilder("overlap")
+        builder.add_module("A", inputs=["x"], outputs=["shared"])
+        builder.add_module("B", inputs=["shared"], outputs=["final"])
+        builder.mark_system_input("x")
+        builder.mark_system_output("shared", "final")
+        return PermeabilityMatrix.uniform(builder.build(), 0.5)
+
+    def test_both_outputs_get_backtrack_trees(self, matrix):
+        shared = build_backtrack_tree(matrix, "shared")
+        final = build_backtrack_tree(matrix, "final")
+        assert shared.n_paths() == 1
+        assert final.n_paths() == 1
+
+    def test_trace_tree_terminates_at_first_boundary(self, matrix):
+        """Documented behaviour: a system output is a leaf even when it
+        is also consumed internally — the analysis reports the first
+        boundary crossing."""
+        tree = build_trace_tree(matrix, "x")
+        leaves = list(tree.root.leaves())
+        assert [leaf.signal for leaf in leaves] == ["shared"]
+        assert leaves[0].kind is NodeKind.BOUNDARY
+
+    def test_graph_has_both_environment_and_internal_arcs(self, matrix):
+        graph = PermeabilityGraph(matrix)
+        carrying = graph.arcs_carrying("shared")
+        consumers = {arc.consumer for arc in carrying}
+        assert consumers == {"B", "<environment>"}
+
+
+class TestParallelEdges:
+    """Two distinct signals between the same pair of modules."""
+
+    def test_arc_multiplicity(self):
+        builder = SystemBuilder("parallel")
+        builder.add_module("P", inputs=["x"], outputs=["s1", "s2"])
+        builder.add_module("Q", inputs=["s1", "s2"], outputs=["out"])
+        builder.mark_system_input("x")
+        builder.mark_system_output("out")
+        matrix = PermeabilityMatrix.uniform(builder.build(), 1.0)
+        graph = PermeabilityGraph(matrix)
+        assert len(graph.arcs_between("P", "Q")) == 2
+        tree = build_backtrack_tree(matrix, "out")
+        # Two parallel branches, both reaching x.
+        assert tree.n_paths() == 2
+        assert all(leaf.signal == "x" for leaf in tree.root.leaves())

@@ -1,0 +1,226 @@
+"""Unit tests for the executable-assertion EDM package."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.edm.detectors import (
+    ConstancyCheck,
+    DeltaCheck,
+    MonotonicCheck,
+    RangeCheck,
+    calibrate_delta,
+    calibrate_range,
+)
+from repro.edm.evaluation import effectiveness_score, evaluate_detectors
+from repro.injection.campaign import CampaignConfig
+from repro.injection.error_models import BitFlip, bit_flip_models
+from repro.model.errors import CampaignError
+
+from tests.conftest import build_toy_model, build_toy_run
+
+
+class TestRangeCheck:
+    def test_fires_outside_range(self):
+        check = RangeCheck("s", 10, 20)
+        assert check.first_detection([12, 15, 25, 12]) == 2
+        assert check.first_detection([12, 5]) == 1
+
+    def test_silent_inside_range(self):
+        check = RangeCheck("s", 10, 20)
+        assert check.first_detection([10, 20, 15]) is None
+        assert not check.fires_on([10, 20])
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            RangeCheck("s", 20, 10)
+
+    def test_name(self):
+        assert RangeCheck("s", 1, 2).name == "range[s:1..2]"
+
+
+class TestDeltaCheck:
+    def test_fires_on_jump(self):
+        check = DeltaCheck("s", 5)
+        assert check.first_detection([0, 3, 9, 10]) == 2
+
+    def test_silent_on_smooth(self):
+        assert DeltaCheck("s", 5).first_detection([0, 5, 10, 15]) is None
+
+    def test_first_sample_never_fires(self):
+        assert DeltaCheck("s", 0).first_detection([1000]) is None
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError):
+            DeltaCheck("s", -1)
+
+
+class TestConstancyCheck:
+    def test_fires_after_freeze(self):
+        check = ConstancyCheck("s", max_constant_ms=3)
+        assert check.first_detection([1, 2, 2, 2, 2]) == 4
+
+    def test_silent_on_changing(self):
+        check = ConstancyCheck("s", max_constant_ms=2)
+        assert check.first_detection([1, 1, 2, 2, 3, 3]) is None
+
+    def test_run_resets_on_change(self):
+        check = ConstancyCheck("s", max_constant_ms=3)
+        assert check.first_detection([5, 5, 5, 6, 6, 6, 7]) is None
+
+    def test_empty(self):
+        assert ConstancyCheck("s", 1).first_detection([]) is None
+
+    def test_bad_bound_rejected(self):
+        with pytest.raises(ValueError):
+            ConstancyCheck("s", 0)
+
+
+class TestMonotonicCheck:
+    def test_fires_on_decrease(self):
+        assert MonotonicCheck("s").first_detection([1, 2, 3, 2]) == 3
+
+    def test_silent_on_nondecreasing(self):
+        assert MonotonicCheck("s").first_detection([1, 1, 2, 3]) is None
+
+    def test_wrap_tolerated(self):
+        check = MonotonicCheck("s", allow_wrap=True)
+        assert check.first_detection([65000, 65500, 10, 50]) is None
+
+    def test_wrap_rejected_when_disallowed(self):
+        check = MonotonicCheck("s", allow_wrap=False)
+        assert check.first_detection([65000, 10]) == 1
+
+
+class TestCalibration:
+    def test_calibrate_range_adds_margin(self):
+        low, high = calibrate_range([100, 200], margin_fraction=0.1)
+        assert low == 90 and high == 210
+
+    def test_calibrate_range_empty_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate_range([])
+
+    def test_calibrate_delta(self):
+        assert calibrate_delta([0, 10, 15], margin_factor=2.0) == 20
+
+    def test_calibrate_delta_needs_two(self):
+        with pytest.raises(ValueError):
+            calibrate_delta([1])
+
+    def test_calibrated_assertions_silent_on_source(self):
+        samples = [t * 7 % 300 for t in range(100)]
+        low, high = calibrate_range(samples)
+        assert RangeCheck("s", low, high).first_detection(samples) is None
+        bound = calibrate_delta(samples)
+        assert DeltaCheck("s", bound).first_detection(samples) is None
+
+
+class TestEvaluation:
+    def config(self) -> CampaignConfig:
+        return CampaignConfig(
+            duration_ms=40,
+            injection_times_ms=(10, 25),
+            error_models=tuple(bit_flip_models(16)),
+        )
+
+    def test_perfect_detector_on_hot_signal(self):
+        """A range check on `out` catches exactly the high-byte flips
+        that propagate through FILT (low-byte flips never corrupt any
+        trace, so they are not part of the denominator)."""
+        # Golden out stays below 0xFF over 40 ms (ramp step 3 -> 120).
+        detector = RangeCheck("out", 0, 0xFF)
+        evaluation = evaluate_detectors(
+            build_toy_model(),
+            lambda case: build_toy_run(),
+            {"c": None},
+            self.config(),
+            [detector],
+        )
+        stats = evaluation.by_name()[detector.name]
+        assert not stats.has_false_alarms
+        # Detectable = 48: FILT high-byte flips (8 bits x 2 times) plus
+        # every AMP flip (identity module, 16 bits x 2 times).
+        assert stats.n_detectable == evaluation.n_detectable == 48
+        # Caught: every flip of bits 8-15 reaching `out` (32 of 48);
+        # AMP's low-byte corruption stays under the bound.
+        assert stats.n_detected == 32
+        assert stats.coverage == pytest.approx(2 / 3)
+        assert stats.mean_latency_ms == 0.0
+
+    def test_false_alarm_detection(self):
+        noisy = RangeCheck("src", 0, 10)  # the ramp exceeds 10 quickly
+        evaluation = evaluate_detectors(
+            build_toy_model(),
+            lambda case: build_toy_run(),
+            {"c": None},
+            self.config(),
+            [noisy],
+        )
+        stats = evaluation.by_name()[noisy.name]
+        assert stats.has_false_alarms
+        assert stats.false_alarm_cases == ["c"]
+
+    def test_detector_on_cold_signal_catches_nothing(self):
+        """Injections at AMP never touch the stored `src` trace."""
+        detector = DeltaCheck("src", 0xFFFF)
+        evaluation = evaluate_detectors(
+            build_toy_model(),
+            lambda case: build_toy_run(),
+            {"c": None},
+            CampaignConfig(
+                duration_ms=40,
+                injection_times_ms=(10,),
+                error_models=(BitFlip(15),),
+                targets=(("AMP", "filt"),),
+            ),
+            [detector],
+        )
+        stats = evaluation.by_name()[detector.name]
+        assert stats.coverage == 0.0
+
+    def test_unknown_signal_rejected(self):
+        with pytest.raises(CampaignError):
+            evaluate_detectors(
+                build_toy_model(),
+                lambda case: build_toy_run(),
+                {"c": None},
+                self.config(),
+                [RangeCheck("ghost", 0, 1)],
+            )
+
+    def test_no_detectors_rejected(self):
+        with pytest.raises(CampaignError):
+            evaluate_detectors(
+                build_toy_model(),
+                lambda case: build_toy_run(),
+                {"c": None},
+                self.config(),
+                [],
+            )
+
+    def test_render(self):
+        evaluation = evaluate_detectors(
+            build_toy_model(),
+            lambda case: build_toy_run(),
+            {"c": None},
+            self.config(),
+            [RangeCheck("out", 0, 0x1000), DeltaCheck("filt", 0x2000)],
+        )
+        text = evaluation.render()
+        assert "EDM evaluation" in text
+        assert "Coverage" in text
+
+    def test_effectiveness_score(self):
+        from repro.edm.evaluation import DetectorStats
+
+        good_detector_cold_signal = DetectorStats("d1", "InValue")
+        good_detector_cold_signal.n_detectable = 10
+        good_detector_cold_signal.n_detected = 9
+        ok_detector_hot_signal = DetectorStats("d2", "SetValue")
+        ok_detector_hot_signal.n_detectable = 10
+        ok_detector_hot_signal.n_detected = 6
+        # OB3: high exposure beats high raw coverage.
+        assert effectiveness_score(
+            ok_detector_hot_signal, signal_exposure=2.8
+        ) > effectiveness_score(good_detector_cold_signal, signal_exposure=0.1)

@@ -1,0 +1,124 @@
+"""Unit tests for the injection error models."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.injection.error_models import (
+    BitFlip,
+    DoubleBitFlip,
+    Offset,
+    RandomBitFlip,
+    RandomReplacement,
+    StuckAtOne,
+    StuckAtZero,
+    bit_flip_models,
+)
+
+
+RNG = random.Random(0)
+
+
+class TestBitFlip:
+    def test_flips_named_bit(self):
+        assert BitFlip(0).apply(0, 16, RNG) == 1
+        assert BitFlip(15).apply(0, 16, RNG) == 0x8000
+
+    def test_involution(self):
+        model = BitFlip(7)
+        value = 0x1234
+        assert model.apply(model.apply(value, 16, RNG), 16, RNG) == value
+
+    def test_always_changes_value(self):
+        for bit in range(16):
+            assert BitFlip(bit).apply(0x5A5A, 16, RNG) != 0x5A5A
+
+    def test_out_of_width_rejected_at_apply(self):
+        with pytest.raises(ValueError):
+            BitFlip(8).apply(0, 8, RNG)
+
+    def test_negative_bit_rejected(self):
+        with pytest.raises(ValueError):
+            BitFlip(-1)
+
+    def test_name(self):
+        assert BitFlip(3).name == "bitflip[3]"
+
+    def test_model_set(self):
+        models = bit_flip_models(16)
+        assert len(models) == 16
+        assert [m.bit for m in models] == list(range(16))
+
+
+class TestRandomModels:
+    def test_random_bit_flip_changes_one_bit(self):
+        rng = random.Random(42)
+        for _ in range(50):
+            corrupted = RandomBitFlip().apply(0x0F0F, 16, rng)
+            assert bin(corrupted ^ 0x0F0F).count("1") == 1
+
+    def test_random_bit_flip_deterministic_per_seed(self):
+        a = RandomBitFlip().apply(0, 16, random.Random(7))
+        b = RandomBitFlip().apply(0, 16, random.Random(7))
+        assert a == b
+
+    def test_random_replacement_always_differs(self):
+        rng = random.Random(3)
+        for value in (0, 1, 0xFFFF, 0x8000):
+            assert RandomReplacement().apply(value, 16, rng) != value
+
+    def test_random_replacement_in_range(self):
+        rng = random.Random(9)
+        for _ in range(100):
+            assert 0 <= RandomReplacement().apply(0, 8, rng) <= 0xFF
+
+
+class TestDoubleBitFlip:
+    def test_flips_two_bits(self):
+        corrupted = DoubleBitFlip(0, 15).apply(0, 16, RNG)
+        assert corrupted == 0x8001
+
+    def test_same_bits_rejected(self):
+        with pytest.raises(ValueError):
+            DoubleBitFlip(3, 3)
+
+    def test_width_check(self):
+        with pytest.raises(ValueError):
+            DoubleBitFlip(0, 12).apply(0, 8, RNG)
+
+
+class TestStuckAt:
+    def test_stuck_at_zero(self):
+        assert StuckAtZero(3).apply(0xFFFF, 16, RNG) == 0xFFF7
+        assert StuckAtZero(3).apply(0, 16, RNG) == 0  # may be a no-op
+
+    def test_stuck_at_one(self):
+        assert StuckAtOne(3).apply(0, 16, RNG) == 8
+        assert StuckAtOne(3).apply(0xFFFF, 16, RNG) == 0xFFFF
+
+    def test_width_checks(self):
+        with pytest.raises(ValueError):
+            StuckAtZero(9).apply(0, 8, RNG)
+        with pytest.raises(ValueError):
+            StuckAtOne(9).apply(0, 8, RNG)
+
+
+class TestOffset:
+    def test_positive_offset(self):
+        assert Offset(10).apply(100, 16, RNG) == 110
+
+    def test_wraps(self):
+        assert Offset(2).apply(0xFFFF, 16, RNG) == 1
+
+    def test_negative_offset_wraps(self):
+        assert Offset(-5).apply(3, 16, RNG) == 0xFFFE
+
+    def test_zero_offset_rejected(self):
+        with pytest.raises(ValueError):
+            Offset(0)
+
+    def test_name_signed(self):
+        assert Offset(-5).name == "offset[-5]"
+        assert Offset(5).name == "offset[+5]"

@@ -1,0 +1,69 @@
+"""Smoke tests: the example scripts must run and produce their output.
+
+Only the cheap examples run here (the campaign-driven ones are covered
+by their underlying library tests and the benchmark suite).
+"""
+
+from __future__ import annotations
+
+import runpy
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys, argv: list[str] | None = None) -> str:
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestQuickstart:
+    def test_runs_and_prints_tables(self, capsys):
+        output = run_example("quickstart.py", capsys)
+        assert "Table 1." in output
+        assert "Table 2." in output
+        assert "Backtrack tree" in output
+        assert "digraph" in output
+
+    def test_table4_layout(self, capsys):
+        output = run_example("quickstart.py", capsys)
+        assert "Table 4." in output
+        assert "ext_c -> c1 -> d1 -> sys_out" in output
+
+
+class TestCustomSystemPlacement:
+    def test_runs_and_recommends(self, capsys):
+        output = run_example("custom_system_placement.py", capsys)
+        assert "sensor-fusion" in output
+        assert "Placement recommendations" in output
+        assert "gyro" in output
+        assert "digraph" in output
+
+    def test_paths_into_cmd(self, capsys):
+        output = run_example("custom_system_placement.py", capsys)
+        assert "-> cmd" in output
+
+
+class TestExampleScriptsExist:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "quickstart.py",
+            "arrestment_experiment.py",
+            "custom_system_placement.py",
+            "error_model_sensitivity.py",
+            "edm_placement_study.py",
+        ],
+    )
+    def test_present_and_compilable(self, name):
+        path = EXAMPLES / name
+        assert path.exists()
+        compile(path.read_text(encoding="utf-8"), str(path), "exec")

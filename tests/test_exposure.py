@@ -1,0 +1,156 @@
+"""Unit tests for the exposure measures (Eqs. 4–6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.backtrack import build_all_backtrack_trees, build_backtrack_tree
+from repro.core.exposure import (
+    all_module_exposures,
+    all_signal_exposures,
+    module_exposure,
+    rank_by_exposure,
+    signal_exposure,
+)
+from repro.core.graph import PermeabilityGraph
+from repro.core.permeability import PermeabilityMatrix
+from repro.model.examples import fig2_permeabilities
+
+
+@pytest.fixture()
+def fig2_graph(fig2_matrix):
+    return PermeabilityGraph(fig2_matrix)
+
+
+class TestModuleExposure:
+    def test_input_only_modules_have_no_exposure(self, fig2_graph):
+        """OB1: modules receiving only system inputs have no exposure."""
+        for module in ("A", "C"):
+            exposure = module_exposure(fig2_graph, module)
+            assert exposure.exposure is None
+            assert not exposure.has_exposure
+            assert exposure.nonweighted_exposure == 0.0
+            assert exposure.n_incoming_arcs == 0
+
+    def test_eq4_is_mean_of_incoming_weights(self, fig2_graph):
+        values = fig2_permeabilities()
+        exposure = module_exposure(fig2_graph, "E")
+        incoming = [
+            values[("B", "b1", "b2")],
+            values[("B", "a1", "b2")],
+            values[("D", "b1", "d1")],
+            values[("D", "c1", "d1")],
+        ]
+        assert exposure.n_incoming_arcs == 4
+        assert exposure.exposure == pytest.approx(sum(incoming) / 4)
+        assert exposure.nonweighted_exposure == pytest.approx(sum(incoming))
+
+    def test_eq5_includes_self_loops(self, fig2_graph):
+        values = fig2_permeabilities()
+        exposure = module_exposure(fig2_graph, "B")
+        # Incoming: A's pair (ext_a->a1) plus B's own two b1 pairs.
+        expected = (
+            values[("A", "ext_a", "a1")]
+            + values[("B", "b1", "b1")]
+            + values[("B", "a1", "b1")]
+        )
+        assert exposure.n_incoming_arcs == 3
+        assert exposure.nonweighted_exposure == pytest.approx(expected)
+
+    def test_all_module_exposures(self, fig2_graph):
+        exposures = all_module_exposures(fig2_graph)
+        assert set(exposures) == {"A", "B", "C", "D", "E"}
+
+    def test_ranking_puts_no_exposure_last(self, fig2_graph):
+        ranking = rank_by_exposure(fig2_graph)
+        tail = {item.module for item in ranking[-2:]}
+        assert tail == {"A", "C"}
+
+    def test_ranking_nonweighted_vs_weighted(self, fig2_graph):
+        by_sum = rank_by_exposure(fig2_graph, nonweighted=True)
+        by_mean = rank_by_exposure(fig2_graph, nonweighted=False)
+        assert by_sum[0].module == "E"  # sum 2.3
+        assert by_mean[0].module == "D"  # mean 0.70
+
+
+class TestSignalExposure:
+    @pytest.fixture()
+    def trees(self, fig2_matrix):
+        return list(build_all_backtrack_trees(fig2_matrix).values())
+
+    def test_eq6_unique_arc_sum(self, trees):
+        """b1 generates multiple nodes; its pair values count once."""
+        values = fig2_permeabilities()
+        exposure = signal_exposure(trees, "b1")
+        # Nodes for b1: internal nodes (expanded, children = B's pairs
+        # producing b1) and the feedback leaves (no children).  Unique
+        # arcs: P^B[b1->b1] and P^B[a1->b1].
+        assert exposure == pytest.approx(
+            values[("B", "b1", "b1")] + values[("B", "a1", "b1")]
+        )
+
+    def test_leaf_signal_has_zero_exposure(self, trees):
+        assert signal_exposure(trees, "ext_a") == 0.0
+
+    def test_root_signal_exposure(self, trees):
+        values = fig2_permeabilities()
+        expected = (
+            values[("E", "b2", "sys_out")]
+            + values[("E", "d1", "sys_out")]
+            + values[("E", "ext_e", "sys_out")]
+        )
+        assert signal_exposure(trees, "sys_out") == pytest.approx(expected)
+
+    def test_all_signal_exposures_defaults_to_tree_signals(self, trees):
+        exposures = all_signal_exposures(trees)
+        assert "b1" in exposures and "sys_out" in exposures
+
+    def test_all_signal_exposures_explicit_signals(self, trees):
+        exposures = all_signal_exposures(trees, signals=["b1", "nonexistent"])
+        assert exposures["nonexistent"] == 0.0
+
+    def test_absent_signal_zero(self, trees):
+        assert signal_exposure(trees, "ghost") == 0.0
+
+
+class TestArrestmentExposures:
+    """Shape assertions matching the paper's Tables 2 and 3."""
+
+    @pytest.fixture()
+    def matrix(self):
+        from repro.arrestment import build_arrestment_model
+
+        return PermeabilityMatrix.uniform(build_arrestment_model(), 1.0)
+
+    def test_ob1_input_only_modules(self, matrix):
+        """OB1: DIST_S and PRES_S have no error exposure values."""
+        graph = PermeabilityGraph(matrix)
+        exposures = all_module_exposures(graph)
+        assert exposures["DIST_S"].exposure is None
+        assert exposures["PRES_S"].exposure is None
+        assert exposures["CALC"].has_exposure
+        assert exposures["V_REG"].has_exposure
+        assert exposures["PRES_A"].has_exposure
+        assert exposures["CLOCK"].has_exposure  # slot feedback
+
+    def test_ob1_central_modules_lead(self, matrix):
+        """With uniform weights the hubs CALC and V_REG lead Eq. 5."""
+        graph = PermeabilityGraph(matrix)
+        ranking = rank_by_exposure(graph, nonweighted=True)
+        assert ranking[0].module == "CALC"  # 15 incoming arcs
+        assert ranking[1].module == "V_REG"  # 6 incoming arcs
+
+    def test_setvalue_signal_exposure(self, matrix):
+        """X^SetValue sums the five P^CALC[*->SetValue] values (counted
+        once despite SetValue generating one node per tree branch)."""
+        tree = build_backtrack_tree(matrix, "TOC2")
+        assert signal_exposure([tree], "SetValue") == pytest.approx(5.0)
+
+    def test_i_signal_exposure(self, matrix):
+        """X^i sums the five P^CALC[*->i] values."""
+        tree = build_backtrack_tree(matrix, "TOC2")
+        assert signal_exposure([tree], "i") == pytest.approx(5.0)
+
+    def test_mscnt_exposure_single_pair(self, matrix):
+        tree = build_backtrack_tree(matrix, "TOC2")
+        assert signal_exposure([tree], "mscnt") == pytest.approx(1.0)

@@ -1,0 +1,180 @@
+"""Tests for the FMECA-style failure-mode classification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.injection.failure_modes import (
+    FailureMode,
+    LocationCriticality,
+    SeverityLimits,
+    classify_run,
+)
+from repro.injection.golden_run import GoldenRun, GoldenRunComparison
+from repro.injection.outcomes import InjectionOutcome
+from repro.simulation.runtime import RunResult
+from repro.simulation.traces import TraceSet
+
+
+def run_result(telemetry: dict) -> RunResult:
+    return RunResult(
+        traces=TraceSet(), duration_ms=100, final_signals={}, telemetry=telemetry
+    )
+
+
+def golden(position=300.0, decel=7.0, stop=9000.0) -> GoldenRun:
+    return GoldenRun(
+        "case",
+        run_result(
+            {
+                "position_m": position,
+                "peak_decel_ms2": decel,
+                "stop_time_ms": stop,
+            }
+        ),
+    )
+
+
+def outcome(error_free: bool) -> InjectionOutcome:
+    divergences = {"TOC2": None if error_free else 50}
+    return InjectionOutcome(
+        case_id="case",
+        module="M",
+        input_signal="x",
+        scheduled_time_ms=10,
+        fired_at_ms=10,
+        error_model="bitflip[0]",
+        comparison=GoldenRunComparison("case", divergences),
+    )
+
+
+LIMITS = SeverityLimits()
+
+
+class TestClassifyRun:
+    def test_no_effect(self):
+        injected = run_result(
+            {"position_m": 300.0, "peak_decel_ms2": 7.0, "stop_time_ms": 9000.0}
+        )
+        assert (
+            classify_run(injected, golden(), outcome(error_free=True), LIMITS)
+            is FailureMode.NO_EFFECT
+        )
+
+    def test_tolerated(self):
+        injected = run_result(
+            {"position_m": 302.0, "peak_decel_ms2": 7.5, "stop_time_ms": 9100.0}
+        )
+        assert (
+            classify_run(injected, golden(), outcome(False), LIMITS)
+            is FailureMode.TOLERATED
+        )
+
+    def test_degraded_by_rollout(self):
+        injected = run_result(
+            {"position_m": 320.0, "peak_decel_ms2": 7.0, "stop_time_ms": 9500.0}
+        )
+        assert (
+            classify_run(injected, golden(), outcome(False), LIMITS)
+            is FailureMode.DEGRADED
+        )
+
+    def test_degraded_by_deceleration(self):
+        injected = run_result(
+            {"position_m": 300.0, "peak_decel_ms2": 12.0, "stop_time_ms": 9000.0}
+        )
+        assert (
+            classify_run(injected, golden(), outcome(False), LIMITS)
+            is FailureMode.DEGRADED
+        )
+
+    def test_overrun(self):
+        injected = run_result(
+            {"position_m": 355.0, "peak_decel_ms2": 7.0, "stop_time_ms": -1.0}
+        )
+        assert (
+            classify_run(injected, golden(), outcome(False), LIMITS)
+            is FailureMode.OVERRUN
+        )
+
+    def test_overload(self):
+        injected = run_result(
+            {"position_m": 200.0, "peak_decel_ms2": 35.0, "stop_time_ms": 5000.0}
+        )
+        assert (
+            classify_run(injected, golden(), outcome(False), LIMITS)
+            is FailureMode.OVERLOAD
+        )
+
+    def test_hung(self):
+        injected = run_result(
+            {"position_m": 310.0, "peak_decel_ms2": 7.0, "stop_time_ms": -1.0}
+        )
+        assert (
+            classify_run(injected, golden(), outcome(False), LIMITS)
+            is FailureMode.HUNG
+        )
+
+    def test_hang_only_counts_when_golden_stopped(self):
+        injected = run_result(
+            {"position_m": 310.0, "peak_decel_ms2": 7.0, "stop_time_ms": -1.0}
+        )
+        reference = golden(stop=-1.0)  # golden did not stop either
+        assert (
+            classify_run(injected, reference, outcome(False), LIMITS)
+            is FailureMode.TOLERATED
+        )
+
+    def test_severity_flags(self):
+        assert FailureMode.OVERRUN.is_severe
+        assert FailureMode.HUNG.is_severe
+        assert not FailureMode.DEGRADED.is_severe
+        assert not FailureMode.NO_EFFECT.is_severe
+
+
+class TestLocationCriticality:
+    def test_fractions(self):
+        loc = LocationCriticality("M", "x")
+        loc.counts[FailureMode.NO_EFFECT] = 6
+        loc.counts[FailureMode.TOLERATED] = 2
+        loc.counts[FailureMode.OVERRUN] = 2
+        assert loc.n_injections == 10
+        assert loc.effect_fraction == pytest.approx(0.4)
+        assert loc.severe_fraction == pytest.approx(0.2)
+
+    def test_empty(self):
+        loc = LocationCriticality("M", "x")
+        assert loc.effect_fraction == 0.0
+        assert loc.severe_fraction == 0.0
+
+
+class TestCampaignClassification:
+    @pytest.mark.slow
+    def test_arrestment_criticality_matrix(self):
+        from repro.arrestment import build_arrestment_model, build_arrestment_run
+        from repro.arrestment.testcases import ArrestmentTestCase
+        from repro.injection.campaign import CampaignConfig
+        from repro.injection.error_models import BitFlip
+        from repro.injection.failure_modes import classify_campaign
+
+        report, result = classify_campaign(
+            build_arrestment_model(),
+            build_arrestment_run,
+            {"m14000-v60": ArrestmentTestCase(14000, 60)},
+            CampaignConfig(
+                duration_ms=14000,
+                injection_times_ms=(2500,),
+                error_models=tuple(BitFlip(b) for b in (0, 7, 14, 15)),
+            ),
+        )
+        assert len(result) == 13 * 4
+        by_location = report.by_location()
+        # The slot counter is mission-critical: corrupting it derails
+        # the whole schedule.
+        clock = by_location[("CLOCK", "ms_slot_nbr")]
+        assert clock.effect_fraction == 1.0
+        # The conditioned pressure input is benign (OB3's low exposure).
+        pres = by_location[("PRES_S", "ADC")]
+        assert pres.severe_fraction == 0.0
+        text = report.render()
+        assert "Criticality matrix" in text

@@ -1,0 +1,123 @@
+"""Unit tests for :mod:`repro.core.graph` (the permeability graph)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.graph import ENVIRONMENT, PermeabilityGraph
+from repro.core.permeability import PermeabilityMatrix
+from repro.model.errors import MissingPermeabilityError, UnknownModuleError
+
+@pytest.fixture()
+def fig2_graph(fig2_matrix) -> PermeabilityGraph:
+    return PermeabilityGraph(fig2_matrix)
+
+
+class TestConstruction:
+    def test_requires_complete_matrix(self, fig2_system):
+        matrix = PermeabilityMatrix(fig2_system)
+        with pytest.raises(MissingPermeabilityError):
+            PermeabilityGraph(matrix)
+
+    def test_nodes_are_modules(self, fig2_graph, fig2_system):
+        assert fig2_graph.nodes() == fig2_system.module_names()
+
+    def test_arc_count(self, fig2_graph):
+        # Every (pair, consumer) combination plus environment arcs:
+        # A: a1 -> B (1 pair) = 1
+        # B: b1 -> {B, D} (2 pairs x 2 consumers) = 4; b2 -> E (2 pairs) = 2
+        # C: c1 -> D = 1
+        # D: d1 -> E (2 pairs) = 2
+        # E: sys_out -> environment (3 pairs) = 3
+        assert fig2_graph.n_arcs() == 13
+
+    def test_more_arcs_than_signals(self, fig2_graph, fig2_system):
+        """The paper: 'there may be more arcs between two nodes than
+        there are signals between the corresponding modules'."""
+        arcs_b_to_d = fig2_graph.arcs_between("B", "D")
+        assert len(arcs_b_to_d) == 2  # both of B's pairs producing b1
+        assert len({arc.output_signal for arc in arcs_b_to_d}) == 1
+
+    def test_self_loops_for_feedback(self, fig2_graph):
+        loops = [arc for arc in fig2_graph.arcs() if arc.is_self_loop]
+        assert len(loops) == 2  # B's two pairs producing b1 loop into B
+        assert {arc.producer for arc in loops} == {"B"}
+
+    def test_environment_arcs(self, fig2_graph):
+        env_arcs = fig2_graph.environment_arcs()
+        assert len(env_arcs) == 3
+        assert all(arc.output_signal == "sys_out" for arc in env_arcs)
+        assert all(arc.to_environment for arc in env_arcs)
+
+    def test_weights_match_matrix(self, fig2_graph, fig2_matrix):
+        for arc in fig2_graph.arcs():
+            assert arc.weight == fig2_matrix.get(
+                arc.producer, arc.input_signal, arc.output_signal
+            )
+
+
+class TestQueries:
+    def test_incoming_arcs(self, fig2_graph):
+        incoming = fig2_graph.incoming_arcs("E")
+        # b2 pairs (2) + d1 pairs (2) = 4 arcs into E.
+        assert len(incoming) == 4
+        assert all(arc.consumer == "E" for arc in incoming)
+
+    def test_incoming_arcs_input_only_module(self, fig2_graph):
+        assert fig2_graph.incoming_arcs("A") == ()
+        assert fig2_graph.incoming_arcs("C") == ()
+
+    def test_outgoing_arcs(self, fig2_graph):
+        outgoing = fig2_graph.outgoing_arcs("B")
+        assert len(outgoing) == 6  # 4 via b1 (B,B,D,D) + 2 via b2
+
+    def test_zero_weight_filtering(self, fig2_graph):
+        all_arcs = list(fig2_graph.arcs(include_zero=True))
+        nonzero = list(fig2_graph.arcs(include_zero=False))
+        assert len(all_arcs) - len(nonzero) == 1  # only E.ext_e pair is 0
+
+    def test_self_loop_filtering(self, fig2_graph):
+        without = fig2_graph.incoming_arcs("B", include_self_loops=False)
+        with_loops = fig2_graph.incoming_arcs("B")
+        assert len(with_loops) - len(without) == 2
+
+    def test_arcs_carrying(self, fig2_graph):
+        arcs = fig2_graph.arcs_carrying("b1")
+        assert len(arcs) == 4
+        assert all(arc.output_signal == "b1" for arc in arcs)
+
+    def test_unknown_module_rejected(self, fig2_graph):
+        with pytest.raises(UnknownModuleError):
+            fig2_graph.incoming_arcs("NOPE")
+        with pytest.raises(UnknownModuleError):
+            fig2_graph.outgoing_arcs("NOPE")
+
+    def test_adjacency_multiplicity(self, fig2_graph):
+        adjacency = fig2_graph.adjacency()
+        assert adjacency["B"]["D"] == 2
+        assert adjacency["B"]["B"] == 2
+        assert adjacency["E"][ENVIRONMENT] == 3
+
+    def test_arc_labels(self, fig2_graph):
+        arc = fig2_graph.arcs_between("A", "B")[0]
+        assert "A" in arc.label()
+        assert "ext_a" in arc.label()
+        assert "a1" in str(arc)
+
+
+class TestArrestmentGraph:
+    def test_paper_pair_count(self):
+        from repro.arrestment import build_arrestment_model
+
+        system = build_arrestment_model()
+        assert system.n_pairs() == 25  # Section 8: "25 input/output pairs"
+        matrix = PermeabilityMatrix.uniform(system, 0.5)
+        graph = PermeabilityGraph(matrix)
+        # CALC receives mscnt (1 arc), pulscnt/slow_speed/stopped
+        # (9 arcs from DIST_S) and its own i feedback (5 arcs).
+        assert len(graph.incoming_arcs("CALC")) == 15
+        # V_REG receives SetValue (5 arcs, one per CALC pair producing
+        # it) and InValue (PRES_S's single pair).
+        assert len(graph.incoming_arcs("V_REG")) == 6
+        # The single system output TOC2 is PRES_A's only pair.
+        assert len(graph.environment_arcs()) == 1

@@ -1,0 +1,115 @@
+"""End-to-end integration: every Fig. 2 number verified by hand.
+
+The analytic permeabilities of the example system make every derived
+quantity hand-computable; this file pins the full analysis pipeline to
+those exact values, so any regression in Eqs. 1–6, the tree builders or
+the path ranking shows up as a concrete numeric diff.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analysis import PropagationAnalysis
+
+
+@pytest.fixture()
+def analysis(fig2_matrix):
+    return PropagationAnalysis(fig2_matrix)
+
+
+class TestModuleMeasuresExact:
+    EXPECTED = {
+        # module: (P, P-bar)
+        "A": (0.8, 0.8),
+        "B": (0.525, 2.1),
+        "C": (1.0, 1.0),
+        "D": (0.65, 1.3),
+        "E": (0.4, 1.2),
+    }
+
+    def test_all_values(self, analysis):
+        for module, (relative, total) in self.EXPECTED.items():
+            measures = analysis.module_measures[module]
+            assert measures.relative_permeability == pytest.approx(relative)
+            assert measures.nonweighted_relative_permeability == pytest.approx(total)
+
+
+class TestExposuresExact:
+    EXPECTED = {
+        # module: (X or None, X-bar)
+        "A": (None, 0.0),
+        "B": (1.9 / 3, 1.9),
+        "C": (None, 0.0),
+        "D": (2.1 / 3, 2.1),
+        "E": (2.3 / 4, 2.3),
+    }
+
+    def test_all_values(self, analysis):
+        for module, (mean, total) in self.EXPECTED.items():
+            exposure = analysis.module_exposures[module]
+            if mean is None:
+                assert exposure.exposure is None
+            else:
+                assert exposure.exposure == pytest.approx(mean)
+            assert exposure.nonweighted_exposure == pytest.approx(total)
+
+
+class TestSignalExposuresExact:
+    EXPECTED = {
+        "sys_out": 1.2,
+        "b2": 1.0,
+        "d1": 1.3,
+        "b1": 1.1,
+        "a1": 0.8,
+        "c1": 1.0,
+        "ext_a": 0.0,
+        "ext_c": 0.0,
+        "ext_e": 0.0,
+    }
+
+    def test_all_values(self, analysis):
+        for signal, expected in self.EXPECTED.items():
+            assert analysis.signal_exposures[signal] == pytest.approx(
+                expected
+            ), signal
+
+
+class TestPathWeightsExact:
+    EXPECTED = {
+        ("ext_c", "c1", "d1", "sys_out"): 0.495,
+        ("ext_a", "a1", "b2", "sys_out"): 0.364,
+        ("b1", "b1", "d1", "sys_out"): 0.11,
+        ("ext_a", "a1", "b1", "d1", "sys_out"): 0.1056,
+        ("b1", "b1", "b2", "sys_out"): 0.0975,
+        ("ext_a", "a1", "b1", "b2", "sys_out"): 0.0936,
+        ("ext_e", "sys_out"): 0.0,
+    }
+
+    def test_all_seven_paths(self, analysis):
+        paths = {p.signals: p.weight for p in analysis.output_paths("sys_out")}
+        assert len(paths) == 7
+        for signals, weight in self.EXPECTED.items():
+            assert paths[signals] == pytest.approx(weight), signals
+
+    def test_ranking_order(self, analysis):
+        ranked = analysis.ranked_output_paths("sys_out")
+        expected_order = sorted(
+            self.EXPECTED.items(), key=lambda item: -item[1]
+        )
+        assert [p.signals for p in ranked] == [s for s, _ in expected_order]
+
+
+class TestPlacementConclusions:
+    def test_edm_module_order(self, analysis):
+        """Non-weighted exposure: E (2.3) > D (2.1) > B (1.9)."""
+        modules = [item.module for item in analysis.placement.edm_modules]
+        assert modules == ["E", "D", "B"]
+
+    def test_erm_module_leader(self, analysis):
+        assert analysis.placement.erm_modules[0].module == "C"
+
+    def test_bottleneck_signals(self, analysis):
+        """No internal signal lies on all six non-zero paths (b2 and d1
+        split the traffic), so no bottleneck exists in the example."""
+        assert analysis.placement.bottleneck_signals == []

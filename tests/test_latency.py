@@ -1,0 +1,135 @@
+"""Unit tests for the propagation-latency extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.injection.golden_run import GoldenRunComparison
+from repro.injection.latency import (
+    PairLatency,
+    _percentile,
+    latency_statistics,
+    render_latency_table,
+)
+from repro.injection.outcomes import CampaignResult, InjectionOutcome
+
+from tests.conftest import build_toy_model
+
+
+def outcome(
+    module: str,
+    input_signal: str,
+    fired_at: int,
+    divergences: dict[str, int | None],
+) -> InjectionOutcome:
+    base = {"src": None, "filt": None, "out": None}
+    base.update(divergences)
+    return InjectionOutcome(
+        case_id="case0",
+        module=module,
+        input_signal=input_signal,
+        scheduled_time_ms=fired_at,
+        fired_at_ms=fired_at,
+        error_model="bitflip[0]",
+        comparison=GoldenRunComparison("case0", base),
+    )
+
+
+class TestPercentile:
+    def test_single_value(self):
+        assert _percentile([5], 0.5) == 5.0
+
+    def test_median_odd(self):
+        assert _percentile([1, 2, 9], 0.5) == 2.0
+
+    def test_median_even_interpolates(self):
+        assert _percentile([1, 3], 0.5) == 2.0
+
+    def test_extremes(self):
+        assert _percentile([1, 2, 3], 0.0) == 1.0
+        assert _percentile([1, 2, 3], 1.0) == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            _percentile([], 0.5)
+
+
+class TestLatencyStatistics:
+    def make_result(self) -> CampaignResult:
+        result = CampaignResult(build_toy_model())
+        result.add(outcome("AMP", "filt", 10, {"out": 10}))
+        result.add(outcome("AMP", "filt", 10, {"out": 13}))
+        result.add(outcome("AMP", "filt", 10, {"out": 30}))
+        result.add(outcome("AMP", "filt", 10, {}))  # no propagation
+        return result
+
+    def test_basic_statistics(self):
+        stats = latency_statistics(self.make_result())
+        pair = stats[("AMP", "filt", "out")]
+        assert pair.n_samples == 3
+        assert pair.min_ms == 0
+        assert pair.max_ms == 20
+        assert pair.mean_ms == pytest.approx((0 + 3 + 20) / 3)
+        assert pair.median_ms == 3.0
+
+    def test_unpropagated_pairs_absent(self):
+        result = CampaignResult(build_toy_model())
+        result.add(outcome("AMP", "filt", 10, {}))
+        assert latency_statistics(result) == {}
+
+    def test_synchronous_classification(self):
+        fast = PairLatency("M", "a", "b", 4, 0, 6, 3.0, 3.0)
+        slow = PairLatency("M", "a", "b", 4, 0, 50, 10.0, 4.0)
+        assert fast.is_synchronous
+        assert not slow.is_synchronous
+
+    def test_direct_only_filtering(self):
+        result = CampaignResult(build_toy_model())
+        # Output diverges only after the error looped back to the input.
+        result.add(outcome("AMP", "filt", 10, {"out": 30, "filt": 15}))
+        assert latency_statistics(result, direct_only=True) == {}
+        total = latency_statistics(result, direct_only=False)
+        assert total[("AMP", "filt", "out")].n_samples == 1
+
+    def test_latency_measured_from_firing_time(self):
+        result = CampaignResult(build_toy_model())
+        late = InjectionOutcome(
+            case_id="case0",
+            module="AMP",
+            input_signal="filt",
+            scheduled_time_ms=10,
+            fired_at_ms=12,  # trap fired 2 ms after scheduling
+            error_model="bitflip[0]",
+            comparison=GoldenRunComparison(
+                "case0", {"src": None, "filt": None, "out": 15}
+            ),
+        )
+        result.add(late)
+        stats = latency_statistics(result)
+        assert stats[("AMP", "filt", "out")].min_ms == 3
+
+    def test_render_table(self):
+        text = render_latency_table(latency_statistics(self.make_result()))
+        assert "AMP: filt -> out" in text
+        assert "p50" in text
+
+    def test_end_to_end_on_toy_runtime(self):
+        from repro.injection.campaign import CampaignConfig, InjectionCampaign
+        from repro.injection.error_models import BitFlip
+
+        from tests.conftest import build_toy_run
+
+        campaign = InjectionCampaign(
+            build_toy_model(),
+            lambda case: build_toy_run(),
+            {"c": None},
+            CampaignConfig(
+                duration_ms=20,
+                injection_times_ms=(5,),
+                error_models=(BitFlip(15),),
+            ),
+        )
+        stats = latency_statistics(campaign.execute())
+        # The chain propagates within the same millisecond frame.
+        assert stats[("AMP", "filt", "out")].max_ms == 0
+        assert stats[("FILT", "src", "filt")].max_ms == 0

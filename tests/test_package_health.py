@@ -1,0 +1,26 @@
+"""Package-health checks: imports, __all__ consistency, version."""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+
+import repro
+
+
+def test_every_module_imports_and_all_is_consistent():
+    for mod_info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if mod_info.name.endswith("__main__"):
+            continue  # executing the CLI entry point is not an import test
+        module = importlib.import_module(mod_info.name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{mod_info.name}.__all__: {name}"
+
+
+def test_top_level_all_resolves():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"

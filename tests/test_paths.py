@@ -1,0 +1,152 @@
+"""Unit tests for propagation-path extraction and ranking."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.backtrack import build_backtrack_tree
+from repro.core.paths import (
+    PathEdge,
+    nonzero_paths,
+    paths_of_backtrack_tree,
+    paths_of_trace_tree,
+    rank_paths,
+)
+from repro.core.trace import build_trace_tree
+from repro.core.treenode import NodeKind
+from repro.model.examples import fig2_permeabilities
+
+
+@pytest.fixture()
+def backtrack_paths(fig2_matrix):
+    return paths_of_backtrack_tree(build_backtrack_tree(fig2_matrix, "sys_out"))
+
+
+class TestBacktrackPaths:
+    def test_path_count_matches_tree(self, fig2_matrix, backtrack_paths):
+        tree = build_backtrack_tree(fig2_matrix, "sys_out")
+        assert len(backtrack_paths) == tree.n_paths() == 7
+
+    def test_paths_run_source_to_sink(self, backtrack_paths):
+        for path in backtrack_paths:
+            assert path.sink == "sys_out"
+            assert path.signals[0] == path.source
+            assert path.signals[-1] == "sys_out"
+
+    def test_weight_is_product_of_edges(self, backtrack_paths):
+        for path in backtrack_paths:
+            assert path.weight == pytest.approx(
+                math.prod(edge.permeability for edge in path.edges)
+            )
+
+    def test_example_path_weight(self, backtrack_paths):
+        """The paper's example: P = P^A_1,1 * P^B_2,2 * P^E_1,1 for the
+        direct ext_a -> a1 -> b2 -> sys_out path."""
+        values = fig2_permeabilities()
+        direct = next(
+            p
+            for p in backtrack_paths
+            if p.signals == ("ext_a", "a1", "b2", "sys_out")
+        )
+        expected = (
+            values[("A", "ext_a", "a1")]
+            * values[("B", "a1", "b2")]
+            * values[("E", "b2", "sys_out")]
+        )
+        assert direct.weight == pytest.approx(expected)
+
+    def test_adjusted_weight(self, backtrack_paths):
+        """The paper's P' = Pr(err on input) * P scaling."""
+        path = backtrack_paths[0]
+        assert path.adjusted_weight(0.5) == pytest.approx(0.5 * path.weight)
+
+    def test_edges_in_propagation_order(self, backtrack_paths):
+        direct = next(
+            p
+            for p in backtrack_paths
+            if p.signals == ("ext_a", "a1", "b2", "sys_out")
+        )
+        assert [edge.module for edge in direct.edges] == ["A", "B", "E"]
+        assert direct.edges[0].input_signal == "ext_a"
+        assert direct.edges[-1].output_signal == "sys_out"
+
+    def test_terminal_kinds(self, backtrack_paths):
+        kinds = {path.source: path.terminal_kind for path in backtrack_paths}
+        assert kinds["ext_c"] is NodeKind.BOUNDARY
+        assert kinds["b1"] is NodeKind.FEEDBACK
+        feedback = [p for p in backtrack_paths if not p.ends_at_boundary]
+        assert len(feedback) == 2  # one b1 feedback leaf per branch
+
+    def test_length(self, backtrack_paths):
+        for path in backtrack_paths:
+            assert path.length == len(path.signals) - 1
+
+
+class TestTracePaths:
+    def test_trace_paths_orientation(self, fig2_matrix):
+        paths = paths_of_trace_tree(build_trace_tree(fig2_matrix, "ext_a"))
+        for path in paths:
+            assert path.source == "ext_a"
+            assert path.sink == "sys_out"
+            assert path.signals[0] == "ext_a"
+
+    def test_trace_weights(self, fig2_matrix):
+        paths = paths_of_trace_tree(build_trace_tree(fig2_matrix, "ext_c"))
+        assert len(paths) == 1
+        values = fig2_permeabilities()
+        expected = (
+            values[("C", "ext_c", "c1")]
+            * values[("D", "c1", "d1")]
+            * values[("E", "d1", "sys_out")]
+        )
+        assert paths[0].weight == pytest.approx(expected)
+
+
+class TestRanking:
+    def test_rank_descending(self, backtrack_paths):
+        ranked = rank_paths(backtrack_paths)
+        weights = [path.weight for path in ranked]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_rank_tie_break_shorter_first(self):
+        edge = PathEdge("M", "a", "b", 0.5)
+        short = _make_path(("a", "b"), (edge,), 0.5)
+        long = _make_path(("a", "b", "c"), (edge, edge), 0.5)
+        ranked = rank_paths([long, short])
+        assert ranked[0] is short
+
+    def test_nonzero_filter(self, backtrack_paths):
+        nonzero = nonzero_paths(backtrack_paths)
+        assert len(nonzero) == len(backtrack_paths) - 1  # ext_e path is 0
+        assert all(path.weight > 0 for path in nonzero)
+
+    def test_rank_is_stable_and_deterministic(self, backtrack_paths):
+        first = rank_paths(backtrack_paths)
+        second = rank_paths(list(reversed(backtrack_paths)))
+        assert [p.signals for p in first] == [p.signals for p in second]
+
+
+class TestRendering:
+    def test_factor_expression(self, backtrack_paths):
+        path = next(p for p in backtrack_paths if p.length == 3)
+        text = path.factor_expression()
+        assert text.count("*") == 2
+        assert "=" in text
+
+    def test_str_contains_chain(self, backtrack_paths):
+        assert "->" in str(backtrack_paths[0])
+
+
+def _make_path(signals, edges, weight):
+    from repro.core.paths import PropagationPath
+
+    return PropagationPath(
+        source=signals[0],
+        sink=signals[-1],
+        signals=tuple(signals),
+        edges=tuple(edges),
+        weight=weight,
+        terminal_kind=NodeKind.BOUNDARY,
+    )

@@ -1,0 +1,243 @@
+"""Unit tests for :mod:`repro.core.permeability` (Eqs. 1–3)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.permeability import (
+    ModuleMeasures,
+    PermeabilityEstimate,
+    PermeabilityMatrix,
+)
+from repro.model.errors import InvalidProbabilityError, MissingPermeabilityError
+from repro.model.examples import fig2_permeabilities
+
+
+class TestPermeabilityEstimate:
+    def test_plain_value(self):
+        estimate = PermeabilityEstimate(0.5)
+        assert estimate.value == 0.5
+        assert not estimate.is_experimental
+
+    def test_from_counts(self):
+        estimate = PermeabilityEstimate.from_counts(3, 12)
+        assert estimate.value == 0.25
+        assert estimate.is_experimental
+        assert estimate.n_errors == 3
+        assert estimate.n_injections == 12
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(InvalidProbabilityError):
+            PermeabilityEstimate(1.2)
+        with pytest.raises(InvalidProbabilityError):
+            PermeabilityEstimate(-0.1)
+
+    def test_counts_must_come_together(self):
+        with pytest.raises(ValueError):
+            PermeabilityEstimate(0.5, n_injections=10)
+
+    def test_bad_counts_rejected(self):
+        with pytest.raises(ValueError):
+            PermeabilityEstimate.from_counts(5, 0)
+        with pytest.raises(ValueError):
+            PermeabilityEstimate(0.5, n_injections=4, n_errors=5)
+
+    def test_wilson_interval_brackets_estimate(self):
+        estimate = PermeabilityEstimate.from_counts(30, 100)
+        low, high = estimate.wilson_interval()
+        assert 0.0 <= low <= estimate.value <= high <= 1.0
+
+    def test_wilson_interval_analytic_value(self):
+        estimate = PermeabilityEstimate.from_counts(50, 100)
+        low, high = estimate.wilson_interval(z=1.96)
+        # Wilson interval for p=0.5, n=100, z=1.96.
+        assert math.isclose(low, 0.40383, abs_tol=1e-4)
+        assert math.isclose(high, 0.59617, abs_tol=1e-4)
+
+    def test_wilson_interval_degenerate_for_analytic(self):
+        estimate = PermeabilityEstimate(0.3)
+        assert estimate.wilson_interval() == (0.3, 0.3)
+
+    def test_wilson_narrows_with_samples(self):
+        wide = PermeabilityEstimate.from_counts(5, 10).wilson_interval()
+        narrow = PermeabilityEstimate.from_counts(500, 1000).wilson_interval()
+        assert (narrow[1] - narrow[0]) < (wide[1] - wide[0])
+
+
+class TestMatrixPopulation:
+    def test_set_and_get(self, fig2_system):
+        matrix = PermeabilityMatrix(fig2_system)
+        matrix.set("A", "ext_a", "a1", 0.8)
+        assert matrix.get("A", "ext_a", "a1") == 0.8
+
+    def test_unknown_pair_rejected_on_set(self, fig2_system):
+        matrix = PermeabilityMatrix(fig2_system)
+        with pytest.raises(MissingPermeabilityError):
+            matrix.set("A", "ext_a", "sys_out", 0.5)
+
+    def test_unset_pair_raises_on_get(self, fig2_system):
+        matrix = PermeabilityMatrix(fig2_system)
+        with pytest.raises(MissingPermeabilityError):
+            matrix.get("A", "ext_a", "a1")
+
+    def test_get_or_none(self, fig2_system):
+        matrix = PermeabilityMatrix(fig2_system)
+        assert matrix.get_or_none("A", "ext_a", "a1") is None
+        matrix.set("A", "ext_a", "a1", 0.8)
+        assert matrix.get_or_none("A", "ext_a", "a1") == 0.8
+
+    def test_set_counts(self, fig2_system):
+        matrix = PermeabilityMatrix(fig2_system)
+        matrix.set_counts("A", "ext_a", "a1", n_errors=4, n_injections=16)
+        assert matrix.get("A", "ext_a", "a1") == 0.25
+        assert matrix.estimate("A", "ext_a", "a1").is_experimental
+
+    def test_completeness(self, fig2_system):
+        matrix = PermeabilityMatrix.from_dict(fig2_system, fig2_permeabilities())
+        assert matrix.is_complete()
+        assert matrix.missing_pairs() == ()
+        matrix.require_complete()  # must not raise
+
+    def test_incompleteness_detected(self, fig2_system):
+        matrix = PermeabilityMatrix(fig2_system)
+        matrix.set("A", "ext_a", "a1", 1.0)
+        assert not matrix.is_complete()
+        assert len(matrix.missing_pairs()) == fig2_system.n_pairs() - 1
+        with pytest.raises(MissingPermeabilityError):
+            matrix.require_complete()
+
+    def test_len_and_contains(self, fig2_matrix, fig2_system):
+        assert len(fig2_matrix) == fig2_system.n_pairs()
+        assert ("A", "ext_a", "a1") in fig2_matrix
+        assert ("A", "nope", "a1") not in fig2_matrix
+
+    def test_uniform_constructor(self, fig2_system):
+        matrix = PermeabilityMatrix.uniform(fig2_system, 1.0)
+        assert matrix.is_complete()
+        assert all(estimate.value == 1.0 for _, estimate in matrix.items())
+
+    def test_items_follow_pair_order(self, fig2_matrix, fig2_system):
+        keys = [key for key, _ in fig2_matrix.items()]
+        assert keys == list(fig2_system.pair_index())
+
+
+class TestModuleMeasures:
+    def test_relative_permeability_eq2(self, fig2_matrix):
+        # Module B: pairs 0.5, 0.3, 0.6, 0.7 over m*n = 4.
+        assert fig2_matrix.relative_permeability("B") == pytest.approx(0.525)
+
+    def test_nonweighted_eq3(self, fig2_matrix):
+        assert fig2_matrix.nonweighted_relative_permeability("B") == pytest.approx(2.1)
+
+    def test_eq3_upper_bound_is_pair_count(self, fig2_system):
+        matrix = PermeabilityMatrix.uniform(fig2_system, 1.0)
+        spec = fig2_system.module("B")
+        assert matrix.nonweighted_relative_permeability("B") == spec.n_pairs
+
+    def test_single_pair_module_measures_coincide(self, fig2_matrix):
+        measures = fig2_matrix.module_measures("A")
+        assert measures.relative_permeability == pytest.approx(0.8)
+        assert measures.nonweighted_relative_permeability == pytest.approx(0.8)
+
+    def test_measures_record_shape(self, fig2_matrix):
+        measures = fig2_matrix.module_measures("E")
+        assert isinstance(measures, ModuleMeasures)
+        assert measures.n_inputs == 3
+        assert measures.n_outputs == 1
+        assert measures.n_pairs == 3
+
+    def test_all_module_measures(self, fig2_matrix, fig2_system):
+        measures = fig2_matrix.all_module_measures()
+        assert set(measures) == set(fig2_system.module_names())
+
+    def test_paper_hub_comparison(self, fig2_system):
+        """Section 4.1: equal P means the bigger module has bigger P-bar."""
+        matrix = PermeabilityMatrix.uniform(fig2_system, 0.5)
+        small = matrix.module_measures("A")  # 1 pair
+        hub = matrix.module_measures("B")  # 4 pairs
+        assert small.relative_permeability == hub.relative_permeability
+        assert (
+            hub.nonweighted_relative_permeability
+            > small.nonweighted_relative_permeability
+        )
+
+    def test_rankings(self, fig2_matrix):
+        by_relative = fig2_matrix.rank_by_relative_permeability()
+        assert by_relative[0].module == "C"  # P = 1.0
+        by_sum = fig2_matrix.rank_by_nonweighted_permeability()
+        assert by_sum[0].module == "B"  # P-bar = 2.1
+
+
+class TestSerialisation:
+    def test_json_roundtrip(self, fig2_matrix, fig2_system):
+        text = fig2_matrix.to_json()
+        rebuilt = PermeabilityMatrix.from_json(fig2_system, text)
+        assert rebuilt.is_complete()
+        for key, estimate in fig2_matrix.items():
+            assert rebuilt.estimate(*key).value == estimate.value
+
+    def test_json_preserves_counts(self, fig2_system):
+        matrix = PermeabilityMatrix(fig2_system)
+        matrix.set_counts("A", "ext_a", "a1", n_errors=7, n_injections=160)
+        rebuilt = PermeabilityMatrix.from_json(fig2_system, matrix.to_json())
+        estimate = rebuilt.estimate("A", "ext_a", "a1")
+        assert estimate.n_errors == 7
+        assert estimate.n_injections == 160
+
+    def test_jsonable_structure(self, fig2_matrix):
+        data = fig2_matrix.to_jsonable()
+        assert data["system"] == "fig2-example"
+        assert len(data["entries"]) == 11
+        entry = data["entries"][0]
+        assert {"module", "input", "output", "value"} <= set(entry)
+
+
+class TestPooling:
+    def counted(self, fig2_system, n_errors, n_injections):
+        matrix = PermeabilityMatrix(fig2_system)
+        for key in fig2_system.pair_index():
+            matrix.set_counts(*key, n_errors=n_errors, n_injections=n_injections)
+        return matrix
+
+    def test_counts_sum(self, fig2_system):
+        a = self.counted(fig2_system, 1, 10)
+        b = self.counted(fig2_system, 3, 10)
+        pooled = PermeabilityMatrix.pooled([a, b])
+        estimate = pooled.estimate("A", "ext_a", "a1")
+        assert estimate.n_errors == 4
+        assert estimate.n_injections == 20
+        assert estimate.value == pytest.approx(0.2)
+
+    def test_pooling_narrows_wilson_interval(self, fig2_system):
+        a = self.counted(fig2_system, 2, 10)
+        pooled = PermeabilityMatrix.pooled([a, a, a, a])
+        wide = a.estimate("A", "ext_a", "a1").wilson_interval()
+        narrow = pooled.estimate("A", "ext_a", "a1").wilson_interval()
+        assert (narrow[1] - narrow[0]) < (wide[1] - wide[0])
+
+    def test_single_matrix_identity(self, fig2_system):
+        a = self.counted(fig2_system, 5, 40)
+        pooled = PermeabilityMatrix.pooled([a])
+        assert pooled.to_jsonable() == a.to_jsonable()
+
+    def test_analytic_values_rejected(self, fig2_matrix):
+        with pytest.raises(ValueError):
+            PermeabilityMatrix.pooled([fig2_matrix, fig2_matrix])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PermeabilityMatrix.pooled([])
+
+    def test_system_mismatch_rejected(self, fig2_system):
+        from repro.model.builder import SystemBuilder
+
+        builder = SystemBuilder("other")
+        builder.add_module("Z", inputs=["x"], outputs=["y"])
+        builder.mark_system_input("x")
+        builder.mark_system_output("y")
+        other = PermeabilityMatrix(builder.build())
+        other.set_counts("Z", "x", "y", n_errors=0, n_injections=1)
+        with pytest.raises(ValueError):
+            PermeabilityMatrix.pooled([self.counted(fig2_system, 1, 2), other])

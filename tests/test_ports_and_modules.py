@@ -1,0 +1,141 @@
+"""Unit tests for :mod:`repro.model.ports` and :mod:`repro.model.module`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.errors import DuplicateNameError, UnknownSignalError
+from repro.model.module import BACKGROUND, ModuleSpec, SoftwareModule
+from repro.model.ports import InputPort, OutputPort, PortDirection
+
+
+class TestPort:
+    def test_input_constructor(self):
+        port = InputPort("DIST_S", 1, "PACNT")
+        assert port.is_input and not port.is_output
+        assert port.direction is PortDirection.INPUT
+
+    def test_output_constructor(self):
+        port = OutputPort("CALC", 2, "SetValue")
+        assert port.is_output and not port.is_input
+
+    def test_label_matches_paper_notation(self):
+        assert InputPort("DIST_S", 1, "PACNT").label() == "I^DIST_S_1"
+        assert OutputPort("CALC", 2, "SetValue").label() == "O^CALC_2"
+
+    def test_str_includes_signal(self):
+        assert "PACNT" in str(InputPort("DIST_S", 1, "PACNT"))
+
+    def test_zero_index_rejected(self):
+        with pytest.raises(ValueError):
+            InputPort("M", 0, "s")
+
+    def test_ordering_is_stable(self):
+        a = InputPort("A", 1, "x")
+        b = InputPort("A", 2, "y")
+        assert sorted([b, a]) == [a, b]
+
+
+class TestModuleSpec:
+    def make(self) -> ModuleSpec:
+        return ModuleSpec(
+            name="CALC",
+            inputs=("i", "mscnt", "pulscnt", "slow_speed", "stopped"),
+            outputs=("i", "SetValue"),
+            period_ms=None,
+        )
+
+    def test_counts(self):
+        spec = self.make()
+        assert spec.n_inputs == 5
+        assert spec.n_outputs == 2
+        assert spec.n_pairs == 10
+
+    def test_background(self):
+        assert self.make().is_background
+        assert not ModuleSpec("M", ("a",), ("b",), period_ms=1).is_background
+        assert BACKGROUND is None
+
+    def test_input_index_is_one_based(self):
+        spec = self.make()
+        assert spec.input_index("i") == 1
+        assert spec.input_index("mscnt") == 2
+        assert spec.input_index("stopped") == 5
+
+    def test_output_index(self):
+        spec = self.make()
+        assert spec.output_index("i") == 1
+        assert spec.output_index("SetValue") == 2
+
+    def test_unknown_input_raises(self):
+        with pytest.raises(UnknownSignalError):
+            self.make().input_index("nope")
+
+    def test_unknown_output_raises(self):
+        with pytest.raises(UnknownSignalError):
+            self.make().output_index("nope")
+
+    def test_pairs_order_matches_table1(self):
+        spec = ModuleSpec("M", ("a", "b"), ("x", "y"))
+        assert list(spec.pairs()) == [
+            ("a", "x"),
+            ("a", "y"),
+            ("b", "x"),
+            ("b", "y"),
+        ]
+
+    def test_ports_iteration(self):
+        spec = self.make()
+        inputs = list(spec.input_ports())
+        assert [p.index for p in inputs] == [1, 2, 3, 4, 5]
+        outputs = list(spec.output_ports())
+        assert [p.signal for p in outputs] == ["i", "SetValue"]
+
+    def test_port_lookup(self):
+        spec = self.make()
+        assert spec.input_port("pulscnt") == InputPort("CALC", 3, "pulscnt")
+        assert spec.output_port("SetValue") == OutputPort("CALC", 2, "SetValue")
+
+    def test_feedback_detection(self):
+        spec = self.make()
+        assert spec.has_feedback()
+        assert spec.feedback_signals() == ("i",)
+
+    def test_no_feedback(self):
+        spec = ModuleSpec("M", ("a",), ("b",))
+        assert not spec.has_feedback()
+        assert spec.feedback_signals() == ()
+
+    def test_duplicate_input_rejected(self):
+        with pytest.raises(DuplicateNameError):
+            ModuleSpec("M", ("a", "a"), ("b",))
+
+    def test_duplicate_output_rejected(self):
+        with pytest.raises(DuplicateNameError):
+            ModuleSpec("M", ("a",), ("b", "b"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            ModuleSpec("", ("a",), ("b",))
+
+    def test_bad_period_rejected(self):
+        with pytest.raises(ValueError):
+            ModuleSpec("M", ("a",), ("b",), period_ms=0)
+
+
+class TestSoftwareModule:
+    def test_activate_contract(self):
+        class Echo(SoftwareModule):
+            def activate(self, inputs, now_ms):
+                return {"b": inputs["a"]}
+
+        module = Echo(ModuleSpec("E", ("a",), ("b",)))
+        assert module.name == "E"
+        assert module.activate({"a": 7}, 0) == {"b": 7}
+
+    def test_reset_default_noop(self):
+        class Echo(SoftwareModule):
+            def activate(self, inputs, now_ms):
+                return {}
+
+        Echo(ModuleSpec("E", ("a",), ("b",))).reset()  # must not raise

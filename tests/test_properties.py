@@ -1,0 +1,182 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.backtrack import build_all_backtrack_trees, build_backtrack_tree
+from repro.core.exposure import all_module_exposures, all_signal_exposures
+from repro.core.graph import PermeabilityGraph
+from repro.core.paths import paths_of_backtrack_tree, paths_of_trace_tree, rank_paths
+from repro.core.permeability import PermeabilityEstimate, PermeabilityMatrix
+from repro.core.trace import build_all_trace_trees
+from repro.injection.error_models import BitFlip, Offset, RandomReplacement
+from repro.model.examples import build_fig2_system
+from repro.model.signal import from_signed, to_signed, wrap_unsigned
+
+import random
+
+
+# ---------------------------------------------------------------------------
+# Bit-level helpers
+# ---------------------------------------------------------------------------
+
+
+@given(st.integers(), st.integers(min_value=1, max_value=64))
+def test_wrap_is_idempotent(value, width):
+    wrapped = wrap_unsigned(value, width)
+    assert wrap_unsigned(wrapped, width) == wrapped
+    assert 0 <= wrapped < (1 << width)
+
+
+@given(st.integers(min_value=-(2**15), max_value=2**15 - 1))
+def test_signed_roundtrip(value):
+    assert to_signed(from_signed(value, 16), 16) == value
+
+
+@given(st.integers(min_value=0, max_value=0xFFFF), st.integers(min_value=0, max_value=15))
+def test_bitflip_involution_and_distance(value, bit):
+    rng = random.Random(0)
+    model = BitFlip(bit)
+    once = model.apply(value, 16, rng)
+    assert once != value
+    assert model.apply(once, 16, rng) == value
+    assert bin(once ^ value).count("1") == 1
+
+
+@given(st.integers(min_value=0, max_value=0xFFFF), st.integers(min_value=-500, max_value=500).filter(lambda d: d != 0))
+def test_offset_stays_in_domain(value, delta):
+    corrupted = Offset(delta).apply(value, 16, random.Random(0))
+    assert 0 <= corrupted <= 0xFFFF
+
+
+@given(st.integers(min_value=0, max_value=0xFFFF), st.integers())
+def test_random_replacement_always_changes(value, seed):
+    corrupted = RandomReplacement().apply(value, 16, random.Random(seed))
+    assert corrupted != value
+    assert 0 <= corrupted <= 0xFFFF
+
+
+# ---------------------------------------------------------------------------
+# Permeability estimates
+# ---------------------------------------------------------------------------
+
+
+@given(st.integers(min_value=1, max_value=4000))
+def test_counts_estimate_in_unit_interval(n_inj):
+    for n_err in (0, n_inj // 2, n_inj):
+        estimate = PermeabilityEstimate.from_counts(n_err, n_inj)
+        assert 0.0 <= estimate.value <= 1.0
+        low, high = estimate.wilson_interval()
+        assert 0.0 <= low <= estimate.value <= high <= 1.0
+
+
+# ---------------------------------------------------------------------------
+# Random matrices over the Fig. 2 topology
+# ---------------------------------------------------------------------------
+
+_FIG2 = build_fig2_system()
+_PAIRS = list(_FIG2.pair_index())
+
+random_matrices = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=len(_PAIRS),
+    max_size=len(_PAIRS),
+).map(
+    lambda values: PermeabilityMatrix.from_dict(
+        _FIG2, dict(zip(_PAIRS, values))
+    )
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_matrices)
+def test_eq2_eq3_relationship(matrix):
+    """Eq. 2 is Eq. 3 divided by the pair count, for every module."""
+    for module in _FIG2.module_names():
+        spec = _FIG2.module(module)
+        assert math.isclose(
+            matrix.relative_permeability(module) * spec.n_pairs,
+            matrix.nonweighted_relative_permeability(module),
+            abs_tol=1e-12,
+        )
+        assert 0.0 <= matrix.relative_permeability(module) <= 1.0
+        assert (
+            0.0
+            <= matrix.nonweighted_relative_permeability(module)
+            <= spec.n_pairs
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_matrices)
+def test_exposure_bounds(matrix):
+    """Eq. 4 lies in [0, 1]; Eq. 5 is bounded by the incoming arc count."""
+    graph = PermeabilityGraph(matrix)
+    for exposure in all_module_exposures(graph).values():
+        if exposure.has_exposure:
+            assert 0.0 <= exposure.exposure <= 1.0
+            assert exposure.nonweighted_exposure <= exposure.n_incoming_arcs + 1e-9
+        else:
+            assert exposure.nonweighted_exposure == 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_matrices)
+def test_path_weights_are_products_and_bounded(matrix):
+    tree = build_backtrack_tree(matrix, "sys_out")
+    paths = paths_of_backtrack_tree(tree)
+    for path in paths:
+        product = math.prod(edge.permeability for edge in path.edges)
+        assert math.isclose(path.weight, product, rel_tol=1e-12, abs_tol=1e-12)
+        assert 0.0 <= path.weight <= 1.0
+    ranked = rank_paths(paths)
+    assert [p.weight for p in ranked] == sorted(
+        (p.weight for p in ranked), reverse=True
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_matrices)
+def test_tree_structure_invariant_under_weights(matrix):
+    """Weights never change the tree shape — only the topology does."""
+    tree = build_backtrack_tree(matrix, "sys_out")
+    assert tree.n_paths() == 7
+    assert tree.n_nodes() == 16
+    for trace_tree in build_all_trace_trees(matrix).values():
+        for node in trace_tree.root.walk():
+            assert all(child.signal != node.signal for child in node.children)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_matrices)
+def test_signal_exposure_nonnegative_and_bounded(matrix):
+    trees = list(build_all_backtrack_trees(matrix).values())
+    exposures = all_signal_exposures(trees, signals=_FIG2.signal_names())
+    for signal, value in exposures.items():
+        assert value >= 0.0
+        # Bounded by the number of distinct pairs of the system.
+        assert value <= len(_PAIRS)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_matrices)
+def test_trace_paths_match_tree_leaf_count(matrix):
+    for signal in _FIG2.system_inputs:
+        from repro.core.trace import build_trace_tree
+
+        tree = build_trace_tree(matrix, signal)
+        assert len(paths_of_trace_tree(tree)) == tree.n_paths()
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_matrices, st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+def test_adjusted_weight_scaling(matrix, probability):
+    paths = paths_of_backtrack_tree(build_backtrack_tree(matrix, "sys_out"))
+    for path in paths:
+        adjusted = path.adjusted_weight(probability)
+        assert math.isclose(adjusted, probability * path.weight, abs_tol=1e-12)
+        assert adjusted <= path.weight + 1e-12

@@ -1,0 +1,56 @@
+"""Golden-run regression guard.
+
+The whole experimental pipeline is deterministic; these checksums pin
+the nominal Golden Run bit-for-bit.  If a change to the plant, the
+modules or the runtime alters them, every permeability estimate in
+EXPERIMENTS.md changes with it — re-baseline deliberately, never
+accidentally: update the constants below *and* regenerate the
+benchmark artefacts in the same change.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import pytest
+
+from repro.arrestment import build_arrestment_run
+from repro.arrestment.testcases import ArrestmentTestCase
+from repro.arrestment.twonode import build_twonode_run
+
+NOMINAL = ArrestmentTestCase(14000, 60)
+
+#: crc32 over ``str(trace.samples)`` of a 6000 ms nominal Golden Run.
+EXPECTED_SINGLE_NODE = {
+    "TOC2": 1473781555,
+    "SetValue": 1331947465,
+    "pulscnt": 921091045,
+}
+EXPECTED_TWONODE_TOC2S = 3676318770
+
+
+def checksum(samples: list[int]) -> int:
+    return zlib.crc32(str(samples).encode())
+
+
+class TestGoldenRunChecksums:
+    @pytest.fixture(scope="class")
+    def golden(self):
+        return build_arrestment_run(NOMINAL).run(6000)
+
+    @pytest.mark.parametrize("signal", sorted(EXPECTED_SINGLE_NODE))
+    def test_single_node_traces(self, golden, signal):
+        assert checksum(golden.traces[signal].samples) == EXPECTED_SINGLE_NODE[
+            signal
+        ], (
+            f"the {signal} Golden Run changed — re-baseline EXPERIMENTS.md "
+            "and the benchmark artefacts along with this constant"
+        )
+
+    def test_twonode_slave_trace(self):
+        result = build_twonode_run(NOMINAL).run(6000)
+        assert checksum(result.traces["TOC2S"].samples) == EXPECTED_TWONODE_TOC2S
+
+    def test_repeatability_within_session(self, golden):
+        again = build_arrestment_run(NOMINAL).run(6000)
+        assert again.traces["TOC2"].samples == golden.traces["TOC2"].samples

@@ -1,0 +1,182 @@
+"""Unit tests for the table renderers and DOT exporters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analysis import PropagationAnalysis
+from repro.core.backtrack import build_backtrack_tree
+from repro.core.dot import graph_to_dot, system_to_dot, tree_to_dot
+from repro.core.graph import PermeabilityGraph
+from repro.core.report import format_table
+from repro.core.trace import build_trace_tree
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        text = format_table(["Col", "Another"], [["a", "bb"], ["ccc", "d"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("Col")
+        assert set(lines[1]) <= {"-", "+"}
+        assert len(lines) == 4
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all rows padded to equal width
+
+    def test_title(self):
+        text = format_table(["A"], [["1"]], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["A", "B"], [["only-one"]])
+
+    def test_non_string_cells(self):
+        text = format_table(["N"], [[42], [3.5]])
+        assert "42" in text and "3.5" in text
+
+
+class TestPaperTables:
+    @pytest.fixture()
+    def analysis(self, fig2_matrix):
+        return PropagationAnalysis(fig2_matrix)
+
+    def test_table1_lists_all_pairs(self, analysis, fig2_system):
+        text = analysis.render_table1()
+        assert text.count("\n") >= fig2_system.n_pairs()
+        assert "P^A_1,1" in text
+        assert "ext_a -> a1" in text
+
+    def test_table2_has_all_modules_and_dashes(self, analysis):
+        text = analysis.render_table2()
+        for module in ("A", "B", "C", "D", "E"):
+            assert module in text
+        assert "-" in text  # A and C have no exposure values
+
+    def test_table3_sorted_by_exposure(self, analysis):
+        text = analysis.render_table3()
+        lines = [line for line in text.splitlines()[3:] if "|" in line]
+        values = [float(line.split("|")[1]) for line in lines]
+        assert values == sorted(values, reverse=True)
+
+    def test_table4_nonzero_only_by_default(self, analysis):
+        text = analysis.render_table4()
+        assert "0.000000" not in text
+
+    def test_table4_with_zero_paths(self, analysis):
+        text = analysis.render_table4(only_nonzero=False)
+        assert "0.000000" in text
+
+    def test_summary_contains_everything(self, analysis):
+        text = analysis.render_summary()
+        assert "Table 1." in text
+        assert "Table 2." in text
+        assert "Table 3." in text
+        assert "Table 4." in text
+        assert "Placement recommendations" in text
+
+
+class TestDot:
+    def test_system_dot(self, fig2_system):
+        dot = system_to_dot(fig2_system)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert '"A" -> "B"' in dot
+        assert "in:ext_a" in dot
+        assert "out:sys_out" in dot
+
+    def test_graph_dot_omits_zero_arcs_by_default(self, fig2_matrix):
+        dot = graph_to_dot(PermeabilityGraph(fig2_matrix))
+        assert "0.000" not in dot
+        full = graph_to_dot(PermeabilityGraph(fig2_matrix), include_zero=True)
+        assert "0.000" in full
+
+    def test_graph_dot_self_loop_dashed(self, fig2_matrix):
+        dot = graph_to_dot(PermeabilityGraph(fig2_matrix))
+        assert "style=dashed" in dot
+
+    def test_backtrack_tree_dot(self, fig2_matrix):
+        tree = build_backtrack_tree(fig2_matrix, "sys_out")
+        dot = tree_to_dot(tree)
+        assert "backtrack-sys_out" in dot
+        assert "style=bold" in dot  # feedback double line
+        assert dot.count("->") == tree.n_nodes() - 1
+
+    def test_trace_tree_dot(self, fig2_matrix):
+        tree = build_trace_tree(fig2_matrix, "ext_a")
+        dot = tree_to_dot(tree)
+        assert "trace-ext_a" in dot
+        assert dot.count("->") == tree.n_nodes() - 1
+
+    def test_dot_quoting(self, fig2_system):
+        # Signal names never contain quotes here, but the quoter must
+        # escape them if they did.
+        from repro.core.dot import _quote
+
+        assert _quote('a"b') == '"a\\"b"'
+
+
+class TestAnalysisFacade:
+    def test_cached_properties_are_stable(self, fig2_matrix):
+        analysis = PropagationAnalysis(fig2_matrix)
+        assert analysis.graph is analysis.graph
+        assert analysis.backtrack_trees is analysis.backtrack_trees
+        assert analysis.placement is analysis.placement
+
+    def test_ranked_output_paths(self, fig2_matrix):
+        analysis = PropagationAnalysis(fig2_matrix)
+        ranked = analysis.ranked_output_paths("sys_out")
+        assert len(ranked) == 7
+        assert ranked[0].weight >= ranked[-1].weight
+        nonzero = analysis.ranked_output_paths("sys_out", only_nonzero=True)
+        assert len(nonzero) == 6
+
+    def test_ranked_input_paths(self, fig2_matrix):
+        analysis = PropagationAnalysis(fig2_matrix)
+        ranked = analysis.ranked_input_paths("ext_a")
+        assert ranked and ranked[0].source == "ext_a"
+
+    def test_all_ranked_paths(self, fig2_matrix):
+        analysis = PropagationAnalysis(fig2_matrix)
+        assert len(analysis.all_ranked_paths()) == 7
+
+    def test_module_measures_match_matrix(self, fig2_matrix):
+        analysis = PropagationAnalysis(fig2_matrix)
+        assert (
+            analysis.module_measures["B"].relative_permeability
+            == fig2_matrix.relative_permeability("B")
+        )
+
+
+class TestRenderOptions:
+    def test_table3_zero_filter(self, fig2_matrix):
+        from repro.core.analysis import PropagationAnalysis
+        from repro.core.report import render_table3
+
+        analysis = PropagationAnalysis(fig2_matrix)
+        full = render_table3(dict(analysis.signal_exposures))
+        filtered = render_table3(
+            dict(analysis.signal_exposures), include_zero=False
+        )
+        assert "ext_a" in full
+        assert "ext_a" not in filtered
+
+    def test_table4_truncation(self, fig2_matrix):
+        from repro.core.analysis import PropagationAnalysis
+        from repro.core.paths import rank_paths
+        from repro.core.report import render_table4
+
+        analysis = PropagationAnalysis(fig2_matrix)
+        paths = rank_paths(analysis.output_paths("sys_out"))
+        text = render_table4(paths, max_paths=2)
+        body = [line for line in text.splitlines()[3:] if "|" in line]
+        assert len(body) == 2
+
+    def test_table1_counts_column(self, fig2_system):
+        from repro.core.permeability import PermeabilityMatrix
+        from repro.core.report import render_table1
+
+        matrix = PermeabilityMatrix(fig2_system)
+        for key in fig2_system.pair_index():
+            matrix.set_counts(*key, n_errors=3, n_injections=160)
+        text = render_table1(matrix)
+        assert "3/160" in text

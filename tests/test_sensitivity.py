@@ -1,0 +1,138 @@
+"""Tests for the sensitivity / what-if analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.permeability import PermeabilityMatrix
+from repro.core.sensitivity import (
+    output_reach,
+    output_sensitivities,
+    verify_gradient,
+    what_if,
+)
+from repro.model.examples import build_fig2_system
+
+
+class TestOutputReach:
+    def test_fig2_reach_is_path_sum(self, fig2_matrix):
+        # Sum of the seven hand-computed path weights.
+        expected = 0.495 + 0.364 + 0.11 + 0.1056 + 0.0975 + 0.0936 + 0.0
+        assert output_reach(fig2_matrix, "sys_out") == pytest.approx(expected)
+
+    def test_uniform_one_counts_paths(self, fig2_system):
+        matrix = PermeabilityMatrix.uniform(fig2_system, 1.0)
+        assert output_reach(matrix, "sys_out") == pytest.approx(7.0)
+
+
+class TestGradient:
+    def test_hand_computed_entries(self, fig2_matrix):
+        report = output_sensitivities(fig2_matrix, "sys_out")
+        by_pair = report.by_pair()
+        # (C, ext_c, c1) lies on exactly one path; its gradient is the
+        # product of the other edges: 0.9 * 0.55.
+        entry = by_pair[("C", "ext_c", "c1")]
+        assert entry.n_paths == 1
+        assert entry.gradient == pytest.approx(0.9 * 0.55)
+        # (E, d1, sys_out) lies on three paths.
+        entry = by_pair[("E", "d1", "sys_out")]
+        assert entry.n_paths == 3
+        assert entry.gradient == pytest.approx(
+            (0.495 + 0.11 + 0.1056) / 0.55
+        )
+
+    def test_zero_pair_has_nonzero_gradient(self, fig2_matrix):
+        """The gradient of the dead ext_e pair is 1: raising it would
+        add mass directly (the path has no other edges)."""
+        report = output_sensitivities(fig2_matrix, "sys_out")
+        entry = report.by_pair()[("E", "ext_e", "sys_out")]
+        assert entry.permeability == 0.0
+        assert entry.gradient == pytest.approx(1.0)
+
+    def test_contributions_sum_to_weighted_reach(self, fig2_matrix):
+        """Multilinearity: sum of P*dR/dP equals sum over paths of
+        weight * path length (each edge contributes its path's weight)."""
+        report = output_sensitivities(fig2_matrix, "sys_out")
+        from repro.core.backtrack import build_backtrack_tree
+        from repro.core.paths import paths_of_backtrack_tree
+
+        paths = paths_of_backtrack_tree(
+            build_backtrack_tree(fig2_matrix, "sys_out")
+        )
+        expected = sum(path.weight * path.length for path in paths)
+        total = sum(item.contribution for item in report.sensitivities)
+        assert total == pytest.approx(expected)
+
+    def test_render(self, fig2_matrix):
+        text = output_sensitivities(fig2_matrix, "sys_out").render()
+        assert "dR/dP" in text
+        assert "sys_out" in text
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=0.05, max_value=1.0, allow_nan=False),
+            min_size=11,
+            max_size=11,
+        )
+    )
+    def test_analytic_matches_finite_difference(self, values):
+        system = build_fig2_system()
+        pairs = list(system.pair_index())
+        matrix = PermeabilityMatrix.from_dict(system, dict(zip(pairs, values)))
+        analytic, numeric = verify_gradient(
+            matrix, "sys_out", ("B", "a1", "b2")
+        )
+        assert analytic == pytest.approx(numeric, rel=1e-4, abs=1e-6)
+
+
+class TestWhatIf:
+    def test_hardening_reduces_reach(self, fig2_matrix):
+        before, after, modified = what_if(
+            fig2_matrix, {("D", "c1", "d1"): 0.0}, "sys_out"
+        )
+        assert before == pytest.approx(output_reach(fig2_matrix, "sys_out"))
+        # Killing the c1 pair removes the 0.495 path entirely.
+        assert after == pytest.approx(before - 0.495)
+
+    def test_original_matrix_untouched(self, fig2_matrix):
+        what_if(fig2_matrix, {("D", "c1", "d1"): 0.0}, "sys_out")
+        assert fig2_matrix.get("D", "c1", "d1") == 0.9
+
+    def test_linear_prediction_is_exact(self, fig2_matrix):
+        """Multilinearity: a single-pair change is predicted exactly by
+        the gradient (no higher-order terms)."""
+        pair = ("B", "a1", "b2")
+        report = output_sensitivities(fig2_matrix, "sys_out")
+        gradient = report.by_pair()[pair].gradient
+        before, after, _ = what_if(fig2_matrix, {pair: 0.2}, "sys_out")
+        delta_p = 0.2 - fig2_matrix.get(*pair)
+        assert after - before == pytest.approx(gradient * delta_p)
+
+    def test_experimental_counts_preserved_in_clone(self, fig2_system):
+        matrix = PermeabilityMatrix(fig2_system)
+        for key in fig2_system.pair_index():
+            matrix.set_counts(*key, n_errors=1, n_injections=4)
+        _, _, modified = what_if(
+            matrix, {("A", "ext_a", "a1"): 0.9}, "sys_out"
+        )
+        untouched = modified.estimate("C", "ext_c", "c1")
+        assert untouched.is_experimental
+        assert modified.get("A", "ext_a", "a1") == 0.9
+
+
+class TestArrestmentSensitivity:
+    def test_corridor_pairs_lead(self):
+        """On the target system the V_REG/PRES_A corridor pairs have the
+        highest leverage — every path crosses them (OB5 re-derived)."""
+        from repro.arrestment import build_arrestment_model
+
+        matrix = PermeabilityMatrix.uniform(build_arrestment_model(), 0.5)
+        report = output_sensitivities(matrix, "TOC2")
+        top = report.ranked()[:2]
+        top_pairs = {(item.module, item.output_signal) for item in top}
+        assert ("PRES_A", "TOC2") in top_pairs
+        assert any(item.n_paths == 22 for item in top)

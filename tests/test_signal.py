@@ -1,0 +1,123 @@
+"""Unit tests for :mod:`repro.model.signal`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.errors import InvalidProbabilityError
+from repro.model.signal import (
+    SignalKind,
+    SignalSpec,
+    from_signed,
+    to_signed,
+    wrap_unsigned,
+)
+
+
+class TestWrapHelpers:
+    def test_wrap_identity_in_range(self):
+        assert wrap_unsigned(1234, 16) == 1234
+
+    def test_wrap_overflow(self):
+        assert wrap_unsigned(0x1_0005, 16) == 5
+
+    def test_wrap_negative(self):
+        assert wrap_unsigned(-1, 16) == 0xFFFF
+
+    def test_wrap_narrow_width(self):
+        assert wrap_unsigned(9, 3) == 1
+
+    def test_to_signed_positive(self):
+        assert to_signed(5, 16) == 5
+
+    def test_to_signed_negative(self):
+        assert to_signed(0xFFFF, 16) == -1
+
+    def test_to_signed_min(self):
+        assert to_signed(0x8000, 16) == -32768
+
+    def test_from_signed_roundtrip(self):
+        for value in (-32768, -1, 0, 1, 32767):
+            assert to_signed(from_signed(value, 16), 16) == value
+
+    def test_signed_wraps_out_of_range(self):
+        assert to_signed(from_signed(40000, 16), 16) == 40000 - 65536
+
+
+class TestSignalSpec:
+    def test_defaults(self):
+        spec = SignalSpec("pulscnt")
+        assert spec.width == 16
+        assert spec.kind is SignalKind.UNSIGNED
+        assert spec.initial == 0
+        assert spec.error_probability is None
+
+    def test_max_unsigned(self):
+        assert SignalSpec("s").max_unsigned == 65535
+        assert SignalSpec("s", width=8).max_unsigned == 255
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            SignalSpec("")
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            SignalSpec("s", width=0)
+
+    def test_bad_error_probability_rejected(self):
+        with pytest.raises(InvalidProbabilityError):
+            SignalSpec("s", error_probability=1.5)
+
+    def test_good_error_probability(self):
+        spec = SignalSpec("s", error_probability=0.25)
+        assert spec.error_probability == 0.25
+
+    def test_wrap_uses_width(self):
+        spec = SignalSpec("s", width=8)
+        assert spec.wrap(0x1FF) == 0xFF
+
+    def test_flip_bit(self):
+        spec = SignalSpec("s")
+        assert spec.flip_bit(0, 0) == 1
+        assert spec.flip_bit(0, 15) == 0x8000
+        assert spec.flip_bit(0xFFFF, 15) == 0x7FFF
+
+    def test_flip_bit_is_involution(self):
+        spec = SignalSpec("s")
+        for bit in range(16):
+            assert spec.flip_bit(spec.flip_bit(0x1234, bit), bit) == 0x1234
+
+    def test_flip_bit_out_of_range(self):
+        spec = SignalSpec("s", width=8)
+        with pytest.raises(ValueError):
+            spec.flip_bit(0, 8)
+
+    def test_encode_boolean(self):
+        spec = SignalSpec("flag", kind=SignalKind.BOOLEAN)
+        assert spec.encode(True) == 1
+        assert spec.encode(False) == 0
+
+    def test_decode_boolean_nonzero_true(self):
+        spec = SignalSpec("flag", kind=SignalKind.BOOLEAN)
+        assert spec.decode(0) is False
+        assert spec.decode(1) is True
+
+    def test_encode_decode_signed(self):
+        spec = SignalSpec("delta", kind=SignalKind.SIGNED)
+        assert spec.decode(spec.encode(-5)) == -5
+
+    def test_encode_decode_unsigned(self):
+        spec = SignalSpec("count")
+        assert spec.decode(spec.encode(70000)) == 70000 - 65536
+
+    def test_describe_mentions_name_and_unit(self):
+        spec = SignalSpec("TCNT", unit="ticks", description="free-running timer")
+        text = spec.describe()
+        assert "TCNT" in text
+        assert "ticks" in text
+        assert "free-running timer" in text
+
+    def test_frozen(self):
+        spec = SignalSpec("s")
+        with pytest.raises(AttributeError):
+            spec.width = 8  # type: ignore[misc]

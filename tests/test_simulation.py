@@ -1,0 +1,195 @@
+"""Unit tests for the simulation substrate (clock, registers, scheduler)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.errors import ScheduleError
+from repro.simulation.registers import (
+    AdcRegister,
+    FreeRunningCounter,
+    HardwareRegister,
+    InputCapture,
+    OutputCompare,
+    PulseAccumulator,
+)
+from repro.simulation.scheduler import SlotSchedule
+from repro.simulation.simtime import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now_ms == 0
+
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance_ms() == 1
+        assert clock.advance_ms(9) == 10
+        assert clock.now_ms == 10
+
+    def test_ticks(self):
+        clock = SimClock(ticks_per_ms=2000)
+        clock.advance_ms(3)
+        assert clock.now_ticks == 6000
+
+    def test_reset(self):
+        clock = SimClock()
+        clock.advance_ms(5)
+        clock.reset()
+        assert clock.now_ms == 0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance_ms(-1)
+
+    def test_bad_tick_rate_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(ticks_per_ms=0)
+
+
+class TestRegisters:
+    def test_base_register_wraps(self):
+        reg = HardwareRegister("r")
+        reg.write(0x1_0007)
+        assert reg.read() == 7
+
+    def test_base_register_reset(self):
+        reg = HardwareRegister("r", initial=42)
+        reg.write(7)
+        reg.reset()
+        assert reg.read() == 42
+
+    def test_pulse_accumulator_counts_and_wraps(self):
+        pacnt = PulseAccumulator("PACNT")
+        pacnt.count(0xFFFE)
+        pacnt.count(5)
+        assert pacnt.read() == 3
+
+    def test_pulse_accumulator_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PulseAccumulator("PACNT").count(-1)
+
+    def test_free_running_counter(self):
+        tcnt = FreeRunningCounter("TCNT", ticks_per_ms=2000)
+        tcnt.advance_ms(3)
+        assert tcnt.read() == 6000
+
+    def test_free_running_counter_wraps(self):
+        tcnt = FreeRunningCounter("TCNT", ticks_per_ms=2000)
+        tcnt.advance_ms(40)  # 80_000 ticks > 65_535
+        assert tcnt.read() == 80000 - 65536
+
+    def test_at_offset_ticks(self):
+        tcnt = FreeRunningCounter("TCNT")
+        tcnt.advance_ms(1)
+        assert tcnt.at_offset_ticks(-500) == 1500
+        assert tcnt.at_offset_ticks(-3000) == (2000 - 3000) & 0xFFFF
+
+    def test_input_capture(self):
+        tcnt = FreeRunningCounter("TCNT", ticks_per_ms=2000)
+        tic1 = InputCapture("TIC1", counter=tcnt)
+        tcnt.advance_ms(2)
+        tic1.capture(ticks_ago=300)
+        assert tic1.read() == 3700
+
+    def test_input_capture_holds_between_edges(self):
+        tcnt = FreeRunningCounter("TCNT")
+        tic1 = InputCapture("TIC1", counter=tcnt)
+        tcnt.advance_ms(1)
+        tic1.capture()
+        held = tic1.read()
+        tcnt.advance_ms(5)
+        assert tic1.read() == held
+
+    def test_adc_quantisation_and_clipping(self):
+        adc = AdcRegister("ADC", 0.0, 100.0)
+        adc.convert(50.0)
+        assert adc.read() == round(0.5 * 65535)
+        adc.convert(-10.0)
+        assert adc.read() == 0
+        adc.convert(200.0)
+        assert adc.read() == 65535
+
+    def test_adc_roundtrip(self):
+        adc = AdcRegister("ADC", 0.0, 20e6)
+        adc.convert(5e6)
+        assert adc.to_physical() == pytest.approx(5e6, rel=1e-3)
+
+    def test_adc_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            AdcRegister("ADC", 10.0, 10.0)
+
+    def test_output_compare_fraction(self):
+        toc2 = OutputCompare("TOC2")
+        toc2.write(0xFFFF)
+        assert toc2.command_fraction() == 1.0
+        toc2.write(0)
+        assert toc2.command_fraction() == 0.0
+
+
+class TestSlotSchedule:
+    def test_assign_and_dispatch(self):
+        schedule = SlotSchedule(n_slots=7)
+        schedule.assign_every_slot("CLOCK")
+        schedule.assign("PRES_S", [1])
+        schedule.add_background("CALC")
+        assert schedule.modules_for_slot(0) == ("CLOCK",)
+        assert schedule.modules_for_slot(1) == ("CLOCK", "PRES_S")
+        assert schedule.dispatch_order(1) == ("CLOCK", "PRES_S", "CALC")
+
+    def test_slot_wraps_modulo(self):
+        schedule = SlotSchedule(n_slots=7)
+        schedule.assign("X", [3])
+        assert schedule.modules_for_slot(10) == ("X",)
+        assert schedule.modules_for_slot(0xFFFF) == schedule.modules_for_slot(
+            0xFFFF % 7
+        )
+
+    def test_assign_period(self):
+        schedule = SlotSchedule(n_slots=6)
+        schedule.assign_period("M", period_ms=3, phase=1)
+        assert schedule.modules_for_slot(1) == ("M",)
+        assert schedule.modules_for_slot(4) == ("M",)
+        assert schedule.modules_for_slot(0) == ()
+
+    def test_assign_period_must_divide(self):
+        with pytest.raises(ScheduleError):
+            SlotSchedule(n_slots=7).assign_period("M", period_ms=3)
+
+    def test_assign_period_phase_bound(self):
+        with pytest.raises(ScheduleError):
+            SlotSchedule(n_slots=6).assign_period("M", period_ms=3, phase=3)
+
+    def test_double_assignment_rejected(self):
+        schedule = SlotSchedule()
+        schedule.assign("M", [0])
+        with pytest.raises(ScheduleError):
+            schedule.assign("M", [0])
+
+    def test_double_background_rejected(self):
+        schedule = SlotSchedule()
+        schedule.add_background("CALC")
+        with pytest.raises(ScheduleError):
+            schedule.add_background("CALC")
+
+    def test_bad_slot_rejected(self):
+        with pytest.raises(ScheduleError):
+            SlotSchedule(n_slots=7).assign("M", [7])
+
+    def test_zero_slots_rejected(self):
+        with pytest.raises(ScheduleError):
+            SlotSchedule(n_slots=0)
+
+    def test_all_modules_deduplicated(self):
+        schedule = SlotSchedule(n_slots=2)
+        schedule.assign_every_slot("A")
+        schedule.assign("B", [1])
+        schedule.add_background("C")
+        assert schedule.all_modules() == ("A", "B", "C")
+
+    def test_describe(self):
+        schedule = SlotSchedule(n_slots=2)
+        schedule.assign("A", [0])
+        text = schedule.describe()
+        assert "slot 0: A" in text
+        assert "slot 1: (idle)" in text

@@ -1,0 +1,208 @@
+"""Unit tests for :mod:`repro.model.system` and the builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.builder import SystemBuilder
+from repro.model.errors import (
+    DuplicateNameError,
+    DuplicateProducerError,
+    UnknownModuleError,
+    UnknownSignalError,
+    ValidationError,
+)
+from repro.model.module import ModuleSpec
+from repro.model.signal import SignalKind
+from repro.model.system import SystemModel
+
+
+def simple_chain() -> SystemModel:
+    builder = SystemBuilder("chain")
+    builder.add_module("A", inputs=["x"], outputs=["y"])
+    builder.add_module("B", inputs=["y"], outputs=["z"])
+    builder.mark_system_input("x")
+    builder.mark_system_output("z")
+    return builder.build()
+
+
+class TestConstruction:
+    def test_basic_queries(self):
+        system = simple_chain()
+        assert system.module_names() == ("A", "B")
+        assert set(system.signal_names()) == {"x", "y", "z"}
+        assert system.system_inputs == ("x",)
+        assert system.system_outputs == ("z",)
+
+    def test_auto_declared_signals_have_defaults(self):
+        system = simple_chain()
+        assert system.signal("y").width == 16
+
+    def test_explicit_signal_spec_kept(self):
+        builder = SystemBuilder("s")
+        builder.add_signal("y", width=8, kind=SignalKind.BOOLEAN)
+        builder.add_module("A", inputs=["x"], outputs=["y"])
+        builder.mark_system_input("x")
+        builder.mark_system_output("y")
+        system = builder.build()
+        assert system.signal("y").width == 8
+        assert system.signal("y").kind is SignalKind.BOOLEAN
+
+    def test_duplicate_module_rejected(self):
+        builder = SystemBuilder("s")
+        builder.add_module("A", inputs=["x"], outputs=["y"])
+        with pytest.raises(DuplicateNameError):
+            builder.add_module("A", inputs=["p"], outputs=["q"])
+
+    def test_duplicate_signal_rejected(self):
+        builder = SystemBuilder("s")
+        builder.add_signal("x")
+        with pytest.raises(DuplicateNameError):
+            builder.add_signal("x")
+
+    def test_duplicate_producer_rejected(self):
+        with pytest.raises(DuplicateProducerError):
+            SystemModel(
+                "bad",
+                modules=[
+                    ModuleSpec("A", ("x",), ("y",)),
+                    ModuleSpec("B", ("x",), ("y",)),
+                ],
+                system_inputs=["x"],
+                system_outputs=["y"],
+            )
+
+    def test_unknown_module_lookup(self):
+        with pytest.raises(UnknownModuleError):
+            simple_chain().module("NOPE")
+
+    def test_unknown_signal_lookup(self):
+        with pytest.raises(UnknownSignalError):
+            simple_chain().signal("nope")
+
+
+class TestValidation:
+    def test_unproduced_signal_must_be_system_input(self):
+        with pytest.raises(ValidationError) as excinfo:
+            SystemModel(
+                "bad",
+                modules=[ModuleSpec("A", ("x",), ("y",))],
+                system_inputs=[],
+                system_outputs=["y"],
+            )
+        assert "x" in str(excinfo.value)
+
+    def test_unconsumed_signal_must_be_system_output(self):
+        with pytest.raises(ValidationError):
+            SystemModel(
+                "bad",
+                modules=[ModuleSpec("A", ("x",), ("y",))],
+                system_inputs=["x"],
+                system_outputs=[],
+            )
+
+    def test_system_input_cannot_be_produced_internally(self):
+        with pytest.raises(ValidationError):
+            SystemModel(
+                "bad",
+                modules=[
+                    ModuleSpec("A", ("x",), ("y",)),
+                    ModuleSpec("B", ("y",), ("z",)),
+                ],
+                system_inputs=["x", "y"],
+                system_outputs=["z"],
+            )
+
+    def test_system_output_needs_producer(self):
+        with pytest.raises(ValidationError):
+            SystemModel(
+                "bad",
+                modules=[ModuleSpec("A", ("x",), ("y",))],
+                system_inputs=["x"],
+                system_outputs=["y", "ghost"],
+            )
+
+    def test_unknown_system_input_rejected(self):
+        with pytest.raises(ValidationError):
+            SystemModel(
+                "bad",
+                modules=[ModuleSpec("A", ("x",), ("y",))],
+                system_inputs=["x", "phantom"],
+                system_outputs=["y"],
+            )
+
+
+class TestTopologyQueries:
+    def test_producer_of(self):
+        system = simple_chain()
+        producer = system.producer_of("y")
+        assert producer is not None
+        assert producer.module == "A"
+        assert producer.index == 1
+
+    def test_producer_of_system_input_is_none(self):
+        assert simple_chain().producer_of("x") is None
+
+    def test_consumers_of(self):
+        system = simple_chain()
+        consumers = system.consumers_of("y")
+        assert len(consumers) == 1
+        assert consumers[0].module == "B"
+
+    def test_is_system_boundary(self):
+        system = simple_chain()
+        assert system.is_system_input("x")
+        assert not system.is_system_input("y")
+        assert system.is_system_output("z")
+        assert not system.is_system_output("x")
+
+    def test_connections(self):
+        system = simple_chain()
+        connections = list(system.connections())
+        assert len(connections) == 1
+        assert connections[0].signal == "y"
+        assert not connections[0].is_feedback
+
+    def test_external_links(self):
+        system = simple_chain()
+        inputs = list(system.external_input_links())
+        outputs = list(system.external_output_links())
+        assert [link.signal for link in inputs] == ["x"]
+        assert [link.signal for link in outputs] == ["z"]
+
+    def test_feedback_connection_flag(self):
+        builder = SystemBuilder("fb")
+        builder.add_module("M", inputs=["loop", "x"], outputs=["loop", "y"])
+        builder.mark_system_input("x")
+        builder.mark_system_output("y")
+        system = builder.build()
+        feedback = [c for c in system.connections() if c.is_feedback]
+        assert len(feedback) == 1
+        assert feedback[0].signal == "loop"
+        assert system.feedback_modules() == ("M",)
+
+    def test_n_pairs(self):
+        assert simple_chain().n_pairs() == 2
+
+    def test_pair_index_order(self):
+        system = simple_chain()
+        assert list(system.pair_index()) == [("A", "x", "y"), ("B", "y", "z")]
+
+    def test_summary_mentions_everything(self):
+        text = simple_chain().summary()
+        assert "chain" in text
+        assert "A" in text and "B" in text
+        assert "system inputs : x" in text
+
+
+class TestFanout:
+    def test_signal_with_two_consumers(self):
+        builder = SystemBuilder("fan")
+        builder.add_module("SRC", inputs=["ext"], outputs=["s"])
+        builder.add_module("L", inputs=["s"], outputs=["lo"])
+        builder.add_module("R", inputs=["s"], outputs=["ro"])
+        builder.mark_system_input("ext")
+        builder.mark_system_output("lo", "ro")
+        system = builder.build()
+        assert len(system.consumers_of("s")) == 2
+        assert len(list(system.connections())) == 2

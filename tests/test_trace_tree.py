@@ -1,0 +1,148 @@
+"""Unit tests for trace trees (Input Error Tracing, steps B1–B4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.permeability import PermeabilityMatrix
+from repro.core.trace import build_all_trace_trees, build_trace_tree
+from repro.core.treenode import NodeKind
+from repro.model.builder import SystemBuilder
+from repro.model.errors import MissingPermeabilityError, NotASystemSignalError
+
+
+class TestFig2TraceTree:
+    """Structure of the tree for the example input I^A_1 (Fig. 5)."""
+
+    @pytest.fixture()
+    def tree(self, fig2_matrix):
+        return build_trace_tree(fig2_matrix, "ext_a")
+
+    def test_root(self, tree):
+        assert tree.system_input == "ext_a"
+        assert tree.root.signal == "ext_a"
+        assert tree.root.kind is NodeKind.ROOT
+
+    def test_first_hop(self, tree, fig2_matrix):
+        assert [child.signal for child in tree.root.children] == ["a1"]
+        a1 = tree.root.children[0]
+        assert a1.permeability == fig2_matrix.get("A", "ext_a", "a1")
+
+    def test_leaves_are_system_outputs(self, tree):
+        for leaf in tree.root.leaves():
+            assert leaf.kind is NodeKind.BOUNDARY
+            assert leaf.signal == "sys_out"
+
+    def test_feedback_followed_once(self, tree):
+        """b1 loops into B; it is expanded once (Fig. 12's rule) and no
+        node ever re-emits its own signal."""
+        feedback_nodes = [
+            node for node in tree.root.walk() if node.kind is NodeKind.FEEDBACK
+        ]
+        assert feedback_nodes
+        assert all(node.signal == "b1" for node in feedback_nodes)
+        assert all(not node.is_leaf for node in feedback_nodes)
+        for node in tree.root.walk():
+            assert all(child.signal != node.signal for child in node.children)
+
+    def test_fanout_covers_all_consumers(self, tree):
+        """b1 feeds both B (feedback) and D; both expansions appear."""
+        b1_nodes = tree.root.find("b1")
+        assert b1_nodes
+        child_signals = {child.signal for child in b1_nodes[0].children}
+        assert child_signals == {"b2", "d1"}
+
+    def test_path_count(self, tree):
+        # ext_a -> a1 -> {b1 -> {b2->out, d1->out}, b2 -> out} = 3 paths.
+        assert tree.n_paths() == 3
+
+    def test_weights_multiply_along_path(self, tree, fig2_matrix):
+        from repro.core.paths import paths_of_trace_tree
+
+        paths = paths_of_trace_tree(tree)
+        direct = next(p for p in paths if p.signals == ("ext_a", "a1", "b2", "sys_out"))
+        expected = (
+            fig2_matrix.get("A", "ext_a", "a1")
+            * fig2_matrix.get("B", "a1", "b2")
+            * fig2_matrix.get("E", "b2", "sys_out")
+        )
+        assert direct.weight == pytest.approx(expected)
+
+
+class TestValidationAndEdgeCases:
+    def test_not_a_system_input_rejected(self, fig2_matrix):
+        with pytest.raises(NotASystemSignalError):
+            build_trace_tree(fig2_matrix, "sys_out")
+        with pytest.raises(NotASystemSignalError):
+            build_trace_tree(fig2_matrix, "b1")
+
+    def test_incomplete_matrix_rejected(self, fig2_system):
+        matrix = PermeabilityMatrix(fig2_system)
+        with pytest.raises(MissingPermeabilityError):
+            build_trace_tree(matrix, "ext_a")
+
+    def test_all_trees(self, fig2_matrix):
+        trees = build_all_trace_trees(fig2_matrix)
+        assert set(trees) == {"ext_a", "ext_c", "ext_e"}
+
+    def test_zero_weight_input_still_traced(self, fig2_matrix):
+        tree = build_trace_tree(fig2_matrix, "ext_e")
+        assert tree.n_paths() == 1
+        leaf = next(tree.root.leaves())
+        assert leaf.signal == "sys_out"
+        assert leaf.permeability == 0.0
+
+    def test_cross_module_cycle_terminates(self):
+        builder = SystemBuilder("cycle")
+        builder.add_module("P", inputs=["x", "q_out"], outputs=["p_out"])
+        builder.add_module("Q", inputs=["p_out"], outputs=["q_out", "sys"])
+        builder.mark_system_input("x")
+        builder.mark_system_output("sys")
+        matrix = PermeabilityMatrix.uniform(builder.build(), 0.9)
+        tree = build_trace_tree(matrix, "x")
+        assert tree.n_paths() >= 1
+        assert any(
+            node.kind is NodeKind.CYCLE for node in tree.root.walk()
+        ) or tree.n_paths() > 0
+
+
+class TestArrestmentTraceTrees:
+    """Trace trees of the target system (paper Figs. 11 and 12)."""
+
+    @pytest.fixture()
+    def matrix(self):
+        from repro.arrestment import build_arrestment_model
+
+        return PermeabilityMatrix.uniform(build_arrestment_model(), 1.0)
+
+    def test_adc_tree_is_a_chain(self, matrix):
+        """Fig. 11: ADC -> InValue -> OutValue -> TOC2."""
+        tree = build_trace_tree(matrix, "ADC")
+        assert tree.n_paths() == 1
+        signals = [node.signal for node in tree.root.walk()]
+        assert signals == ["ADC", "InValue", "OutValue", "TOC2"]
+
+    def test_pacnt_tree_has_no_i_child_of_i(self, matrix):
+        """Fig. 12: 'we do not have a child node from i that is i itself'."""
+        tree = build_trace_tree(matrix, "PACNT")
+        for node in tree.root.find("i"):
+            assert all(child.signal != "i" for child in node.children)
+            # The feedback is followed once: SetValue continues below i.
+            assert {child.signal for child in node.children} == {"SetValue"}
+
+    def test_pacnt_tree_reaches_toc2(self, matrix):
+        tree = build_trace_tree(matrix, "PACNT")
+        leaves = list(tree.root.leaves())
+        assert leaves
+        assert all(leaf.signal == "TOC2" for leaf in leaves)
+        # pulscnt/slow_speed/stopped each reach TOC2 via SetValue
+        # directly and via the i feedback: 3 x 2 = 6 paths.
+        assert tree.n_paths() == 6
+
+    def test_all_four_input_trees_build(self, matrix):
+        trees = build_all_trace_trees(matrix)
+        assert set(trees) == {"PACNT", "TIC1", "TCNT", "ADC"}
+        # TIC1 and TCNT trees mirror the PACNT tree (paper: "The trees
+        # for inputs TIC1 and TCNT are very similar").
+        assert trees["TIC1"].n_paths() == trees["PACNT"].n_paths()
+        assert trees["TCNT"].n_paths() == trees["PACNT"].n_paths()

@@ -1,0 +1,107 @@
+"""Unit tests for signal traces and trace sets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.errors import TraceMismatchError
+from repro.simulation.traces import SignalTrace, TraceSet
+
+
+class TestSignalTrace:
+    def test_append_and_index(self):
+        trace = SignalTrace("s")
+        trace.append(1)
+        trace.append(2)
+        assert len(trace) == 2
+        assert trace[1] == 2
+
+    def test_first_divergence_none_when_equal(self):
+        a = SignalTrace("s", [1, 2, 3])
+        b = SignalTrace("s", [1, 2, 3])
+        assert a.first_divergence(b) is None
+        assert not a.differs_from(b)
+
+    def test_first_divergence_index(self):
+        a = SignalTrace("s", [1, 2, 3, 4])
+        b = SignalTrace("s", [1, 2, 9, 9])
+        assert a.first_divergence(b) == 2
+        assert a.differs_from(b)
+
+    def test_divergence_at_first_sample(self):
+        a = SignalTrace("s", [5])
+        b = SignalTrace("s", [6])
+        assert a.first_divergence(b) == 0
+
+    def test_signal_mismatch_rejected(self):
+        with pytest.raises(TraceMismatchError):
+            SignalTrace("a", [1]).first_divergence(SignalTrace("b", [1]))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(TraceMismatchError):
+            SignalTrace("s", [1]).first_divergence(SignalTrace("s", [1, 2]))
+
+    def test_values_between(self):
+        trace = SignalTrace("s", list(range(10)))
+        assert list(trace.values_between(3, 6)) == [3, 4, 5]
+
+
+class TestTraceSet:
+    def make(self) -> TraceSet:
+        return TraceSet(
+            [SignalTrace("a", [1, 2, 3]), SignalTrace("b", [4, 5, 6])]
+        )
+
+    def test_membership_and_lookup(self):
+        traces = self.make()
+        assert "a" in traces
+        assert "ghost" not in traces
+        assert traces["b"][0] == 4
+
+    def test_missing_lookup_raises(self):
+        with pytest.raises(TraceMismatchError):
+            self.make()["ghost"]
+
+    def test_duplicate_rejected(self):
+        traces = self.make()
+        with pytest.raises(TraceMismatchError):
+            traces.add(SignalTrace("a", []))
+
+    def test_signals_and_len(self):
+        traces = self.make()
+        assert traces.signals == ("a", "b")
+        assert len(traces) == 2
+
+    def test_duration(self):
+        assert self.make().duration_ms == 3
+        assert TraceSet().duration_ms == 0
+
+    def test_check_rectangular(self):
+        traces = self.make()
+        traces.check_rectangular()
+        traces.add(SignalTrace("c", [1]))
+        with pytest.raises(TraceMismatchError):
+            traces.check_rectangular()
+
+    def test_first_divergences(self):
+        reference = self.make()
+        other = TraceSet(
+            [SignalTrace("a", [1, 2, 3]), SignalTrace("b", [4, 9, 6])]
+        )
+        divergences = other.first_divergences(reference)
+        assert divergences == {"a": None, "b": 1}
+
+    def test_first_divergences_signal_mismatch(self):
+        reference = self.make()
+        other = TraceSet([SignalTrace("a", [1, 2, 3])])
+        with pytest.raises(TraceMismatchError):
+            other.first_divergences(reference)
+
+    def test_to_mapping_copies(self):
+        traces = self.make()
+        mapping = traces.to_mapping()
+        mapping["a"].append(99)
+        assert len(traces["a"]) == 3
+
+    def test_iteration(self):
+        assert [trace.signal for trace in self.make()] == ["a", "b"]

@@ -1,0 +1,102 @@
+"""Unit tests for the shared propagation-tree node type."""
+
+from __future__ import annotations
+
+from repro.core.treenode import NodeKind, PropagationNode
+
+
+def small_tree() -> PropagationNode:
+    root = PropagationNode(signal="out", kind=NodeKind.ROOT, module="M")
+    mid = PropagationNode(
+        signal="mid",
+        kind=NodeKind.INTERNAL,
+        module="N",
+        pair_module="M",
+        input_signal="mid",
+        output_signal="out",
+        permeability=0.5,
+    )
+    leaf_a = PropagationNode(
+        signal="in_a",
+        kind=NodeKind.BOUNDARY,
+        pair_module="N",
+        input_signal="in_a",
+        output_signal="mid",
+        permeability=0.25,
+    )
+    leaf_b = PropagationNode(
+        signal="mid",
+        kind=NodeKind.FEEDBACK,
+        module="N",
+        pair_module="N",
+        input_signal="mid",
+        output_signal="mid",
+        permeability=1.0,
+    )
+    mid.children.extend([leaf_a, leaf_b])
+    root.children.append(mid)
+    return root
+
+
+class TestStructure:
+    def test_walk_preorder(self):
+        root = small_tree()
+        signals = [node.signal for node in root.walk()]
+        assert signals == ["out", "mid", "in_a", "mid"]
+
+    def test_leaves(self):
+        root = small_tree()
+        assert [leaf.signal for leaf in root.leaves()] == ["in_a", "mid"]
+
+    def test_depth(self):
+        assert small_tree().depth() == 3
+        assert PropagationNode("x", NodeKind.ROOT).depth() == 1
+
+    def test_n_nodes(self):
+        assert small_tree().n_nodes() == 4
+
+    def test_find(self):
+        root = small_tree()
+        assert len(root.find("mid")) == 2
+        assert root.find("ghost") == []
+
+    def test_is_leaf(self):
+        root = small_tree()
+        assert not root.is_leaf
+        assert all(leaf.is_leaf for leaf in root.leaves())
+
+    def test_edge_key(self):
+        root = small_tree()
+        assert root.edge_key is None
+        mid = root.children[0]
+        assert mid.edge_key == ("M", "mid", "out")
+
+
+class TestRendering:
+    def test_markers(self):
+        text = small_tree().render()
+        assert "==" in text  # feedback marker
+        assert "*" in text  # boundary marker
+
+    def test_weights_formatted(self):
+        text = small_tree().render()
+        assert "[0.500]" in text
+        assert "[0.250]" in text
+
+    def test_root_has_no_weight(self):
+        first_line = small_tree().render().splitlines()[0]
+        assert first_line == "out"
+
+    def test_custom_weight_format(self):
+        text = small_tree().render(weight_format="{:.1f}")
+        assert "[0.5]" in text
+
+    def test_annotation_hook(self):
+        text = small_tree().render(annotate=lambda n: f"<{n.kind}>")
+        assert "<root>" in text
+        assert "<feedback>" in text
+
+    def test_tree_glyphs(self):
+        text = small_tree().render()
+        assert "`-- " in text
+        assert "|-- " in text

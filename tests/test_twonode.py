@@ -1,0 +1,143 @@
+"""Tests for the two-node master/slave configuration (paper Fig. 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arrestment.testcases import ArrestmentTestCase
+from repro.arrestment.twonode import (
+    CommLinkModule,
+    build_twonode_model,
+    build_twonode_run,
+    twonode_schedule,
+)
+from repro.core.backtrack import build_all_backtrack_trees, build_backtrack_tree
+from repro.core.exposure import all_module_exposures, signal_exposure
+from repro.core.graph import PermeabilityGraph
+from repro.core.permeability import PermeabilityMatrix
+from repro.core.trace import build_trace_tree
+
+
+class TestTopology:
+    def test_inventory(self):
+        system = build_twonode_model()
+        assert len(system.modules) == 10
+        assert system.n_pairs() == 30
+        assert system.system_inputs == ("PACNT", "TIC1", "TCNT", "ADC", "ADCS")
+        assert system.system_outputs == ("TOC2", "TOC2S")
+
+    def test_link_topology(self):
+        system = build_twonode_model()
+        assert system.producer_of("SetValueS").module == "COMM"
+        consumers = {port.module for port in system.consumers_of("SetValueS")}
+        assert consumers == {"V_REG_S"}
+
+    def test_schedule_covers_all_modules(self):
+        schedule = twonode_schedule()
+        assert set(schedule.all_modules()) == set(build_twonode_model().modules)
+
+
+class TestCommLink:
+    def test_one_cycle_delay(self):
+        comm = CommLinkModule()
+        assert comm.activate({"SetValue": 111}, 0) == {"SetValueS": 0}
+        assert comm.activate({"SetValue": 222}, 7) == {"SetValueS": 111}
+        assert comm.activate({"SetValue": 333}, 14) == {"SetValueS": 222}
+
+    def test_reset_clears_mailbox(self):
+        comm = CommLinkModule()
+        comm.activate({"SetValue": 999}, 0)
+        comm.reset()
+        assert comm.activate({"SetValue": 1}, 0) == {"SetValueS": 0}
+
+
+class TestClosedLoop:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return build_twonode_run(ArrestmentTestCase(14000, 60)).run(12000)
+
+    def test_arrestment_completes(self, result):
+        assert result.telemetry["stop_time_ms"] > 0
+        assert result.telemetry["position_m"] < 360
+
+    def test_slave_follows_master_set_point(self, result):
+        master = result.traces["SetValue"].samples
+        slave = result.traces["SetValueS"].samples
+        # After the one-cycle transport delay the streams agree.
+        assert slave[5000] == master[5000] or slave[5000] in master[4990:5001]
+        assert master[8000] == slave[8000]
+
+    def test_both_drums_brake(self, result):
+        assert result.traces["TOC2"][5000] > 0
+        assert result.traces["TOC2S"][5000] > 0
+        # Both pressures contributed: peak deceleration matches the
+        # single-node system's (same total brake force).
+        assert result.telemetry["peak_decel_ms2"] > 4.0
+
+    def test_deterministic(self):
+        case = ArrestmentTestCase(11000, 70)
+        a = build_twonode_run(case).run(2500)
+        b = build_twonode_run(case).run(2500)
+        assert a.traces["TOC2S"].samples == b.traces["TOC2S"].samples
+
+
+class TestTwoNodeAnalysis:
+    @pytest.fixture()
+    def matrix(self):
+        return PermeabilityMatrix.uniform(build_twonode_model(), 1.0)
+
+    def test_two_backtrack_trees(self, matrix):
+        trees = build_all_backtrack_trees(matrix)
+        assert set(trees) == {"TOC2", "TOC2S"}
+        # The master tree is unchanged by the slave's presence.
+        assert trees["TOC2"].n_paths() == 22
+
+    def test_slave_tree_reaches_master_inputs(self, matrix):
+        """Errors on the slave output trace back through the COMM link
+        into the master's whole front end."""
+        tree = build_backtrack_tree(matrix, "TOC2S")
+        leaf_signals = {leaf.signal for leaf in tree.root.leaves()}
+        assert "ADCS" in leaf_signals  # slave's own transducer
+        assert "PACNT" in leaf_signals  # via COMM <- SetValue <- CALC
+        # SetValueS re-roots the master's 21-path SetValue subtree, and
+        # InValueS contributes the slave's own ADCS path: 22 paths.
+        assert tree.n_paths() == 22
+
+    def test_setvalue_exposure_rises_with_fanout(self, matrix):
+        """SetValue now feeds both V_REG and COMM: its Eq. 6 exposure is
+        evaluated over both trees but counted once per unique arc."""
+        trees = list(build_all_backtrack_trees(matrix).values())
+        assert signal_exposure(trees, "SetValue") == pytest.approx(5.0)
+        assert signal_exposure(trees, "SetValueS") == pytest.approx(1.0)
+
+    def test_master_trace_tree_fans_out_to_both_outputs(self, matrix):
+        tree = build_trace_tree(matrix, "PACNT")
+        leaf_signals = {leaf.signal for leaf in tree.root.leaves()}
+        assert leaf_signals == {"TOC2", "TOC2S"}
+
+    def test_slave_chain_exposures(self, matrix):
+        graph = PermeabilityGraph(matrix)
+        exposures = all_module_exposures(graph)
+        assert exposures["COMM"].has_exposure
+        assert exposures["V_REG_S"].has_exposure
+        assert not exposures["PRES_S_S"].has_exposure  # system input only
+
+
+class TestTwoNodeRendering:
+    def test_summary_includes_both_outputs(self):
+        matrix = PermeabilityMatrix.uniform(build_twonode_model(), 0.5)
+        from repro.core.analysis import PropagationAnalysis
+
+        analysis = PropagationAnalysis(matrix)
+        text = analysis.render_summary()
+        assert text.count("Table 4.") == 2  # one ranked table per output
+        assert "TOC2S" in text
+        assert "COMM" in text
+
+    def test_table4_selects_output(self):
+        matrix = PermeabilityMatrix.uniform(build_twonode_model(), 0.5)
+        from repro.core.analysis import PropagationAnalysis
+
+        analysis = PropagationAnalysis(matrix)
+        slave = analysis.render_table4("TOC2S", only_nonzero=False)
+        assert "SetValueS" in slave
