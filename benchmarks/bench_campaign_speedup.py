@@ -1,0 +1,179 @@
+"""Campaign wall-clock: naive vs. checkpointed vs. grid-sharded.
+
+Measures the three execution paths of :class:`InjectionCampaign` on the
+arrestment Table 1 campaign and emits ``benchmarks/out/BENCH_campaign.json``
+with runs/sec, the simulated milliseconds prefix reuse skipped, and the
+speedups over the naive path — the perf trajectory of the campaign
+engine.
+
+Scales
+------
+``smoke``
+    1 workload, 2 s runs, 3 injection times, 4 bit positions
+    (156 IRs) — seconds; runs in CI on every PR.
+``quick``
+    1 workload, 8 s runs, the paper's 10 instants, 4 bit positions
+    (520 IRs) — about a minute per path.
+``table1``
+    2 workloads, 8 s runs, the paper's full 16 x 10 grid
+    (4 160 IRs) — the real Table 1 campaign shape.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_campaign_speedup.py --scale smoke
+
+or via the ``REPRO_BENCH_SCALE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.arrestment import build_arrestment_model, build_arrestment_run
+from repro.arrestment.testcases import ArrestmentTestCase
+from repro.injection.campaign import CampaignConfig, InjectionCampaign
+from repro.injection.error_models import bit_flip_models
+from repro.injection.selection import paper_times
+
+OUT_DIR = Path(__file__).parent / "out"
+
+SCALES: dict[str, dict] = {
+    "smoke": dict(
+        cases=1, duration_ms=2000, times=(500, 1000, 1500), bits=4
+    ),
+    "quick": dict(cases=1, duration_ms=8000, times=paper_times(), bits=4),
+    "table1": dict(cases=2, duration_ms=8000, times=paper_times(), bits=16),
+}
+
+
+def build_campaign(scale: dict, reuse: bool) -> InjectionCampaign:
+    cases = {
+        f"case{i:02d}": ArrestmentTestCase(14000.0 - 2000.0 * i, 60.0 - 5.0 * i)
+        for i in range(scale["cases"])
+    }
+    config = CampaignConfig(
+        duration_ms=scale["duration_ms"],
+        injection_times_ms=tuple(scale["times"]),
+        error_models=tuple(bit_flip_models(scale["bits"])),
+        seed=2001,
+        reuse_golden_prefix=reuse,
+    )
+    return InjectionCampaign(
+        build_arrestment_model(), build_arrestment_run, cases, config
+    )
+
+
+def timed(label: str, fn):
+    started = time.perf_counter()
+    result = fn()
+    elapsed = time.perf_counter() - started
+    print(f"  {label}: {elapsed:.2f}s ({len(result)} runs, "
+          f"{len(result) / elapsed:.1f} runs/s)")
+    return result, elapsed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default=os.environ.get("REPRO_BENCH_SCALE", "smoke"),
+        help="campaign size (default: $REPRO_BENCH_SCALE or smoke)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=min(4, os.cpu_count() or 1),
+        help="worker processes for the grid-sharded path",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=OUT_DIR / "BENCH_campaign.json",
+        help="output JSON path",
+    )
+    args = parser.parse_args(argv)
+    scale = SCALES[args.scale]
+
+    reference = build_campaign(scale, reuse=True)
+    total_runs = reference.total_runs()
+    total_ms = reference.simulated_ms_total()
+    skipped_ms = reference.simulated_ms_skipped()
+    print(
+        f"[{args.scale}] {total_runs} IRs x {scale['duration_ms']} ms; "
+        f"prefix reuse skips {skipped_ms}/{total_ms} simulated ms "
+        f"({skipped_ms / total_ms:.0%})"
+    )
+
+    naive_result, naive_s = timed(
+        "naive serial      ", build_campaign(scale, reuse=False).execute
+    )
+    ckpt_result, ckpt_s = timed(
+        "checkpointed      ", build_campaign(scale, reuse=True).execute
+    )
+    sharded_campaign = build_campaign(scale, reuse=True)
+    sharded_result, sharded_s = timed(
+        f"grid-sharded (x{args.workers})",
+        lambda: sharded_campaign.execute_parallel(max_workers=args.workers),
+    )
+
+    def fingerprint(result):
+        return [
+            (o.case_id, o.module, o.input_signal, o.scheduled_time_ms,
+             o.error_model, o.fired_at_ms, o.comparison.first_divergence_ms)
+            for o in result
+        ]
+
+    assert fingerprint(ckpt_result) == fingerprint(naive_result), \
+        "checkpointed path diverged from the naive path"
+    assert fingerprint(sharded_result) == fingerprint(naive_result), \
+        "grid-sharded path diverged from the naive path"
+
+    prefix_speedup = naive_s / ckpt_s
+    sharded_speedup = naive_s / sharded_s
+    print(f"  prefix-reuse speedup: {prefix_speedup:.2f}x, "
+          f"grid-sharded speedup: {sharded_speedup:.2f}x")
+
+    report = {
+        "scale": args.scale,
+        "config": {
+            "cases": scale["cases"],
+            "duration_ms": scale["duration_ms"],
+            "injection_times_ms": list(scale["times"]),
+            "bit_positions": scale["bits"],
+            "targets": len(reference.targets),
+        },
+        "total_runs": total_runs,
+        "simulated_ms_total": total_ms,
+        "simulated_ms_skipped": skipped_ms,
+        "skipped_fraction": skipped_ms / total_ms,
+        "workers": args.workers,
+        "naive": {"seconds": naive_s, "runs_per_sec": total_runs / naive_s},
+        "checkpointed": {
+            "seconds": ckpt_s,
+            "runs_per_sec": total_runs / ckpt_s,
+        },
+        "grid_sharded": {
+            "seconds": sharded_s,
+            "runs_per_sec": total_runs / sharded_s,
+        },
+        "prefix_reuse_speedup": prefix_speedup,
+        "grid_sharded_speedup": sharded_speedup,
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.out}")
+
+    if prefix_speedup < 1.25:
+        print(f"WARNING: prefix-reuse speedup {prefix_speedup:.2f}x "
+              "below the 1.25x target")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

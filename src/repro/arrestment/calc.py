@@ -88,6 +88,16 @@ class CalcModule(SoftwareModule):
         self._prev_pulscnt = 0
         self._prev_mscnt = 0
 
+    def state_dict(self) -> dict:
+        return {
+            "prev_pulscnt": self._prev_pulscnt,
+            "prev_mscnt": self._prev_mscnt,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._prev_pulscnt = state["prev_pulscnt"]
+        self._prev_mscnt = state["prev_mscnt"]
+
     def activate(self, inputs: Mapping[str, int], now_ms: int) -> Mapping[str, int]:
         i = inputs["i"]
         mscnt = inputs["mscnt"]

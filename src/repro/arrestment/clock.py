@@ -44,6 +44,12 @@ class ClockModule(SoftwareModule):
     def reset(self) -> None:
         self._mscnt = 0
 
+    def state_dict(self) -> dict:
+        return {"mscnt": self._mscnt}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._mscnt = state["mscnt"]
+
     def activate(self, inputs: Mapping[str, int], now_ms: int) -> Mapping[str, int]:
         self._mscnt = (self._mscnt + 1) & 0xFFFF
         slot = (inputs["ms_slot_nbr"] + 1) % self._n_slots

@@ -114,6 +114,38 @@ class ArrestmentPlant:
         self._tic1.reset()
         self._adc.reset()
 
+    def state_dict(self) -> dict:
+        """Complete physical state, including the hardware registers."""
+        return {
+            "position_m": self._position_m,
+            "velocity_ms": self._velocity_ms,
+            "pressure_pa": self._pressure_pa,
+            "valve_fraction": self._valve_fraction,
+            "pulse_position": self._pulse_position,
+            "pulses_emitted": self._pulses_emitted,
+            "peak_decel_ms2": self._peak_decel_ms2,
+            "stop_time_ms": self._stop_time_ms,
+            "tcnt": self._tcnt.state_dict(),
+            "pacnt": self._pacnt.state_dict(),
+            "tic1": self._tic1.state_dict(),
+            "adc": self._adc.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a checkpointed physical state bit-for-bit."""
+        self._position_m = state["position_m"]
+        self._velocity_ms = state["velocity_ms"]
+        self._pressure_pa = state["pressure_pa"]
+        self._valve_fraction = state["valve_fraction"]
+        self._pulse_position = state["pulse_position"]
+        self._pulses_emitted = state["pulses_emitted"]
+        self._peak_decel_ms2 = state["peak_decel_ms2"]
+        self._stop_time_ms = state["stop_time_ms"]
+        self._tcnt.load_state_dict(state["tcnt"])
+        self._pacnt.load_state_dict(state["pacnt"])
+        self._tic1.load_state_dict(state["tic1"])
+        self._adc.load_state_dict(state["adc"])
+
     def before_software(self, now_ms: int, store: SignalStore) -> None:
         """Integrate 1 ms of physics and refresh the input registers."""
         self._integrate_one_ms(now_ms)

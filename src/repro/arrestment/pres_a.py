@@ -47,6 +47,12 @@ class PressureActuatorModule(SoftwareModule):
         super().__init__(spec)
         self._quant_mask = quant_mask
 
+    def state_dict(self) -> dict:
+        return {}  # stateless pass-through
+
+    def load_state_dict(self, state: dict) -> None:
+        pass
+
     def activate(self, inputs: Mapping[str, int], now_ms: int) -> Mapping[str, int]:
         drive = inputs[self._spec.inputs[0]]
         return {self._spec.outputs[0]: drive & self._quant_mask}

@@ -79,6 +79,20 @@ class PressureSensorModule(SoftwareModule):
         self._activation = 0
         self._in_value = 0
 
+    def state_dict(self) -> dict:
+        return {
+            "initialised": self._initialised,
+            "history": list(self._history),
+            "activation": self._activation,
+            "in_value": self._in_value,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._initialised = state["initialised"]
+        self._history = list(state["history"])
+        self._activation = state["activation"]
+        self._in_value = state["in_value"]
+
     def _quantise(self, value: int) -> int:
         return ((value + self._quant // 2) // self._quant) * self._quant
 

@@ -114,6 +114,12 @@ class CommLinkModule(SoftwareModule):
     def reset(self) -> None:
         self._in_flight = 0
 
+    def state_dict(self) -> dict:
+        return {"in_flight": self._in_flight}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._in_flight = state["in_flight"]
+
     def activate(self, inputs: Mapping[str, int], now_ms: int) -> Mapping[str, int]:
         delivered = self._in_flight
         self._in_flight = inputs["SetValue"]
@@ -214,6 +220,40 @@ class TwoDrumPlant:
             self._adc_slave,
         ):
             register.reset()
+
+    def state_dict(self) -> dict:
+        """Complete two-drum physical state, including the registers."""
+        return {
+            "position_m": self._position_m,
+            "velocity_ms": self._velocity_ms,
+            "pressure_pa": list(self._pressure_pa),
+            "valve_fraction": list(self._valve_fraction),
+            "pulse_position": self._pulse_position,
+            "pulses_emitted": self._pulses_emitted,
+            "peak_decel_ms2": self._peak_decel_ms2,
+            "stop_time_ms": self._stop_time_ms,
+            "tcnt": self._tcnt.state_dict(),
+            "pacnt": self._pacnt.state_dict(),
+            "tic1": self._tic1.state_dict(),
+            "adc_master": self._adc_master.state_dict(),
+            "adc_slave": self._adc_slave.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a checkpointed two-drum state bit-for-bit."""
+        self._position_m = state["position_m"]
+        self._velocity_ms = state["velocity_ms"]
+        self._pressure_pa = list(state["pressure_pa"])
+        self._valve_fraction = list(state["valve_fraction"])
+        self._pulse_position = state["pulse_position"]
+        self._pulses_emitted = state["pulses_emitted"]
+        self._peak_decel_ms2 = state["peak_decel_ms2"]
+        self._stop_time_ms = state["stop_time_ms"]
+        self._tcnt.load_state_dict(state["tcnt"])
+        self._pacnt.load_state_dict(state["pacnt"])
+        self._tic1.load_state_dict(state["tic1"])
+        self._adc_master.load_state_dict(state["adc_master"])
+        self._adc_slave.load_state_dict(state["adc_slave"])
 
     # -- Environment protocol ------------------------------------------
 

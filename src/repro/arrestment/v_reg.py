@@ -64,6 +64,12 @@ class ValveRegulatorModule(SoftwareModule):
     def reset(self) -> None:
         self._integral = 0
 
+    def state_dict(self) -> dict:
+        return {"integral": self._integral}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._integral = state["integral"]
+
     def activate(self, inputs: Mapping[str, int], now_ms: int) -> Mapping[str, int]:
         set_point, measurement = (inputs[name] for name in self._spec.inputs)
         error = set_point - measurement

@@ -99,11 +99,16 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         injection_times_ms=times,
         error_models=tuple(bit_flip_models(args.bits)),
         seed=args.seed,
+        reuse_golden_prefix=not args.no_prefix_reuse,
     )
     campaign = InjectionCampaign(system, factory, cases, config)
     total = campaign.total_runs()
     print(f"{len(cases)} workloads x {len(campaign.targets)} signals x "
           f"{config.runs_per_target()} injections = {total} runs")
+    if config.reuse_golden_prefix:
+        skipped = campaign.simulated_ms_skipped()
+        print(f"prefix reuse skips {skipped} of {campaign.simulated_ms_total()} "
+              f"simulated ms ({skipped / campaign.simulated_ms_total():.0%})")
     started = time.time()
     last = [0.0]
 
@@ -113,9 +118,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             print(f"  {done}/{_total} ({done / (now - started):.1f}/s)")
             last[0] = now
 
-    if args.parallel > 1:
+    workers = args.workers if args.workers is not None else args.parallel
+    if workers > 1:
         result = campaign.execute_parallel(
-            max_workers=args.parallel, progress=progress
+            max_workers=workers, progress=progress, chunk_size=args.chunk_size
         )
     else:
         result = campaign.execute(progress=progress)
@@ -186,8 +192,17 @@ def build_parser() -> argparse.ArgumentParser:
                           help="EDM subset size for the [18] baseline")
     campaign.add_argument("--paper-grid", action="store_true",
                           help="use the paper's ten half-second instants")
+    campaign.add_argument("--workers", type=int, default=None, metavar="N",
+                          help="worker processes for the grid-sharded "
+                          "parallel path (scales past the case count)")
+    campaign.add_argument("--chunk-size", type=int, default=None, metavar="M",
+                          help="injection targets per parallel work item "
+                          "(default: ~4 chunks per worker)")
     campaign.add_argument("--parallel", type=int, default=1, metavar="N",
-                          help="worker processes (one test case each)")
+                          help="deprecated alias for --workers")
+    campaign.add_argument("--no-prefix-reuse", action="store_true",
+                          help="disable Golden-Run checkpoint reuse "
+                          "(re-run every IR from time zero)")
     campaign.add_argument("--twonode", action="store_true",
                           help="analyse the master/slave configuration")
     campaign.add_argument("--save", metavar="FILE",

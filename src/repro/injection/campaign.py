@@ -14,13 +14,29 @@ procedure:
 The runtime object produced by the ``run_factory`` is reused across the
 runs of one test case (``SimulationRun.run`` resets software, store,
 clock and environment), so factories are invoked once per test case.
+
+Golden-Run prefix reuse
+-----------------------
+Every IR is bit-identical to its Golden Run up to the injection instant
+(the single one-shot trap is inert before its scheduled time, and
+everything executes in simulated time).  By default the campaign
+therefore records a :class:`~repro.simulation.runtime.RunCheckpoint` at
+each configured injection time while the Golden Run executes, and every
+IR resumes from the matching checkpoint via
+:meth:`SimulationRun.run_from` — only the suffix after the injection
+instant is simulated, and the Golden-Run trace prefix is stitched onto
+the suffix traces.  Results are byte-for-byte identical to full
+re-runs; with the paper's default grid (injection times 500–5000 ms
+over an 8 s run) roughly a third of all simulated milliseconds are
+skipped.  Set :attr:`CampaignConfig.reuse_golden_prefix` to ``False``
+for the naive re-run-everything behaviour.
 """
 
 from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence, TypeVar
+from typing import Callable, Iterator, Mapping, Sequence, TypeVar
 
 from repro.injection.error_models import ErrorModel, bit_flip_models
 from repro.injection.golden_run import GoldenRun, compare_to_golden_run
@@ -29,7 +45,7 @@ from repro.injection.selection import paper_times
 from repro.injection.traps import InputInjectionTrap
 from repro.model.errors import CampaignError
 from repro.model.system import SystemModel
-from repro.simulation.runtime import RunResult, SimulationRun
+from repro.simulation.runtime import RunCheckpoint, RunResult, SimulationRun
 
 __all__ = ["CampaignConfig", "InjectionCampaign"]
 
@@ -64,6 +80,11 @@ class CampaignConfig:
     seed:
         Campaign master seed; per-run trap seeds are derived from it
         deterministically, so equal configurations give equal results.
+    reuse_golden_prefix:
+        When ``True`` (the default), Golden-Run checkpoints are captured
+        at every injection time and each IR simulates only the suffix
+        after its injection instant.  ``False`` re-runs every IR from
+        time zero.  Both paths produce bit-identical results.
     """
 
     duration_ms: int = 8000
@@ -73,6 +94,7 @@ class CampaignConfig:
     )
     targets: tuple[tuple[str, str], ...] | None = None
     seed: int = 2001
+    reuse_golden_prefix: bool = True
 
     def __post_init__(self) -> None:
         if self.duration_ms < 1:
@@ -92,6 +114,17 @@ class CampaignConfig:
         """IRs per targeted signal per test case (the paper: 16·10 = 160)."""
         return len(self.injection_times_ms) * len(self.error_models)
 
+    def simulated_ms_skipped_per_target(self) -> int:
+        """Simulated milliseconds prefix reuse saves per target per case.
+
+        Each IR at injection time *t* skips exactly *t* of its
+        ``duration_ms`` milliseconds; summed over the grid of one
+        target this is ``n_models · Σt``.
+        """
+        if not self.reuse_golden_prefix:
+            return 0
+        return len(self.error_models) * sum(self.injection_times_ms)
+
 
 def _derive_seed(
     master: int, case_id: str, module: str, signal: str, time_ms: int, model: str
@@ -101,15 +134,33 @@ def _derive_seed(
     return zlib.crc32(text.encode("utf-8"))
 
 
-def _execute_one_case(payload: tuple) -> list[InjectionOutcome]:
+def _execute_grid_chunk(payload: tuple) -> list[InjectionOutcome]:
     """Worker entry point for :meth:`InjectionCampaign.execute_parallel`.
 
-    Rebuilds a single-case campaign inside the worker process and
-    returns its outcome list (traces stay worker-local).
+    Receives one shard of the ``(case, module, signal)`` grid together
+    with the pre-computed Golden Run and its checkpoints, rebuilds the
+    runtime inside the worker process and returns the shard's outcome
+    list (IR traces stay worker-local).
     """
-    system, run_factory, case_id, case, config = payload
+    (
+        system,
+        run_factory,
+        case_id,
+        case,
+        config,
+        targets,
+        golden,
+        checkpoints,
+    ) = payload
     campaign = InjectionCampaign(system, run_factory, {case_id: case}, config)
-    return list(campaign.execute())
+    runner = run_factory(case)
+    runner.clear_hooks()
+    return [
+        outcome
+        for outcome, _ in campaign._case_injections(
+            runner, golden, targets, checkpoints
+        )
+    ]
 
 
 class InjectionCampaign:
@@ -183,6 +234,18 @@ class InjectionCampaign:
             * self._config.runs_per_target()
         )
 
+    def simulated_ms_total(self) -> int:
+        """Simulated milliseconds a naive campaign executes (IRs only)."""
+        return self.total_runs() * self._config.duration_ms
+
+    def simulated_ms_skipped(self) -> int:
+        """Simulated milliseconds prefix reuse skips across the campaign."""
+        return (
+            len(self._test_cases)
+            * len(self._targets)
+            * self._config.simulated_ms_skipped_per_target()
+        )
+
     def golden_runs(self) -> Mapping[str, GoldenRun]:
         """Golden runs recorded so far (populated during execution)."""
         return dict(self._golden_runs)
@@ -201,7 +264,8 @@ class InjectionCampaign:
         Parameters
         ----------
         progress:
-            Optional ``(completed, total)`` callback.
+            Optional ``(completed, total)`` callback, invoked once per
+            completed injection run.
         inspector:
             Optional callback invoked for every injection run *while
             its full traces are still available* (they are discarded
@@ -214,25 +278,60 @@ class InjectionCampaign:
         completed = 0
         total = self.total_runs()
         for case_id, case in self._test_cases.items():
-            runner = self._run_factory(case)
-            runner.clear_hooks()
-            golden = GoldenRun(
-                case_id=case_id, result=runner.run(self._config.duration_ms)
-            )
+            runner, golden, checkpoints = self._golden_for_case(case_id, case)
             self._golden_runs[case_id] = golden
-            for module, signal in self._targets:
-                for time_ms in self._config.injection_times_ms:
-                    for model in self._config.error_models:
-                        outcome, injected = self._one_injection(
-                            runner, golden, case_id, module, signal, time_ms, model
-                        )
-                        if inspector is not None:
-                            inspector(outcome, injected, golden)
-                        result.add(outcome)
-                        completed += 1
-                        if progress is not None:
-                            progress(completed, total)
+            for outcome, injected in self._case_injections(
+                runner, golden, self._targets, checkpoints
+            ):
+                if inspector is not None:
+                    inspector(outcome, injected, golden)
+                result.add(outcome)
+                completed += 1
+                if progress is not None:
+                    progress(completed, total)
         return result
+
+    def _golden_for_case(
+        self, case_id: str, case: CaseT
+    ) -> tuple[SimulationRun, GoldenRun, dict[int, RunCheckpoint]]:
+        """Build the runtime and record the Golden Run of one test case.
+
+        With prefix reuse enabled, checkpoints are captured at every
+        configured injection time while the Golden Run executes.
+        """
+        runner = self._run_factory(case)
+        runner.clear_hooks()
+        if self._config.reuse_golden_prefix:
+            golden_result, checkpoints = runner.run_with_checkpoints(
+                self._config.duration_ms, self._config.injection_times_ms
+            )
+        else:
+            golden_result = runner.run(self._config.duration_ms)
+            checkpoints = {}
+        return runner, GoldenRun(case_id=case_id, result=golden_result), checkpoints
+
+    def _case_injections(
+        self,
+        runner: SimulationRun,
+        golden: GoldenRun,
+        targets: Sequence[tuple[str, str]],
+        checkpoints: Mapping[int, RunCheckpoint],
+    ) -> Iterator[tuple[InjectionOutcome, RunResult]]:
+        """Yield every IR of ``targets`` for one test case, in grid order."""
+        for module, signal in targets:
+            for time_ms in self._config.injection_times_ms:
+                checkpoint = checkpoints.get(time_ms)
+                for model in self._config.error_models:
+                    yield self._one_injection(
+                        runner,
+                        golden,
+                        golden.case_id,
+                        module,
+                        signal,
+                        time_ms,
+                        model,
+                        checkpoint,
+                    )
 
     def _one_injection(
         self,
@@ -243,7 +342,13 @@ class InjectionCampaign:
         signal: str,
         time_ms: int,
         model: ErrorModel,
+        checkpoint: RunCheckpoint | None = None,
     ) -> tuple[InjectionOutcome, "RunResult"]:
+        if runner.hooks_installed:
+            raise CampaignError(
+                "runtime has hooks installed from a previous run; "
+                "refusing to arm a trap on a dirty runtime"
+            )
         trap = InputInjectionTrap.for_system(
             self._system,
             module=module,
@@ -254,10 +359,14 @@ class InjectionCampaign:
                 self._config.seed, case_id, module, signal, time_ms, model.name
             ),
         )
-        runner.clear_hooks()
         runner.add_read_interceptor(trap)
-        injected = runner.run(self._config.duration_ms)
-        runner.clear_hooks()
+        try:
+            if checkpoint is not None:
+                injected = runner.run_from(checkpoint, self._config.duration_ms)
+            else:
+                injected = runner.run(self._config.duration_ms)
+        finally:
+            runner.clear_hooks()
         comparison = compare_to_golden_run(golden, injected)
         outcome = InjectionOutcome(
             case_id=case_id,
@@ -278,38 +387,80 @@ class InjectionCampaign:
         self,
         max_workers: int | None = None,
         progress: ProgressCallback | None = None,
+        chunk_size: int | None = None,
     ) -> CampaignResult:
-        """Run the campaign with one worker process per test case.
+        """Run the campaign grid-sharded over a process pool.
+
+        The ``(case, module, signal)`` target grid is split into chunks
+        of ``chunk_size`` targets; each chunk is one work item, so the
+        usable worker count scales with the grid size rather than being
+        capped at the number of test cases.  Golden Runs (and their
+        prefix-reuse checkpoints) are computed once per test case in
+        the parent process and shipped to the workers, which replay
+        only the injection suffixes.
 
         Produces bit-identical outcomes to :meth:`execute` (per-run
         seeds are derived from the configuration, not from execution
-        order).  Restrictions compared to the serial path:
+        order, and chunks are collected in grid order).  Restrictions
+        compared to the serial path:
 
         * ``run_factory`` must be picklable (a module-level callable,
           e.g. :func:`repro.arrestment.build_arrestment_run`);
-        * :meth:`golden_runs` stays empty — Golden Run traces are not
-          shipped back across the process boundary;
-        * no ``inspector`` hook (traces never leave the workers).
+        * no ``inspector`` hook (IR traces never leave the workers).
 
-        ``progress`` is reported at test-case granularity.
+        Parameters
+        ----------
+        max_workers:
+            Worker processes (defaults to the machine's CPU count).
+        progress:
+            Optional ``(completed, total)`` callback reporting
+            *completed injection runs* after each finished chunk.
+        chunk_size:
+            Targets per work item.  Defaults to an even split aiming at
+            ~4 chunks per worker, so stragglers rebalance.  Smaller
+            chunks shard finer at the cost of shipping the per-case
+            Golden Run and checkpoints to more workers.
         """
         import concurrent.futures
         import dataclasses
+        import os
 
         config = dataclasses.replace(self._config, targets=self._targets)
-        payloads = [
-            (self._system, self._run_factory, case_id, case, config)
-            for case_id, case in self._test_cases.items()
-        ]
+        total = self.total_runs()
+        if chunk_size is None:
+            workers = max_workers or os.cpu_count() or 1
+            grid = len(self._test_cases) * len(self._targets)
+            chunk_size = max(1, -(-grid // (4 * workers)))
+        elif chunk_size < 1:
+            raise CampaignError(f"chunk_size must be >= 1, got {chunk_size}")
+
+        payloads = []
+        for case_id, case in self._test_cases.items():
+            runner, golden, checkpoints = self._golden_for_case(case_id, case)
+            self._golden_runs[case_id] = golden
+            for start in range(0, len(self._targets), chunk_size):
+                payloads.append(
+                    (
+                        self._system,
+                        self._run_factory,
+                        case_id,
+                        case,
+                        config,
+                        self._targets[start : start + chunk_size],
+                        golden,
+                        checkpoints,
+                    )
+                )
+
         result = CampaignResult(self._system)
         completed = 0
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=max_workers
         ) as pool:
-            for outcomes in pool.map(_execute_one_case, payloads):
+            for outcomes in pool.map(_execute_grid_chunk, payloads):
                 for outcome in outcomes:
                     result.add(outcome)
-                completed += 1
+                completed += len(outcomes)
                 if progress is not None:
-                    progress(completed, len(payloads))
+                    progress(completed, total)
         return result

@@ -17,6 +17,7 @@ Two layers are separated here:
 from __future__ import annotations
 
 import abc
+import copy
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping
 
@@ -182,6 +183,28 @@ class SoftwareModule(abc.ABC):
 
         The default implementation is a no-op; stateful modules override.
         """
+
+    def state_dict(self) -> dict:
+        """Snapshot of the module's internal state for checkpoint/restore.
+
+        The default implementation deepcopies every instance attribute
+        except the (immutable, shared) ``_spec`` — always correct for
+        plain Python state.  Modules with a known small state override
+        this with an explicit, cheaper snapshot.
+        """
+        return copy.deepcopy(
+            {key: value for key, value in vars(self).items() if key != "_spec"}
+        )
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore internal state captured by :meth:`state_dict`.
+
+        The same snapshot may be restored many times (once per
+        checkpointed injection run), so implementations must not alias
+        mutable containers out of ``state``.
+        """
+        for key, value in copy.deepcopy(state).items():
+            setattr(self, key, value)
 
     @abc.abstractmethod
     def activate(self, inputs: Mapping[str, int], now_ms: int) -> Mapping[str, int]:

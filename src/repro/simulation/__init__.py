@@ -17,6 +17,7 @@ from repro.simulation.registers import (
 from repro.simulation.runtime import (
     Environment,
     ReadInterceptor,
+    RunCheckpoint,
     RunResult,
     SignalStore,
     SimulationRun,
@@ -24,6 +25,7 @@ from repro.simulation.runtime import (
 )
 from repro.simulation.scheduler import SlotSchedule
 from repro.simulation.simtime import SimClock
+from repro.simulation.snapshot import Snapshotable, restore_state, snapshot_state
 from repro.simulation.traces import SignalTrace, TraceSet
 
 __all__ = [
@@ -35,12 +37,16 @@ __all__ = [
     "OutputCompare",
     "PulseAccumulator",
     "ReadInterceptor",
+    "RunCheckpoint",
     "RunResult",
     "SignalStore",
     "SignalTrace",
     "SimClock",
     "SimulationRun",
     "SlotSchedule",
+    "Snapshotable",
     "StoreMutator",
     "TraceSet",
+    "restore_state",
+    "snapshot_state",
 ]

@@ -28,14 +28,16 @@ width masks are precomputed, and hot paths bypass the checked
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
-from typing import Mapping, Protocol, Sequence
+from typing import Any, Mapping, Protocol, Sequence
 
 from repro.model.errors import SimulationError, UnknownSignalError
 from repro.model.module import SoftwareModule
 from repro.model.system import SystemModel
 from repro.simulation.scheduler import SlotSchedule
 from repro.simulation.simtime import SimClock
+from repro.simulation.snapshot import restore_state, snapshot_state
 from repro.simulation.traces import SignalTrace, TraceSet
 
 __all__ = [
@@ -44,6 +46,7 @@ __all__ = [
     "ReadInterceptor",
     "StoreMutator",
     "RunResult",
+    "RunCheckpoint",
     "SimulationRun",
 ]
 
@@ -87,6 +90,20 @@ class SignalStore:
     def snapshot(self) -> dict[str, int]:
         """A copy of all current signal values."""
         return dict(self._values)
+
+    def state_dict(self) -> dict:
+        """Snapshot for checkpoint/restore (masks/initials are static)."""
+        return {"values": dict(self._values)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore checkpointed values *in place*.
+
+        The values dict is mutated rather than rebound: the runtime's
+        hot loops hold direct references to it.
+        """
+        values = self._values
+        values.clear()
+        values.update(state["values"])
 
     @property
     def signals(self) -> tuple[str, ...]:
@@ -141,6 +158,37 @@ class RunResult:
     final_signals: dict[str, int]
     #: Final environment telemetry (physical quantities).
     telemetry: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class RunCheckpoint:
+    """Complete mid-run state of a :class:`SimulationRun`.
+
+    Captured with :meth:`SimulationRun.checkpoint` after ``time_ms``
+    simulated milliseconds; resuming with
+    :meth:`SimulationRun.run_from` produces results byte-for-byte
+    identical to a full run, because the capture covers *all* mutable
+    state (store, clock, environment, every module) plus the trace
+    prefix recorded so far.
+
+    Checkpoints are plain picklable data, so they can be shipped to
+    worker processes (the grid-sharded campaign path does exactly
+    that).  Installed hooks are deliberately *not* part of a
+    checkpoint — traps are per-run instrumentation.
+    """
+
+    #: Simulated milliseconds executed before the capture.
+    time_ms: int
+    #: :class:`SignalStore` state.
+    store: dict
+    #: :class:`~repro.simulation.simtime.SimClock` state.
+    clock: dict
+    #: Environment/plant state (snapshot or deepcopy fallback).
+    environment: Any
+    #: Per-module internal state, keyed by module name.
+    modules: dict[str, Any]
+    #: Recorded samples up to ``time_ms``, per traced signal.
+    trace_prefix: tuple[tuple[str, array], ...]
 
 
 class SimulationRun:
@@ -204,6 +252,9 @@ class SimulationRun:
         self._clock = SimClock()
         self._read_interceptors: list[ReadInterceptor] = []
         self._store_mutators: list[StoreMutator] = []
+        #: Live per-signal sample sinks while a run is in progress
+        #: (checkpoints capture their prefix).
+        self._live_samples: list[tuple[str, array]] | None = None
         # --- precomputed dispatch tables (hot loop) -------------------
         #: Per-slot dispatch: list of (module instance, activate bound
         #: method, inputs tuple, allowed outputs, masks).
@@ -251,6 +302,15 @@ class SimulationRun:
         """Remove all installed traps (between campaign runs)."""
         self._read_interceptors.clear()
         self._store_mutators.clear()
+
+    @property
+    def hooks_installed(self) -> bool:
+        """Whether any read interceptor or store mutator is installed.
+
+        Campaigns assert this is ``False`` before arming a trap, so a
+        leaked hook from a previous run cannot contaminate the next.
+        """
+        return bool(self._read_interceptors or self._store_mutators)
 
     # ------------------------------------------------------------------
     # Execution
@@ -309,15 +369,102 @@ class SimulationRun:
         if duration_ms < 1:
             raise SimulationError(f"duration must be >= 1 ms, got {duration_ms}")
         self.reset()
-        samples: list[tuple[str, list[int]]] = [
-            (signal, []) for signal in self._trace_signals
+        samples: list[tuple[str, array]] = [
+            (signal, array("q")) for signal in self._trace_signals
         ]
-        step = self.step_ms
-        values = self._store._values
-        for _ in range(duration_ms):
-            step()
-            for signal, sink in samples:
-                sink.append(values[signal])
+        self._execute_frames(samples, duration_ms)
+        return self._build_result(duration_ms, samples)
+
+    def run_with_checkpoints(
+        self, duration_ms: int, checkpoint_times_ms: Sequence[int]
+    ) -> tuple[RunResult, dict[int, RunCheckpoint]]:
+        """Like :meth:`run`, additionally capturing mid-run checkpoints.
+
+        A checkpoint requested for time ``t`` is captured *before* the
+        frame of millisecond ``t`` executes, i.e. after exactly ``t``
+        simulated milliseconds — the state a one-shot trap scheduled at
+        ``t`` would find in a full run.  Returns the run result and the
+        checkpoints keyed by their time.
+        """
+        if duration_ms < 1:
+            raise SimulationError(f"duration must be >= 1 ms, got {duration_ms}")
+        wanted = sorted(set(checkpoint_times_ms))
+        if wanted and not 0 <= wanted[0] <= wanted[-1] < duration_ms:
+            raise SimulationError(
+                f"checkpoint times {wanted} must lie in [0, {duration_ms})"
+            )
+        self.reset()
+        samples: list[tuple[str, array]] = [
+            (signal, array("q")) for signal in self._trace_signals
+        ]
+        checkpoints: dict[int, RunCheckpoint] = {}
+        self._live_samples = samples
+        try:
+            step = self.step_ms
+            values = self._store._values
+            pending = iter(wanted)
+            next_cp = next(pending, None)
+            for now_ms in range(duration_ms):
+                if now_ms == next_cp:
+                    checkpoints[now_ms] = self.checkpoint()
+                    next_cp = next(pending, None)
+                step()
+                for signal, sink in samples:
+                    sink.append(values[signal])
+        finally:
+            self._live_samples = None
+        return self._build_result(duration_ms, samples), checkpoints
+
+    def run_from(self, cp: RunCheckpoint, duration_ms: int) -> RunResult:
+        """Resume from ``cp`` and complete a ``duration_ms`` run.
+
+        Executes only the frames after ``cp.time_ms`` and stitches the
+        checkpoint's trace prefix onto the recorded suffix, so the
+        returned :class:`RunResult` is byte-for-byte identical to a
+        full :meth:`run` of the same experiment.
+        """
+        if duration_ms <= cp.time_ms:
+            raise SimulationError(
+                f"duration {duration_ms} ms does not extend past the "
+                f"checkpoint at {cp.time_ms} ms"
+            )
+        prefix_signals = tuple(signal for signal, _ in cp.trace_prefix)
+        if prefix_signals != self._trace_signals:
+            raise SimulationError(
+                "checkpoint traces different signals than this run: "
+                f"{prefix_signals} vs {self._trace_signals}"
+            )
+        for signal, prefix in cp.trace_prefix:
+            if len(prefix) != cp.time_ms:
+                raise SimulationError(
+                    f"checkpoint trace prefix of {signal!r} has "
+                    f"{len(prefix)} samples, expected {cp.time_ms}"
+                )
+        self.restore(cp)
+        samples: list[tuple[str, array]] = [
+            (signal, array("q", prefix)) for signal, prefix in cp.trace_prefix
+        ]
+        self._execute_frames(samples, duration_ms - cp.time_ms)
+        return self._build_result(duration_ms, samples)
+
+    def _execute_frames(
+        self, samples: list[tuple[str, array]], n_frames: int
+    ) -> None:
+        """The sampling frame loop shared by all run entry points."""
+        self._live_samples = samples
+        try:
+            step = self.step_ms
+            values = self._store._values
+            for _ in range(n_frames):
+                step()
+                for signal, sink in samples:
+                    sink.append(values[signal])
+        finally:
+            self._live_samples = None
+
+    def _build_result(
+        self, duration_ms: int, samples: list[tuple[str, array]]
+    ) -> RunResult:
         return RunResult(
             traces=TraceSet(
                 SignalTrace(signal, sink) for signal, sink in samples
@@ -326,3 +473,52 @@ class SimulationRun:
             final_signals=self._store.snapshot(),
             telemetry=dict(self._environment.telemetry()),
         )
+
+    # ------------------------------------------------------------------
+    # Checkpoint/restore
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> RunCheckpoint:
+        """Capture the complete current state as a :class:`RunCheckpoint`.
+
+        Covers store, clock, environment and every module (via their
+        ``state_dict`` or the deepcopy fallback, see
+        :mod:`repro.simulation.snapshot`) plus the trace prefix of the
+        run in progress; outside a run the prefix is empty.  Installed
+        hooks are not captured.
+        """
+        if self._live_samples is not None:
+            prefix = tuple(
+                (signal, sink[:]) for signal, sink in self._live_samples
+            )
+        else:
+            prefix = tuple((signal, array("q")) for signal in self._trace_signals)
+        return RunCheckpoint(
+            time_ms=self._clock.now_ms,
+            store=snapshot_state(self._store),
+            clock=snapshot_state(self._clock),
+            environment=snapshot_state(self._environment),
+            modules={
+                name: snapshot_state(module)
+                for name, module in self._modules.items()
+            },
+            trace_prefix=prefix,
+        )
+
+    def restore(self, cp: RunCheckpoint) -> None:
+        """Load the state captured in ``cp`` (hooks are left untouched).
+
+        The checkpoint itself stays pristine: the same checkpoint can be
+        restored any number of times (once per injection run).
+        """
+        if set(cp.modules) != set(self._modules):
+            raise SimulationError(
+                "checkpoint module set does not match this run: "
+                f"{sorted(cp.modules)} vs {sorted(self._modules)}"
+            )
+        restore_state(self._store, cp.store)
+        restore_state(self._clock, cp.clock)
+        restore_state(self._environment, cp.environment)
+        for name, module in self._modules.items():
+            restore_state(module, cp.modules[name])
+        self._live_samples = None

@@ -52,5 +52,13 @@ class SimClock:
         """Rewind to time zero (a new simulation run)."""
         self._now_ms = 0
 
+    def state_dict(self) -> dict:
+        """Snapshot for checkpoint/restore (``ticks_per_ms`` is static)."""
+        return {"now_ms": self._now_ms}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Rewind/forward the clock to a checkpointed instant."""
+        self._now_ms = state["now_ms"]
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<SimClock t={self._now_ms}ms>"

@@ -1,0 +1,63 @@
+"""Checkpoint state capture: the ``Snapshotable`` protocol.
+
+Every injection run of a campaign is bit-identical to its Golden Run up
+to the injection instant (exactly one one-shot trap fires at a known
+time, and everything executes in simulated time).  The campaign engine
+therefore records the complete runtime state at each injection instant
+during the Golden Run and replays only the *suffix* of every injection
+run — the compositional-reuse idea of FastFlip applied to this
+simulator.
+
+For that to be sound, state capture must be *complete*: signal store,
+simulated clock, environment/plant physics and every module's internal
+state.  Objects participate through two small methods:
+
+* ``state_dict()`` returns a picklable snapshot of all mutable state;
+* ``load_state_dict(state)`` restores exactly that state without
+  aliasing mutable containers into the snapshot (the same snapshot is
+  restored once per injection run).
+
+Objects that do not implement the protocol fall back to a ``deepcopy``
+of their instance ``__dict__`` — always correct for plain Python
+state, just slower and potentially larger than an explicit snapshot.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Protocol, runtime_checkable
+
+__all__ = ["Snapshotable", "snapshot_state", "restore_state"]
+
+
+@runtime_checkable
+class Snapshotable(Protocol):
+    """State capture/restore protocol for checkpointable objects."""
+
+    def state_dict(self) -> dict[str, Any]:
+        """A picklable snapshot of all mutable state."""
+
+    def load_state_dict(self, state: dict[str, Any]) -> None:
+        """Restore the state captured by :meth:`state_dict`.
+
+        Must not alias mutable containers out of ``state``: the same
+        snapshot may be restored many times.
+        """
+
+
+def snapshot_state(obj: Any) -> dict[str, Any]:
+    """Capture ``obj``'s state via the protocol or the deepcopy fallback."""
+    method = getattr(obj, "state_dict", None)
+    if callable(method):
+        return method()
+    return copy.deepcopy(vars(obj))
+
+
+def restore_state(obj: Any, state: dict[str, Any]) -> None:
+    """Restore state captured by :func:`snapshot_state`."""
+    method = getattr(obj, "load_state_dict", None)
+    if callable(method):
+        method(state)
+        return
+    obj.__dict__.clear()
+    obj.__dict__.update(copy.deepcopy(state))

@@ -14,6 +14,7 @@ the Golden Run machinery (:mod:`repro.injection.golden_run`).
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping, Sequence
 
@@ -28,10 +29,22 @@ class SignalTrace:
 
     ``samples[t]`` is the signal's raw value at the end of millisecond
     ``t``.
+
+    Samples are stored in a compact ``array('q')`` (signed 64-bit, so
+    every raw value of signals up to 63 bits wide fits): campaigns hold
+    a Golden Run trace set per test case plus checkpoint prefixes, and
+    the packed layout is ~8× smaller than a list of Python ints while
+    comparing at C speed.  Any iterable of ints is accepted at
+    construction; the sequence interface (indexing, slicing, ``len``,
+    ``append``, iteration) is unchanged.
     """
 
     signal: str
-    samples: list[int] = field(default_factory=list)
+    samples: array = field(default_factory=lambda: array("q"))
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.samples, array) or self.samples.typecode != "q":
+            self.samples = array("q", self.samples)
 
     def append(self, value: int) -> None:
         """Record the next millisecond's value."""
@@ -60,7 +73,7 @@ class SignalTrace:
                 f"reference length {len(reference)}"
             )
         if self.samples == reference.samples:
-            # Fast path: list equality runs at C speed, and most signals
+            # Fast path: array equality runs at C speed, and most signals
             # agree with the Golden Run in most injection runs.
             return None
         for index, (mine, theirs) in enumerate(zip(self.samples, reference.samples)):

@@ -222,5 +222,5 @@ class TestSlotSignalDispatch:
         run = build_arrestment_run()
         result = run.run(21)
         # ms_slot_nbr cycles 1..0 (incremented each ms, mod 7).
-        slots = result.traces["ms_slot_nbr"].samples[:14]
+        slots = list(result.traces["ms_slot_nbr"].samples[:14])
         assert slots == [(t + 1) % 7 for t in range(14)]
