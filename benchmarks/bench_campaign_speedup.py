@@ -1,10 +1,15 @@
 """Campaign wall-clock: naive vs. checkpointed vs. grid-sharded.
 
 Measures the three execution paths of :class:`InjectionCampaign` on the
-arrestment Table 1 campaign and emits ``benchmarks/out/BENCH_campaign.json``
-with runs/sec, the simulated milliseconds prefix reuse skipped, and the
-speedups over the naive path — the perf trajectory of the campaign
-engine.
+arrestment Table 1 campaign and emits ``BENCH_campaign.json`` (at the
+repo root and under ``benchmarks/out/``) with runs/sec, the simulated
+milliseconds prefix reuse skipped, and the speedups over the naive
+path — the perf trajectory of the campaign engine.
+
+A fourth pass re-runs the checkpointed path with a full
+:class:`~repro.obs.observer.CampaignObserver` attached, dumping its
+span metrics to ``benchmarks/out/metrics.json`` and reporting the
+observer overhead relative to the unobserved checkpointed run.
 
 Scales
 ------
@@ -38,8 +43,10 @@ from repro.arrestment.testcases import ArrestmentTestCase
 from repro.injection.campaign import CampaignConfig, InjectionCampaign
 from repro.injection.error_models import bit_flip_models
 from repro.injection.selection import paper_times
+from repro.obs import CampaignObserver
 
 OUT_DIR = Path(__file__).parent / "out"
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 SCALES: dict[str, dict] = {
     "smoke": dict(
@@ -50,7 +57,9 @@ SCALES: dict[str, dict] = {
 }
 
 
-def build_campaign(scale: dict, reuse: bool) -> InjectionCampaign:
+def build_campaign(
+    scale: dict, reuse: bool, observer: CampaignObserver | None = None
+) -> InjectionCampaign:
     cases = {
         f"case{i:02d}": ArrestmentTestCase(14000.0 - 2000.0 * i, 60.0 - 5.0 * i)
         for i in range(scale["cases"])
@@ -63,7 +72,8 @@ def build_campaign(scale: dict, reuse: bool) -> InjectionCampaign:
         reuse_golden_prefix=reuse,
     )
     return InjectionCampaign(
-        build_arrestment_model(), build_arrestment_run, cases, config
+        build_arrestment_model(), build_arrestment_run, cases, config,
+        observer=observer,
     )
 
 
@@ -96,6 +106,18 @@ def main(argv=None) -> int:
         default=OUT_DIR / "BENCH_campaign.json",
         help="output JSON path",
     )
+    parser.add_argument(
+        "--publish",
+        type=Path,
+        default=REPO_ROOT / "BENCH_campaign.json",
+        help="second copy of the report at the repo root",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=OUT_DIR / "metrics.json",
+        help="observer metrics dump from the observed checkpointed pass",
+    )
     args = parser.parse_args(argv)
     scale = SCALES[args.scale]
 
@@ -120,6 +142,13 @@ def main(argv=None) -> int:
         f"grid-sharded (x{args.workers})",
         lambda: sharded_campaign.execute_parallel(max_workers=args.workers),
     )
+    observer = CampaignObserver.to_files(
+        events_path=None, with_metrics=True, system=build_arrestment_model()
+    )
+    observed_result, observed_s = timed(
+        "checkpointed+obs  ", build_campaign(scale, reuse=True, observer=observer).execute
+    )
+    observer.close()
 
     def fingerprint(result):
         return [
@@ -132,11 +161,15 @@ def main(argv=None) -> int:
         "checkpointed path diverged from the naive path"
     assert fingerprint(sharded_result) == fingerprint(naive_result), \
         "grid-sharded path diverged from the naive path"
+    assert fingerprint(observed_result) == fingerprint(naive_result), \
+        "observed checkpointed path diverged from the naive path"
 
     prefix_speedup = naive_s / ckpt_s
     sharded_speedup = naive_s / sharded_s
+    observer_overhead = observed_s / ckpt_s - 1.0
     print(f"  prefix-reuse speedup: {prefix_speedup:.2f}x, "
-          f"grid-sharded speedup: {sharded_speedup:.2f}x")
+          f"grid-sharded speedup: {sharded_speedup:.2f}x, "
+          f"observer overhead: {observer_overhead:+.1%}")
 
     report = {
         "scale": args.scale,
@@ -161,12 +194,22 @@ def main(argv=None) -> int:
             "seconds": sharded_s,
             "runs_per_sec": total_runs / sharded_s,
         },
+        "checkpointed_observed": {
+            "seconds": observed_s,
+            "runs_per_sec": total_runs / observed_s,
+        },
         "prefix_reuse_speedup": prefix_speedup,
         "grid_sharded_speedup": sharded_speedup,
+        "observer_overhead": observer_overhead,
     }
-    args.out.parent.mkdir(parents=True, exist_ok=True)
-    args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
-    print(f"wrote {args.out}")
+    payload = json.dumps(report, indent=2) + "\n"
+    for path in (args.out, args.publish):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(payload, encoding="utf-8")
+        print(f"wrote {path}")
+    args.metrics_out.parent.mkdir(parents=True, exist_ok=True)
+    observer.metrics.dump_json(args.metrics_out)
+    print(f"wrote {args.metrics_out}")
 
     if prefix_speedup < 1.25:
         print(f"WARNING: prefix-reuse speedup {prefix_speedup:.2f}x "

@@ -55,6 +55,8 @@ from repro.baselines import (
 )
 from repro.core import (
     BacktrackTree,
+    MatrixDiff,
+    PairDelta,
     SensitivityReport,
     output_reach,
     output_sensitivities,
@@ -115,6 +117,11 @@ from repro.injection import (
     paper_times,
 )
 from repro.injection.latency import latency_statistics, render_latency_table
+from repro.obs import (
+    CampaignObserver,
+    MetricsRegistry,
+    PropagationObservations,
+)
 from repro.model import (
     ModuleSpec,
     ReproError,
@@ -140,6 +147,7 @@ __all__ = [
     "BacktrackTree",
     "BitFlip",
     "CampaignConfig",
+    "CampaignObserver",
     "CampaignResult",
     "ConstancyCheck",
     "CriticalityReport",
@@ -156,10 +164,13 @@ __all__ = [
     "InjectionCampaign",
     "InjectionOutcome",
     "InputInjectionTrap",
+    "MatrixDiff",
+    "MetricsRegistry",
     "ModuleExposure",
     "ModuleMeasures",
     "ModuleSpec",
     "NodeKind",
+    "PairDelta",
     "PermeabilityEstimate",
     "PermeabilityEstimator",
     "PermeabilityGraph",
@@ -168,6 +179,7 @@ __all__ = [
     "PlacementReport",
     "PlantConfig",
     "PropagationAnalysis",
+    "PropagationObservations",
     "PropagationPath",
     "ReproError",
     "SignalKind",

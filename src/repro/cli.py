@@ -13,9 +13,13 @@ Commands
     Results can be saved to JSON and re-analysed later.
 ``analyze``
     Re-run the analysis on a permeability matrix saved by ``campaign``.
+``obs summarize`` / ``obs validate``
+    Render a text report from a recorded ``events.jsonl`` (phase
+    timings, outcome mix, hottest propagation arcs), or round-trip the
+    file through the typed event parser (the CI schema check).
 
 The CLI is a thin layer over the library; everything it does is
-available programmatically (see README.md).
+available programmatically (see README.md and docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -23,7 +27,9 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Sequence
+import warnings
+from pathlib import Path
+from typing import Callable, Sequence, TextIO
 
 from repro.arrestment import (
     build_arrestment_model,
@@ -42,8 +48,59 @@ from repro.injection.estimator import estimate_matrix
 from repro.injection.latency import latency_statistics, render_latency_table
 from repro.injection.selection import paper_times
 from repro.model.examples import build_fig2_system, fig2_permeabilities
+from repro.obs import CampaignObserver, validate_events
+from repro.obs.summary import summarize_events_file
 
-__all__ = ["main"]
+__all__ = ["main", "make_progress_printer"]
+
+
+def make_progress_printer(
+    interval_s: float = 10.0,
+    stream: TextIO | None = None,
+    metrics=None,
+) -> Callable[[int, int], None]:
+    """Build a rate-limited ``(done, total)`` progress callback.
+
+    Prints ``done/total (pct%)`` with the observed run rate and an ETA;
+    when a live :class:`~repro.obs.metrics.MetricsRegistry` is given,
+    appends the campaign's phase breakdown so a long campaign shows
+    where its wall-clock is going while it runs.
+    """
+    out = stream if stream is not None else sys.stdout
+    started = time.time()
+    last = [0.0]
+
+    def phase_suffix() -> str:
+        if metrics is None:
+            return ""
+        parts = []
+        for name, label in (
+            ("phase.golden_run.seconds", "GR"),
+            ("phase.injection_run.seconds", "IR"),
+            ("phase.comparison.seconds", "cmp"),
+            ("chunk.seconds", "chunks"),
+        ):
+            if name in metrics:
+                histogram = metrics.histogram(name)
+                if histogram.count:
+                    parts.append(f"{label} {histogram.total:.1f}s")
+        return f" [{' | '.join(parts)}]" if parts else ""
+
+    def progress(done: int, total_runs: int) -> None:
+        now = time.time()
+        if done != total_runs and now - last[0] < interval_s:
+            return
+        last[0] = now
+        elapsed = now - started
+        rate = done / elapsed if elapsed > 0 else 0.0
+        eta = (total_runs - done) / rate if rate > 0 else float("inf")
+        print(
+            f"  {done}/{total_runs} ({done / total_runs:.0%}, "
+            f"{rate:.1f} runs/s, ETA {eta:.0f}s){phase_suffix()}",
+            file=out,
+        )
+
+    return progress
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -101,7 +158,17 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         seed=args.seed,
         reuse_golden_prefix=not args.no_prefix_reuse,
     )
-    campaign = InjectionCampaign(system, factory, cases, config)
+    observer = None
+    if args.events or args.metrics:
+        for path in (args.events, args.metrics):
+            if path:
+                Path(path).parent.mkdir(parents=True, exist_ok=True)
+        observer = CampaignObserver.to_files(
+            events_path=args.events, with_metrics=True, system=system
+        )
+    campaign = InjectionCampaign(
+        system, factory, cases, config, observer=observer
+    )
     total = campaign.total_runs()
     print(f"{len(cases)} workloads x {len(campaign.targets)} signals x "
           f"{config.runs_per_target()} injections = {total} runs")
@@ -110,15 +177,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(f"prefix reuse skips {skipped} of {campaign.simulated_ms_total()} "
               f"simulated ms ({skipped / campaign.simulated_ms_total():.0%})")
     started = time.time()
-    last = [0.0]
+    progress = make_progress_printer(
+        metrics=observer.metrics if observer is not None else None
+    )
 
-    def progress(done: int, _total: int) -> None:
-        now = time.time()
-        if now - last[0] >= 10.0:
-            print(f"  {done}/{_total} ({done / (now - started):.1f}/s)")
-            last[0] = now
-
-    workers = args.workers if args.workers is not None else args.parallel
+    workers = args.workers if args.workers is not None else (args.parallel or 1)
     if workers > 1:
         result = campaign.execute_parallel(
             max_workers=workers, progress=progress, chunk_size=args.chunk_size
@@ -126,6 +189,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     else:
         result = campaign.execute(progress=progress)
     print(f"done in {time.time() - started:.0f}s")
+
+    if observer is not None:
+        observer.close()
+        if args.events:
+            print(f"events written to {args.events}")
+        if args.metrics:
+            observer.metrics.dump_json(args.metrics)
+            print(f"metrics written to {args.metrics}")
 
     matrix = estimate_matrix(result)
     if args.save:
@@ -157,6 +228,54 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     analysis = PropagationAnalysis(matrix)
     print(analysis.render_summary())
     return 0
+
+
+def _cmd_obs_summarize(args: argparse.Namespace) -> int:
+    print(
+        summarize_events_file(
+            args.events, metrics_path=args.metrics, top=args.top
+        )
+    )
+    return 0
+
+
+def _cmd_obs_validate(args: argparse.Namespace) -> int:
+    try:
+        count = validate_events(args.events)
+    except ValueError as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    print(f"{args.events}: {count} events, schema valid")
+    return 0
+
+
+class _WorkersAction(argparse.Action):
+    """``--workers``: reject combination with the ``--parallel`` alias."""
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        if getattr(namespace, "parallel", None) is not None:
+            parser.error(
+                "--workers conflicts with the deprecated --parallel alias; "
+                "pass --workers only"
+            )
+        setattr(namespace, self.dest, values)
+
+
+class _DeprecatedParallelAction(argparse.Action):
+    """``--parallel``: warn about deprecation, reject ``--workers`` mix."""
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        warnings.warn(
+            "--parallel is deprecated; use --workers instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if getattr(namespace, "workers", None) is not None:
+            parser.error(
+                "--parallel is a deprecated alias of --workers; "
+                "pass --workers only"
+            )
+        setattr(namespace, self.dest, values)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -193,13 +312,22 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--paper-grid", action="store_true",
                           help="use the paper's ten half-second instants")
     campaign.add_argument("--workers", type=int, default=None, metavar="N",
+                          action=_WorkersAction,
                           help="worker processes for the grid-sharded "
                           "parallel path (scales past the case count)")
     campaign.add_argument("--chunk-size", type=int, default=None, metavar="M",
                           help="injection targets per parallel work item "
                           "(default: ~4 chunks per worker)")
-    campaign.add_argument("--parallel", type=int, default=1, metavar="N",
-                          help="deprecated alias for --workers")
+    campaign.add_argument("--parallel", type=int, default=None, metavar="N",
+                          action=_DeprecatedParallelAction,
+                          help="deprecated alias for --workers "
+                          "(conflicts with it)")
+    campaign.add_argument("--events", metavar="FILE", default=None,
+                          help="record the structured campaign event "
+                          "stream as JSONL (see docs/OBSERVABILITY.md)")
+    campaign.add_argument("--metrics", metavar="FILE", default=None,
+                          help="dump the campaign metrics registry "
+                          "(counters/histograms) as JSON")
     campaign.add_argument("--no-prefix-reuse", action="store_true",
                           help="disable Golden-Run checkpoint reuse "
                           "(re-run every IR from time zero)")
@@ -216,6 +344,29 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--twonode", action="store_true",
                          help="the matrix belongs to the master/slave system")
     analyze.set_defaults(func=_cmd_analyze)
+
+    obs = commands.add_parser(
+        "obs", help="inspect recorded campaign observability artifacts"
+    )
+    obs_commands = obs.add_subparsers(dest="obs_command", required=True)
+    summarize = obs_commands.add_parser(
+        "summarize",
+        help="text report from an events file: phase timings, outcome "
+        "mix, hottest propagation arcs",
+    )
+    summarize.add_argument("events", help="events.jsonl from 'campaign --events'")
+    summarize.add_argument("--metrics", metavar="FILE", default=None,
+                           help="metrics.json overriding the snapshot "
+                           "embedded in the events file")
+    summarize.add_argument("--top", type=int, default=10,
+                           help="propagation arcs to list")
+    summarize.set_defaults(func=_cmd_obs_summarize)
+    validate = obs_commands.add_parser(
+        "validate",
+        help="round-trip an events file through the typed event parser",
+    )
+    validate.add_argument("events", help="events.jsonl to validate")
+    validate.set_defaults(func=_cmd_obs_validate)
     return parser
 
 

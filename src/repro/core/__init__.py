@@ -37,7 +37,9 @@ from repro.core.paths import (
     rank_paths,
 )
 from repro.core.permeability import (
+    MatrixDiff,
     ModuleMeasures,
+    PairDelta,
     PermeabilityEstimate,
     PermeabilityMatrix,
 )
@@ -64,10 +66,12 @@ __all__ = [
     "BacktrackTree",
     "MatrixComparison",
     "ModuleExposure",
+    "MatrixDiff",
     "ModuleMeasures",
     "NodeKind",
     "PathEdge",
     "PermeabilityArc",
+    "PairDelta",
     "PermeabilityEstimate",
     "PermeabilityGraph",
     "PermeabilityMatrix",

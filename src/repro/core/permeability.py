@@ -40,7 +40,13 @@ from repro.model.errors import (
 )
 from repro.model.system import SystemModel
 
-__all__ = ["PermeabilityEstimate", "ModuleMeasures", "PermeabilityMatrix"]
+__all__ = [
+    "PermeabilityEstimate",
+    "ModuleMeasures",
+    "PairDelta",
+    "MatrixDiff",
+    "PermeabilityMatrix",
+]
 
 #: Key addressing one input/output pair: (module, input signal, output signal).
 PairKey = tuple[str, str, str]
@@ -123,6 +129,80 @@ class ModuleMeasures:
     @property
     def n_pairs(self) -> int:
         return self.n_inputs * self.n_outputs
+
+
+@dataclass(frozen=True)
+class PairDelta:
+    """One pair's measured-vs-reference permeability difference."""
+
+    module: str
+    input_signal: str
+    output_signal: str
+    measured: float
+    reference: float
+
+    @property
+    def delta(self) -> float:
+        """Measured minus reference."""
+        return self.measured - self.reference
+
+
+@dataclass(frozen=True)
+class MatrixDiff:
+    """Pairwise comparison of two permeability matrices.
+
+    Typically the *measured* matrix is a campaign estimate (e.g. the
+    live fold of :class:`repro.obs.propagation.PropagationObservations`)
+    and the *reference* an analytical assignment or an earlier
+    campaign; the diff answers "where does measurement disagree with
+    the model, and by how much".
+    """
+
+    deltas: tuple[PairDelta, ...]
+
+    @property
+    def max_abs_delta(self) -> float:
+        """Largest absolute per-pair difference (0.0 when empty)."""
+        return max((abs(d.delta) for d in self.deltas), default=0.0)
+
+    @property
+    def mean_abs_delta(self) -> float:
+        if not self.deltas:
+            return 0.0
+        return sum(abs(d.delta) for d in self.deltas) / len(self.deltas)
+
+    def exceeding(self, atol: float) -> tuple[PairDelta, ...]:
+        """Pairs differing by more than ``atol``, largest gap first."""
+        hits = [d for d in self.deltas if abs(d.delta) > atol]
+        hits.sort(key=lambda d: -abs(d.delta))
+        return tuple(hits)
+
+    def agrees(self, atol: float = 1e-12) -> bool:
+        """Whether every compared pair matches within ``atol``."""
+        return self.max_abs_delta <= atol
+
+    def render(self, top: int = 10) -> str:
+        """Text table of the largest disagreements."""
+        from repro.core.report import format_table
+
+        ranked = sorted(self.deltas, key=lambda d: -abs(d.delta))[:top]
+        rows = [
+            (
+                f"{d.module}.{d.input_signal} -> {d.output_signal}",
+                f"{d.measured:.3f}",
+                f"{d.reference:.3f}",
+                f"{d.delta:+.3f}",
+            )
+            for d in ranked
+        ]
+        return format_table(
+            headers=("Pair", "measured", "reference", "delta"),
+            rows=rows,
+            title=(
+                f"Permeability diff ({len(self.deltas)} pairs, "
+                f"max |delta| {self.max_abs_delta:.3f})"
+            ),
+        )
 
 
 class PermeabilityMatrix:
@@ -351,6 +431,39 @@ class PermeabilityMatrix:
         """Modules ordered by Eq. 3, most permeable first."""
         measures = self.all_module_measures().values()
         return sorted(measures, key=lambda m: -m.nonweighted_relative_permeability)
+
+    # ------------------------------------------------------------------
+    # Comparison
+    # ------------------------------------------------------------------
+
+    def diff(self, reference: "PermeabilityMatrix") -> MatrixDiff:
+        """Per-pair comparison of ``self`` (measured) against a reference.
+
+        Both matrices must describe the same system pair set; pairs are
+        compared where *both* carry a value, so a sparse mid-campaign
+        measured matrix can be diffed against a complete analytical one
+        without inventing zeros for unmeasured pairs.
+        """
+        if self._valid_pairs != reference._valid_pairs:
+            raise ValueError(
+                "cannot diff matrices of different systems: "
+                f"{self._system.name!r} vs {reference._system.name!r}"
+            )
+        deltas = []
+        for key in self._system.pair_index():
+            if key not in self._values or key not in reference._values:
+                continue
+            module, input_signal, output_signal = key
+            deltas.append(
+                PairDelta(
+                    module=module,
+                    input_signal=input_signal,
+                    output_signal=output_signal,
+                    measured=self._values[key].value,
+                    reference=reference._values[key].value,
+                )
+            )
+        return MatrixDiff(deltas=tuple(deltas))
 
     # ------------------------------------------------------------------
     # Serialisation

@@ -34,9 +34,10 @@ for the naive re-run-everything behaviour.
 
 from __future__ import annotations
 
+import time
 import zlib
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, Mapping, Sequence, TypeVar
+from typing import TYPE_CHECKING, Callable, Iterator, Mapping, Sequence, TypeVar
 
 from repro.injection.error_models import ErrorModel, bit_flip_models
 from repro.injection.golden_run import GoldenRun, compare_to_golden_run
@@ -46,6 +47,9 @@ from repro.injection.traps import InputInjectionTrap
 from repro.model.errors import CampaignError
 from repro.model.system import SystemModel
 from repro.simulation.runtime import RunCheckpoint, RunResult, SimulationRun
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.observer import CampaignObserver
 
 __all__ = ["CampaignConfig", "InjectionCampaign"]
 
@@ -134,13 +138,17 @@ def _derive_seed(
     return zlib.crc32(text.encode("utf-8"))
 
 
-def _execute_grid_chunk(payload: tuple) -> list[InjectionOutcome]:
+def _execute_grid_chunk(
+    payload: tuple,
+) -> tuple[list[InjectionOutcome], dict | None, float]:
     """Worker entry point for :meth:`InjectionCampaign.execute_parallel`.
 
     Receives one shard of the ``(case, module, signal)`` grid together
     with the pre-computed Golden Run and its checkpoints, rebuilds the
     runtime inside the worker process and returns the shard's outcome
-    list (IR traces stay worker-local).
+    list (IR traces stay worker-local) plus, when the parent campaign
+    observes, the worker's observability payload (buffered events and
+    the local metrics snapshot) and the chunk's wall-clock seconds.
     """
     (
         system,
@@ -151,16 +159,29 @@ def _execute_grid_chunk(payload: tuple) -> list[InjectionOutcome]:
         targets,
         golden,
         checkpoints,
+        observe,
     ) = payload
-    campaign = InjectionCampaign(system, run_factory, {case_id: case}, config)
+    started = time.perf_counter()
+    observer = None
+    if observe:
+        from repro.obs.observer import CampaignObserver
+
+        observer = CampaignObserver.for_worker(system)
+    campaign = InjectionCampaign(
+        system, run_factory, {case_id: case}, config, observer=observer
+    )
     runner = run_factory(case)
     runner.clear_hooks()
-    return [
+    if observer is not None and observer.metrics is not None:
+        runner.set_metrics(observer.metrics)
+    outcomes = [
         outcome
         for outcome, _ in campaign._case_injections(
             runner, golden, targets, checkpoints
         )
     ]
+    obs_payload = observer.worker_payload() if observer is not None else None
+    return outcomes, obs_payload, time.perf_counter() - started
 
 
 class InjectionCampaign:
@@ -178,6 +199,11 @@ class InjectionCampaign:
         factory; a sequence is accepted and auto-labelled ``case00`` ...
     config:
         The campaign grid.
+    observer:
+        Optional :class:`~repro.obs.observer.CampaignObserver` receiving
+        structured events, span metrics and propagation observations
+        while the campaign executes.  ``None`` (the default) disables
+        observability at the cost of one pointer test per hook site.
     """
 
     def __init__(
@@ -186,9 +212,11 @@ class InjectionCampaign:
         run_factory: Callable[[CaseT], SimulationRun],
         test_cases: Mapping[str, CaseT] | Sequence[CaseT],
         config: CampaignConfig | None = None,
+        observer: "CampaignObserver | None" = None,
     ) -> None:
         self._system = system
         self._run_factory = run_factory
+        self._observer = observer
         if isinstance(test_cases, Mapping):
             self._test_cases: dict[str, CaseT] = dict(test_cases)
         else:
@@ -222,9 +250,18 @@ class InjectionCampaign:
         return self._config
 
     @property
+    def observer(self) -> "CampaignObserver | None":
+        """The attached observability façade, if any."""
+        return self._observer
+
+    @property
     def targets(self) -> tuple[tuple[str, str], ...]:
         """The (module, input signal) pairs that will be injected."""
         return self._targets
+
+    def case_ids(self) -> tuple[str, ...]:
+        """Identifiers of the campaign's test cases, in grid order."""
+        return tuple(self._test_cases)
 
     def total_runs(self) -> int:
         """Total IR count of the campaign (excluding Golden Runs)."""
@@ -274,6 +311,10 @@ class InjectionCampaign:
             Golden Run.  Used e.g. by the EDM evaluation layer to replay
             detectors over the traces.
         """
+        obs = self._observer
+        started = time.perf_counter()
+        if obs is not None:
+            obs.on_campaign_started(self, mode="serial")
         result = CampaignResult(self._system)
         completed = 0
         total = self.total_runs()
@@ -289,6 +330,8 @@ class InjectionCampaign:
                 completed += 1
                 if progress is not None:
                     progress(completed, total)
+        if obs is not None:
+            obs.on_campaign_finished(result, time.perf_counter() - started)
         return result
 
     def _golden_for_case(
@@ -299,15 +342,32 @@ class InjectionCampaign:
         With prefix reuse enabled, checkpoints are captured at every
         configured injection time while the Golden Run executes.
         """
+        obs = self._observer
         runner = self._run_factory(case)
         runner.clear_hooks()
+        if obs is not None:
+            if obs.metrics is not None:
+                runner.set_metrics(obs.metrics)
+            obs.on_run_started(case_id, kind="golden")
         if self._config.reuse_golden_prefix:
-            golden_result, checkpoints = runner.run_with_checkpoints(
-                self._config.duration_ms, self._config.injection_times_ms
-            )
+            if obs is not None and obs.metrics is not None:
+                with obs.metrics.timer("phase.golden_run.seconds"):
+                    golden_result, checkpoints = runner.run_with_checkpoints(
+                        self._config.duration_ms, self._config.injection_times_ms
+                    )
+            else:
+                golden_result, checkpoints = runner.run_with_checkpoints(
+                    self._config.duration_ms, self._config.injection_times_ms
+                )
         else:
-            golden_result = runner.run(self._config.duration_ms)
+            if obs is not None and obs.metrics is not None:
+                with obs.metrics.timer("phase.golden_run.seconds"):
+                    golden_result = runner.run(self._config.duration_ms)
+            else:
+                golden_result = runner.run(self._config.duration_ms)
             checkpoints = {}
+        if obs is not None and checkpoints:
+            obs.on_checkpoints_saved(case_id, sorted(checkpoints))
         return runner, GoldenRun(case_id=case_id, result=golden_result), checkpoints
 
     def _case_injections(
@@ -349,6 +409,20 @@ class InjectionCampaign:
                 "runtime has hooks installed from a previous run; "
                 "refusing to arm a trap on a dirty runtime"
             )
+        obs = self._observer
+        if obs is not None:
+            obs.on_run_started(
+                case_id,
+                kind="injection",
+                module=module,
+                signal=signal,
+                time_ms=time_ms,
+                error_model=model.name,
+            )
+            if checkpoint is not None:
+                obs.on_checkpoint_reused(
+                    case_id, time_ms, skipped_ms=checkpoint.time_ms
+                )
         trap = InputInjectionTrap.for_system(
             self._system,
             module=module,
@@ -361,13 +435,25 @@ class InjectionCampaign:
         )
         runner.add_read_interceptor(trap)
         try:
-            if checkpoint is not None:
+            if obs is not None and obs.metrics is not None:
+                with obs.metrics.timer("phase.injection_run.seconds"):
+                    if checkpoint is not None:
+                        injected = runner.run_from(
+                            checkpoint, self._config.duration_ms
+                        )
+                    else:
+                        injected = runner.run(self._config.duration_ms)
+            elif checkpoint is not None:
                 injected = runner.run_from(checkpoint, self._config.duration_ms)
             else:
                 injected = runner.run(self._config.duration_ms)
         finally:
             runner.clear_hooks()
-        comparison = compare_to_golden_run(golden, injected)
+        if obs is not None and obs.metrics is not None:
+            with obs.metrics.timer("phase.comparison.seconds"):
+                comparison = compare_to_golden_run(golden, injected)
+        else:
+            comparison = compare_to_golden_run(golden, injected)
         outcome = InjectionOutcome(
             case_id=case_id,
             module=module,
@@ -377,6 +463,8 @@ class InjectionCampaign:
             error_model=model.name,
             comparison=comparison,
         )
+        if obs is not None:
+            obs.on_outcome(outcome)
         return outcome, injected
 
     # ------------------------------------------------------------------
@@ -425,7 +513,13 @@ class InjectionCampaign:
         import dataclasses
         import os
 
-        config = dataclasses.replace(self._config, targets=self._targets)
+        obs = self._observer
+        started = time.perf_counter()
+        if obs is not None:
+            obs.on_campaign_started(self, mode="parallel")
+        config = dataclasses.replace(
+            self._config, targets=self._targets
+        )
         total = self.total_runs()
         if chunk_size is None:
             workers = max_workers or os.cpu_count() or 1
@@ -449,6 +543,7 @@ class InjectionCampaign:
                         self._targets[start : start + chunk_size],
                         golden,
                         checkpoints,
+                        obs is not None,
                     )
                 )
 
@@ -457,10 +552,30 @@ class InjectionCampaign:
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=max_workers
         ) as pool:
-            for outcomes in pool.map(_execute_grid_chunk, payloads):
+            for index, (outcomes, obs_payload, elapsed_s) in enumerate(
+                pool.map(_execute_grid_chunk, payloads)
+            ):
                 for outcome in outcomes:
                     result.add(outcome)
                 completed += len(outcomes)
+                if obs is not None:
+                    if obs_payload is not None:
+                        obs.absorb_worker(obs_payload)
+                    if obs.propagation is not None:
+                        obs.propagation.record_all(outcomes)
+                    chunk_case, chunk_targets = (
+                        payloads[index][2],
+                        payloads[index][5],
+                    )
+                    obs.on_chunk_completed(
+                        chunk_index=index,
+                        case_id=chunk_case,
+                        n_targets=len(chunk_targets),
+                        n_runs=len(outcomes),
+                        elapsed_s=elapsed_s,
+                    )
                 if progress is not None:
                     progress(completed, total)
+        if obs is not None:
+            obs.on_campaign_finished(result, time.perf_counter() - started)
         return result

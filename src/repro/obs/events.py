@@ -1,0 +1,492 @@
+"""Structured campaign event stream: typed events, sinks and manifests.
+
+Every campaign execution can narrate itself as a stream of typed events
+(:class:`CampaignStarted` ... :class:`CampaignFinished`), each encoded
+as one JSON object per line.  The stream makes campaigns *attributable*
+and *replayable for analysis*: an ``events.jsonl`` plus the embedded
+:class:`RunManifest` answers "what exactly produced this matrix, on
+which host, with which grid, and where did the time and the errors go"
+long after the process exited.
+
+Design points:
+
+* **Typed, versioned envelope.**  Every line is
+  ``{"v": schema, "seq": n, "ts": unix_seconds, "type": name, "data": {...}}``;
+  :func:`decode_event` refuses unknown types and future schema
+  versions, so an events file either parses into typed records or
+  fails loudly (CI round-trips the file through this parser).
+* **Pluggable sinks.**  :class:`JsonlSink` (durable),
+  :class:`RingBufferSink` (in-memory, bounded — workers use an
+  unbounded one as the return channel), :class:`PrettyPrintSink`
+  (human-readable stderr narration) and :class:`MultiSink`.
+* **Zero cost when off.**  The campaign holds ``observer=None`` by
+  default and guards every emission with one ``is None`` test.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import IO, Any, Iterator, Mapping, TextIO
+
+__all__ = [
+    "EVENT_SCHEMA_VERSION",
+    "CampaignStarted",
+    "RunStarted",
+    "CheckpointSaved",
+    "CheckpointReused",
+    "InjectionFired",
+    "OutcomeClassified",
+    "ChunkCompleted",
+    "CampaignFinished",
+    "ParsedEvent",
+    "EventStream",
+    "JsonlSink",
+    "RingBufferSink",
+    "PrettyPrintSink",
+    "MultiSink",
+    "RunManifest",
+    "build_manifest",
+    "encode_event",
+    "decode_event",
+    "read_events",
+    "validate_events",
+]
+
+#: Version of the on-disk event schema; recorded in every envelope and
+#: in the run manifest.  Bump when an event's fields change shape.
+EVENT_SCHEMA_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Event types
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CampaignStarted:
+    """First event of a campaign: identity, grid shape and manifest."""
+
+    manifest: dict
+    total_runs: int
+    n_cases: int
+    n_targets: int
+    runs_per_target: int
+    mode: str  # "serial" | "parallel"
+
+
+@dataclass(frozen=True)
+class RunStarted:
+    """One run begins: a Golden Run (``kind="golden"``) or one IR."""
+
+    case_id: str
+    kind: str  # "golden" | "injection"
+    module: str | None = None
+    signal: str | None = None
+    time_ms: int | None = None
+    error_model: str | None = None
+
+
+@dataclass(frozen=True)
+class CheckpointSaved:
+    """The Golden Run captured a prefix-reuse checkpoint."""
+
+    case_id: str
+    time_ms: int
+
+
+@dataclass(frozen=True)
+class CheckpointReused:
+    """An IR resumed from a Golden-Run checkpoint instead of time zero."""
+
+    case_id: str
+    time_ms: int
+    skipped_ms: int
+
+
+@dataclass(frozen=True)
+class InjectionFired:
+    """The one-shot trap of an IR actually corrupted a read."""
+
+    case_id: str
+    module: str
+    signal: str
+    scheduled_ms: int
+    fired_at_ms: int
+    error_model: str
+
+
+@dataclass(frozen=True)
+class OutcomeClassified:
+    """The Golden-Run comparison verdict of one finished IR.
+
+    ``diverged`` maps every deviating signal to its first-divergence
+    millisecond; ``propagated_outputs`` are the injected module's
+    output signals counting as *direct* errors under the paper's
+    Section 7.3 rule — the numerators of measured permeability.
+    """
+
+    case_id: str
+    module: str
+    signal: str
+    time_ms: int
+    error_model: str
+    fired: bool
+    outcome: str  # "propagated" | "no_effect" | "not_fired"
+    diverged: dict[str, int] = field(default_factory=dict)
+    propagated_outputs: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class ChunkCompleted:
+    """One grid-sharded work item came back from a worker."""
+
+    chunk_index: int
+    case_id: str
+    n_targets: int
+    n_runs: int
+    elapsed_s: float
+
+
+@dataclass(frozen=True)
+class CampaignFinished:
+    """Last event: totals plus the final metrics snapshot."""
+
+    n_runs: int
+    n_fired: int
+    elapsed_s: float
+    metrics: dict = field(default_factory=dict)
+
+
+_EVENT_TYPES: dict[str, type] = {
+    cls.__name__: cls
+    for cls in (
+        CampaignStarted,
+        RunStarted,
+        CheckpointSaved,
+        CheckpointReused,
+        InjectionFired,
+        OutcomeClassified,
+        ChunkCompleted,
+        CampaignFinished,
+    )
+}
+
+
+@dataclass(frozen=True)
+class ParsedEvent:
+    """One decoded envelope: sequence number, timestamp and typed event."""
+
+    seq: int
+    ts: float
+    event: Any
+
+    @property
+    def type_name(self) -> str:
+        return type(self.event).__name__
+
+
+# ---------------------------------------------------------------------------
+# Encoding / decoding
+# ---------------------------------------------------------------------------
+
+
+def encode_event(event: Any, seq: int, ts: float) -> dict:
+    """Wrap a typed event in its versioned JSON envelope."""
+    name = type(event).__name__
+    if name not in _EVENT_TYPES:
+        raise TypeError(f"{name} is not a registered campaign event")
+    return {
+        "v": EVENT_SCHEMA_VERSION,
+        "seq": seq,
+        "ts": ts,
+        "type": name,
+        "data": dataclasses.asdict(event),
+    }
+
+
+def decode_event(record: Mapping) -> ParsedEvent:
+    """Rebuild the typed event from an envelope dict.
+
+    Raises ``ValueError`` on unknown event types, future schema
+    versions or payloads not matching the event's fields.
+    """
+    version = record.get("v")
+    if version != EVENT_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported event schema version {version!r} "
+            f"(this build reads v{EVENT_SCHEMA_VERSION})"
+        )
+    name = record.get("type")
+    cls = _EVENT_TYPES.get(name)
+    if cls is None:
+        raise ValueError(f"unknown event type {name!r}")
+    data = dict(record["data"])
+    fields = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(data) - fields
+    if unknown:
+        raise ValueError(f"{name}: unexpected fields {sorted(unknown)}")
+    try:
+        event = cls(**data)
+    except TypeError as exc:
+        raise ValueError(f"{name}: {exc}") from None
+    # Restore tuple-typed fields lost in JSON round-trips.
+    if isinstance(event, OutcomeClassified):
+        event = dataclasses.replace(
+            event, propagated_outputs=tuple(event.propagated_outputs)
+        )
+    return ParsedEvent(seq=int(record["seq"]), ts=float(record["ts"]), event=event)
+
+
+def read_events(path) -> Iterator[ParsedEvent]:
+    """Parse an ``events.jsonl`` file into typed events, in order."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield decode_event(json.loads(line))
+            except (json.JSONDecodeError, ValueError, KeyError) as exc:
+                raise ValueError(f"{path}:{lineno}: {exc}") from None
+
+
+def validate_events(path) -> int:
+    """Round-trip every line through the typed parser; return the count.
+
+    Each decoded event is re-encoded and compared field-for-field
+    against the original line, so schema drift between writer and
+    parser cannot pass silently.  Used by the CI schema-validation
+    step (``repro obs validate``).
+    """
+    count = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            try:
+                parsed = decode_event(record)
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: {exc}") from None
+            rebuilt = encode_event(parsed.event, seq=parsed.seq, ts=parsed.ts)
+            if json.loads(json.dumps(rebuilt)) != record:
+                raise ValueError(
+                    f"{path}:{lineno}: round-trip mismatch for "
+                    f"{parsed.type_name}"
+                )
+            count += 1
+    return count
+
+
+# ---------------------------------------------------------------------------
+# Sinks
+# ---------------------------------------------------------------------------
+
+
+class JsonlSink:
+    """Appends one JSON envelope per line to a file."""
+
+    def __init__(self, path) -> None:
+        self._path = path
+        self._handle: IO[str] = open(path, "w", encoding="utf-8")
+
+    def emit(self, record: dict) -> None:
+        json.dump(record, self._handle, separators=(",", ":"))
+        self._handle.write("\n")
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+
+class RingBufferSink:
+    """Keeps the last ``capacity`` envelopes in memory.
+
+    ``capacity=None`` keeps everything — that is the return channel the
+    parallel campaign workers use to ship their events to the parent.
+    """
+
+    def __init__(self, capacity: int | None = 1024) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self._capacity = capacity
+        self._records: list[dict] = []
+
+    def emit(self, record: dict) -> None:
+        self._records.append(record)
+        if self._capacity is not None and len(self._records) > self._capacity:
+            del self._records[0 : len(self._records) - self._capacity]
+
+    def close(self) -> None:
+        pass
+
+    @property
+    def records(self) -> list[dict]:
+        """The buffered envelopes, oldest first."""
+        return list(self._records)
+
+    def events(self) -> list[ParsedEvent]:
+        """The buffered envelopes decoded back into typed events."""
+        return [decode_event(record) for record in self._records]
+
+
+class PrettyPrintSink:
+    """One-line human narration of selected events (default: stderr)."""
+
+    #: Event types narrated; the per-IR chatter is skipped.
+    NARRATED = frozenset(
+        {"CampaignStarted", "ChunkCompleted", "CampaignFinished"}
+    )
+
+    def __init__(self, stream: TextIO | None = None, verbose: bool = False):
+        self._stream = stream if stream is not None else sys.stderr
+        self._verbose = verbose
+
+    def emit(self, record: dict) -> None:
+        name = record["type"]
+        if not self._verbose and name not in self.NARRATED:
+            return
+        data = record["data"]
+        if name == "CampaignStarted":
+            text = (
+                f"campaign started: {data['total_runs']} runs "
+                f"({data['n_cases']} cases x {data['n_targets']} targets), "
+                f"{data['mode']}"
+            )
+        elif name == "ChunkCompleted":
+            text = (
+                f"chunk {data['chunk_index']} ({data['case_id']}): "
+                f"{data['n_runs']} runs in {data['elapsed_s']:.2f}s"
+            )
+        elif name == "CampaignFinished":
+            text = (
+                f"campaign finished: {data['n_runs']} runs "
+                f"({data['n_fired']} fired) in {data['elapsed_s']:.2f}s"
+            )
+        else:
+            text = f"{name} {data}"
+        print(f"[obs {record['seq']:>6}] {text}", file=self._stream)
+
+    def close(self) -> None:
+        pass
+
+
+class MultiSink:
+    """Fans every envelope out to several sinks."""
+
+    def __init__(self, *sinks) -> None:
+        self._sinks = tuple(sinks)
+
+    def emit(self, record: dict) -> None:
+        for sink in self._sinks:
+            sink.emit(record)
+
+    def close(self) -> None:
+        for sink in self._sinks:
+            sink.close()
+
+
+class EventStream:
+    """The emitting side: assigns envelopes and feeds the sink."""
+
+    def __init__(self, sink) -> None:
+        self._sink = sink
+        self._seq = 0
+
+    def emit(self, event: Any, ts: float | None = None) -> None:
+        """Emit one typed event (``ts`` override for re-emission)."""
+        record = encode_event(
+            event, seq=self._seq, ts=ts if ts is not None else time.time()
+        )
+        self._seq += 1
+        self._sink.emit(record)
+
+    def close(self) -> None:
+        self._sink.close()
+
+    @property
+    def n_emitted(self) -> int:
+        return self._seq
+
+
+# ---------------------------------------------------------------------------
+# Run manifest
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Identity card of one campaign execution.
+
+    Stored inside the :class:`CampaignStarted` event (and hence in
+    every ``events.jsonl``), so each artifact a campaign produces is
+    attributable to an exact configuration and host.
+    """
+
+    schema_version: int
+    package_version: str
+    config_hash: str
+    seed: int
+    duration_ms: int
+    injection_times_ms: tuple[int, ...]
+    n_error_models: int
+    n_cases: int
+    n_targets: int
+    total_runs: int
+    reuse_golden_prefix: bool
+    host: dict
+    created_unix: float
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+def _hash_config(config, targets: tuple[tuple[str, str], ...]) -> str:
+    """Stable digest of everything determining campaign outcomes."""
+    canonical = json.dumps(
+        {
+            "duration_ms": config.duration_ms,
+            "injection_times_ms": list(config.injection_times_ms),
+            "error_models": [model.name for model in config.error_models],
+            "targets": [list(pair) for pair in targets],
+            "seed": config.seed,
+            "reuse_golden_prefix": config.reuse_golden_prefix,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def build_manifest(campaign) -> RunManifest:
+    """Build the manifest of an :class:`~repro.injection.campaign.InjectionCampaign`."""
+    from repro import __version__
+
+    config = campaign.config
+    return RunManifest(
+        schema_version=EVENT_SCHEMA_VERSION,
+        package_version=__version__,
+        config_hash=_hash_config(config, campaign.targets),
+        seed=config.seed,
+        duration_ms=config.duration_ms,
+        injection_times_ms=tuple(config.injection_times_ms),
+        n_error_models=len(config.error_models),
+        n_cases=len(campaign.case_ids()),
+        n_targets=len(campaign.targets),
+        total_runs=campaign.total_runs(),
+        reuse_golden_prefix=config.reuse_golden_prefix,
+        host={
+            "platform": platform.platform(),
+            "python": sys.version.split()[0],
+            "cpu_count": os.cpu_count(),
+        },
+        created_unix=time.time(),
+    )

@@ -1,0 +1,214 @@
+"""Propagation tracing: measured permeability as a live observable.
+
+The analytical side of the paper assigns each (module-input, output)
+pair a permeability :math:`P^M_{i,k}`; the experimental side estimates
+it as :math:`n_{err}/n_{inj}` after the campaign finished.  This module
+closes the loop *during* the campaign: every injection run contributes
+one :class:`PropagationRecord` (which signals diverged from the Golden
+Run, and when), and the records fold incrementally into per-arc
+:class:`ArcCounts` — so measured permeability is available at any point
+of a running campaign and can be diffed against an analytical matrix
+(:meth:`repro.core.permeability.PermeabilityMatrix.diff`).
+
+The folding applies exactly the same rules as
+:meth:`~repro.injection.outcomes.CampaignResult.pair_counts` with its
+defaults (direct-error rule, unfired traps count in the denominator),
+so :meth:`PropagationObservations.to_matrix` agrees with
+:func:`~repro.injection.estimator.estimate_matrix` over the same
+outcomes — a property the test suite pins down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.core.permeability import PermeabilityMatrix
+from repro.injection.outcomes import CampaignResult, InjectionOutcome
+from repro.model.system import SystemModel
+
+__all__ = ["PropagationRecord", "ArcCounts", "PropagationObservations"]
+
+
+@dataclass(frozen=True)
+class PropagationRecord:
+    """Per-IR divergence fingerprint: what moved, and when it first did."""
+
+    case_id: str
+    module: str
+    input_signal: str
+    time_ms: int
+    error_model: str
+    fired: bool
+    #: Every deviating signal with its first-divergence millisecond,
+    #: earliest first.
+    diverged: tuple[tuple[str, int], ...]
+    #: The injected module's outputs counting as direct errors.
+    propagated_outputs: tuple[str, ...]
+
+
+@dataclass
+class ArcCounts:
+    """Observed propagation tallies of one (module, input → output) arc."""
+
+    module: str
+    input_signal: str
+    output_signal: str
+    n_injections: int = 0
+    n_propagated: int = 0
+    #: Sum/count of (first output divergence − injection time), for the
+    #: arc's mean observed propagation latency.
+    latency_sum_ms: int = 0
+    latency_n: int = 0
+
+    @property
+    def observed_permeability(self) -> float:
+        """The running :math:`n_{err}/n_{inj}` estimate of the arc."""
+        if self.n_injections == 0:
+            return 0.0
+        return self.n_propagated / self.n_injections
+
+    @property
+    def mean_latency_ms(self) -> float | None:
+        """Mean observed propagation latency, or ``None`` if never hit."""
+        if self.latency_n == 0:
+            return None
+        return self.latency_sum_ms / self.latency_n
+
+
+class PropagationObservations:
+    """Incremental fold of injection outcomes into per-arc counts."""
+
+    def __init__(
+        self, system: SystemModel, keep_records: bool = False
+    ) -> None:
+        self._system = system
+        self._arcs: dict[tuple[str, str, str], ArcCounts] = {}
+        self._keep_records = keep_records
+        self._records: list[PropagationRecord] = []
+        self._n_outcomes = 0
+
+    @property
+    def system(self) -> SystemModel:
+        return self._system
+
+    def __len__(self) -> int:
+        """Number of folded injection outcomes."""
+        return self._n_outcomes
+
+    # ------------------------------------------------------------------
+    # Folding
+    # ------------------------------------------------------------------
+
+    def record(self, outcome: InjectionOutcome) -> PropagationRecord:
+        """Fold one injection outcome; returns its per-IR record."""
+        spec = self._system.module(outcome.module)
+        input_is_feedback = outcome.input_signal in spec.outputs
+        propagated: list[str] = []
+        for output_signal in spec.outputs:
+            key = (outcome.module, outcome.input_signal, output_signal)
+            arc = self._arcs.get(key)
+            if arc is None:
+                arc = self._arcs[key] = ArcCounts(*key)
+            arc.n_injections += 1
+            if not outcome.fired:
+                continue
+            if outcome.direct_output_error(
+                output_signal, input_is_feedback=input_is_feedback
+            ):
+                arc.n_propagated += 1
+                propagated.append(output_signal)
+                divergence = outcome.comparison.divergence_time(output_signal)
+                assert divergence is not None
+                arc.latency_sum_ms += divergence - outcome.scheduled_time_ms
+                arc.latency_n += 1
+        diverged = tuple(
+            (signal, time)
+            for time, signal in sorted(
+                (time, signal)
+                for signal, time in outcome.comparison.first_divergence_ms.items()
+                if time is not None
+            )
+        )
+        record = PropagationRecord(
+            case_id=outcome.case_id,
+            module=outcome.module,
+            input_signal=outcome.input_signal,
+            time_ms=outcome.scheduled_time_ms,
+            error_model=outcome.error_model,
+            fired=outcome.fired,
+            diverged=diverged,
+            propagated_outputs=tuple(propagated),
+        )
+        self._n_outcomes += 1
+        if self._keep_records:
+            self._records.append(record)
+        return record
+
+    def record_all(self, outcomes: Iterable[InjectionOutcome]) -> None:
+        for outcome in outcomes:
+            self.record(outcome)
+
+    @classmethod
+    def from_campaign_result(
+        cls, result: CampaignResult, keep_records: bool = False
+    ) -> "PropagationObservations":
+        observations = cls(result.system, keep_records=keep_records)
+        observations.record_all(result)
+        return observations
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    @property
+    def records(self) -> tuple[PropagationRecord, ...]:
+        """Per-IR records (only kept with ``keep_records=True``)."""
+        return tuple(self._records)
+
+    def arcs(self) -> Iterator[ArcCounts]:
+        """All observed arcs, in first-seen order."""
+        return iter(self._arcs.values())
+
+    def arc(self, module: str, input_signal: str, output_signal: str) -> ArcCounts:
+        key = (module, input_signal, output_signal)
+        try:
+            return self._arcs[key]
+        except KeyError:
+            raise KeyError(
+                f"no observations for arc {module}: "
+                f"{input_signal} -> {output_signal}"
+            ) from None
+
+    def hottest_arcs(self, n: int = 10) -> list[ArcCounts]:
+        """Arcs by descending propagation count (ties: by permeability)."""
+        return sorted(
+            self._arcs.values(),
+            key=lambda arc: (-arc.n_propagated, -arc.observed_permeability),
+        )[:n]
+
+    def to_matrix(self) -> PermeabilityMatrix:
+        """The measured permeability matrix of the observations so far.
+
+        Arcs without injections stay unset (sparse matrix) — measured
+        zero and unmeasured remain distinguishable, as in
+        :func:`~repro.injection.estimator.estimate_matrix`.
+        """
+        matrix = PermeabilityMatrix(self._system)
+        for arc in self._arcs.values():
+            if arc.n_injections == 0:
+                continue
+            matrix.set_counts(
+                arc.module,
+                arc.input_signal,
+                arc.output_signal,
+                n_errors=arc.n_propagated,
+                n_injections=arc.n_injections,
+            )
+        return matrix
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<PropagationObservations {self._n_outcomes} outcomes, "
+            f"{len(self._arcs)} arcs>"
+        )

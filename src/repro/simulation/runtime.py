@@ -252,6 +252,9 @@ class SimulationRun:
         self._clock = SimClock()
         self._read_interceptors: list[ReadInterceptor] = []
         self._store_mutators: list[StoreMutator] = []
+        #: Optional metrics registry timing checkpoint save/restore
+        #: (set via :meth:`set_metrics`; ``None`` means no overhead).
+        self._metrics = None
         #: Live per-signal sample sinks while a run is in progress
         #: (checkpoints capture their prefix).
         self._live_samples: list[tuple[str, array]] | None = None
@@ -302,6 +305,17 @@ class SimulationRun:
         """Remove all installed traps (between campaign runs)."""
         self._read_interceptors.clear()
         self._store_mutators.clear()
+
+    def set_metrics(self, registry) -> None:
+        """Attach a metrics registry timing checkpoint save/restore.
+
+        ``registry`` is any object with a ``timer(name)`` span context
+        manager (see :class:`repro.obs.metrics.MetricsRegistry`);
+        ``None`` detaches.  Durations land in the
+        ``checkpoint.save.seconds`` / ``checkpoint.restore.seconds``
+        histograms.
+        """
+        self._metrics = registry
 
     @property
     def hooks_installed(self) -> bool:
@@ -487,6 +501,12 @@ class SimulationRun:
         run in progress; outside a run the prefix is empty.  Installed
         hooks are not captured.
         """
+        if self._metrics is not None:
+            with self._metrics.timer("checkpoint.save.seconds"):
+                return self._capture_checkpoint()
+        return self._capture_checkpoint()
+
+    def _capture_checkpoint(self) -> RunCheckpoint:
         if self._live_samples is not None:
             prefix = tuple(
                 (signal, sink[:]) for signal, sink in self._live_samples
@@ -511,6 +531,13 @@ class SimulationRun:
         The checkpoint itself stays pristine: the same checkpoint can be
         restored any number of times (once per injection run).
         """
+        if self._metrics is not None:
+            with self._metrics.timer("checkpoint.restore.seconds"):
+                self._restore_checkpoint(cp)
+            return
+        self._restore_checkpoint(cp)
+
+    def _restore_checkpoint(self, cp: RunCheckpoint) -> None:
         if set(cp.modules) != set(self._modules):
             raise SimulationError(
                 "checkpoint module set does not match this run: "

@@ -132,6 +132,84 @@ class TestClassifyRun:
         assert not FailureMode.NO_EFFECT.is_severe
 
 
+class TestBoundaryClassification:
+    """The limits are exclusive: telemetry exactly AT a limit is legal."""
+
+    def test_position_exactly_at_overrun_limit_is_not_overrun(self):
+        injected = run_result(
+            {"position_m": LIMITS.max_position_m, "peak_decel_ms2": 7.0,
+             "stop_time_ms": 9500.0}
+        )
+        mode = classify_run(injected, golden(), outcome(False), LIMITS)
+        assert mode is not FailureMode.OVERRUN
+        # 350 m is 50 m beyond the 300 m Golden Run — degraded, not severe.
+        assert mode is FailureMode.DEGRADED
+
+    def test_position_just_over_limit_is_overrun(self):
+        injected = run_result(
+            {"position_m": LIMITS.max_position_m + 1e-9, "peak_decel_ms2": 7.0,
+             "stop_time_ms": -1.0}
+        )
+        assert (
+            classify_run(injected, golden(), outcome(False), LIMITS)
+            is FailureMode.OVERRUN
+        )
+
+    def test_decel_exactly_at_structural_limit_is_not_overload(self):
+        injected = run_result(
+            {"position_m": 300.0, "peak_decel_ms2": LIMITS.max_decel_ms2,
+             "stop_time_ms": 9000.0}
+        )
+        mode = classify_run(injected, golden(), outcome(False), LIMITS)
+        assert mode is not FailureMode.OVERLOAD
+        assert mode is FailureMode.DEGRADED
+
+    def test_decel_just_over_limit_is_overload(self):
+        injected = run_result(
+            {"position_m": 300.0, "peak_decel_ms2": LIMITS.max_decel_ms2 + 1e-9,
+             "stop_time_ms": 9000.0}
+        )
+        assert (
+            classify_run(injected, golden(), outcome(False), LIMITS)
+            is FailureMode.OVERLOAD
+        )
+
+    def test_excess_exactly_at_tolerance_is_tolerated(self):
+        injected = run_result(
+            {
+                "position_m": 300.0 + LIMITS.position_tolerance_m,
+                "peak_decel_ms2": 7.0 + LIMITS.decel_tolerance_ms2,
+                "stop_time_ms": 9200.0,
+            }
+        )
+        assert (
+            classify_run(injected, golden(), outcome(False), LIMITS)
+            is FailureMode.TOLERATED
+        )
+
+    def test_never_stopped_plant_within_limits_is_not_severe(self):
+        # Neither run arrests the aircraft: without a stopped Golden Run
+        # there is no hang, and within the absolute limits the run falls
+        # through to the tolerance comparison.
+        injected = run_result(
+            {"position_m": 340.0, "peak_decel_ms2": 5.0, "stop_time_ms": -1.0}
+        )
+        reference = golden(position=345.0, decel=5.0, stop=-1.0)
+        assert (
+            classify_run(injected, reference, outcome(False), LIMITS)
+            is FailureMode.TOLERATED
+        )
+
+    def test_stop_at_slot_zero_counts_as_stopped(self):
+        injected = run_result(
+            {"position_m": 300.0, "peak_decel_ms2": 7.0, "stop_time_ms": 0.0}
+        )
+        assert (
+            classify_run(injected, golden(), outcome(False), LIMITS)
+            is not FailureMode.HUNG
+        )
+
+
 class TestLocationCriticality:
     def test_fractions(self):
         loc = LocationCriticality("M", "x")

@@ -1,0 +1,131 @@
+"""Unit tests for the metrics registry (counters, gauges, histograms)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("runs")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert counter.to_dict() == {"type": "counter", "value": 5}
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("runs").inc(-1)
+
+
+class TestGauge:
+    def test_holds_latest_value(self):
+        gauge = Gauge("depth")
+        gauge.set(3)
+        gauge.set(1.5)
+        assert gauge.value == 1.5
+        assert gauge.to_dict() == {"type": "gauge", "value": 1.5}
+
+
+class TestHistogram:
+    def test_bucket_assignment(self):
+        histogram = Histogram("t", buckets=(1.0, 2.0, 5.0))
+        for value in (0.5, 1.0, 1.5, 4.0, 100.0):
+            histogram.observe(value)
+        # <=1.0: {0.5, 1.0}; <=2.0: {1.5}; <=5.0: {4.0}; overflow: {100.0}
+        assert histogram.counts == [2, 1, 1, 1]
+        assert histogram.count == 5
+        assert histogram.total == pytest.approx(107.0)
+        assert histogram.min == 0.5
+        assert histogram.max == 100.0
+        assert histogram.mean == pytest.approx(107.0 / 5)
+
+    def test_empty_histogram(self):
+        histogram = Histogram("t")
+        assert histogram.mean == 0.0
+        data = histogram.to_dict()
+        assert data["count"] == 0
+        assert data["min"] is None and data["max"] is None
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("t", buckets=(2.0, 1.0))
+
+    def test_default_buckets_are_ascending(self):
+        assert list(DEFAULT_TIME_BUCKETS) == sorted(DEFAULT_TIME_BUCKETS)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert "a" in registry
+        assert list(registry) == ["a"]
+
+    def test_kind_clash_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(TypeError):
+            registry.gauge("a")
+
+    def test_timer_observes_span(self):
+        registry = MetricsRegistry()
+        with registry.timer("phase.x.seconds"):
+            pass
+        histogram = registry.histogram("phase.x.seconds")
+        assert histogram.count == 1
+        assert histogram.total >= 0.0
+
+    def test_merge_adds_counters_and_histograms(self):
+        worker = MetricsRegistry()
+        worker.counter("runs").inc(7)
+        worker.gauge("depth").set(2.0)
+        worker.histogram("t", buckets=(1.0,)).observe(0.5)
+        worker.histogram("t", buckets=(1.0,)).observe(3.0)
+
+        parent = MetricsRegistry()
+        parent.counter("runs").inc(3)
+        parent.histogram("t", buckets=(1.0,)).observe(0.25)
+        parent.merge(worker.to_dict())
+
+        assert parent.counter("runs").value == 10
+        assert parent.gauge("depth").value == 2.0
+        merged = parent.histogram("t", buckets=(1.0,))
+        assert merged.count == 3
+        assert merged.counts == [2, 1]
+        assert merged.min == 0.25
+        assert merged.max == 3.0
+
+    def test_merge_rejects_bucket_mismatch(self):
+        worker = MetricsRegistry()
+        worker.histogram("t", buckets=(1.0,)).observe(0.5)
+        parent = MetricsRegistry()
+        parent.histogram("t", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError, match="bucket layout"):
+            parent.merge(worker.to_dict())
+
+    def test_round_trip_through_dict(self):
+        registry = MetricsRegistry()
+        registry.counter("runs").inc(2)
+        registry.gauge("g").set(1.25)
+        registry.histogram("t", buckets=(1.0,)).observe(0.5)
+        clone = MetricsRegistry.from_dict(registry.to_dict())
+        assert clone.to_dict() == registry.to_dict()
+
+    def test_dump_json(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("runs").inc()
+        path = tmp_path / "metrics.json"
+        registry.dump_json(path)
+        data = json.loads(path.read_text())
+        assert data["runs"] == {"type": "counter", "value": 1}

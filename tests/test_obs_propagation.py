@@ -1,0 +1,106 @@
+"""Propagation tracing: observed permeability vs. the estimator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.permeability import PermeabilityMatrix
+from repro.injection.campaign import CampaignConfig, InjectionCampaign
+from repro.injection.error_models import bit_flip_models
+from repro.injection.estimator import estimate_matrix
+from repro.obs.propagation import PropagationObservations
+
+from tests.conftest import build_toy_model, toy_factory
+
+
+@pytest.fixture(scope="module")
+def toy_result():
+    """One small executed toy campaign shared by the module's tests."""
+    config = CampaignConfig(
+        duration_ms=64,
+        injection_times_ms=(16, 32),
+        error_models=tuple(bit_flip_models(8)),
+        seed=2001,
+    )
+    campaign = InjectionCampaign(build_toy_model(), toy_factory, ["c"], config)
+    return campaign.execute()
+
+
+class TestFolding:
+    def test_record_counts_arcs(self, toy_result):
+        observations = PropagationObservations(toy_result.system)
+        observations.record_all(toy_result)
+        assert len(observations) == len(toy_result)
+        filt = observations.arc("FILT", "src", "filt")
+        # Every outcome targeting FILT.src contributes one injection.
+        n_filt = sum(
+            1 for outcome in toy_result
+            if (outcome.module, outcome.input_signal) == ("FILT", "src")
+        )
+        assert filt.n_injections == n_filt
+        assert 0 <= filt.n_propagated <= filt.n_injections
+        # AMP is the identity: every fired flip on filt propagates.
+        amp = observations.arc("AMP", "filt", "out")
+        assert amp.observed_permeability == pytest.approx(1.0)
+        assert amp.mean_latency_ms is not None
+        assert amp.mean_latency_ms >= 0.0
+
+    def test_unknown_arc_raises(self, toy_result):
+        observations = PropagationObservations(toy_result.system)
+        with pytest.raises(KeyError, match="no observations"):
+            observations.arc("FILT", "src", "nope")
+
+    def test_records_kept_only_on_request(self, toy_result):
+        observations = PropagationObservations(toy_result.system)
+        observations.record_all(toy_result)
+        assert observations.records == ()
+        keeping = PropagationObservations.from_campaign_result(
+            toy_result, keep_records=True
+        )
+        assert len(keeping.records) == len(toy_result)
+        record = keeping.records[0]
+        assert record.module in ("FILT", "AMP")
+        # ``diverged`` is ordered by first-divergence time.
+        times = [time for _signal, time in record.diverged]
+        assert times == sorted(times)
+
+    def test_hottest_arcs_ranked_by_hits(self, toy_result):
+        observations = PropagationObservations.from_campaign_result(toy_result)
+        hottest = observations.hottest_arcs(10)
+        hits = [arc.n_propagated for arc in hottest]
+        assert hits == sorted(hits, reverse=True)
+
+
+class TestMatrixAgreement:
+    def test_matches_estimator_exactly(self, toy_result):
+        """The acceptance criterion: live fold == post-hoc estimator."""
+        observed = PropagationObservations.from_campaign_result(
+            toy_result
+        ).to_matrix()
+        estimated = estimate_matrix(toy_result)
+        assert observed.to_jsonable() == estimated.to_jsonable()
+
+    def test_diff_against_estimator_is_zero(self, toy_result):
+        observed = PropagationObservations.from_campaign_result(
+            toy_result
+        ).to_matrix()
+        diff = observed.diff(estimate_matrix(toy_result))
+        assert diff.agrees()
+        assert diff.max_abs_delta == 0.0
+
+    def test_diff_flags_deviation(self, toy_result):
+        observed = PropagationObservations.from_campaign_result(
+            toy_result
+        ).to_matrix()
+        reference = estimate_matrix(toy_result)
+        skewed = PermeabilityMatrix(toy_result.system)
+        for (module, input_signal, output_signal), estimate in reference.items():
+            skewed.set(
+                module, input_signal, output_signal,
+                max(0.0, estimate.value - 0.25),
+            )
+        diff = observed.diff(skewed)
+        assert not diff.agrees()
+        assert diff.max_abs_delta == pytest.approx(0.25)
+        assert diff.exceeding(0.1)
+        assert "Permeability diff" in diff.render()
