@@ -117,6 +117,12 @@ from repro.injection import (
     paper_times,
 )
 from repro.injection.latency import latency_statistics, render_latency_table
+from repro.lint import (
+    Diagnostic,
+    LintReport,
+    Severity,
+    lint_system,
+)
 from repro.obs import (
     CampaignObserver,
     MetricsRegistry,
@@ -155,6 +161,8 @@ __all__ = [
     "SeverityLimits",
     "DeltaCheck",
     "DetectorEvaluation",
+    "Diagnostic",
+    "LintReport",
     "EdmSelection",
     "ErrorDetector",
     "MonotonicCheck",
@@ -182,6 +190,7 @@ __all__ = [
     "PropagationObservations",
     "PropagationPath",
     "ReproError",
+    "Severity",
     "SignalKind",
     "SignalSpec",
     "SimulationRun",
@@ -213,6 +222,7 @@ __all__ = [
     "evaluate_detectors",
     "fig2_permeabilities",
     "latency_statistics",
+    "lint_system",
     "render_latency_table",
     "graph_to_dot",
     "greedy_edm_selection",

@@ -13,6 +13,10 @@ Commands
     Results can be saved to JSON and re-analysed later.
 ``analyze``
     Re-run the analysis on a permeability matrix saved by ``campaign``.
+``lint``
+    Run the static model linter (see docs/LINTING.md) over one of the
+    shipped systems, optionally with a permeability matrix, and print
+    the findings as text, JSON or SARIF 2.1.0.
 ``obs summarize`` / ``obs validate``
     Render a text report from a recorded ``events.jsonl`` (phase
     timings, outcome mix, hottest propagation arcs), or round-trip the
@@ -25,6 +29,7 @@ available programmatically (see README.md and docs/OBSERVABILITY.md).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 import warnings
@@ -157,6 +162,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         error_models=tuple(bit_flip_models(args.bits)),
         seed=args.seed,
         reuse_golden_prefix=not args.no_prefix_reuse,
+        lint=not args.no_lint,
     )
     observer = None
     if args.events or args.metrics:
@@ -214,6 +220,50 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     print()
     print(greedy_edm_selection(result, max_monitors=args.monitors).render())
     return 0
+
+
+def _build_named_system(name: str):
+    if name == "fig2":
+        return build_fig2_system()
+    if name == "twonode":
+        from repro.arrestment.twonode import build_twonode_model
+
+        return build_twonode_model()
+    return build_arrestment_model()
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import Severity, lint_system, to_sarif
+
+    system = _build_named_system(args.system)
+    matrix = None
+    if args.paper_matrix:
+        if args.system != "fig2":
+            print("--paper-matrix requires --system fig2", file=sys.stderr)
+            return 2
+        matrix = PermeabilityMatrix.from_dict(system, fig2_permeabilities())
+    elif args.matrix:
+        with open(args.matrix, "r", encoding="utf-8") as handle:
+            matrix = PermeabilityMatrix.from_json(system, handle.read())
+    report = lint_system(
+        system,
+        matrix,
+        select=args.select.split(",") if args.select else None,
+        ignore=args.ignore.split(",") if args.ignore else None,
+    )
+    if args.format == "json":
+        rendered = report.to_json()
+    elif args.format == "sarif":
+        rendered = json.dumps(to_sarif(report), indent=2)
+    else:
+        rendered = report.render_text()
+    if args.output:
+        Path(args.output).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.output).write_text(rendered + "\n", encoding="utf-8")
+        print(f"{report.summary()}; report written to {args.output}")
+    else:
+        print(rendered)
+    return 1 if report.fails_at(Severity.from_label(args.fail_on)) else 0
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -331,11 +381,40 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--no-prefix-reuse", action="store_true",
                           help="disable Golden-Run checkpoint reuse "
                           "(re-run every IR from time zero)")
+    campaign.add_argument("--no-lint", action="store_true",
+                          help="skip the pre-campaign model lint gate "
+                          "(see docs/LINTING.md)")
     campaign.add_argument("--twonode", action="store_true",
                           help="analyse the master/slave configuration")
     campaign.add_argument("--save", metavar="FILE",
                           help="save the estimated matrix as JSON")
     campaign.set_defaults(func=_cmd_campaign)
+
+    lint = commands.add_parser(
+        "lint", help="statically analyse a system model (docs/LINTING.md)"
+    )
+    lint.add_argument("--system", choices=("arrestment", "fig2", "twonode"),
+                      default="arrestment", help="which shipped model to lint")
+    lint.add_argument("--matrix", metavar="FILE", default=None,
+                      help="permeability matrix JSON enabling the "
+                      "R009/R010 matrix rules")
+    lint.add_argument("--paper-matrix", action="store_true",
+                      help="use the built-in Fig. 2 permeabilities "
+                      "(requires --system fig2)")
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
+                      default="text", help="output format")
+    lint.add_argument("--select", metavar="CODES", default=None,
+                      help="comma-separated code prefixes to keep "
+                      "(e.g. R001,R00)")
+    lint.add_argument("--ignore", metavar="CODES", default=None,
+                      help="comma-separated code prefixes to suppress")
+    lint.add_argument("--fail-on", choices=("error", "warning", "info"),
+                      default="error",
+                      help="exit non-zero when a finding at or above "
+                      "this severity remains (default: error)")
+    lint.add_argument("--output", metavar="FILE", default=None,
+                      help="write the report to a file instead of stdout")
+    lint.set_defaults(func=_cmd_lint)
 
     analyze = commands.add_parser(
         "analyze", help="re-analyse a saved permeability matrix"

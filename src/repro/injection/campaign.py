@@ -89,6 +89,12 @@ class CampaignConfig:
         at every injection time and each IR simulates only the suffix
         after its injection instant.  ``False`` re-runs every IR from
         time zero.  Both paths produce bit-identical results.
+    lint:
+        When ``True`` (the default), :func:`repro.lint.lint_system`
+        runs before the first Golden Run; error-level findings abort
+        the campaign with :class:`CampaignError`, warnings are reported
+        through the observer (``LintReported`` event).  ``False``
+        (CLI: ``--no-lint``) skips the gate.
     """
 
     duration_ms: int = 8000
@@ -99,6 +105,7 @@ class CampaignConfig:
     targets: tuple[tuple[str, str], ...] | None = None
     seed: int = 2001
     reuse_golden_prefix: bool = True
+    lint: bool = True
 
     def __post_init__(self) -> None:
         if self.duration_ms < 1:
@@ -288,6 +295,45 @@ class InjectionCampaign:
         return dict(self._golden_runs)
 
     # ------------------------------------------------------------------
+    # Lint gate
+    # ------------------------------------------------------------------
+
+    def lint(self):
+        """Lint the system model against this campaign's target grid.
+
+        Returns the :class:`~repro.lint.LintReport`; :meth:`execute`
+        and :meth:`execute_parallel` run this automatically unless
+        :attr:`CampaignConfig.lint` is ``False``.
+        """
+        from repro.lint import lint_system
+
+        return lint_system(self._system, targets=self._targets)
+
+    def _lint_gate(self) -> None:
+        """Refuse to start a campaign on an error-level lint finding.
+
+        Injecting into a malformed model silently produces meaningless
+        permeability estimates, so the check is on by default and runs
+        *before* any (expensive) Golden Run.  The report also goes to
+        the observer, making an aborted ``events.jsonl`` self-explaining.
+        """
+        if not self._config.lint:
+            return
+        report = self.lint()
+        if self._observer is not None:
+            self._observer.on_lint_report(report)
+        if report.has_errors:
+            summary = "; ".join(
+                f"{d.code} {d.message}" for d in report.errors()
+            )
+            raise CampaignError(
+                f"lint found {len(report.errors())} error-level problem(s) "
+                f"in system {self._system.name!r}: {summary} "
+                "(fix the model, or bypass with CampaignConfig(lint=False) "
+                "/ --no-lint)"
+            )
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
 
@@ -315,6 +361,7 @@ class InjectionCampaign:
         started = time.perf_counter()
         if obs is not None:
             obs.on_campaign_started(self, mode="serial")
+        self._lint_gate()
         result = CampaignResult(self._system)
         completed = 0
         total = self.total_runs()
@@ -517,6 +564,7 @@ class InjectionCampaign:
         started = time.perf_counter()
         if obs is not None:
             obs.on_campaign_started(self, mode="parallel")
+        self._lint_gate()
         config = dataclasses.replace(
             self._config, targets=self._targets
         )

@@ -1,0 +1,54 @@
+"""Static model analysis: lint rules over system topologies.
+
+The paper's analysis silently degenerates on several classes of
+modelling mistakes — unreachable modules, dead-sink outputs (vacuous
+``X^S = 0``), cross-module cycles cut by the tree builders — and the
+model layer rejects others with exceptions that point at one symptom at
+a time.  This package turns both classes into a conventional linter:
+:func:`lint_system` runs every registered rule and returns a
+:class:`LintReport` of :class:`Diagnostic` findings with stable codes,
+severities, model-element locations and fix-it hints, renderable as
+text, JSON or SARIF 2.1.0.
+
+``repro lint`` exposes it on the command line;
+:class:`~repro.injection.campaign.InjectionCampaign` runs it by default
+before the Golden Run and refuses to start on error-level findings.
+"""
+
+from repro.lint.diagnostics import (
+    LINT_SCHEMA_VERSION,
+    Diagnostic,
+    LintReport,
+    Severity,
+    SourceLocation,
+)
+from repro.lint.rules import (
+    LintContext,
+    LintRule,
+    lint_system,
+    registered_rules,
+    rule,
+)
+from repro.lint.sarif import (
+    SARIF_MINIMAL_SCHEMA,
+    SARIF_VERSION,
+    to_sarif,
+    validate_sarif,
+)
+
+__all__ = [
+    "LINT_SCHEMA_VERSION",
+    "SARIF_MINIMAL_SCHEMA",
+    "SARIF_VERSION",
+    "Diagnostic",
+    "LintContext",
+    "LintReport",
+    "LintRule",
+    "Severity",
+    "SourceLocation",
+    "lint_system",
+    "registered_rules",
+    "rule",
+    "to_sarif",
+    "validate_sarif",
+]

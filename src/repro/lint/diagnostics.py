@@ -1,0 +1,283 @@
+"""Diagnostics engine for the static model linter.
+
+A :class:`Diagnostic` is one finding of a lint rule: a stable code
+(``R001`` ...), a :class:`Severity`, a human-readable message, a
+:class:`SourceLocation` pointing at the offending model element
+(module / signal / port) and an optional fix-it ``hint``.  A
+:class:`LintReport` aggregates the findings of one lint pass and offers
+filtering, severity queries and the three output formats (text, JSON;
+SARIF lives in :mod:`repro.lint.sarif`).
+
+The design borrows the ergonomics of mainstream linters: stable codes
+so findings are individually suppressible (``--ignore R005``), severity
+tiers so CI can choose its gate (``--fail-on warning``), and structured
+locations so tooling can annotate the model element rather than a text
+position — the "source" being linted is a topology, not a file.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "Severity",
+    "SourceLocation",
+    "Diagnostic",
+    "LintReport",
+]
+
+#: Version of the JSON report layout (also recorded in SARIF output).
+LINT_SCHEMA_VERSION = 1
+
+
+class Severity(enum.IntEnum):
+    """Severity tier of a diagnostic; integer order enables gating.
+
+    ``ERROR`` findings make the analysis meaningless or wrong (the
+    injection campaign refuses to start on them); ``WARNING`` findings
+    produce silently degenerate measures (e.g. vacuous ``X^S = 0``);
+    ``INFO`` findings are advisory.
+    """
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        """Lower-case name used in text/JSON output (``"error"`` ...)."""
+        return self.name.lower()
+
+    @classmethod
+    def from_label(cls, label: str) -> "Severity":
+        """Parse ``"error"`` / ``"warning"`` / ``"info"`` (CLI input)."""
+        try:
+            return cls[label.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {label!r}; "
+                f"expected one of {[s.label for s in cls]}"
+            ) from None
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.label
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """Where in the model a diagnostic points.
+
+    The linted "source" is a system topology, so locations name model
+    elements rather than file positions: a module, a signal, or a port
+    (``module`` + ``signal`` + ``port`` role).  Any field may be absent;
+    a fully empty location means "the system as a whole".
+    """
+
+    module: str | None = None
+    signal: str | None = None
+    port: str | None = None  # e.g. "input", "output", "pair", "target"
+
+    def fully_qualified(self) -> str:
+        """Stable dotted identity, e.g. ``module:CALC/signal:i/port:input``.
+
+        Used as the SARIF ``logicalLocation.fullyQualifiedName``.
+        """
+        parts = []
+        if self.module is not None:
+            parts.append(f"module:{self.module}")
+        if self.signal is not None:
+            parts.append(f"signal:{self.signal}")
+        if self.port is not None:
+            parts.append(f"port:{self.port}")
+        return "/".join(parts) if parts else "system"
+
+    def to_dict(self) -> dict:
+        return {
+            key: value
+            for key, value in (
+                ("module", self.module),
+                ("signal", self.signal),
+                ("port", self.port),
+            )
+            if value is not None
+        }
+
+    def __str__(self) -> str:
+        return self.fully_qualified()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of a lint rule."""
+
+    code: str
+    severity: Severity
+    message: str
+    location: SourceLocation = field(default_factory=SourceLocation)
+    hint: str | None = None
+
+    def render(self) -> str:
+        """One-line text form: ``error R001 [signal:x] message``."""
+        line = f"{self.severity.label:<7} {self.code} [{self.location}] {self.message}"
+        if self.hint:
+            line += f"\n        hint: {self.hint}"
+        return line
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (used by ``--format json`` and the event stream)."""
+        record = {
+            "code": self.code,
+            "severity": self.severity.label,
+            "message": self.message,
+            "location": self.location.to_dict(),
+        }
+        if self.hint is not None:
+            record["hint"] = self.hint
+        return record
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _sort_key(diagnostic: Diagnostic):
+    # The location sorts by its rendered form: field-wise ordering would
+    # choke on absent (None) components.
+    return (
+        -int(diagnostic.severity),
+        diagnostic.code,
+        diagnostic.location.fully_qualified(),
+    )
+
+
+class LintReport:
+    """The findings of one lint pass over a system model.
+
+    Diagnostics are held sorted: errors first, then by code, then by
+    location, so output is deterministic for equal models.
+    """
+
+    def __init__(
+        self, system_name: str, diagnostics: Iterable[Diagnostic] = ()
+    ) -> None:
+        self.system_name = system_name
+        self._diagnostics = sorted(diagnostics, key=_sort_key)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def diagnostics(self) -> tuple[Diagnostic, ...]:
+        return tuple(self._diagnostics)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self._diagnostics)
+
+    def __len__(self) -> int:
+        return len(self._diagnostics)
+
+    def at_severity(self, severity: Severity) -> tuple[Diagnostic, ...]:
+        """All findings of exactly ``severity``."""
+        return tuple(d for d in self._diagnostics if d.severity is severity)
+
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return self.at_severity(Severity.ERROR)
+
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return self.at_severity(Severity.WARNING)
+
+    def infos(self) -> tuple[Diagnostic, ...]:
+        return self.at_severity(Severity.INFO)
+
+    @property
+    def has_errors(self) -> bool:
+        return bool(self.errors())
+
+    def worst(self) -> Severity | None:
+        """The highest severity present, or ``None`` for a clean report."""
+        if not self._diagnostics:
+            return None
+        return max(d.severity for d in self._diagnostics)
+
+    def codes(self) -> tuple[str, ...]:
+        """Distinct diagnostic codes present, sorted."""
+        return tuple(sorted({d.code for d in self._diagnostics}))
+
+    def by_code(self, code: str) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self._diagnostics if d.code == code)
+
+    def fails_at(self, threshold: Severity) -> bool:
+        """Whether any finding is at or above ``threshold`` (CI gating)."""
+        return any(d.severity >= threshold for d in self._diagnostics)
+
+    # ------------------------------------------------------------------
+    # Filtering
+    # ------------------------------------------------------------------
+
+    def filter(
+        self,
+        select: Sequence[str] | None = None,
+        ignore: Sequence[str] | None = None,
+    ) -> "LintReport":
+        """A new report restricted to ``select`` codes minus ``ignore``.
+
+        Codes match by prefix, so ``--select R0`` keeps every rule and
+        ``--ignore R005`` suppresses exactly one.
+        """
+
+        def matches(code: str, patterns: Sequence[str]) -> bool:
+            return any(code.startswith(pattern) for pattern in patterns)
+
+        kept = self._diagnostics
+        if select is not None:
+            kept = [d for d in kept if matches(d.code, select)]
+        if ignore:
+            kept = [d for d in kept if not matches(d.code, ignore)]
+        return LintReport(self.system_name, kept)
+
+    # ------------------------------------------------------------------
+    # Output formats
+    # ------------------------------------------------------------------
+
+    def summary(self) -> str:
+        """One-line totals, e.g. ``2 errors, 1 warning, 0 info``."""
+        return (
+            f"{len(self.errors())} error(s), {len(self.warnings())} "
+            f"warning(s), {len(self.infos())} info"
+        )
+
+    def render_text(self) -> str:
+        """Human-readable multi-line report (``--format text``)."""
+        lines = [f"lint report for system {self.system_name!r}"]
+        if not self._diagnostics:
+            lines.append("  clean: no findings")
+        for diagnostic in self._diagnostics:
+            for part in diagnostic.render().splitlines():
+                lines.append(f"  {part}")
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def to_jsonable(self) -> dict:
+        """JSON-ready dict (``--format json``)."""
+        return {
+            "schema_version": LINT_SCHEMA_VERSION,
+            "system": self.system_name,
+            "summary": {
+                "errors": len(self.errors()),
+                "warnings": len(self.warnings()),
+                "info": len(self.infos()),
+            },
+            "diagnostics": [d.to_dict() for d in self._diagnostics],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_jsonable(), indent=indent)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<LintReport {self.system_name!r} "
+            f"n={len(self._diagnostics)} worst={self.worst()}>"
+        )

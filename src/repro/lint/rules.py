@@ -1,0 +1,684 @@
+"""Rule registry and the ``lint_system()`` entry point.
+
+Every rule is a generator function registered with the :func:`rule`
+decorator under a stable code (``R001`` ...).  A rule receives a
+:class:`LintContext` and yields ``(location, message, hint)`` findings;
+the engine wraps them into :class:`~repro.lint.diagnostics.Diagnostic`
+records carrying the rule's code and severity.  Rules are individually
+suppressible via ``select``/``ignore`` code prefixes.
+
+Rule catalogue (see ``docs/LINTING.md`` for rationale and examples):
+
+======  ========  ==========================================================
+code    severity  finding
+======  ========  ==========================================================
+R001    error     signal never consumed and not a system output (dangling)
+R002    error     signal never produced and not a system input
+R003    error     broken system boundary declaration
+R004    warning   module unreachable from every system input
+R005    warning   module output with no path to any system output (dead sink)
+R006    warning   cross-module cycle outside the paper's self-feedback rule
+R007    warning   module on such a cycle without declared self-feedback
+R008    warning   width mismatch across an input/output pair
+R009    warning   all-zero permeability row (input never permeates)
+R010    warning   all-zero permeability column (output never receives)
+R011    warning   detector shadowed by an upstream detector
+R012    error     campaign target names an unknown (module, signal) pair
+======  ========  ==========================================================
+
+The structural rules (R001–R008) need only the
+:class:`~repro.model.system.SystemModel`; R009/R010 additionally need a
+:class:`~repro.core.permeability.PermeabilityMatrix`, R011 a set of
+detector placements and R012 a campaign target grid.  Rules whose
+context is absent are skipped, not failed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
+
+from repro.lint.diagnostics import (
+    Diagnostic,
+    LintReport,
+    Severity,
+    SourceLocation,
+)
+from repro.model.errors import nearest_name
+from repro.model.system import SystemModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.permeability import PermeabilityMatrix
+
+__all__ = [
+    "LintContext",
+    "LintRule",
+    "rule",
+    "registered_rules",
+    "lint_system",
+]
+
+#: A rule yields (location, message, hint-or-None) findings.
+Finding = tuple[SourceLocation, str, "str | None"]
+RuleCheck = Callable[["LintContext"], Iterator[Finding]]
+
+
+@dataclass(frozen=True)
+class LintContext:
+    """Everything a lint pass may inspect.
+
+    Only ``system`` is mandatory; rules that need the optional artifacts
+    declare the requirement and are skipped when it is absent.
+    """
+
+    system: SystemModel
+    matrix: "PermeabilityMatrix | None" = None
+    targets: tuple[tuple[str, str], ...] | None = None
+    detectors: tuple[str, ...] | None = None
+
+    def available(self) -> frozenset[str]:
+        tags = set()
+        if self.matrix is not None:
+            tags.add("matrix")
+        if self.targets is not None:
+            tags.add("targets")
+        if self.detectors is not None:
+            tags.add("detectors")
+        return frozenset(tags)
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One registered rule: identity, default severity and its check."""
+
+    code: str
+    severity: Severity
+    title: str
+    requires: frozenset[str]
+    check: RuleCheck
+
+
+_REGISTRY: dict[str, LintRule] = {}
+
+
+def rule(
+    code: str,
+    severity: Severity,
+    title: str,
+    requires: Iterable[str] = (),
+) -> Callable[[RuleCheck], RuleCheck]:
+    """Register a rule function under a stable diagnostic code."""
+
+    def decorate(check: RuleCheck) -> RuleCheck:
+        if code in _REGISTRY:
+            raise ValueError(f"duplicate lint rule code {code!r}")
+        _REGISTRY[code] = LintRule(
+            code=code,
+            severity=severity,
+            title=title,
+            requires=frozenset(requires),
+            check=check,
+        )
+        return check
+
+    return decorate
+
+
+def registered_rules() -> tuple[LintRule, ...]:
+    """All registered rules, sorted by code (the SARIF rule array)."""
+    return tuple(_REGISTRY[code] for code in sorted(_REGISTRY))
+
+
+# ---------------------------------------------------------------------------
+# Topology helpers (shared by several rules)
+# ---------------------------------------------------------------------------
+
+
+def _known_signals(system: SystemModel) -> frozenset[str]:
+    return frozenset(system.signal_names())
+
+
+def _is_autonomous(spec) -> bool:
+    """Whether a module drives itself: no inputs, or inputs ⊆ own outputs.
+
+    The paper's target system has one such module (``CLOCK``, fed only by
+    its own ``ms_slot_nbr`` feedback); autonomous modules are legitimate
+    data sources, so they seed the reachability fixpoint rather than
+    being flagged unreachable.
+    """
+    return not spec.inputs or set(spec.inputs) <= set(spec.outputs)
+
+
+def _reachable_modules(system: SystemModel) -> frozenset[str]:
+    """Modules reachable from a data source (forward fixpoint).
+
+    Sources are the system inputs plus the outputs of autonomous
+    modules (see :func:`_is_autonomous`).
+    """
+    known = _known_signals(system)
+    live_signals = {s for s in system.system_inputs if s in known}
+    live_modules: set[str] = set()
+    for name in system.module_names():
+        spec = system.module(name)
+        if _is_autonomous(spec):
+            live_modules.add(name)
+            live_signals.update(spec.outputs)
+    changed = True
+    while changed:
+        changed = False
+        for name in system.module_names():
+            if name in live_modules:
+                continue
+            spec = system.module(name)
+            if any(s in live_signals for s in spec.inputs):
+                live_modules.add(name)
+                live_signals.update(spec.outputs)
+                changed = True
+    return frozenset(live_modules)
+
+
+def _signals_reaching_outputs(system: SystemModel) -> frozenset[str]:
+    """Signals with a structural path to some system output (backward)."""
+    known = _known_signals(system)
+    reaching = {s for s in system.system_outputs if s in known}
+    changed = True
+    while changed:
+        changed = False
+        for name in system.module_names():
+            spec = system.module(name)
+            if any(s in reaching for s in spec.outputs):
+                for s in spec.inputs:
+                    if s not in reaching:
+                        reaching.add(s)
+                        changed = True
+    return frozenset(reaching)
+
+
+def _module_digraph(system: SystemModel) -> dict[str, set[str]]:
+    """Cross-module edges producer → consumer (self-loops excluded)."""
+    edges: dict[str, set[str]] = {name: set() for name in system.module_names()}
+    for connection in system.connections():
+        if connection.producer.module != connection.consumer.module:
+            edges[connection.producer.module].add(connection.consumer.module)
+    return edges
+
+
+def _cross_module_cycles(system: SystemModel) -> tuple[tuple[str, ...], ...]:
+    """Strongly connected components with more than one module.
+
+    These are exactly the topologies the paper's self-feedback rule does
+    not cover; the tree builders cut them with ``NodeKind.CYCLE``.
+    Kosaraju's algorithm with iterative DFS (graphs are small, but
+    hypothesis-generated ones should not hit the recursion limit).
+    """
+    edges = _module_digraph(system)
+    reversed_edges: dict[str, set[str]] = {name: set() for name in edges}
+    for source, sinks in edges.items():
+        for sink in sinks:
+            reversed_edges[sink].add(source)
+
+    order: list[str] = []
+    seen: set[str] = set()
+    for start in edges:
+        if start in seen:
+            continue
+        stack: list[tuple[str, Iterator[str]]] = [(start, iter(sorted(edges[start])))]
+        seen.add(start)
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for successor in it:
+                if successor not in seen:
+                    seen.add(successor)
+                    stack.append((successor, iter(sorted(edges[successor]))))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(node)
+                stack.pop()
+
+    components: list[tuple[str, ...]] = []
+    assigned: set[str] = set()
+    for start in reversed(order):
+        if start in assigned:
+            continue
+        component = [start]
+        assigned.add(start)
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for predecessor in reversed_edges[node]:
+                if predecessor not in assigned:
+                    assigned.add(predecessor)
+                    component.append(predecessor)
+                    frontier.append(predecessor)
+        if len(component) > 1:
+            components.append(tuple(sorted(component)))
+    return tuple(sorted(components))
+
+
+#: Virtual root of the signal dataflow graph used for dominators.
+_SOURCE = "<external>"
+
+
+def _signal_dominators(system: SystemModel) -> dict[str, frozenset[str]]:
+    """Dominator sets over the signal dataflow graph.
+
+    Signal *a* dominates signal *b* when every structural propagation
+    path from the environment into *b* passes through *a* — the basis of
+    the detector-shadowing rule R011.  Classic iterative fixpoint; the
+    virtual root feeds system inputs and producer-less signals.
+    """
+    signals = list(system.signal_names())
+    predecessors: dict[str, set[str]] = {}
+    for signal in signals:
+        producer = system.producer_of(signal)
+        if producer is None or system.is_system_input(signal):
+            predecessors[signal] = {_SOURCE}
+        else:
+            inputs = system.module(producer.module).inputs
+            predecessors[signal] = set(inputs) if inputs else {_SOURCE}
+
+    universe = set(signals) | {_SOURCE}
+    dom: dict[str, set[str]] = {_SOURCE: {_SOURCE}}
+    for signal in signals:
+        dom[signal] = set(universe)
+    changed = True
+    while changed:
+        changed = False
+        for signal in signals:
+            meet = set.intersection(*(dom[p] for p in predecessors[signal]))
+            new = meet | {signal}
+            if new != dom[signal]:
+                dom[signal] = new
+                changed = True
+    return {signal: frozenset(dom[signal]) for signal in signals}
+
+
+# ---------------------------------------------------------------------------
+# Structural rules (system model only)
+# ---------------------------------------------------------------------------
+
+
+@rule("R001", Severity.ERROR, "dangling signal: produced or declared but never consumed")
+def _r001_dangling_signal(ctx: LintContext) -> Iterator[Finding]:
+    system = ctx.system
+    for signal in system.signal_names():
+        if system.consumers_of(signal) or system.is_system_output(signal):
+            continue
+        producer = system.producer_of(signal)
+        if producer is not None:
+            yield (
+                SourceLocation(
+                    module=producer.module, signal=signal, port="output"
+                ),
+                f"signal {signal!r} is produced by module "
+                f"{producer.module!r} but never consumed",
+                "consume it, mark it a system output, or remove the "
+                "output port",
+            )
+        else:
+            yield (
+                SourceLocation(signal=signal),
+                f"signal {signal!r} is declared but never consumed",
+                "wire it into a module input or mark it a system output",
+            )
+
+
+@rule("R002", Severity.ERROR, "signal consumed but never produced")
+def _r002_unproduced_signal(ctx: LintContext) -> Iterator[Finding]:
+    system = ctx.system
+    for signal in system.signal_names():
+        if system.producer_of(signal) is not None or system.is_system_input(signal):
+            continue
+        consumers = system.consumers_of(signal)
+        where = (
+            f"consumed by {', '.join(sorted({p.module for p in consumers}))}"
+            if consumers
+            else "never referenced by any module"
+        )
+        location = SourceLocation(
+            module=consumers[0].module if consumers else None,
+            signal=signal,
+            port="input" if consumers else None,
+        )
+        yield (
+            location,
+            f"signal {signal!r} has no producer ({where}) and is not a "
+            "system input",
+            "produce it from a module output or mark it a system input",
+        )
+
+
+@rule("R003", Severity.ERROR, "broken system boundary declaration")
+def _r003_boundary(ctx: LintContext) -> Iterator[Finding]:
+    system = ctx.system
+    known = _known_signals(system)
+    for signal in system.system_inputs:
+        if signal not in known:
+            suggestion = nearest_name(signal, known)
+            yield (
+                SourceLocation(signal=signal, port="input"),
+                f"system input {signal!r} is not a known signal",
+                f"did you mean {suggestion!r}?" if suggestion else
+                "declare the signal or drop the boundary marking",
+            )
+        else:
+            producer = system.producer_of(signal)
+            if producer is not None:
+                yield (
+                    SourceLocation(
+                        module=producer.module, signal=signal, port="input"
+                    ),
+                    f"system input {signal!r} is produced internally by "
+                    f"{producer.module!r}",
+                    "a system input must come from the environment; drop "
+                    "the marking or the producing output",
+                )
+    for signal in system.system_outputs:
+        if signal not in known:
+            suggestion = nearest_name(signal, known)
+            yield (
+                SourceLocation(signal=signal, port="output"),
+                f"system output {signal!r} is not a known signal",
+                f"did you mean {suggestion!r}?" if suggestion else
+                "declare the signal or drop the boundary marking",
+            )
+        elif system.producer_of(signal) is None:
+            yield (
+                SourceLocation(signal=signal, port="output"),
+                f"system output {signal!r} has no producing module",
+                "produce it from a module output or drop the marking",
+            )
+
+
+@rule("R004", Severity.WARNING, "module unreachable from every system input")
+def _r004_unreachable_module(ctx: LintContext) -> Iterator[Finding]:
+    system = ctx.system
+    reachable = _reachable_modules(system)
+    for name in system.module_names():
+        if name in reachable:
+            continue
+        yield (
+            SourceLocation(module=name),
+            f"module {name!r} is unreachable from every system input and "
+            "every autonomous module; no external data or error ever "
+            "flows into it",
+            "wire one of its inputs to a system input or to an upstream "
+            "module output",
+        )
+
+
+@rule("R005", Severity.WARNING, "dead sink: output with no path to a system output")
+def _r005_dead_sink(ctx: LintContext) -> Iterator[Finding]:
+    system = ctx.system
+    reaching = _signals_reaching_outputs(system)
+    for name in system.module_names():
+        for signal in system.module(name).outputs:
+            if signal in reaching:
+                continue
+            yield (
+                SourceLocation(module=name, signal=signal, port="output"),
+                f"output {signal!r} of module {name!r} has no path to any "
+                "system output; its signal error exposure X^S is vacuously "
+                "zero",
+                "errors reaching it are structurally unobservable — wire "
+                "it toward a system output or mark it one",
+            )
+
+
+@rule("R006", Severity.WARNING, "cross-module cycle outside the self-feedback rule")
+def _r006_cross_module_cycle(ctx: LintContext) -> Iterator[Finding]:
+    for component in _cross_module_cycles(ctx.system):
+        yield (
+            SourceLocation(module=component[0]),
+            "modules {" + ", ".join(component) + "} form a cross-module "
+            "cycle; the paper's analysis covers only module self-feedback, "
+            "so the tree builders cut these paths (CYCLE leaves, rendered "
+            "'~~')",
+            "remodel the loop as explicit self-feedback or break the "
+            "cycle; path weights through the cut are lower bounds",
+        )
+
+
+@rule("R007", Severity.WARNING, "unmarked feedback module on a cross-module cycle")
+def _r007_unmarked_feedback(ctx: LintContext) -> Iterator[Finding]:
+    system = ctx.system
+    for component in _cross_module_cycles(system):
+        for name in component:
+            if system.module(name).has_feedback():
+                continue
+            yield (
+                SourceLocation(module=name),
+                f"module {name!r} receives its own output back through "
+                "{" + ", ".join(m for m in component if m != name) + "} "
+                "but declares no self-feedback",
+                "the paper's double-line rule only fires for a signal "
+                "that is both input and output of the same module; "
+                "declare the loop explicitly",
+            )
+
+
+@rule("R008", Severity.WARNING, "width mismatch across an input/output pair")
+def _r008_width_mismatch(ctx: LintContext) -> Iterator[Finding]:
+    system = ctx.system
+    for module, input_signal, output_signal in system.pair_index():
+        in_width = system.signal(input_signal).width
+        out_width = system.signal(output_signal).width
+        if in_width == out_width:
+            continue
+        direction = "narrows" if in_width > out_width else "widens"
+        yield (
+            SourceLocation(module=module, signal=output_signal, port="pair"),
+            f"pair {input_signal!r} -> {output_signal!r} of module "
+            f"{module!r} {direction} a {in_width}-bit signal into "
+            f"{out_width} bits; bit-level error models cannot preserve "
+            "bit positions across this connection",
+            "align the two signal widths or document the truncation",
+        )
+
+
+# ---------------------------------------------------------------------------
+# Matrix rules
+# ---------------------------------------------------------------------------
+
+
+@rule(
+    "R009",
+    Severity.WARNING,
+    "all-zero permeability row: input never permeates",
+    requires=("matrix",),
+)
+def _r009_zero_row(ctx: LintContext) -> Iterator[Finding]:
+    system = ctx.system
+    matrix = ctx.matrix
+    assert matrix is not None
+    for name in system.module_names():
+        spec = system.module(name)
+        if not spec.outputs:
+            continue
+        for input_signal in spec.inputs:
+            values = [
+                matrix.get_or_none(name, input_signal, output_signal)
+                for output_signal in spec.outputs
+            ]
+            if any(value is None for value in values):
+                continue  # incomplete row: nothing to conclude yet
+            if all(value == 0.0 for value in values):
+                yield (
+                    SourceLocation(module=name, signal=input_signal, port="input"),
+                    f"errors on input {input_signal!r} of module {name!r} "
+                    "never permeate to any of its outputs (all-zero row)",
+                    "if intended, suppress with --ignore R009; otherwise "
+                    "check the estimate's sample size",
+                )
+
+
+@rule(
+    "R010",
+    Severity.WARNING,
+    "all-zero permeability column: output never receives",
+    requires=("matrix",),
+)
+def _r010_zero_column(ctx: LintContext) -> Iterator[Finding]:
+    system = ctx.system
+    matrix = ctx.matrix
+    assert matrix is not None
+    for name in system.module_names():
+        spec = system.module(name)
+        if not spec.inputs:
+            continue
+        for output_signal in spec.outputs:
+            values = [
+                matrix.get_or_none(name, input_signal, output_signal)
+                for input_signal in spec.inputs
+            ]
+            if any(value is None for value in values):
+                continue
+            if all(value == 0.0 for value in values):
+                yield (
+                    SourceLocation(module=name, signal=output_signal, port="output"),
+                    f"no input error of module {name!r} ever permeates to "
+                    f"output {output_signal!r} (all-zero column)",
+                    "every backtrack-tree edge into this output has weight "
+                    "zero; verify against the injection counts",
+                )
+
+
+# ---------------------------------------------------------------------------
+# Placement / campaign rules
+# ---------------------------------------------------------------------------
+
+
+@rule(
+    "R011",
+    Severity.WARNING,
+    "detector shadowed by an upstream detector",
+    requires=("detectors",),
+)
+def _r011_shadowed_detector(ctx: LintContext) -> Iterator[Finding]:
+    system = ctx.system
+    assert ctx.detectors is not None
+    known = _known_signals(system)
+    placed = tuple(dict.fromkeys(s for s in ctx.detectors if s in known))
+    if len(placed) < 2:
+        return
+    dominators = _signal_dominators(system)
+    for signal in placed:
+        shadows = [
+            other
+            for other in placed
+            if other != signal and other in dominators[signal]
+        ]
+        if shadows:
+            yield (
+                SourceLocation(signal=signal, port="detector"),
+                f"detector on {signal!r} is shadowed by upstream "
+                f"detector(s) on {', '.join(repr(s) for s in sorted(shadows))}: "
+                "every propagation path into it crosses those signals first",
+                "move the detector off the dominated path or drop it",
+            )
+
+
+@rule(
+    "R012",
+    Severity.ERROR,
+    "campaign target names an unknown (module, signal) pair",
+    requires=("targets",),
+)
+def _r012_unknown_target(ctx: LintContext) -> Iterator[Finding]:
+    system = ctx.system
+    assert ctx.targets is not None
+    module_names = system.module_names()
+    for module, signal in ctx.targets:
+        if module not in module_names:
+            suggestion = nearest_name(module, module_names)
+            yield (
+                SourceLocation(module=module, signal=signal, port="target"),
+                f"campaign target ({module!r}, {signal!r}): unknown module "
+                f"{module!r}",
+                f"did you mean {suggestion!r}?" if suggestion else
+                f"known modules: {', '.join(module_names)}",
+            )
+            continue
+        spec = system.module(module)
+        if signal not in spec.inputs:
+            suggestion = nearest_name(signal, spec.inputs)
+            yield (
+                SourceLocation(module=module, signal=signal, port="target"),
+                f"campaign target ({module!r}, {signal!r}): {signal!r} is "
+                f"not an input of module {module!r}",
+                f"did you mean {suggestion!r}?" if suggestion else
+                f"inputs of {module}: {', '.join(spec.inputs) or '(none)'}",
+            )
+
+
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+
+
+def lint_system(
+    system: SystemModel,
+    matrix: "PermeabilityMatrix | None" = None,
+    *,
+    targets: Sequence[tuple[str, str]] | None = None,
+    detectors: Sequence[object] | None = None,
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+) -> LintReport:
+    """Run every applicable lint rule over ``system``.
+
+    Parameters
+    ----------
+    system:
+        The model to lint.  Pass ``SystemBuilder.build(validate=False)``
+        output to lint a deliberately malformed topology.
+    matrix:
+        Optional permeability matrix enabling R009/R010.
+    targets:
+        Optional campaign ``(module, input signal)`` grid enabling R012.
+    detectors:
+        Optional detector placements enabling R011: signal names or
+        :class:`~repro.edm.detectors.ErrorDetector` instances (their
+        ``signal`` attribute is used).
+    select, ignore:
+        Diagnostic-code prefixes to keep / suppress (e.g.
+        ``ignore=("R005",)``).
+
+    Returns
+    -------
+    A :class:`~repro.lint.diagnostics.LintReport`; milliseconds even for
+    large systems, so it is run by default before every injection
+    campaign.
+    """
+    detector_signals: tuple[str, ...] | None = None
+    if detectors is not None:
+        detector_signals = tuple(
+            str(getattr(detector, "signal", detector)) for detector in detectors
+        )
+    context = LintContext(
+        system=system,
+        matrix=matrix,
+        targets=tuple(tuple(pair) for pair in targets) if targets is not None else None,
+        detectors=detector_signals,
+    )
+    available = context.available()
+    diagnostics: list[Diagnostic] = []
+    for lint_rule in registered_rules():
+        if not lint_rule.requires <= available:
+            continue
+        for location, message, hint in lint_rule.check(context):
+            diagnostics.append(
+                Diagnostic(
+                    code=lint_rule.code,
+                    severity=lint_rule.severity,
+                    message=message,
+                    location=location,
+                    hint=hint,
+                )
+            )
+    report = LintReport(system.name, diagnostics)
+    if select is not None or ignore:
+        report = report.filter(select=select, ignore=ignore)
+    return report

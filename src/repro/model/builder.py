@@ -149,8 +149,14 @@ class SystemBuilder:
     # Finalisation
     # ------------------------------------------------------------------
 
-    def build(self) -> SystemModel:
-        """Construct and validate the :class:`SystemModel`."""
+    def build(self, validate: bool = True) -> SystemModel:
+        """Construct and validate the :class:`SystemModel`.
+
+        ``validate=False`` defers the topology checks so a deliberately
+        malformed model can be handed to :func:`repro.lint.lint_system`
+        for structured diagnostics instead of a raised
+        :class:`~repro.model.errors.ValidationError`.
+        """
         return SystemModel(
             name=self._name,
             modules=self._modules,
@@ -158,4 +164,5 @@ class SystemBuilder:
             system_outputs=self._system_outputs,
             signals=self._signals,
             description=self._description,
+            validate=validate,
         )

@@ -16,7 +16,12 @@ The hierarchy mirrors the package layout:
 
 from __future__ import annotations
 
+import difflib
+from typing import Iterable
+
 __all__ = [
+    "nearest_name",
+    "did_you_mean",
     "ReproError",
     "ModelError",
     "UnknownSignalError",
@@ -37,6 +42,23 @@ __all__ = [
 ]
 
 
+def nearest_name(name: str, candidates: Iterable[str]) -> str | None:
+    """The closest candidate to ``name``, or ``None`` when nothing is close.
+
+    Backs the "did you mean ...?" suggestions of the unknown-name errors
+    and of the lint diagnostics (:mod:`repro.lint`); a single shared
+    matcher keeps the suggestions consistent across both layers.
+    """
+    matches = difflib.get_close_matches(name, list(candidates), n=1, cutoff=0.5)
+    return matches[0] if matches else None
+
+
+def did_you_mean(name: str, candidates: Iterable[str]) -> str:
+    """Suggestion suffix `` (did you mean 'x'?)``, or ``""``."""
+    suggestion = nearest_name(name, candidates)
+    return f" (did you mean {suggestion!r}?)" if suggestion is not None else ""
+
+
 class ReproError(Exception):
     """Base class for every exception raised by the library."""
 
@@ -50,20 +72,43 @@ class ModelError(ReproError):
     """Base class for errors in the static software-system model."""
 
 
-class UnknownSignalError(ModelError):
+class _UnknownNameError(ModelError):
+    """Shared behaviour of the unknown-signal/module errors.
+
+    When the known names are passed as ``candidates``, the message
+    carries a nearest-name "did you mean ...?" suggestion; ``where``
+    adds the lookup context (e.g. ``"inputs of module 'CALC'"``).
+    """
+
+    kind = "name"
+
+    def __init__(
+        self,
+        name: str,
+        candidates: Iterable[str] = (),
+        where: str | None = None,
+    ) -> None:
+        self.suggestion = nearest_name(name, candidates)
+        message = f"unknown {self.kind}: {name!r}"
+        if where:
+            message += f" in {where}"
+        if self.suggestion is not None:
+            message += f" (did you mean {self.suggestion!r}?)"
+        super().__init__(message)
+        self.name = name
+        self.where = where
+
+
+class UnknownSignalError(_UnknownNameError):
     """A signal name was referenced but never declared."""
 
-    def __init__(self, name: str) -> None:
-        super().__init__(f"unknown signal: {name!r}")
-        self.name = name
+    kind = "signal"
 
 
-class UnknownModuleError(ModelError):
+class UnknownModuleError(_UnknownNameError):
     """A module name was referenced but never declared."""
 
-    def __init__(self, name: str) -> None:
-        super().__init__(f"unknown module: {name!r}")
-        self.name = name
+    kind = "module"
 
 
 class DuplicateNameError(ModelError):

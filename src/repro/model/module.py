@@ -104,14 +104,22 @@ class ModuleSpec:
         try:
             return self.inputs.index(signal) + 1
         except ValueError:
-            raise UnknownSignalError(f"{self.name} input {signal}") from None
+            raise UnknownSignalError(
+                signal,
+                candidates=self.inputs,
+                where=f"inputs of module {self.name!r}",
+            ) from None
 
     def output_index(self, signal: str) -> int:
         """1-based index of an output signal (the paper's *k*)."""
         try:
             return self.outputs.index(signal) + 1
         except ValueError:
-            raise UnknownSignalError(f"{self.name} output {signal}") from None
+            raise UnknownSignalError(
+                signal,
+                candidates=self.outputs,
+                where=f"outputs of module {self.name!r}",
+            ) from None
 
     def input_port(self, signal: str) -> Port:
         """The :class:`Port` record for an input signal."""

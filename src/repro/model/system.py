@@ -63,6 +63,14 @@ class SystemModel:
         Names of signals consumed by the external environment.
     description:
         Human-readable documentation.
+    validate:
+        When ``True`` (the default), :meth:`validate` runs at
+        construction and a malformed topology raises
+        :class:`ValidationError`.  ``False`` defers the check, which is
+        what :mod:`repro.lint` uses to turn the same problems into
+        structured diagnostics instead of an exception (e.g. for the
+        mutation corpus of the property tests).  Duplicate names and
+        duplicate producers are structural and always raise.
     """
 
     def __init__(
@@ -73,6 +81,7 @@ class SystemModel:
         system_outputs: Iterable[str],
         signals: Iterable[SignalSpec] = (),
         description: str = "",
+        validate: bool = True,
     ) -> None:
         self.name = name
         self.description = description
@@ -99,7 +108,8 @@ class SystemModel:
         self._producer: dict[str, Port] = {}
         self._consumers: dict[str, tuple[Port, ...]] = {}
         self._index_topology()
-        self.validate()
+        if validate:
+            self.validate()
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -124,6 +134,16 @@ class SystemModel:
 
     def validate(self) -> None:
         """Check the topology rules; raise :class:`ValidationError` on failure."""
+        problems = self.validation_problems()
+        if problems:
+            raise ValidationError(problems)
+
+    def validation_problems(self) -> list[str]:
+        """All topology-rule violations as strings, without raising.
+
+        An empty list means the model is well-formed.  The lint rules
+        R001–R003 report the same problems as structured diagnostics.
+        """
         problems: list[str] = []
         for signal in self._system_inputs:
             if signal not in self._signals:
@@ -152,8 +172,7 @@ class SystemModel:
                 problems.append(
                     f"signal {signal!r} has no consumer and is not a system output"
                 )
-        if problems:
-            raise ValidationError(problems)
+        return problems
 
     # ------------------------------------------------------------------
     # Basic queries
@@ -184,14 +203,14 @@ class SystemModel:
         try:
             return self._modules[name]
         except KeyError:
-            raise UnknownModuleError(name) from None
+            raise UnknownModuleError(name, candidates=self._modules) from None
 
     def signal(self, name: str) -> SignalSpec:
         """Look up a signal declaration by name."""
         try:
             return self._signals[name]
         except KeyError:
-            raise UnknownSignalError(name) from None
+            raise UnknownSignalError(name, candidates=self._signals) from None
 
     def module_names(self) -> tuple[str, ...]:
         """All module names in declaration order."""
@@ -208,13 +227,13 @@ class SystemModel:
     def producer_of(self, signal: str) -> Port | None:
         """The output port producing ``signal``, or ``None`` for system inputs."""
         if signal not in self._signals:
-            raise UnknownSignalError(signal)
+            raise UnknownSignalError(signal, candidates=self._signals)
         return self._producer.get(signal)
 
     def consumers_of(self, signal: str) -> tuple[Port, ...]:
         """All input ports consuming ``signal`` (possibly empty)."""
         if signal not in self._signals:
-            raise UnknownSignalError(signal)
+            raise UnknownSignalError(signal, candidates=self._signals)
         return self._consumers.get(signal, ())
 
     def is_system_input(self, signal: str) -> bool:

@@ -38,6 +38,7 @@ from typing import IO, Any, Iterator, Mapping, TextIO
 __all__ = [
     "EVENT_SCHEMA_VERSION",
     "CampaignStarted",
+    "LintReported",
     "RunStarted",
     "CheckpointSaved",
     "CheckpointReused",
@@ -79,6 +80,25 @@ class CampaignStarted:
     n_targets: int
     runs_per_target: int
     mode: str  # "serial" | "parallel"
+
+
+@dataclass(frozen=True)
+class LintReported:
+    """The pre-campaign lint pass finished (see :mod:`repro.lint`).
+
+    Emitted between :class:`CampaignStarted` and the first
+    :class:`RunStarted`; ``diagnostics`` carries the JSON form of every
+    finding.  On error-level findings the campaign aborts right after
+    this event, so an ``events.jsonl`` that stops here is
+    self-explaining.
+    """
+
+    system: str
+    errors: int
+    warnings: int
+    info: int
+    codes: tuple[str, ...] = ()
+    diagnostics: tuple[dict, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -168,6 +188,7 @@ _EVENT_TYPES: dict[str, type] = {
     cls.__name__: cls
     for cls in (
         CampaignStarted,
+        LintReported,
         RunStarted,
         CheckpointSaved,
         CheckpointReused,
@@ -240,6 +261,12 @@ def decode_event(record: Mapping) -> ParsedEvent:
     if isinstance(event, OutcomeClassified):
         event = dataclasses.replace(
             event, propagated_outputs=tuple(event.propagated_outputs)
+        )
+    elif isinstance(event, LintReported):
+        event = dataclasses.replace(
+            event,
+            codes=tuple(event.codes),
+            diagnostics=tuple(event.diagnostics),
         )
     return ParsedEvent(seq=int(record["seq"]), ts=float(record["ts"]), event=event)
 
@@ -344,7 +371,7 @@ class PrettyPrintSink:
 
     #: Event types narrated; the per-IR chatter is skipped.
     NARRATED = frozenset(
-        {"CampaignStarted", "ChunkCompleted", "CampaignFinished"}
+        {"CampaignStarted", "LintReported", "ChunkCompleted", "CampaignFinished"}
     )
 
     def __init__(self, stream: TextIO | None = None, verbose: bool = False):
@@ -361,6 +388,11 @@ class PrettyPrintSink:
                 f"campaign started: {data['total_runs']} runs "
                 f"({data['n_cases']} cases x {data['n_targets']} targets), "
                 f"{data['mode']}"
+            )
+        elif name == "LintReported":
+            text = (
+                f"lint: {data['errors']} error(s), {data['warnings']} "
+                f"warning(s) on system {data['system']!r}"
             )
         elif name == "ChunkCompleted":
             text = (

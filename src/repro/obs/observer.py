@@ -30,6 +30,7 @@ from repro.obs.events import (
     EventStream,
     InjectionFired,
     JsonlSink,
+    LintReported,
     MultiSink,
     OutcomeClassified,
     PrettyPrintSink,
@@ -128,6 +129,23 @@ class CampaignObserver:
             )
         if self.metrics is not None:
             self.metrics.gauge("campaign.total_runs").set(campaign.total_runs())
+
+    def on_lint_report(self, report) -> None:
+        """Record the pre-campaign lint pass (a :class:`~repro.lint.LintReport`)."""
+        if self.events is not None:
+            self.events.emit(
+                LintReported(
+                    system=report.system_name,
+                    errors=len(report.errors()),
+                    warnings=len(report.warnings()),
+                    info=len(report.infos()),
+                    codes=report.codes(),
+                    diagnostics=tuple(d.to_dict() for d in report),
+                )
+            )
+        if self.metrics is not None:
+            self.metrics.counter("lint.errors").inc(len(report.errors()))
+            self.metrics.counter("lint.warnings").inc(len(report.warnings()))
 
     def on_run_started(
         self,

@@ -20,7 +20,7 @@ outcomes — a property the test suite pins down.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from repro.core.permeability import PermeabilityMatrix

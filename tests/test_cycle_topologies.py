@@ -1,0 +1,107 @@
+"""Cross-module cycle topologies: CYCLE tree cuts + lint diagnostics.
+
+The paper's tree constructions only handle *self*-feedback (a module
+output wired back to its own input); wider cycles are cut with
+``NodeKind.CYCLE`` leaves.  These tests pin that behaviour on a minimal
+two-module loop and assert the lint layer promotes the silent cut to
+R006/R007 diagnostics.
+"""
+
+from __future__ import annotations
+
+from repro.core.backtrack import build_all_backtrack_trees, build_backtrack_tree
+from repro.core.permeability import PermeabilityMatrix
+from repro.core.trace import build_trace_tree
+from repro.core.treenode import NodeKind
+from repro.lint import lint_system
+from repro.model.builder import SystemBuilder
+from repro.model.system import SystemModel
+
+
+def build_wide_cycle_system() -> SystemModel:
+    """M1 and M2 feed each other: ext -> M1 -> s1 -> M2 -> {s2 -> M1, out}."""
+    builder = SystemBuilder("wide-cycle")
+    builder.add_module("M1", inputs=["ext", "s2"], outputs=["s1"])
+    builder.add_module("M2", inputs=["s1"], outputs=["s2", "out"])
+    builder.mark_system_input("ext")
+    builder.mark_system_output("out")
+    return builder.build()  # validates: every signal produced & consumed
+
+
+def _uniform_matrix(system: SystemModel) -> PermeabilityMatrix:
+    return PermeabilityMatrix.uniform(system, 0.5)
+
+
+class TestCycleTreeCuts:
+    def test_backtrack_tree_cuts_with_cycle_leaf(self):
+        matrix = _uniform_matrix(build_wide_cycle_system())
+        tree = build_backtrack_tree(matrix, "out")
+        kinds = {node.kind for node in tree.root.walk()}
+        assert NodeKind.CYCLE in kinds
+        # The cut happens when s1 would re-expand through M1 via s2,
+        # i.e. the looped signal reappears on its own path.
+        cycle_leaves = [
+            node for node in tree.root.walk() if node.kind is NodeKind.CYCLE
+        ]
+        assert all(leaf.is_leaf for leaf in cycle_leaves)
+        assert {leaf.signal for leaf in cycle_leaves} == {"s1"}
+
+    def test_cycle_leaf_is_not_feedback(self):
+        # The cut must be CYCLE (cross-module), not the paper's FEEDBACK
+        # double line, because neither M1 nor M2 feeds itself directly.
+        matrix = _uniform_matrix(build_wide_cycle_system())
+        for tree in build_all_backtrack_trees(matrix).values():
+            kinds = {node.kind for node in tree.root.walk()}
+            assert NodeKind.FEEDBACK not in kinds
+
+    def test_trace_tree_cuts_the_same_loop(self):
+        matrix = _uniform_matrix(build_wide_cycle_system())
+        tree = build_trace_tree(matrix, "ext")
+        kinds = {node.kind for node in tree.root.walk()}
+        assert NodeKind.CYCLE in kinds
+
+    def test_boundary_paths_still_reach_the_output(self):
+        # Cutting the loop must not lose the straight-through path
+        # ext -> M1 -> s1 -> M2 -> out.
+        matrix = _uniform_matrix(build_wide_cycle_system())
+        tree = build_backtrack_tree(matrix, "out")
+        boundary = [
+            node for node in tree.root.walk() if node.kind is NodeKind.BOUNDARY
+        ]
+        assert {node.signal for node in boundary} == {"ext"}
+
+
+class TestCycleLint:
+    def test_lint_promotes_the_cut_to_diagnostics(self):
+        report = lint_system(build_wide_cycle_system())
+        cycles = report.by_code("R006")
+        assert len(cycles) == 1
+        assert "M1" in cycles[0].message and "M2" in cycles[0].message
+        assert "CYCLE" in cycles[0].message  # names the silent tree cut
+        unmarked = report.by_code("R007")
+        assert {d.location.module for d in unmarked} == {"M1", "M2"}
+        assert not report.has_errors  # warnings: analysis still runs
+
+    def test_self_feedback_is_not_a_wide_cycle(self):
+        builder = SystemBuilder("self-loop")
+        builder.add_module("M", inputs=["ext", "fb"], outputs=["fb", "out"])
+        builder.mark_system_input("ext")
+        builder.mark_system_output("out")
+        report = lint_system(builder.build())
+        assert not report.by_code("R006")
+        assert not report.by_code("R007")
+
+    def test_three_module_ring_is_one_component(self):
+        builder = SystemBuilder("ring")
+        builder.add_module("A", inputs=["ext", "c_out"], outputs=["a_out"])
+        builder.add_module("B", inputs=["a_out"], outputs=["b_out"])
+        builder.add_module("C", inputs=["b_out"], outputs=["c_out", "out"])
+        builder.mark_system_input("ext")
+        builder.mark_system_output("out")
+        report = lint_system(builder.build())
+        assert len(report.by_code("R006")) == 1
+        assert {d.location.module for d in report.by_code("R007")} == {
+            "A",
+            "B",
+            "C",
+        }

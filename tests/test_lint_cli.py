@@ -1,0 +1,109 @@
+"""CLI tests for ``repro lint`` and the campaign ``--no-lint`` flag."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import build_parser, main
+from repro.lint import validate_sarif
+
+
+class TestLintParsing:
+    def test_defaults(self):
+        args = build_parser().parse_args(["lint"])
+        assert args.system == "arrestment"
+        assert args.format == "text"
+        assert args.fail_on == "error"
+        assert args.select is None and args.ignore is None
+
+    def test_campaign_no_lint_flag(self):
+        args = build_parser().parse_args(["campaign", "--no-lint"])
+        assert args.no_lint is True
+        args = build_parser().parse_args(["campaign"])
+        assert args.no_lint is False
+
+
+class TestLintExecution:
+    def test_text_format_clean_arrestment(self, capsys):
+        assert main(["lint"]) == 0
+        output = capsys.readouterr().out
+        assert "clean: no findings" in output
+        assert "0 error(s)" in output
+
+    def test_json_format(self, capsys):
+        assert main(["lint", "--system", "fig2", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["system"] == "fig2-example"
+        assert payload["summary"]["errors"] == 0
+
+    def test_sarif_format_validates(self, capsys):
+        assert main(["lint", "--system", "fig2", "--format", "sarif"]) == 0
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        validate_sarif(log)
+
+    def test_fail_on_warning_with_paper_matrix(self, capsys):
+        # Fig. 2 ships one all-zero permeability pair -> an R009 warning.
+        code = main(
+            ["lint", "--system", "fig2", "--paper-matrix", "--fail-on", "warning"]
+        )
+        assert code == 1
+        assert "R009" in capsys.readouterr().out
+
+    def test_ignore_suppresses_individual_codes(self, capsys):
+        code = main(
+            [
+                "lint",
+                "--system",
+                "fig2",
+                "--paper-matrix",
+                "--ignore",
+                "R009,R010",
+                "--fail-on",
+                "warning",
+            ]
+        )
+        assert code == 0
+        assert "clean: no findings" in capsys.readouterr().out
+
+    def test_select_keeps_only_chosen_codes(self, capsys):
+        code = main(
+            ["lint", "--system", "fig2", "--paper-matrix", "--select", "R001"]
+        )
+        assert code == 0
+        assert "R009" not in capsys.readouterr().out
+
+    def test_output_file(self, tmp_path, capsys):
+        target = tmp_path / "lint.sarif"
+        code = main(
+            [
+                "lint",
+                "--system",
+                "arrestment",
+                "--format",
+                "sarif",
+                "--output",
+                str(target),
+            ]
+        )
+        assert code == 0
+        assert str(target) in capsys.readouterr().out
+        validate_sarif(json.loads(target.read_text(encoding="utf-8")))
+
+    def test_paper_matrix_requires_fig2(self, capsys):
+        assert main(["lint", "--paper-matrix"]) == 2
+        assert "--system fig2" in capsys.readouterr().err
+
+    def test_twonode_system_lints(self, capsys):
+        assert main(["lint", "--system", "twonode"]) == 0
+
+    def test_saved_matrix_roundtrip(self, tmp_path, capsys):
+        from repro.arrestment.system import build_arrestment_model
+        from repro.core.permeability import PermeabilityMatrix
+
+        system = build_arrestment_model()
+        matrix = PermeabilityMatrix.uniform(system, 0.5)
+        path = tmp_path / "matrix.json"
+        path.write_text(matrix.to_json(), encoding="utf-8")
+        assert main(["lint", "--matrix", str(path)]) == 0
+        assert "clean" in capsys.readouterr().out

@@ -1,0 +1,119 @@
+"""Property tests for the linter over random topologies and mutations.
+
+Two invariant families:
+
+* **soundness on valid models** — every system the random layered-DAG
+  generator produces (the same machinery as test_random_topologies)
+  lints clean at error severity;
+* **sensitivity to seeded defects** — specific mutations of a valid
+  system (drop a connection, add an orphan module, widen one signal)
+  are always flagged with the documented diagnostic code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.lint import Severity, lint_system
+from repro.model.module import ModuleSpec
+from repro.model.system import SystemModel
+
+from tests.test_random_topologies import layered_dag_systems
+
+
+def _rebuild(
+    system: SystemModel,
+    modules: list[ModuleSpec] | None = None,
+    signals=None,
+) -> SystemModel:
+    """Rebuild a system with substituted parts, deferring validation."""
+    return SystemModel(
+        name=system.name,
+        modules=modules if modules is not None else list(system.modules.values()),
+        system_inputs=system.system_inputs,
+        system_outputs=system.system_outputs,
+        signals=signals if signals is not None else list(system.signals.values()),
+        validate=False,
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(layered_dag_systems())
+def test_random_valid_systems_lint_clean_at_error_severity(system):
+    report = lint_system(system)
+    assert not report.has_errors, report.render_text()
+    # The generator builds acyclic systems rooted at system inputs, so
+    # the structural warnings cannot fire either.
+    assert not report.by_code("R004")
+    assert not report.by_code("R005")
+    assert not report.by_code("R006")
+
+
+@settings(max_examples=50, deadline=None)
+@given(layered_dag_systems(), st.data())
+def test_dropping_a_connection_is_flagged_r001(system, data):
+    # Pick a signal whose only consumer we remove and that is not a
+    # system output: it becomes dangling.
+    candidates = [
+        signal
+        for signal in system.signal_names()
+        if len(system.consumers_of(signal)) == 1
+        and not system.is_system_output(signal)
+        and system.producer_of(signal) is not None
+    ]
+    assume(candidates)
+    victim = data.draw(st.sampled_from(candidates))
+    consumer = system.consumers_of(victim)[0].module
+    modules = []
+    for spec in system.modules.values():
+        if spec.name == consumer:
+            spec = dataclasses.replace(
+                spec, inputs=tuple(s for s in spec.inputs if s != victim)
+            )
+            assume(spec.inputs)  # keep the module injectable
+        modules.append(spec)
+    mutated = _rebuild(system, modules=modules)
+    report = lint_system(mutated)
+    assert victim in {d.location.signal for d in report.by_code("R001")}
+
+
+@settings(max_examples=50, deadline=None)
+@given(layered_dag_systems())
+def test_orphan_module_is_flagged_r002(system):
+    orphan = ModuleSpec(
+        name="ORPHAN", inputs=("nowhere_in",), outputs=("nowhere_out",)
+    )
+    mutated = _rebuild(system, modules=[*system.modules.values(), orphan])
+    report = lint_system(mutated)
+    assert "nowhere_in" in {d.location.signal for d in report.by_code("R002")}
+    # its unconsumed output is dangling too
+    assert "nowhere_out" in {d.location.signal for d in report.by_code("R001")}
+
+
+@settings(max_examples=50, deadline=None)
+@given(layered_dag_systems(), st.data())
+def test_widening_a_signal_is_flagged_r008(system, data):
+    # Every generated module input feeds at least one output pair and
+    # inputs are always distinct signals from the (fresh) outputs, so
+    # widening any consumed input must surface a width mismatch.
+    consumed = [
+        signal
+        for signal in system.signal_names()
+        if system.consumers_of(signal)
+    ]
+    assume(consumed)
+    victim = data.draw(st.sampled_from(consumed))
+    signals = [
+        dataclasses.replace(spec, width=32) if spec.name == victim else spec
+        for spec in system.signals.values()
+    ]
+    mutated = _rebuild(system, signals=signals)
+    report = lint_system(mutated)
+    flagged_inputs = {
+        d.message.split("'")[1] for d in report.by_code("R008")
+    }  # first quoted name in the message is the input signal
+    assert victim in flagged_inputs
+    assert not report.has_errors  # width mismatch alone is a warning

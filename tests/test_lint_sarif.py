@@ -1,0 +1,98 @@
+"""SARIF 2.1.0 output tests: structure, schema validation, levels."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.permeability import PermeabilityMatrix
+from repro.lint import (
+    SARIF_VERSION,
+    lint_system,
+    registered_rules,
+    to_sarif,
+    validate_sarif,
+)
+from repro.model.builder import SystemBuilder
+from repro.model.examples import build_fig2_system, fig2_permeabilities
+
+
+def _fig2_report():
+    system = build_fig2_system()
+    matrix = PermeabilityMatrix.from_dict(system, fig2_permeabilities())
+    return lint_system(system, matrix)
+
+
+def test_sarif_envelope_and_driver():
+    log = to_sarif(_fig2_report())
+    assert log["version"] == SARIF_VERSION == "2.1.0"
+    assert log["$schema"].endswith("sarif-schema-2.1.0.json")
+    run = log["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    assert run["properties"]["system"] == "fig2-example"
+
+
+def test_sarif_rules_array_covers_registry():
+    log = to_sarif(_fig2_report())
+    descriptors = log["runs"][0]["tool"]["driver"]["rules"]
+    assert [d["id"] for d in descriptors] == [
+        rule.code for rule in registered_rules()
+    ]
+    for descriptor in descriptors:
+        assert descriptor["shortDescription"]["text"]
+        assert descriptor["defaultConfiguration"]["level"] in (
+            "note",
+            "warning",
+            "error",
+        )
+        assert descriptor["helpUri"].endswith(f"#{descriptor['id'].lower()}")
+
+
+def test_sarif_results_carry_logical_locations():
+    report = _fig2_report()
+    log = to_sarif(report)
+    results = log["runs"][0]["results"]
+    assert len(results) == len(report)
+    for result, diagnostic in zip(results, report):
+        assert result["ruleId"] == diagnostic.code
+        fqn = result["locations"][0]["logicalLocations"][0]["fullyQualifiedName"]
+        assert fqn == diagnostic.location.fully_qualified()
+        # ruleIndex points back into the driver's rules array
+        descriptors = log["runs"][0]["tool"]["driver"]["rules"]
+        assert descriptors[result["ruleIndex"]]["id"] == diagnostic.code
+
+
+def test_sarif_levels_map_severities():
+    builder = SystemBuilder("b")
+    builder.add_module("M", inputs=["ghost"], outputs=["out"])
+    builder.mark_system_output("out")
+    report = lint_system(builder.build(validate=False))
+    log = to_sarif(report)
+    levels = {r["ruleId"]: r["level"] for r in log["runs"][0]["results"]}
+    assert levels["R002"] == "error"
+    assert levels["R004"] == "warning"
+
+
+def test_sarif_round_trips_through_json():
+    log = to_sarif(_fig2_report())
+    assert json.loads(json.dumps(log)) == log
+
+
+def test_validate_sarif_accepts_emitted_logs():
+    validate_sarif(to_sarif(_fig2_report()))
+
+
+def test_validate_sarif_rejects_malformed_logs():
+    with pytest.raises(Exception):
+        validate_sarif({"version": "1.0.0", "runs": []})
+    with pytest.raises(Exception):
+        validate_sarif({"version": "2.1.0", "runs": [{"results": []}]})
+
+
+def test_validate_sarif_against_installed_jsonschema():
+    jsonschema = pytest.importorskip("jsonschema")
+    log = to_sarif(_fig2_report())
+    from repro.lint import SARIF_MINIMAL_SCHEMA
+
+    jsonschema.validate(log, SARIF_MINIMAL_SCHEMA)

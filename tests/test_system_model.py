@@ -206,3 +206,76 @@ class TestFanout:
         system = builder.build()
         assert len(system.consumers_of("s")) == 2
         assert len(list(system.connections())) == 2
+
+
+class TestDeferredValidation:
+    def _broken_builder(self) -> SystemBuilder:
+        builder = SystemBuilder("broken")
+        builder.add_module("M", inputs=["ext"], outputs=["used", "orphan"])
+        builder.add_module("N", inputs=["used", "ghost"], outputs=["out"])
+        builder.mark_system_input("ext")
+        builder.mark_system_output("out")
+        return builder
+
+    def test_build_validate_false_defers_checks(self):
+        system = self._broken_builder().build(validate=False)
+        assert isinstance(system, SystemModel)
+        with pytest.raises(ValidationError):
+            system.validate()
+
+    def test_validation_problems_lists_everything(self):
+        system = self._broken_builder().build(validate=False)
+        problems = " | ".join(system.validation_problems())
+        assert "'orphan'" in problems
+        assert "'ghost'" in problems
+
+    def test_valid_system_has_no_problems(self):
+        system = simple_chain()
+        assert system.validation_problems() == []
+        system.validate()  # must not raise
+
+    def test_duplicate_producer_still_raises_unvalidated(self):
+        builder = SystemBuilder("dup")
+        builder.add_module("A", inputs=["ext"], outputs=["s"])
+        builder.add_module("B", inputs=["ext"], outputs=["s"])
+        builder.mark_system_input("ext")
+        builder.mark_system_output("s")
+        with pytest.raises(DuplicateProducerError):
+            builder.build(validate=False)
+
+
+class TestDidYouMeanSuggestions:
+    def test_unknown_signal_suggests_nearest(self):
+        system = simple_chain()
+        with pytest.raises(UnknownSignalError, match="did you mean 'y'"):
+            system.signal("yy")
+
+    def test_unknown_module_suggests_nearest(self):
+        builder = SystemBuilder("s")
+        builder.add_module("FILTER", inputs=["ext"], outputs=["out"])
+        builder.mark_system_input("ext")
+        builder.mark_system_output("out")
+        system = builder.build()
+        with pytest.raises(UnknownModuleError, match="did you mean 'FILTER'"):
+            system.module("FLITER")
+
+    def test_suggestion_records_attributes(self):
+        system = simple_chain()
+        with pytest.raises(UnknownSignalError) as excinfo:
+            system.producer_of("xx")
+        assert excinfo.value.name == "xx"
+        assert excinfo.value.suggestion == "x"
+
+    def test_no_suggestion_for_distant_names(self):
+        system = simple_chain()
+        with pytest.raises(UnknownSignalError) as excinfo:
+            system.signal("completely_unrelated")
+        assert excinfo.value.suggestion is None
+        assert "did you mean" not in str(excinfo.value)
+
+    def test_module_port_lookup_names_the_context(self):
+        spec = ModuleSpec(name="CALC", inputs=("i", "mscnt"), outputs=("o",))
+        with pytest.raises(UnknownSignalError, match="inputs of module 'CALC'"):
+            spec.input_index("mscnr")
+        with pytest.raises(UnknownSignalError, match="did you mean 'mscnt'"):
+            spec.input_index("mscnr")
