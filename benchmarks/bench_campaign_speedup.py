@@ -1,24 +1,46 @@
-"""Campaign wall-clock: naive vs. checkpointed vs. grid-sharded.
+"""Campaign wall-clock: naive vs. checkpointed vs. fast-forward vs. sharded.
 
-Measures the three execution paths of :class:`InjectionCampaign` on the
+Measures the execution strategies of :class:`InjectionCampaign` on the
 arrestment Table 1 campaign and emits ``BENCH_campaign.json`` (at the
 repo root and under ``benchmarks/out/``) with runs/sec, the simulated
-milliseconds prefix reuse skipped, and the speedups over the naive
-path — the perf trajectory of the campaign engine.
+milliseconds each optimisation avoids, and the speedups — the perf
+trajectory of the campaign engine.
 
-A fourth pass re-runs the checkpointed path with a full
-:class:`~repro.obs.observer.CampaignObserver` attached, dumping its
-span metrics to ``benchmarks/out/metrics.json`` and reporting the
-observer overhead relative to the unobserved checkpointed run.
+Strategies
+----------
+``naive``
+    Every IR simulated from time zero to the end.
+``checkpointed``
+    Golden-Run prefix reuse: IRs resume from the checkpoint at their
+    injection instant (speedup reported against ``naive``).
+``fast_forward``
+    Prefix reuse plus reconvergence fast-forward: IRs additionally stop
+    once the injected error provably died out and splice the Golden-Run
+    suffix (speedup reported against ``checkpointed``, plus the
+    fraction of IRs that reconverged and the frames spliced).
+``grid_sharded``
+    The full stack, sharded over a process pool with the Golden Run
+    published through shared memory.
+``fast_forward_observed``
+    The serial full stack with a complete
+    :class:`~repro.obs.observer.CampaignObserver` attached; its span
+    metrics go to ``benchmarks/out/metrics.json`` and the overhead is
+    reported relative to the unobserved ``fast_forward`` pass.
+
+Methodology: every strategy gets one untimed warmup execution, then
+the best (minimum) wall-clock of three timed executions — single-trial
+cold numbers swing with allocator/page-cache state, which is how a
+negative "overhead" once shipped in this report.  All strategies are
+asserted outcome-identical to ``naive`` before anything is written.
 
 Scales
 ------
 ``smoke``
     1 workload, 2 s runs, 3 injection times, 4 bit positions
-    (156 IRs) — seconds; runs in CI on every PR.
+    (156 IRs) — seconds per trial; runs in CI on every PR.
 ``quick``
     1 workload, 8 s runs, the paper's 10 instants, 4 bit positions
-    (520 IRs) — about a minute per path.
+    (520 IRs) — about a minute per strategy.
 ``table1``
     2 workloads, 8 s runs, the paper's full 16 x 10 grid
     (4 160 IRs) — the real Table 1 campaign shape.
@@ -34,6 +56,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import os
 import time
 from pathlib import Path
@@ -58,7 +81,10 @@ SCALES: dict[str, dict] = {
 
 
 def build_campaign(
-    scale: dict, reuse: bool, observer: CampaignObserver | None = None
+    scale: dict,
+    reuse: bool,
+    fast_forward: bool,
+    observer: CampaignObserver | None = None,
 ) -> InjectionCampaign:
     cases = {
         f"case{i:02d}": ArrestmentTestCase(14000.0 - 2000.0 * i, 60.0 - 5.0 * i)
@@ -70,6 +96,7 @@ def build_campaign(
         error_models=tuple(bit_flip_models(scale["bits"])),
         seed=2001,
         reuse_golden_prefix=reuse,
+        fast_forward=fast_forward,
     )
     return InjectionCampaign(
         build_arrestment_model(), build_arrestment_run, cases, config,
@@ -77,13 +104,25 @@ def build_campaign(
     )
 
 
-def timed(label: str, fn):
-    started = time.perf_counter()
-    result = fn()
-    elapsed = time.perf_counter() - started
-    print(f"  {label}: {elapsed:.2f}s ({len(result)} runs, "
-          f"{len(result) / elapsed:.1f} runs/s)")
-    return result, elapsed
+def timed(label: str, make_run, warmup: int, trials: int):
+    """Best-of-``trials`` wall clock after ``warmup`` untimed executions.
+
+    ``make_run`` builds a fresh zero-arg campaign execution per call, so
+    no trial inherits the previous one's warmed runtime objects.
+    Returns the last trial's result and the best elapsed seconds.
+    """
+    for _ in range(warmup):
+        make_run()()
+    best = math.inf
+    result = None
+    for _ in range(trials):
+        run = make_run()
+        started = time.perf_counter()
+        result = run()
+        best = min(best, time.perf_counter() - started)
+    print(f"  {label}: {best:.2f}s best of {trials} ({len(result)} runs, "
+          f"{len(result) / best:.1f} runs/s)")
+    return result, best
 
 
 def main(argv=None) -> int:
@@ -101,6 +140,18 @@ def main(argv=None) -> int:
         help="worker processes for the grid-sharded path",
     )
     parser.add_argument(
+        "--trials",
+        type=int,
+        default=3,
+        help="timed executions per strategy (the minimum is reported)",
+    )
+    parser.add_argument(
+        "--warmup",
+        type=int,
+        default=1,
+        help="untimed executions per strategy before the trials",
+    )
+    parser.add_argument(
         "--out",
         type=Path,
         default=OUT_DIR / "BENCH_campaign.json",
@@ -116,39 +167,63 @@ def main(argv=None) -> int:
         "--metrics-out",
         type=Path,
         default=OUT_DIR / "metrics.json",
-        help="observer metrics dump from the observed checkpointed pass",
+        help="observer metrics dump from the observed fast-forward pass",
     )
     args = parser.parse_args(argv)
     scale = SCALES[args.scale]
 
-    reference = build_campaign(scale, reuse=True)
+    reference = build_campaign(scale, reuse=True, fast_forward=True)
     total_runs = reference.total_runs()
     total_ms = reference.simulated_ms_total()
     skipped_ms = reference.simulated_ms_skipped()
     print(
         f"[{args.scale}] {total_runs} IRs x {scale['duration_ms']} ms; "
         f"prefix reuse skips {skipped_ms}/{total_ms} simulated ms "
-        f"({skipped_ms / total_ms:.0%})"
+        f"({skipped_ms / total_ms:.0%}); warmup={args.warmup} "
+        f"trials={args.trials}"
     )
 
     naive_result, naive_s = timed(
-        "naive serial      ", build_campaign(scale, reuse=False).execute
+        "naive serial        ",
+        lambda: build_campaign(scale, reuse=False, fast_forward=False).execute,
+        args.warmup, args.trials,
     )
     ckpt_result, ckpt_s = timed(
-        "checkpointed      ", build_campaign(scale, reuse=True).execute
+        "checkpointed        ",
+        lambda: build_campaign(scale, reuse=True, fast_forward=False).execute,
+        args.warmup, args.trials,
     )
-    sharded_campaign = build_campaign(scale, reuse=True)
+    ff_result, ff_s = timed(
+        "fast-forward        ",
+        lambda: build_campaign(scale, reuse=True, fast_forward=True).execute,
+        args.warmup, args.trials,
+    )
+    def make_sharded():
+        campaign = build_campaign(scale, reuse=True, fast_forward=True)
+        return lambda: campaign.execute_parallel(max_workers=args.workers)
+
     sharded_result, sharded_s = timed(
-        f"grid-sharded (x{args.workers})",
-        lambda: sharded_campaign.execute_parallel(max_workers=args.workers),
+        f"grid-sharded (x{args.workers})   ",
+        make_sharded, args.warmup, args.trials,
     )
-    observer = CampaignObserver.to_files(
-        events_path=None, with_metrics=True, system=build_arrestment_model()
-    )
+
+    observers: list[CampaignObserver] = []
+
+    def make_observed():
+        observer = CampaignObserver.to_files(
+            events_path=None, with_metrics=True, system=build_arrestment_model()
+        )
+        observers.append(observer)
+        return build_campaign(
+            scale, reuse=True, fast_forward=True, observer=observer
+        ).execute
+
     observed_result, observed_s = timed(
-        "checkpointed+obs  ", build_campaign(scale, reuse=True, observer=observer).execute
+        "fast-forward+obs    ", make_observed, args.warmup, args.trials,
     )
-    observer.close()
+    metrics_observer = observers[-1]
+    for observer in observers:
+        observer.close()
 
     def fingerprint(result):
         return [
@@ -157,17 +232,26 @@ def main(argv=None) -> int:
             for o in result
         ]
 
-    assert fingerprint(ckpt_result) == fingerprint(naive_result), \
-        "checkpointed path diverged from the naive path"
-    assert fingerprint(sharded_result) == fingerprint(naive_result), \
-        "grid-sharded path diverged from the naive path"
-    assert fingerprint(observed_result) == fingerprint(naive_result), \
-        "observed checkpointed path diverged from the naive path"
+    reference_print = fingerprint(naive_result)
+    for label, result in (
+        ("checkpointed", ckpt_result),
+        ("fast_forward", ff_result),
+        ("grid_sharded", sharded_result),
+        ("fast_forward_observed", observed_result),
+    ):
+        assert fingerprint(result) == reference_print, \
+            f"{label} path diverged from the naive path"
 
     prefix_speedup = naive_s / ckpt_s
+    ff_speedup = ckpt_s / ff_s
     sharded_speedup = naive_s / sharded_s
-    observer_overhead = observed_s / ckpt_s - 1.0
+    observer_overhead = observed_s / ff_s - 1.0
+    reconverged_fraction = ff_result.reconverged_fraction()
+    frames_ff = ff_result.frames_fast_forwarded_total()
     print(f"  prefix-reuse speedup: {prefix_speedup:.2f}x, "
+          f"fast-forward speedup: {ff_speedup:.2f}x "
+          f"({reconverged_fraction:.0%} of IRs reconverged, "
+          f"{frames_ff} frames spliced), "
           f"grid-sharded speedup: {sharded_speedup:.2f}x, "
           f"observer overhead: {observer_overhead:+.1%}")
 
@@ -180,6 +264,11 @@ def main(argv=None) -> int:
             "bit_positions": scale["bits"],
             "targets": len(reference.targets),
         },
+        "methodology": {
+            "warmup_runs": args.warmup,
+            "timed_trials": args.trials,
+            "statistic": "min",
+        },
         "total_runs": total_runs,
         "simulated_ms_total": total_ms,
         "simulated_ms_skipped": skipped_ms,
@@ -190,15 +279,22 @@ def main(argv=None) -> int:
             "seconds": ckpt_s,
             "runs_per_sec": total_runs / ckpt_s,
         },
+        "fast_forward": {
+            "seconds": ff_s,
+            "runs_per_sec": total_runs / ff_s,
+            "reconverged_fraction": reconverged_fraction,
+            "frames_fast_forwarded": frames_ff,
+        },
         "grid_sharded": {
             "seconds": sharded_s,
             "runs_per_sec": total_runs / sharded_s,
         },
-        "checkpointed_observed": {
+        "fast_forward_observed": {
             "seconds": observed_s,
             "runs_per_sec": total_runs / observed_s,
         },
         "prefix_reuse_speedup": prefix_speedup,
+        "fast_forward_speedup": ff_speedup,
         "grid_sharded_speedup": sharded_speedup,
         "observer_overhead": observer_overhead,
     }
@@ -208,14 +304,20 @@ def main(argv=None) -> int:
         path.write_text(payload, encoding="utf-8")
         print(f"wrote {path}")
     args.metrics_out.parent.mkdir(parents=True, exist_ok=True)
-    observer.metrics.dump_json(args.metrics_out)
+    metrics_observer.metrics.dump_json(args.metrics_out)
     print(f"wrote {args.metrics_out}")
 
+    failed = False
     if prefix_speedup < 1.25:
         print(f"WARNING: prefix-reuse speedup {prefix_speedup:.2f}x "
               "below the 1.25x target")
-        return 1
-    return 0
+        failed = True
+    if ff_speedup < 1.3:
+        print(f"WARNING: fast-forward speedup {ff_speedup:.2f}x "
+              "below the 1.3x target")
+        # Hard floor: fast-forward must never make the campaign slower.
+        failed = failed or ff_speedup < 1.0
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

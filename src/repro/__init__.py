@@ -116,7 +116,12 @@ from repro.injection import (
     paper_grid,
     paper_times,
 )
-from repro.injection.latency import latency_statistics, render_latency_table
+from repro.injection.latency import (
+    latency_statistics,
+    lifetime_statistics,
+    render_latency_table,
+    render_lifetime_table,
+)
 from repro.lint import (
     Diagnostic,
     LintReport,
@@ -222,8 +227,10 @@ __all__ = [
     "evaluate_detectors",
     "fig2_permeabilities",
     "latency_statistics",
+    "lifetime_statistics",
     "lint_system",
     "render_latency_table",
+    "render_lifetime_table",
     "graph_to_dot",
     "greedy_edm_selection",
     "nonzero_paths",

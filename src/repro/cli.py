@@ -50,7 +50,12 @@ from repro.core.permeability import PermeabilityMatrix
 from repro.injection.campaign import CampaignConfig, InjectionCampaign
 from repro.injection.error_models import bit_flip_models
 from repro.injection.estimator import estimate_matrix
-from repro.injection.latency import latency_statistics, render_latency_table
+from repro.injection.latency import (
+    latency_statistics,
+    lifetime_statistics,
+    render_latency_table,
+    render_lifetime_table,
+)
 from repro.injection.selection import paper_times
 from repro.model.examples import build_fig2_system, fig2_permeabilities
 from repro.obs import CampaignObserver, validate_events
@@ -162,6 +167,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         error_models=tuple(bit_flip_models(args.bits)),
         seed=args.seed,
         reuse_golden_prefix=not args.no_prefix_reuse,
+        fast_forward=not args.no_fast_forward,
         lint=not args.no_lint,
     )
     observer = None
@@ -195,6 +201,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     else:
         result = campaign.execute(progress=progress)
     print(f"done in {time.time() - started:.0f}s")
+    if config.fast_forward and len(result):
+        print(
+            f"fast-forward: {result.n_reconverged()}/{len(result)} IRs "
+            f"reconverged ({result.reconverged_fraction():.0%}), "
+            f"{result.frames_fast_forwarded_total()} simulated ms spliced"
+        )
 
     if observer is not None:
         observer.close()
@@ -216,6 +228,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     print()
     print(render_latency_table(latency_statistics(result)))
     print()
+    if config.fast_forward:
+        lifetimes = lifetime_statistics(result)
+        if lifetimes:
+            print(render_lifetime_table(lifetimes))
+            print()
     print(analyse_uniform_propagation(result).render())
     print()
     print(greedy_edm_selection(result, max_monitors=args.monitors).render())
@@ -381,6 +398,10 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--no-prefix-reuse", action="store_true",
                           help="disable Golden-Run checkpoint reuse "
                           "(re-run every IR from time zero)")
+    campaign.add_argument("--no-fast-forward", action="store_true",
+                          help="disable reconvergence fast-forward "
+                          "(simulate every IR to the end even after "
+                          "its injected error provably died out)")
     campaign.add_argument("--no-lint", action="store_true",
                           help="skip the pre-campaign model lint gate "
                           "(see docs/LINTING.md)")

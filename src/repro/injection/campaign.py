@@ -30,6 +30,34 @@ re-runs; with the paper's default grid (injection times 500–5000 ms
 over an 8 s run) roughly a third of all simulated milliseconds are
 skipped.  Set :attr:`CampaignConfig.reuse_golden_prefix` to ``False``
 for the naive re-run-everything behaviour.
+
+Reconvergence fast-forward
+--------------------------
+Prefix reuse skips the simulated milliseconds *before* each injection;
+reconvergence fast-forward skips them *after* the injected error has
+died out.  The paper's own data says this is the common case: most
+:math:`P^M_{i,k}` pairs have low permeability, so most injected errors
+are masked quickly and the IR then tracks the Golden Run
+sample-for-sample.  With :attr:`CampaignConfig.fast_forward` enabled
+(the default), the Golden Run additionally records one complete-state
+digest per frame, and each IR maintains its divergence set against the
+Golden Run incrementally at write sites; once the set is empty (and
+the trap has fired), a digest match proves complete reconvergence and
+the rest of the run is spliced from the Golden-Run traces — still
+byte-for-byte identical to a full re-run (see
+:meth:`repro.simulation.runtime.SimulationRun.run_from`).  The
+reconvergence instant is recorded on each outcome as the paper's
+error-lifetime measurement (:mod:`repro.injection.latency`).
+
+Zero-copy golden-run sharing
+----------------------------
+:meth:`InjectionCampaign.execute_parallel` packs each Golden Run's
+trace set into one flat ``array('q')`` published through
+``multiprocessing.shared_memory`` and ships system/config/checkpoints
+once per *worker* (pool initializer) instead of once per chunk;
+checkpoints travel without their trace prefixes (reconstructed from
+the shared Golden Run), and workers keep their runtime and Golden-Run
+views cached across chunks.
 """
 
 from __future__ import annotations
@@ -46,7 +74,18 @@ from repro.injection.selection import paper_times
 from repro.injection.traps import InputInjectionTrap
 from repro.model.errors import CampaignError
 from repro.model.system import SystemModel
-from repro.simulation.runtime import RunCheckpoint, RunResult, SimulationRun
+from repro.simulation.runtime import (
+    GoldenReference,
+    RunCheckpoint,
+    RunResult,
+    SimulationRun,
+)
+from repro.simulation.traces import (
+    SignalTrace,
+    TraceSet,
+    pack_trace_samples,
+    trace_views,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.observer import CampaignObserver
@@ -89,6 +128,16 @@ class CampaignConfig:
         at every injection time and each IR simulates only the suffix
         after its injection instant.  ``False`` re-runs every IR from
         time zero.  Both paths produce bit-identical results.
+    fast_forward:
+        When ``True`` (the default), the Golden Run records per-frame
+        complete-state digests and every IR stops simulating once its
+        injected error provably died out (divergence set empty and
+        state digest matching the Golden Run's), splicing the
+        Golden-Run trace suffix instead.  ``False`` (CLI:
+        ``--no-fast-forward``) simulates every IR to the end.  Both
+        paths produce bit-identical results; fast-forwarded outcomes
+        additionally carry the reconvergence instant (the error's
+        lifetime).
     lint:
         When ``True`` (the default), :func:`repro.lint.lint_system`
         runs before the first Golden Run; error-level findings abort
@@ -105,6 +154,7 @@ class CampaignConfig:
     targets: tuple[tuple[str, str], ...] | None = None
     seed: int = 2001
     reuse_golden_prefix: bool = True
+    fast_forward: bool = True
     lint: bool = True
 
     def __post_init__(self) -> None:
@@ -145,48 +195,150 @@ def _derive_seed(
     return zlib.crc32(text.encode("utf-8"))
 
 
-def _execute_grid_chunk(
-    payload: tuple,
-) -> tuple[list[InjectionOutcome], dict | None, float]:
-    """Worker entry point for :meth:`InjectionCampaign.execute_parallel`.
+#: Per-worker state built by :func:`_worker_init` and reused across all
+#: chunks the worker processes: the campaign-wide payload (shipped once
+#: per worker through the pool initializer, not once per chunk) plus
+#: lazily materialised per-case runtimes and zero-copy Golden-Run views.
+_WORKER_STATE: dict | None = None
 
-    Receives one shard of the ``(case, module, signal)`` grid together
-    with the pre-computed Golden Run and its checkpoints, rebuilds the
-    runtime inside the worker process and returns the shard's outcome
-    list (IR traces stay worker-local) plus, when the parent campaign
-    observes, the worker's observability payload (buffered events and
-    the local metrics snapshot) and the chunk's wall-clock seconds.
+
+def _worker_init(payload: tuple) -> None:
+    """Pool initializer: receive the campaign payload once per worker."""
+    global _WORKER_STATE
+    system, run_factory, config, observe, case_blobs = payload
+    _WORKER_STATE = {
+        "system": system,
+        "run_factory": run_factory,
+        "config": config,
+        "observe": observe,
+        "blobs": {blob["case_id"]: blob for blob in case_blobs},
+        "cases": {},
+        "segments": [],
+        "views": [],
+    }
+    import atexit
+
+    atexit.register(_worker_shutdown)
+
+
+def _worker_shutdown() -> None:
+    """Release Golden-Run views before the shared segments detach.
+
+    The worker's cached traces are ``memoryview``\\ s into shared
+    memory; the segment cannot be closed while any view is exported, so
+    drop the caches, release the root views and only then close.
     """
-    (
-        system,
-        run_factory,
-        case_id,
-        case,
-        config,
-        targets,
-        golden,
-        checkpoints,
-        observe,
-    ) = payload
+    state = _WORKER_STATE
+    if state is None:
+        return
+    state["cases"].clear()
+    state["blobs"].clear()
+    for view in state["views"]:
+        try:
+            view.release()
+        except BufferError:  # pragma: no cover - stray derived view
+            pass
+    state["views"].clear()
+    for segment in state["segments"]:
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - stray derived view
+            pass
+    state["segments"].clear()
+
+
+def _materialize_case(state: dict, case_id: str) -> dict:
+    """Build (once per worker) a case's runtime and Golden-Run views."""
+    blob = state["blobs"][case_id]
+    if blob["shm_name"] is not None:
+        import multiprocessing
+        from multiprocessing import resource_tracker, shared_memory
+
+        segment = shared_memory.SharedMemory(name=blob["shm_name"])
+        if multiprocessing.get_start_method(allow_none=True) != "fork":
+            # The parent owns the segment's lifetime.  A spawned worker
+            # runs its own resource tracker, which would unlink the
+            # segment when this worker exits — deregister it there.
+            # (Forked workers share the parent's tracker: attaching
+            # added nothing, so there is nothing to deregister.)
+            try:
+                resource_tracker.unregister(segment._name, "shared_memory")
+            except Exception:  # pragma: no cover - tracker API is private
+                pass
+        state["segments"].append(segment)
+        buffer = segment.buf
+    else:
+        buffer = blob["raw"]
+    views = trace_views(buffer, blob["signals"], blob["duration_ms"])
+    state["views"].extend(views.values())
+    traces = TraceSet(
+        SignalTrace(signal, view) for signal, view in views.items()
+    )
+    golden = GoldenRun(
+        case_id=case_id,
+        result=RunResult(
+            traces=traces,
+            duration_ms=blob["duration_ms"],
+            final_signals=dict(blob["final_signals"]),
+            telemetry=dict(blob["telemetry"]),
+        ),
+        digests=blob["digests"],
+        initials=blob["initials"],
+    )
+    runner = state["run_factory"](blob["case"])
+    runner.clear_hooks()
+    entry = {
+        "case": blob["case"],
+        "runner": runner,
+        "golden": golden,
+        "checkpoints": blob["checkpoints"],
+    }
+    state["cases"][case_id] = entry
+    return entry
+
+
+def _run_shard(
+    task: tuple[str, tuple[tuple[str, str], ...]],
+) -> tuple[list[InjectionOutcome], dict | None, float]:
+    """Worker entry point: run one shard of the target grid.
+
+    The campaign payload (system, config, Golden Runs, checkpoints) is
+    already worker-resident — a task is just ``(case_id, targets)``.
+    Returns the shard's outcome list (IR traces stay worker-local)
+    plus, when the parent campaign observes, the worker's observability
+    payload and the shard's wall-clock seconds.
+    """
+    case_id, targets = task
     started = time.perf_counter()
+    state = _WORKER_STATE
+    assert state is not None, "worker used before _worker_init ran"
+    entry = state["cases"].get(case_id)
+    if entry is None:
+        entry = _materialize_case(state, case_id)
     observer = None
-    if observe:
+    if state["observe"]:
         from repro.obs.observer import CampaignObserver
 
-        observer = CampaignObserver.for_worker(system)
-    campaign = InjectionCampaign(
-        system, run_factory, {case_id: case}, config, observer=observer
-    )
-    runner = run_factory(case)
-    runner.clear_hooks()
+        observer = CampaignObserver.for_worker(state["system"])
+    runner = entry["runner"]
     if observer is not None and observer.metrics is not None:
         runner.set_metrics(observer.metrics)
-    outcomes = [
-        outcome
-        for outcome, _ in campaign._case_injections(
-            runner, golden, targets, checkpoints
+    try:
+        campaign = InjectionCampaign(
+            state["system"],
+            state["run_factory"],
+            {case_id: entry["case"]},
+            state["config"],
+            observer=observer,
         )
-    ]
+        outcomes = [
+            outcome
+            for outcome, _ in campaign._case_injections(
+                runner, entry["golden"], targets, entry["checkpoints"]
+            )
+        ]
+    finally:
+        runner.set_metrics(None)
     obs_payload = observer.worker_payload() if observer is not None else None
     return outcomes, obs_payload, time.perf_counter() - started
 
@@ -390,32 +542,47 @@ class InjectionCampaign:
         configured injection time while the Golden Run executes.
         """
         obs = self._observer
+        config = self._config
         runner = self._run_factory(case)
         runner.clear_hooks()
         if obs is not None:
             if obs.metrics is not None:
                 runner.set_metrics(obs.metrics)
             obs.on_run_started(case_id, kind="golden")
-        if self._config.reuse_golden_prefix:
-            if obs is not None and obs.metrics is not None:
-                with obs.metrics.timer("phase.golden_run.seconds"):
-                    golden_result, checkpoints = runner.run_with_checkpoints(
-                        self._config.duration_ms, self._config.injection_times_ms
-                    )
-            else:
-                golden_result, checkpoints = runner.run_with_checkpoints(
-                    self._config.duration_ms, self._config.injection_times_ms
+        checkpoint_times = (
+            config.injection_times_ms if config.reuse_golden_prefix else ()
+        )
+        digests = None
+
+        def record():
+            if config.fast_forward:
+                return runner.run_with_checkpoints(
+                    config.duration_ms, checkpoint_times, frame_digests=True
                 )
+            if checkpoint_times:
+                return runner.run_with_checkpoints(
+                    config.duration_ms, checkpoint_times
+                )
+            return runner.run(config.duration_ms), {}
+
+        if obs is not None and obs.metrics is not None:
+            with obs.metrics.timer("phase.golden_run.seconds"):
+                recorded = record()
         else:
-            if obs is not None and obs.metrics is not None:
-                with obs.metrics.timer("phase.golden_run.seconds"):
-                    golden_result = runner.run(self._config.duration_ms)
-            else:
-                golden_result = runner.run(self._config.duration_ms)
-            checkpoints = {}
+            recorded = record()
+        if config.fast_forward:
+            golden_result, checkpoints, digests = recorded
+        else:
+            golden_result, checkpoints = recorded
         if obs is not None and checkpoints:
             obs.on_checkpoints_saved(case_id, sorted(checkpoints))
-        return runner, GoldenRun(case_id=case_id, result=golden_result), checkpoints
+        golden = GoldenRun(
+            case_id=case_id,
+            result=golden_result,
+            digests=digests,
+            initials=runner.store.initial_values(),
+        )
+        return runner, golden, checkpoints
 
     def _case_injections(
         self,
@@ -425,6 +592,7 @@ class InjectionCampaign:
         checkpoints: Mapping[int, RunCheckpoint],
     ) -> Iterator[tuple[InjectionOutcome, RunResult]]:
         """Yield every IR of ``targets`` for one test case, in grid order."""
+        golden_ref = golden.reference
         for module, signal in targets:
             for time_ms in self._config.injection_times_ms:
                 checkpoint = checkpoints.get(time_ms)
@@ -438,6 +606,7 @@ class InjectionCampaign:
                         time_ms,
                         model,
                         checkpoint,
+                        golden_ref,
                     )
 
     def _one_injection(
@@ -450,6 +619,7 @@ class InjectionCampaign:
         time_ms: int,
         model: ErrorModel,
         checkpoint: RunCheckpoint | None = None,
+        golden_ref: GoldenReference | None = None,
     ) -> tuple[InjectionOutcome, "RunResult"]:
         if runner.hooks_installed:
             raise CampaignError(
@@ -486,14 +656,18 @@ class InjectionCampaign:
                 with obs.metrics.timer("phase.injection_run.seconds"):
                     if checkpoint is not None:
                         injected = runner.run_from(
-                            checkpoint, self._config.duration_ms
+                            checkpoint, self._config.duration_ms, golden_ref
                         )
                     else:
-                        injected = runner.run(self._config.duration_ms)
+                        injected = runner.run(
+                            self._config.duration_ms, golden_ref
+                        )
             elif checkpoint is not None:
-                injected = runner.run_from(checkpoint, self._config.duration_ms)
+                injected = runner.run_from(
+                    checkpoint, self._config.duration_ms, golden_ref
+                )
             else:
-                injected = runner.run(self._config.duration_ms)
+                injected = runner.run(self._config.duration_ms, golden_ref)
         finally:
             runner.clear_hooks()
         if obs is not None and obs.metrics is not None:
@@ -509,6 +683,8 @@ class InjectionCampaign:
             fired_at_ms=trap.fired_at_ms,
             error_model=model.name,
             comparison=comparison,
+            reconverged_at_ms=injected.reconverged_at_ms,
+            frames_fast_forwarded=injected.frames_fast_forwarded,
         )
         if obs is not None:
             obs.on_outcome(outcome)
@@ -530,9 +706,20 @@ class InjectionCampaign:
         of ``chunk_size`` targets; each chunk is one work item, so the
         usable worker count scales with the grid size rather than being
         capped at the number of test cases.  Golden Runs (and their
-        prefix-reuse checkpoints) are computed once per test case in
-        the parent process and shipped to the workers, which replay
+        prefix-reuse checkpoints and fast-forward digests) are computed
+        once per test case in the parent process; the workers replay
         only the injection suffixes.
+
+        The campaign-wide payload is shipped *once per worker* through
+        the pool initializer, not once per chunk: each Golden-Run trace
+        set is packed into one flat ``array('q')`` published via
+        ``multiprocessing.shared_memory`` (workers map it zero-copy;
+        when shared memory is unavailable the packed bytes ride along
+        in the payload instead), checkpoints travel stripped of their
+        trace prefixes (reconstructed worker-side from the shared
+        Golden Run), and each worker keeps its runtime and Golden-Run
+        views cached across chunks.  A chunk task is then just
+        ``(case_id, targets)``.
 
         Produces bit-identical outcomes to :meth:`execute` (per-run
         seeds are derived from the configuration, not from execution
@@ -552,13 +739,14 @@ class InjectionCampaign:
             *completed injection runs* after each finished chunk.
         chunk_size:
             Targets per work item.  Defaults to an even split aiming at
-            ~4 chunks per worker, so stragglers rebalance.  Smaller
-            chunks shard finer at the cost of shipping the per-case
-            Golden Run and checkpoints to more workers.
+            ~4 chunks per worker, so stragglers rebalance.  Chunks are
+            cheap (the Golden Run is already worker-resident), so
+            fine sharding costs little.
         """
         import concurrent.futures
         import dataclasses
         import os
+        from multiprocessing import shared_memory
 
         obs = self._observer
         started = time.perf_counter()
@@ -576,54 +764,95 @@ class InjectionCampaign:
         elif chunk_size < 1:
             raise CampaignError(f"chunk_size must be >= 1, got {chunk_size}")
 
-        payloads = []
-        for case_id, case in self._test_cases.items():
-            runner, golden, checkpoints = self._golden_for_case(case_id, case)
-            self._golden_runs[case_id] = golden
-            for start in range(0, len(self._targets), chunk_size):
-                payloads.append(
-                    (
-                        self._system,
-                        self._run_factory,
-                        case_id,
-                        case,
-                        config,
-                        self._targets[start : start + chunk_size],
-                        golden,
-                        checkpoints,
-                        obs is not None,
-                    )
-                )
-
+        case_blobs = []
+        segments: list = []
+        tasks: list[tuple[str, tuple[tuple[str, str], ...]]] = []
         result = CampaignResult(self._system)
         completed = 0
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=max_workers
-        ) as pool:
-            for index, (outcomes, obs_payload, elapsed_s) in enumerate(
-                pool.map(_execute_grid_chunk, payloads)
-            ):
-                for outcome in outcomes:
-                    result.add(outcome)
-                completed += len(outcomes)
-                if obs is not None:
-                    if obs_payload is not None:
-                        obs.absorb_worker(obs_payload)
-                    if obs.propagation is not None:
-                        obs.propagation.record_all(outcomes)
-                    chunk_case, chunk_targets = (
-                        payloads[index][2],
-                        payloads[index][5],
+        try:
+            for case_id, case in self._test_cases.items():
+                runner, golden, checkpoints = self._golden_for_case(
+                    case_id, case
+                )
+                self._golden_runs[case_id] = golden
+                signals, duration_ms, flat = pack_trace_samples(
+                    golden.result.traces
+                )
+                n_bytes = len(flat) * flat.itemsize
+                shm_name = None
+                raw = None
+                try:
+                    segment = shared_memory.SharedMemory(
+                        create=True, size=max(1, n_bytes)
                     )
-                    obs.on_chunk_completed(
-                        chunk_index=index,
-                        case_id=chunk_case,
-                        n_targets=len(chunk_targets),
-                        n_runs=len(outcomes),
-                        elapsed_s=elapsed_s,
+                    segment.buf[:n_bytes] = memoryview(flat).cast("B")
+                    segments.append(segment)
+                    shm_name = segment.name
+                except OSError:
+                    raw = flat.tobytes()
+                case_blobs.append(
+                    {
+                        "case_id": case_id,
+                        "case": case,
+                        "signals": signals,
+                        "duration_ms": duration_ms,
+                        "shm_name": shm_name,
+                        "raw": raw,
+                        "checkpoints": {
+                            time_ms: cp.without_trace_prefix()
+                            for time_ms, cp in checkpoints.items()
+                        },
+                        "digests": golden.digests,
+                        "initials": golden.initials,
+                        "final_signals": golden.result.final_signals,
+                        "telemetry": golden.result.telemetry,
+                    }
+                )
+                for start in range(0, len(self._targets), chunk_size):
+                    tasks.append(
+                        (case_id, self._targets[start : start + chunk_size])
                     )
-                if progress is not None:
-                    progress(completed, total)
+
+            payload = (
+                self._system,
+                self._run_factory,
+                config,
+                obs is not None,
+                tuple(case_blobs),
+            )
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=max_workers,
+                initializer=_worker_init,
+                initargs=(payload,),
+            ) as pool:
+                for index, (outcomes, obs_payload, elapsed_s) in enumerate(
+                    pool.map(_run_shard, tasks)
+                ):
+                    for outcome in outcomes:
+                        result.add(outcome)
+                    completed += len(outcomes)
+                    if obs is not None:
+                        if obs_payload is not None:
+                            obs.absorb_worker(obs_payload)
+                        if obs.propagation is not None:
+                            obs.propagation.record_all(outcomes)
+                        chunk_case, chunk_targets = tasks[index]
+                        obs.on_chunk_completed(
+                            chunk_index=index,
+                            case_id=chunk_case,
+                            n_targets=len(chunk_targets),
+                            n_runs=len(outcomes),
+                            elapsed_s=elapsed_s,
+                        )
+                    if progress is not None:
+                        progress(completed, total)
+        finally:
+            for segment in segments:
+                try:
+                    segment.close()
+                    segment.unlink()
+                except OSError:  # pragma: no cover - already gone
+                    pass
         if obs is not None:
             obs.on_campaign_finished(result, time.perf_counter() - started)
         return result

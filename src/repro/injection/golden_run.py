@@ -16,9 +16,12 @@ environment, and on simulated hardware".
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
+from typing import Mapping
 
 from repro.model.errors import TraceMismatchError
-from repro.simulation.runtime import RunResult
+from repro.simulation.runtime import GoldenReference, RunResult
+from repro.simulation.snapshot import FrameDigests
 
 __all__ = ["GoldenRun", "GoldenRunComparison", "compare_to_golden_run"]
 
@@ -31,6 +34,13 @@ class GoldenRun:
     case_id: str
     #: The recorded reference execution.
     result: RunResult
+    #: Per-frame complete-state digests recorded alongside the GR —
+    #: the verification track of reconvergence fast-forward (``None``
+    #: when the campaign ran with fast-forward disabled).
+    digests: FrameDigests | None = None
+    #: Declared initial signal values of the run's store (needed to
+    #: seed the Golden Run's per-frame change lists).
+    initials: Mapping[str, int] | None = None
 
     @property
     def duration_ms(self) -> int:
@@ -39,6 +49,24 @@ class GoldenRun:
     def signal_trace(self, signal: str):
         """The reference trace of one signal."""
         return self.result.traces[signal]
+
+    @cached_property
+    def reference(self) -> GoldenReference | None:
+        """This Golden Run as a runtime fast-forward reference.
+
+        ``None`` when the GR was recorded without the store's initial
+        values (legacy construction); otherwise a
+        :class:`~repro.simulation.runtime.GoldenReference` — with frame
+        digests when they were recorded, enabling reconvergence
+        fast-forward, and without them still usable for reconstructing
+        stripped checkpoint prefixes.  Cached: the reference's lazy
+        per-frame change lists are computed at most once per GR.
+        """
+        if self.initials is None:
+            return None
+        return GoldenReference.from_result(
+            self.result, self.digests, self.initials
+        )
 
 
 @dataclass(frozen=True)

@@ -1,4 +1,4 @@
-"""Propagation-latency analysis (extension beyond the paper).
+"""Propagation-latency and error-lifetime analysis (beyond the paper).
 
 The paper's permeability is a *probability*; reference [18] (whose EDM
 selection the paper discusses) also uses detection *latency*.  This
@@ -10,6 +10,13 @@ Latency matters for ERM placement: a recovery mechanism can only act
 before the error reaches the system boundary, so pairs with short
 propagation latency need in-line (synchronous) mechanisms while pairs
 with long latency can be guarded by periodic scrubbing.
+
+Reconvergence fast-forward contributes the complementary measurement
+for free: every fast-forwarded IR records the instant its complete
+state provably re-matched the Golden Run, i.e. the injected error's
+*lifetime* (:func:`lifetime_statistics`).  Errors still alive when the
+run ends are right-censored, not zero — they are reported separately
+as ``n_censored``.
 """
 
 from __future__ import annotations
@@ -19,7 +26,14 @@ from dataclasses import dataclass
 
 from repro.injection.outcomes import CampaignResult
 
-__all__ = ["PairLatency", "latency_statistics", "render_latency_table"]
+__all__ = [
+    "PairLatency",
+    "latency_statistics",
+    "render_latency_table",
+    "InputLifetime",
+    "lifetime_statistics",
+    "render_lifetime_table",
+]
 
 
 @dataclass(frozen=True)
@@ -105,6 +119,108 @@ def latency_statistics(
             median_ms=_percentile(values, 0.5),
         )
     return statistics
+
+
+@dataclass(frozen=True)
+class InputLifetime:
+    """Error-lifetime statistics of injections into one module input.
+
+    Lifetime is measured from the trap firing to the proven
+    reconvergence instant (complete-state digest match with the Golden
+    Run); a lifetime of 0 means the error was masked within its own
+    frame — the write the corrupted read produced was identical to the
+    Golden Run's.
+    """
+
+    module: str
+    input_signal: str
+    #: Fired injections whose error provably died before the run ended.
+    n_samples: int
+    #: Fired injections whose error was still alive at the end of the
+    #: run (right-censored: lifetime >= remaining run length).
+    n_censored: int
+    min_ms: int
+    max_ms: int
+    mean_ms: float
+    median_ms: float
+
+    @property
+    def observed_fraction(self) -> float:
+        """Fraction of fired injections with a measured (finite) lifetime."""
+        total = self.n_samples + self.n_censored
+        return self.n_samples / total if total else 0.0
+
+
+def lifetime_statistics(
+    result: CampaignResult,
+) -> dict[tuple[str, str], InputLifetime]:
+    """Per-input error-lifetime statistics of a campaign.
+
+    Requires a campaign executed with reconvergence fast-forward
+    (:attr:`~repro.injection.campaign.CampaignConfig.fast_forward`);
+    without it no run records a reconvergence instant and every fired
+    injection counts as censored.  Only inputs with at least one fired
+    injection appear.
+    """
+    samples: dict[tuple[str, str], list[int]] = {}
+    censored: dict[tuple[str, str], int] = {}
+    for outcome in result:
+        if not outcome.fired:
+            continue
+        key = (outcome.module, outcome.input_signal)
+        lifetime = outcome.error_lifetime_ms
+        if lifetime is None:
+            censored[key] = censored.get(key, 0) + 1
+            samples.setdefault(key, [])
+        else:
+            samples.setdefault(key, []).append(lifetime)
+    statistics: dict[tuple[str, str], InputLifetime] = {}
+    for key, values in samples.items():
+        values.sort()
+        module, input_signal = key
+        statistics[key] = InputLifetime(
+            module=module,
+            input_signal=input_signal,
+            n_samples=len(values),
+            n_censored=censored.get(key, 0),
+            min_ms=values[0] if values else 0,
+            max_ms=values[-1] if values else 0,
+            mean_ms=sum(values) / len(values) if values else 0.0,
+            median_ms=_percentile(values, 0.5) if values else 0.0,
+        )
+    return statistics
+
+
+def render_lifetime_table(
+    statistics: dict[tuple[str, str], InputLifetime]
+) -> str:
+    """Monospace table of per-input error lifetimes."""
+    from repro.core.report import format_table
+
+    rows = []
+    for (module, input_signal), stats in sorted(statistics.items()):
+        if stats.n_samples:
+            spread = (
+                f"{stats.min_ms}",
+                f"{stats.median_ms:.0f}",
+                f"{stats.mean_ms:.1f}",
+                f"{stats.max_ms}",
+            )
+        else:
+            spread = ("-", "-", "-", "-")
+        rows.append(
+            (
+                f"{module}: {input_signal}",
+                stats.n_samples,
+                stats.n_censored,
+                *spread,
+            )
+        )
+    return format_table(
+        headers=("Input", "died", "alive", "min", "p50", "mean", "max"),
+        rows=rows,
+        title="Error lifetime from injection to proven reconvergence [ms]",
+    )
 
 
 def render_latency_table(

@@ -37,11 +37,35 @@ class InjectionOutcome:
     error_model: str
     #: The GRC verdict for every traced signal.
     comparison: GoldenRunComparison
+    #: Frame at which the IR provably re-matched the Golden Run and was
+    #: fast-forwarded (``None``: simulated to the end).  The paper's
+    #: error-lifetime measurement: the injected error's effect set was
+    #: empty from this instant on.
+    reconverged_at_ms: int | None = None
+    #: Frames the IR skipped thanks to reconvergence fast-forward.
+    frames_fast_forwarded: int = 0
 
     @property
     def fired(self) -> bool:
         """Whether the injection actually took place."""
         return self.fired_at_ms is not None
+
+    @property
+    def reconverged(self) -> bool:
+        """Whether the run was fast-forwarded after reconvergence."""
+        return self.reconverged_at_ms is not None
+
+    @property
+    def error_lifetime_ms(self) -> int | None:
+        """Milliseconds from trap firing to proven reconvergence.
+
+        ``None`` when the trap never fired or the run never (provably)
+        reconverged — the error was still alive at the end of the run,
+        so its lifetime is right-censored, not zero.
+        """
+        if self.fired_at_ms is None or self.reconverged_at_ms is None:
+            return None
+        return self.reconverged_at_ms - self.fired_at_ms
 
     def output_diverged(self, output_signal: str) -> bool:
         """Whether the given signal diverged from the Golden Run."""
@@ -188,6 +212,20 @@ class CampaignResult:
     def n_fired(self) -> int:
         """Number of injection runs whose trap actually fired."""
         return sum(1 for outcome in self._outcomes if outcome.fired)
+
+    def n_reconverged(self) -> int:
+        """Injection runs that reconverged and were fast-forwarded."""
+        return sum(1 for outcome in self._outcomes if outcome.reconverged)
+
+    def reconverged_fraction(self) -> float:
+        """Fraction of IRs that provably reconverged (0.0 when empty)."""
+        if not self._outcomes:
+            return 0.0
+        return self.n_reconverged() / len(self._outcomes)
+
+    def frames_fast_forwarded_total(self) -> int:
+        """Simulated milliseconds skipped by reconvergence fast-forward."""
+        return sum(outcome.frames_fast_forwarded for outcome in self._outcomes)
 
     def case_ids(self) -> tuple[str, ...]:
         """All distinct test-case identifiers, in first-seen order."""

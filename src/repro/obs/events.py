@@ -43,6 +43,7 @@ __all__ = [
     "CheckpointSaved",
     "CheckpointReused",
     "InjectionFired",
+    "RunReconverged",
     "OutcomeClassified",
     "ChunkCompleted",
     "CampaignFinished",
@@ -143,6 +144,26 @@ class InjectionFired:
 
 
 @dataclass(frozen=True)
+class RunReconverged:
+    """An IR provably re-matched its Golden Run and was fast-forwarded.
+
+    ``reconverged_at_ms`` is the frame at which the injected error's
+    effect set became empty (verified by a complete-state digest match)
+    — the paper-relevant error-lifetime instant;
+    ``frames_fast_forwarded`` counts the simulated milliseconds spliced
+    from the Golden Run instead of executed.
+    """
+
+    case_id: str
+    module: str
+    signal: str
+    time_ms: int
+    error_model: str
+    reconverged_at_ms: int
+    frames_fast_forwarded: int
+
+
+@dataclass(frozen=True)
 class OutcomeClassified:
     """The Golden-Run comparison verdict of one finished IR.
 
@@ -193,6 +214,7 @@ _EVENT_TYPES: dict[str, type] = {
         CheckpointSaved,
         CheckpointReused,
         InjectionFired,
+        RunReconverged,
         OutcomeClassified,
         ChunkCompleted,
         CampaignFinished,
@@ -475,6 +497,7 @@ class RunManifest:
     n_targets: int
     total_runs: int
     reuse_golden_prefix: bool
+    fast_forward: bool
     host: dict
     created_unix: float
 
@@ -492,6 +515,7 @@ def _hash_config(config, targets: tuple[tuple[str, str], ...]) -> str:
             "targets": [list(pair) for pair in targets],
             "seed": config.seed,
             "reuse_golden_prefix": config.reuse_golden_prefix,
+            "fast_forward": config.fast_forward,
         },
         sort_keys=True,
     )
@@ -515,6 +539,7 @@ def build_manifest(campaign) -> RunManifest:
         n_targets=len(campaign.targets),
         total_runs=campaign.total_runs(),
         reuse_golden_prefix=config.reuse_golden_prefix,
+        fast_forward=config.fast_forward,
         host={
             "platform": platform.platform(),
             "python": sys.version.split()[0],

@@ -29,6 +29,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_TIME_BUCKETS",
+    "DEFAULT_MS_BUCKETS",
 ]
 
 #: Default histogram bucket upper bounds for span timers, in seconds.
@@ -37,6 +38,13 @@ __all__ = [
 DEFAULT_TIME_BUCKETS: tuple[float, ...] = (
     0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05,
     0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 300.0,
+)
+
+#: Default bucket bounds for *simulated-millisecond* quantities (error
+#: lifetimes, skipped frames).  The paper's target runs for 8000 ms and
+#: schedules in 7 ms cycles, hence the cycle-aligned low end.
+DEFAULT_MS_BUCKETS: tuple[float, ...] = (
+    0.0, 1.0, 7.0, 14.0, 49.0, 100.0, 500.0, 1000.0, 4000.0, 8000.0,
 )
 
 

@@ -35,11 +35,12 @@ from repro.obs.events import (
     OutcomeClassified,
     PrettyPrintSink,
     RingBufferSink,
+    RunReconverged,
     RunStarted,
     build_manifest,
     decode_event,
 )
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import DEFAULT_MS_BUCKETS, MetricsRegistry
 from repro.obs.propagation import PropagationObservations
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -237,12 +238,35 @@ class CampaignObserver:
                     propagated_outputs=propagated,
                 )
             )
+        if self.events is not None and outcome.reconverged:
+            assert outcome.reconverged_at_ms is not None
+            self.events.emit(
+                RunReconverged(
+                    case_id=outcome.case_id,
+                    module=outcome.module,
+                    signal=outcome.input_signal,
+                    time_ms=outcome.scheduled_time_ms,
+                    error_model=outcome.error_model,
+                    reconverged_at_ms=outcome.reconverged_at_ms,
+                    frames_fast_forwarded=outcome.frames_fast_forwarded,
+                )
+            )
         if self.metrics is not None:
             self.metrics.counter("outcomes.total").inc()
             if outcome.fired:
                 self.metrics.counter("outcomes.fired").inc()
             if not outcome.comparison.error_free():
                 self.metrics.counter("outcomes.diverged").inc()
+            if outcome.reconverged:
+                self.metrics.counter("ff.runs_reconverged").inc()
+                self.metrics.counter("ff.frames_fast_forwarded").inc(
+                    outcome.frames_fast_forwarded
+                )
+                lifetime = outcome.error_lifetime_ms
+                if lifetime is not None:
+                    self.metrics.histogram(
+                        "ff.error_lifetime.ms", buckets=DEFAULT_MS_BUCKETS
+                    ).observe(lifetime)
 
     def _propagated_outputs(self, outcome: "InjectionOutcome") -> tuple[str, ...]:
         """Direct-error outputs when no propagation fold carries a system."""

@@ -30,6 +30,7 @@ from repro.obs.events import (
     InjectionFired,
     OutcomeClassified,
     ParsedEvent,
+    RunReconverged,
     read_events,
 )
 
@@ -62,6 +63,8 @@ class EventsSummary:
     n_fired: int = 0
     n_checkpoint_reuses: int = 0
     skipped_ms: int = 0
+    n_reconverged: int = 0
+    fast_forwarded_ms: int = 0
     n_chunks: int = 0
     elapsed_s: float | None = None
     metrics: dict = field(default_factory=dict)
@@ -106,6 +109,9 @@ def summarize_events(
         elif isinstance(event, CheckpointReused):
             summary.n_checkpoint_reuses += 1
             summary.skipped_ms += event.skipped_ms
+        elif isinstance(event, RunReconverged):
+            summary.n_reconverged += 1
+            summary.fast_forwarded_ms += event.frames_fast_forwarded
         elif isinstance(event, ChunkCompleted):
             summary.n_chunks += 1
         elif isinstance(event, CampaignFinished):
@@ -192,6 +198,11 @@ def render_summary(summary: EventsSummary, top: int = 10) -> str:
         lines.append(
             f"checkpoint reuse: {summary.n_checkpoint_reuses} resumes, "
             f"{summary.skipped_ms} simulated ms skipped"
+        )
+    if summary.n_reconverged:
+        lines.append(
+            f"reconvergence fast-forward: {summary.n_reconverged} runs "
+            f"reconverged, {summary.fast_forwarded_ms} simulated ms spliced"
         )
     if summary.n_chunks:
         lines.append(f"parallel chunks completed: {summary.n_chunks}")

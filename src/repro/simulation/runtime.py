@@ -28,6 +28,7 @@ width masks are precomputed, and hot paths bypass the checked
 
 from __future__ import annotations
 
+import dataclasses
 from array import array
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Protocol, Sequence
@@ -37,7 +38,13 @@ from repro.model.module import SoftwareModule
 from repro.model.system import SystemModel
 from repro.simulation.scheduler import SlotSchedule
 from repro.simulation.simtime import SimClock
-from repro.simulation.snapshot import restore_state, snapshot_state
+from repro.simulation.snapshot import (
+    FrameDigests,
+    digest_payload,
+    restore_state,
+    snapshot_state,
+    state_digest,
+)
 from repro.simulation.traces import SignalTrace, TraceSet
 
 __all__ = [
@@ -47,8 +54,14 @@ __all__ = [
     "StoreMutator",
     "RunResult",
     "RunCheckpoint",
+    "GoldenReference",
     "SimulationRun",
 ]
+
+#: Frames between repeated reconvergence digest checks while the signal
+#: divergence set stays empty but hidden (module/plant) state still
+#: differs — one 7 ms scheduling cycle of the paper's target.
+_DIGEST_RETRY_FRAMES = 7
 
 
 class SignalStore:
@@ -105,9 +118,134 @@ class SignalStore:
         values.clear()
         values.update(state["values"])
 
+    def initial_values(self) -> dict[str, int]:
+        """A copy of the declared (wrapped) initial signal values."""
+        return dict(self._initials)
+
     @property
     def signals(self) -> tuple[str, ...]:
         return tuple(self._values)
+
+
+class _WriteTrackingDict(dict):
+    """A signal-values dict recording every key assigned this frame.
+
+    Swapped into :attr:`SignalStore._values` while a fast-forward run
+    executes: every write site in the runtime (module outputs,
+    ``SignalStore.write`` from environments and mutators) goes through
+    Python-level ``__setitem__``, so the divergence set can be updated
+    incrementally from ``written`` instead of scanning the whole store
+    each frame.  C-level bulk operations (``dict.update``/``clear`` as
+    used by checkpoint restore) bypass the tracking on purpose —
+    restores rebuild state wholesale, outside any fast-forward frame.
+    """
+
+    __slots__ = ("written",)
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self.written: set[str] = set()
+
+    def __setitem__(self, key: str, value: int) -> None:
+        dict.__setitem__(self, key, value)
+        self.written.add(key)
+
+
+class GoldenReference:
+    """A Golden Run prepared for reconvergence fast-forward.
+
+    Holds zero-copy-capable sample buffers (``array('q')`` or
+    ``memoryview`` of format ``'q'``, e.g. views into a shared-memory
+    segment), the per-frame state digests recorded alongside the Golden
+    Run, and the run's final store/telemetry so a fast-forwarded
+    injection run can splice the Golden-Run suffix and still report
+    byte-identical results.
+
+    Not picklable by design (views aren't): worker processes build
+    their own instance over the shared buffer via
+    :func:`repro.simulation.traces.trace_views`.
+    """
+
+    def __init__(
+        self,
+        signals: Sequence[str],
+        duration_ms: int,
+        samples: Mapping[str, "array | memoryview"],
+        digests: FrameDigests | None,
+        initials: Mapping[str, int],
+        final_signals: Mapping[str, int],
+        telemetry: Mapping[str, float],
+    ) -> None:
+        self.signals = tuple(signals)
+        self.duration_ms = duration_ms
+        self.samples = dict(samples)
+        self.digests = digests
+        self.initials = dict(initials)
+        self.final_signals = dict(final_signals)
+        self.telemetry = dict(telemetry)
+        for signal in self.signals:
+            if len(self.samples[signal]) != duration_ms:
+                raise SimulationError(
+                    f"golden trace of {signal!r} has "
+                    f"{len(self.samples[signal])} samples, expected {duration_ms}"
+                )
+        if digests is not None and len(digests) != duration_ms:
+            raise SimulationError(
+                f"golden run records {len(digests)} frame digests for a "
+                f"{duration_ms} ms run"
+            )
+        self._changes: dict[int, tuple[str, ...]] | None = None
+
+    @classmethod
+    def from_result(
+        cls,
+        result: RunResult,
+        digests: FrameDigests | None,
+        initials: Mapping[str, int],
+    ) -> "GoldenReference":
+        """Build a reference from a Golden :class:`RunResult`."""
+        return cls(
+            signals=result.traces.signals,
+            duration_ms=result.duration_ms,
+            samples={trace.signal: trace.samples for trace in result.traces},
+            digests=digests,
+            initials=initials,
+            final_signals=result.final_signals,
+            telemetry=result.telemetry,
+        )
+
+    def frame_changes(self) -> dict[int, tuple[str, ...]]:
+        """Signals whose Golden-Run value changed at each frame.
+
+        ``frame_changes()[t]`` lists the signals with
+        ``GR[t] != GR[t-1]`` (frame 0 compares against the declared
+        initial values).  Combined with the injection run's per-frame
+        write set, these are the only signals whose divergence status
+        can have changed in frame ``t`` — everything else is equal on
+        both sides by induction.  Computed once, lazily.
+        """
+        if self._changes is None:
+            changes: dict[int, list[str]] = {}
+            for signal in self.signals:
+                samples = self.samples[signal]
+                prev = self.initials[signal]
+                for t in range(self.duration_ms):
+                    value = samples[t]
+                    if value != prev:
+                        changes.setdefault(t, []).append(signal)
+                        prev = value
+            self._changes = {t: tuple(names) for t, names in changes.items()}
+        return self._changes
+
+    def suffix_bytes(self, signal: str, start_frame: int) -> memoryview:
+        """Byte view of a signal's samples from ``start_frame`` on."""
+        return memoryview(self.samples[signal])[start_frame:].cast("B")
+
+    def prefix_array(self, signal: str, n_frames: int) -> array:
+        """A mutable copy of a signal's first ``n_frames`` samples."""
+        prefix = array("q")
+        prefix.frombytes(memoryview(self.samples[signal])[:n_frames].cast("B"))
+        return prefix
 
 
 class Environment(Protocol):
@@ -158,6 +296,14 @@ class RunResult:
     final_signals: dict[str, int]
     #: Final environment telemetry (physical quantities).
     telemetry: dict[str, float] = field(default_factory=dict)
+    #: Frame at which the run provably re-matched its Golden Run and the
+    #: remaining frames were spliced from the Golden-Run traces
+    #: (``None``: the run was simulated to the end).  Doubles as the
+    #: paper's error-lifetime measurement: the error's effect set was
+    #: empty from this instant on.
+    reconverged_at_ms: int | None = None
+    #: Frames *not* simulated thanks to reconvergence fast-forward.
+    frames_fast_forwarded: int = 0
 
 
 @dataclass(frozen=True)
@@ -187,8 +333,21 @@ class RunCheckpoint:
     environment: Any
     #: Per-module internal state, keyed by module name.
     modules: dict[str, Any]
-    #: Recorded samples up to ``time_ms``, per traced signal.
-    trace_prefix: tuple[tuple[str, array], ...]
+    #: Recorded samples up to ``time_ms``, per traced signal — or
+    #: ``None`` for a *stripped* checkpoint whose prefix is
+    #: reconstructed from the shared Golden-Run traces at resume time
+    #: (the IR prefix is bit-identical to the GR prefix by
+    #: construction, so shipping it per checkpoint is pure redundancy).
+    trace_prefix: tuple[tuple[str, array], ...] | None
+
+    def without_trace_prefix(self) -> "RunCheckpoint":
+        """A stripped copy for shipping alongside a shared Golden Run.
+
+        :meth:`SimulationRun.run_from` rebuilds the prefix from the
+        ``golden`` reference, so worker payloads need not repeat the
+        trace prefix once per checkpoint.
+        """
+        return dataclasses.replace(self, trace_prefix=None)
 
 
 class SimulationRun:
@@ -374,11 +533,18 @@ class SimulationRun:
         self._environment.after_software(now_ms, self._store)
         self._clock.advance_ms(1)
 
-    def run(self, duration_ms: int) -> RunResult:
+    def run(
+        self, duration_ms: int, golden: GoldenReference | None = None
+    ) -> RunResult:
         """Execute a complete run of ``duration_ms`` milliseconds.
 
         The runtime resets itself first, so each call is an independent
-        experiment (one Golden Run or one injection run).
+        experiment (one Golden Run or one injection run).  With a
+        ``golden`` reference the run may reconverge-fast-forward: once
+        every installed trap has fired and the run's complete state
+        provably re-matches the Golden Run at a frame boundary, the
+        remaining frames are spliced from the Golden-Run traces instead
+        of being simulated (see :meth:`run_from` for the contract).
         """
         if duration_ms < 1:
             raise SimulationError(f"duration must be >= 1 ms, got {duration_ms}")
@@ -386,12 +552,23 @@ class SimulationRun:
         samples: list[tuple[str, array]] = [
             (signal, array("q")) for signal in self._trace_signals
         ]
+        if golden is not None and golden.digests is not None:
+            self._check_golden(golden, duration_ms)
+            reconverged_at, fast_forwarded = self._execute_frames_ff(
+                samples, 0, duration_ms, golden
+            )
+            return self._build_result(
+                duration_ms, samples, golden, reconverged_at, fast_forwarded
+            )
         self._execute_frames(samples, duration_ms)
         return self._build_result(duration_ms, samples)
 
     def run_with_checkpoints(
-        self, duration_ms: int, checkpoint_times_ms: Sequence[int]
-    ) -> tuple[RunResult, dict[int, RunCheckpoint]]:
+        self,
+        duration_ms: int,
+        checkpoint_times_ms: Sequence[int],
+        frame_digests: bool = False,
+    ) -> tuple:
         """Like :meth:`run`, additionally capturing mid-run checkpoints.
 
         A checkpoint requested for time ``t`` is captured *before* the
@@ -399,6 +576,11 @@ class SimulationRun:
         simulated milliseconds — the state a one-shot trap scheduled at
         ``t`` would find in a full run.  Returns the run result and the
         checkpoints keyed by their time.
+
+        With ``frame_digests=True`` a third element is returned: a
+        :class:`~repro.simulation.snapshot.FrameDigests` holding one
+        complete-state digest per executed frame — the verification
+        track of reconvergence fast-forward.
         """
         if duration_ms < 1:
             raise SimulationError(f"duration must be >= 1 ms, got {duration_ms}")
@@ -412,52 +594,108 @@ class SimulationRun:
             (signal, array("q")) for signal in self._trace_signals
         ]
         checkpoints: dict[int, RunCheckpoint] = {}
+        digests: list[bytes] = []
         self._live_samples = samples
         try:
             step = self.step_ms
             values = self._store._values
             pending = iter(wanted)
             next_cp = next(pending, None)
-            for now_ms in range(duration_ms):
-                if now_ms == next_cp:
-                    checkpoints[now_ms] = self.checkpoint()
-                    next_cp = next(pending, None)
-                step()
-                for signal, sink in samples:
-                    sink.append(values[signal])
+            if frame_digests:
+                digest = self._state_digest
+                for now_ms in range(duration_ms):
+                    if now_ms == next_cp:
+                        checkpoints[now_ms] = self.checkpoint()
+                        next_cp = next(pending, None)
+                    step()
+                    for signal, sink in samples:
+                        sink.append(values[signal])
+                    digests.append(digest())
+            else:
+                for now_ms in range(duration_ms):
+                    if now_ms == next_cp:
+                        checkpoints[now_ms] = self.checkpoint()
+                        next_cp = next(pending, None)
+                    step()
+                    for signal, sink in samples:
+                        sink.append(values[signal])
         finally:
             self._live_samples = None
-        return self._build_result(duration_ms, samples), checkpoints
+        result = self._build_result(duration_ms, samples)
+        if frame_digests:
+            return result, checkpoints, FrameDigests.join(digests)
+        return result, checkpoints
 
-    def run_from(self, cp: RunCheckpoint, duration_ms: int) -> RunResult:
+    def run_from(
+        self,
+        cp: RunCheckpoint,
+        duration_ms: int,
+        golden: GoldenReference | None = None,
+    ) -> RunResult:
         """Resume from ``cp`` and complete a ``duration_ms`` run.
 
         Executes only the frames after ``cp.time_ms`` and stitches the
         checkpoint's trace prefix onto the recorded suffix, so the
         returned :class:`RunResult` is byte-for-byte identical to a
         full :meth:`run` of the same experiment.
+
+        With a ``golden`` reference carrying frame digests, the suffix
+        itself may be cut short by reconvergence fast-forward: the
+        divergence set (signals differing from the Golden Run at the
+        same instant) is maintained incrementally at write sites, and
+        once it is empty after every installed trap has fired, the
+        complete runtime state is digested and compared against the
+        Golden Run's precomputed digest for that frame.  On a match the
+        remaining frames are *spliced* from the Golden-Run traces — the
+        result is still byte-for-byte identical to a full re-run, and
+        :attr:`RunResult.reconverged_at_ms` records the instant the
+        injected error's effect set became empty (its lifetime).
+
+        A stripped checkpoint (``trace_prefix is None``, see
+        :meth:`RunCheckpoint.without_trace_prefix`) requires ``golden``;
+        its prefix is reconstructed from the Golden-Run traces.
         """
         if duration_ms <= cp.time_ms:
             raise SimulationError(
                 f"duration {duration_ms} ms does not extend past the "
                 f"checkpoint at {cp.time_ms} ms"
             )
-        prefix_signals = tuple(signal for signal, _ in cp.trace_prefix)
-        if prefix_signals != self._trace_signals:
-            raise SimulationError(
-                "checkpoint traces different signals than this run: "
-                f"{prefix_signals} vs {self._trace_signals}"
-            )
-        for signal, prefix in cp.trace_prefix:
-            if len(prefix) != cp.time_ms:
+        if cp.trace_prefix is None:
+            if golden is None:
                 raise SimulationError(
-                    f"checkpoint trace prefix of {signal!r} has "
-                    f"{len(prefix)} samples, expected {cp.time_ms}"
+                    "checkpoint was stripped of its trace prefix; resuming "
+                    "requires the golden reference it was stripped against"
                 )
+            self._check_golden(golden, duration_ms)
+            samples = [
+                (signal, golden.prefix_array(signal, cp.time_ms))
+                for signal in self._trace_signals
+            ]
+        else:
+            prefix_signals = tuple(signal for signal, _ in cp.trace_prefix)
+            if prefix_signals != self._trace_signals:
+                raise SimulationError(
+                    "checkpoint traces different signals than this run: "
+                    f"{prefix_signals} vs {self._trace_signals}"
+                )
+            for signal, prefix in cp.trace_prefix:
+                if len(prefix) != cp.time_ms:
+                    raise SimulationError(
+                        f"checkpoint trace prefix of {signal!r} has "
+                        f"{len(prefix)} samples, expected {cp.time_ms}"
+                    )
+            samples = [
+                (signal, array("q", prefix)) for signal, prefix in cp.trace_prefix
+            ]
         self.restore(cp)
-        samples: list[tuple[str, array]] = [
-            (signal, array("q", prefix)) for signal, prefix in cp.trace_prefix
-        ]
+        if golden is not None and golden.digests is not None:
+            self._check_golden(golden, duration_ms)
+            reconverged_at, fast_forwarded = self._execute_frames_ff(
+                samples, cp.time_ms, duration_ms, golden
+            )
+            return self._build_result(
+                duration_ms, samples, golden, reconverged_at, fast_forwarded
+            )
         self._execute_frames(samples, duration_ms - cp.time_ms)
         return self._build_result(duration_ms, samples)
 
@@ -476,16 +714,146 @@ class SimulationRun:
         finally:
             self._live_samples = None
 
+    def _check_golden(self, golden: GoldenReference, duration_ms: int) -> None:
+        if golden.duration_ms != duration_ms:
+            raise SimulationError(
+                f"golden reference covers {golden.duration_ms} ms, "
+                f"run lasts {duration_ms} ms"
+            )
+        if golden.signals != self._trace_signals:
+            raise SimulationError(
+                "golden reference traces different signals than this run: "
+                f"{golden.signals} vs {self._trace_signals}"
+            )
+
+    def _execute_frames_ff(
+        self,
+        samples: list[tuple[str, array]],
+        start_ms: int,
+        duration_ms: int,
+        golden: GoldenReference,
+    ) -> tuple[int | None, int]:
+        """Frame loop with reconvergence fast-forward.
+
+        Simulates frames ``start_ms .. duration_ms-1`` like
+        :meth:`_execute_frames`, but maintains the *divergence set* —
+        the traced signals whose current value differs from the Golden
+        Run at the same instant — incrementally: only signals written
+        this frame or changed in the Golden Run this frame can have
+        flipped status (everything else is equal on both sides by
+        induction from an identical starting state).
+
+        The divergence set is a cheap trigger, not the proof: it cannot
+        see hidden module/plant state.  When it is empty at a frame
+        boundary (and every installed trap has fired, so no pending
+        injection can be skipped), the *complete* runtime state is
+        digested and compared to the Golden Run's precomputed digest
+        for that frame.  Only on a digest match are the remaining
+        frames spliced from the Golden-Run traces; a mismatch (hidden
+        state still diverged) backs off for ``_DIGEST_RETRY_FRAMES``
+        frames before re-checking.
+
+        Returns ``(reconverged_at_ms, frames_fast_forwarded)``.
+        """
+        store = self._store
+        plain = store._values
+        tracker = _WriteTrackingDict(plain)
+        store._values = tracker
+        self._live_samples = samples
+        try:
+            step = self.step_ms
+            written = tracker.written
+            gr_samples = golden.samples
+            gr_changes = golden.frame_changes()
+            digests = golden.digests
+            assert digests is not None
+            hooks: tuple = tuple(self._read_interceptors) + tuple(
+                self._store_mutators
+            )
+            all_fired = not hooks
+            diverged: set[str] = set()
+            next_check = 0
+            for now_ms in range(start_ms, duration_ms):
+                written.clear()
+                step()
+                for signal, sink in samples:
+                    sink.append(tracker[signal])
+                was_empty = not diverged
+                candidates = written.union(gr_changes.get(now_ms, ()))
+                for signal in candidates:
+                    gr_trace = gr_samples.get(signal)
+                    if gr_trace is None:
+                        # Untraced signal: invisible to the trigger, but
+                        # still covered by the digest verification.
+                        continue
+                    if tracker[signal] != gr_trace[now_ms]:
+                        diverged.add(signal)
+                    else:
+                        diverged.discard(signal)
+                if diverged:
+                    continue
+                if not all_fired:
+                    all_fired = all(
+                        getattr(hook, "fired", False) for hook in hooks
+                    )
+                    if not all_fired:
+                        continue
+                if was_empty and now_ms < next_check:
+                    continue
+                if self._state_digest() != digests.at(now_ms):
+                    # Hidden (module/plant) state still differs; one
+                    # scheduling cycle may flush it through the signals.
+                    next_check = now_ms + _DIGEST_RETRY_FRAMES
+                    continue
+                fast_forwarded = duration_ms - 1 - now_ms
+                for signal, sink in samples:
+                    sink.frombytes(golden.suffix_bytes(signal, now_ms + 1))
+                self._clock.advance_ms(fast_forwarded)
+                return now_ms, fast_forwarded
+            return None, 0
+        finally:
+            store._values = dict(tracker)
+            self._live_samples = None
+
+    def _state_digest(self) -> bytes:
+        """Digest of the complete current runtime state (see snapshot)."""
+        payload = (
+            dict(self._store._values),
+            self._clock.now_ms,
+            digest_payload(self._environment),
+            {
+                name: digest_payload(module)
+                for name, module in self._modules.items()
+            },
+        )
+        return state_digest(payload)
+
     def _build_result(
-        self, duration_ms: int, samples: list[tuple[str, array]]
+        self,
+        duration_ms: int,
+        samples: list[tuple[str, array]],
+        golden: GoldenReference | None = None,
+        reconverged_at_ms: int | None = None,
+        frames_fast_forwarded: int = 0,
     ) -> RunResult:
+        if reconverged_at_ms is not None:
+            assert golden is not None
+            # The spliced run *is* the Golden Run from the reconvergence
+            # instant on; report its final state, not the (older) store.
+            final_signals = dict(golden.final_signals)
+            telemetry = dict(golden.telemetry)
+        else:
+            final_signals = self._store.snapshot()
+            telemetry = dict(self._environment.telemetry())
         return RunResult(
             traces=TraceSet(
                 SignalTrace(signal, sink) for signal, sink in samples
             ),
             duration_ms=duration_ms,
-            final_signals=self._store.snapshot(),
-            telemetry=dict(self._environment.telemetry()),
+            final_signals=final_signals,
+            telemetry=telemetry,
+            reconverged_at_ms=reconverged_at_ms,
+            frames_fast_forwarded=frames_fast_forwarded,
         )
 
     # ------------------------------------------------------------------

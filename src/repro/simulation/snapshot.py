@@ -20,14 +20,46 @@ state.  Objects participate through two small methods:
 Objects that do not implement the protocol fall back to a ``deepcopy``
 of their instance ``__dict__`` — always correct for plain Python
 state, just slower and potentially larger than an explicit snapshot.
+
+Beyond full checkpoints, the module also provides compact per-frame
+*state digests* (:func:`state_digest`, :class:`FrameDigests`): a short
+cryptographic fingerprint of the complete runtime state at a frame
+boundary.  The Golden Run records one digest per simulated millisecond;
+an injection run that believes its error has died out proves it by
+matching its own digest against the Golden Run's at the same instant —
+the reconvergence test of the fast-forward optimisation (see
+:meth:`repro.simulation.runtime.SimulationRun.run_from`).  Digests are
+computed by pickling the state payload with a pinned protocol, so two
+processes holding bit-identical state produce bit-identical digests.
 """
 
 from __future__ import annotations
 
 import copy
+import hashlib
+import pickle
+from dataclasses import dataclass
 from typing import Any, Protocol, runtime_checkable
 
-__all__ = ["Snapshotable", "snapshot_state", "restore_state"]
+__all__ = [
+    "Snapshotable",
+    "snapshot_state",
+    "restore_state",
+    "digest_payload",
+    "state_digest",
+    "FrameDigests",
+    "DIGEST_SIZE",
+]
+
+#: Bytes per state digest (blake2b is tunable; 16 bytes keep a full
+#: 8-second Golden Run's digest track at 128 KiB).
+DIGEST_SIZE = 16
+
+#: Pickle protocol pinned for digest computation.  The digest of a
+#: state must be stable across processes (parent records, workers
+#: verify), so the serialisation format cannot float with the
+#: interpreter's default.
+_DIGEST_PICKLE_PROTOCOL = 4
 
 
 @runtime_checkable
@@ -61,3 +93,68 @@ def restore_state(obj: Any, state: dict[str, Any]) -> None:
         return
     obj.__dict__.clear()
     obj.__dict__.update(copy.deepcopy(state))
+
+
+def digest_payload(obj: Any) -> Any:
+    """``obj``'s state for digestion, *without* defensive copies.
+
+    Unlike :func:`snapshot_state` the result is consumed immediately
+    (pickled into a digest) and never stored, so the deepcopy fallback
+    is unnecessary — the live ``__dict__`` is pickled as-is.
+    """
+    method = getattr(obj, "state_dict", None)
+    if callable(method):
+        return method()
+    return vars(obj)
+
+
+def state_digest(payload: Any) -> bytes:
+    """A :data:`DIGEST_SIZE`-byte fingerprint of a state payload.
+
+    Determinism contract: equal payloads (same values, same dict
+    insertion orders — which checkpoint restore preserves) digest to
+    equal bytes in any process, because the pickle protocol is pinned.
+    """
+    raw = pickle.dumps(payload, protocol=_DIGEST_PICKLE_PROTOCOL)
+    return hashlib.blake2b(raw, digest_size=DIGEST_SIZE).digest()
+
+
+@dataclass(frozen=True)
+class FrameDigests:
+    """Per-frame state digests of one run, packed into a single buffer.
+
+    ``at(t)`` is the digest of the complete runtime state at the end of
+    millisecond ``t`` (i.e. after frame ``t`` executed).  The packed
+    ``bytes`` form is cheap to pickle once per campaign and to ship to
+    worker processes.
+    """
+
+    data: bytes
+    size: int = DIGEST_SIZE
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError(f"digest size must be >= 1, got {self.size}")
+        if len(self.data) % self.size:
+            raise ValueError(
+                f"digest buffer of {len(self.data)} bytes is not a "
+                f"multiple of the digest size {self.size}"
+            )
+
+    def __len__(self) -> int:
+        """Number of frames with a recorded digest."""
+        return len(self.data) // self.size
+
+    def at(self, frame: int) -> bytes:
+        """The digest of frame ``frame`` (0-based)."""
+        if not 0 <= frame < len(self):
+            raise IndexError(
+                f"no digest for frame {frame} (have {len(self)})"
+            )
+        start = frame * self.size
+        return self.data[start : start + self.size]
+
+    @classmethod
+    def join(cls, digests: list[bytes], size: int = DIGEST_SIZE) -> "FrameDigests":
+        """Pack per-frame digests (in frame order) into one buffer."""
+        return cls(data=b"".join(digests), size=size)

@@ -20,7 +20,11 @@ from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.model.errors import TraceMismatchError
 
-__all__ = ["SignalTrace", "TraceSet"]
+__all__ = ["SignalTrace", "TraceSet", "pack_trace_samples", "trace_views"]
+
+#: Elements per chunk in the chunked divergence scan; 4096 signed-64
+#: samples are 32 KiB — one C-speed memoryview comparison per chunk.
+_SCAN_CHUNK = 4096
 
 
 @dataclass
@@ -37,14 +41,24 @@ class SignalTrace:
     comparing at C speed.  Any iterable of ints is accepted at
     construction; the sequence interface (indexing, slicing, ``len``,
     ``append``, iteration) is unchanged.
+
+    A ``memoryview`` of format ``'q'`` is kept as-is instead of being
+    copied, so a Golden-Run trace set published through
+    ``multiprocessing.shared_memory`` can be read zero-copy by worker
+    processes (see :func:`trace_views`).  View-backed traces are
+    read-only: ``append`` raises.
     """
 
     signal: str
     samples: array = field(default_factory=lambda: array("q"))
 
     def __post_init__(self) -> None:
-        if not isinstance(self.samples, array) or self.samples.typecode != "q":
-            self.samples = array("q", self.samples)
+        samples = self.samples
+        if isinstance(samples, array) and samples.typecode == "q":
+            return
+        if isinstance(samples, memoryview) and samples.format == "q":
+            return  # zero-copy view (e.g. into a shared-memory buffer)
+        self.samples = array("q", samples)
 
     def append(self, value: int) -> None:
         """Record the next millisecond's value."""
@@ -72,14 +86,22 @@ class SignalTrace:
                 f"trace of {self.signal!r}: length {len(self)} vs "
                 f"reference length {len(reference)}"
             )
-        if self.samples == reference.samples:
-            # Fast path: array equality runs at C speed, and most signals
+        mine = memoryview(self.samples)
+        theirs = memoryview(reference.samples)
+        if mine == theirs:
+            # Fast path: buffer equality runs at C speed, and most signals
             # agree with the Golden Run in most injection runs.
             return None
-        for index, (mine, theirs) in enumerate(zip(self.samples, reference.samples)):
-            if mine != theirs:
-                return index
-        return None
+        # Locate the diverging chunk with C-speed memoryview comparisons,
+        # then scan per element only inside that chunk.
+        length = len(mine)
+        for start in range(0, length, _SCAN_CHUNK):
+            stop = min(start + _SCAN_CHUNK, length)
+            if mine[start:stop] != theirs[start:stop]:
+                for index in range(start, stop):
+                    if mine[index] != theirs[index]:
+                        return index
+        return None  # pragma: no cover - unreachable: buffers differed
 
     def differs_from(self, reference: "SignalTrace") -> bool:
         """Whether any sample differs from ``reference``."""
@@ -162,3 +184,56 @@ class TraceSet:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<TraceSet signals={len(self._traces)} duration={self.duration_ms}ms>"
+
+
+def pack_trace_samples(traces: TraceSet) -> tuple[tuple[str, ...], int, array]:
+    """Pack a rectangular trace set into one flat ``array('q')``.
+
+    Layout: signal ``i`` (in recording order) occupies elements
+    ``[i * duration, (i + 1) * duration)``.  The flat buffer is what a
+    campaign publishes through ``multiprocessing.shared_memory`` so
+    worker processes can read the Golden Run without a per-chunk copy;
+    :func:`trace_views` is the reading side.
+
+    Returns ``(signals, duration_ms, flat)``.
+    """
+    traces.check_rectangular()
+    duration = traces.duration_ms
+    flat = array("q")
+    for trace in traces:
+        flat.extend(trace.samples)
+    return traces.signals, duration, flat
+
+
+def trace_views(
+    buffer, signals: Sequence[str], duration_ms: int
+) -> dict[str, memoryview]:
+    """Zero-copy per-signal views into a :func:`pack_trace_samples` buffer.
+
+    ``buffer`` is anything exporting a contiguous buffer — the packed
+    ``array('q')`` itself, a ``bytes`` copy, or a
+    ``multiprocessing.shared_memory.SharedMemory.buf``  (which may be
+    longer than the payload; the excess is ignored).  Each returned
+    ``memoryview`` has format ``'q'`` and can back a read-only
+    :class:`SignalTrace` directly.
+    """
+    n_bytes = len(signals) * duration_ms * 8
+    mv = memoryview(buffer)
+    if mv.format != "q":
+        if mv.format != "B":
+            mv = mv.cast("B")
+        if len(mv) < n_bytes:
+            raise TraceMismatchError(
+                f"packed trace buffer holds {len(mv)} bytes, need {n_bytes} "
+                f"for {len(signals)} signals x {duration_ms} ms"
+            )
+        mv = mv[:n_bytes].cast("q")
+    elif len(mv) < len(signals) * duration_ms:
+        raise TraceMismatchError(
+            f"packed trace buffer holds {len(mv)} samples, need "
+            f"{len(signals) * duration_ms}"
+        )
+    return {
+        signal: mv[index * duration_ms : (index + 1) * duration_ms]
+        for index, signal in enumerate(signals)
+    }

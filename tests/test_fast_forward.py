@@ -1,0 +1,371 @@
+"""Reconvergence fast-forward: equivalence proofs and runtime behaviour.
+
+The headline promise of fast-forward is *byte-identity*: a campaign run
+with :attr:`CampaignConfig.fast_forward` enabled must produce exactly
+the results of one that simulates every IR to the end — full trace
+sets, outcome classification, divergence times, final signals and
+telemetry.  The property-based tests below assert that promise across
+random injection times, bit positions and targets on both the
+single-node arrestment system and the two-node configuration; the
+remaining tests pin the runtime mechanics (splice correctness,
+stripped-checkpoint resume, the armed-trap guard, lifetime fields).
+"""
+
+from __future__ import annotations
+
+from array import array
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrestment import build_arrestment_model, build_arrestment_run
+from repro.arrestment.twonode import build_twonode_model, build_twonode_run
+from repro.injection.campaign import CampaignConfig, InjectionCampaign
+from repro.injection.error_models import BitFlip
+from repro.injection.golden_run import GoldenRun
+from repro.injection.latency import lifetime_statistics, render_lifetime_table
+from repro.model.errors import SimulationError
+from repro.simulation.runtime import GoldenReference
+
+from tests.conftest import build_toy_model, build_toy_run, toy_factory
+
+DURATION = 120
+
+
+def _targets(model):
+    return tuple(
+        (module, signal)
+        for module in model.module_names()
+        for signal in model.module(module).inputs
+    )
+
+
+ARRESTMENT_TARGETS = _targets(build_arrestment_model())
+TWONODE_TARGETS = _targets(build_twonode_model())
+
+
+def _single_run_campaign(model, factory, target, time_ms, bit, fast_forward):
+    """One-IR campaign capturing the injection run's full traces."""
+    config = CampaignConfig(
+        duration_ms=DURATION,
+        injection_times_ms=(time_ms,),
+        error_models=(BitFlip(bit),),
+        targets=(target,),
+        seed=42,
+        fast_forward=fast_forward,
+        lint=False,
+    )
+    campaign = InjectionCampaign(model, factory, {"tc": None}, config)
+    captured: list = []
+    result = campaign.execute(
+        inspector=lambda outcome, injected, golden: captured.append(injected)
+    )
+    (outcome,) = list(result)
+    (injected,) = captured
+    return outcome, injected
+
+
+def _assert_equivalent(ff, naive):
+    """Fast-forwarded (outcome, run) matches the fully-simulated pair."""
+    ff_outcome, ff_run = ff
+    naive_outcome, naive_run = naive
+    assert ff_run.traces.to_mapping() == naive_run.traces.to_mapping()
+    assert ff_run.final_signals == naive_run.final_signals
+    assert ff_run.telemetry == naive_run.telemetry
+    assert ff_outcome.fired_at_ms == naive_outcome.fired_at_ms
+    assert (
+        ff_outcome.comparison.first_divergence_ms
+        == naive_outcome.comparison.first_divergence_ms
+    )
+    assert (
+        ff_outcome.comparison.diverged_signals()
+        == naive_outcome.comparison.diverged_signals()
+    )
+    # Only the fast-forward path measures lifetimes ...
+    assert naive_outcome.reconverged_at_ms is None
+    assert naive_outcome.frames_fast_forwarded == 0
+    # ... and when it does, the fields must be mutually consistent.
+    if ff_outcome.reconverged:
+        assert ff_outcome.reconverged_at_ms is not None
+        assert 0 <= ff_outcome.reconverged_at_ms < DURATION
+        assert (
+            ff_outcome.frames_fast_forwarded
+            == DURATION - 1 - ff_outcome.reconverged_at_ms
+        )
+        if ff_outcome.fired:
+            assert ff_outcome.reconverged_at_ms >= ff_outcome.fired_at_ms
+            assert ff_outcome.error_lifetime_ms == (
+                ff_outcome.reconverged_at_ms - ff_outcome.fired_at_ms
+            )
+        # A spliced run is sample-identical to its Golden Run from the
+        # reconvergence instant on — so it cannot carry a divergence
+        # after that instant.
+        for time in ff_outcome.comparison.first_divergence_ms.values():
+            assert time is None or time <= ff_outcome.reconverged_at_ms
+
+
+class TestEquivalenceProperties:
+    """FF-enabled campaigns are byte-identical to fully-simulated ones."""
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        target_index=st.integers(0, len(ARRESTMENT_TARGETS) - 1),
+        time_ms=st.integers(0, DURATION - 1),
+        bit=st.integers(0, 15),
+    )
+    def test_arrestment(self, target_index, time_ms, bit):
+        target = ARRESTMENT_TARGETS[target_index]
+        ff = _single_run_campaign(
+            build_arrestment_model(), build_arrestment_run, target,
+            time_ms, bit, fast_forward=True,
+        )
+        naive = _single_run_campaign(
+            build_arrestment_model(), build_arrestment_run, target,
+            time_ms, bit, fast_forward=False,
+        )
+        _assert_equivalent(ff, naive)
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        target_index=st.integers(0, len(TWONODE_TARGETS) - 1),
+        time_ms=st.integers(0, DURATION - 1),
+        bit=st.integers(0, 15),
+    )
+    def test_twonode(self, target_index, time_ms, bit):
+        target = TWONODE_TARGETS[target_index]
+        ff = _single_run_campaign(
+            build_twonode_model(), build_twonode_run, target,
+            time_ms, bit, fast_forward=True,
+        )
+        naive = _single_run_campaign(
+            build_twonode_model(), build_twonode_run, target,
+            time_ms, bit, fast_forward=False,
+        )
+        _assert_equivalent(ff, naive)
+
+
+# ---------------------------------------------------------------------------
+# Toy-chain campaigns: whole-campaign parity and measured lifetimes
+# ---------------------------------------------------------------------------
+
+
+def toy_campaign(**overrides) -> InjectionCampaign:
+    config = dict(
+        duration_ms=40,
+        injection_times_ms=(4, 11, 23),
+        error_models=(BitFlip(15), BitFlip(3)),
+        seed=7,
+    )
+    config.update(overrides)
+    return InjectionCampaign(
+        build_toy_model(), toy_factory, {"c0": None}, CampaignConfig(**config)
+    )
+
+
+def outcome_records(result):
+    return [
+        (o.case_id, o.module, o.input_signal, o.scheduled_time_ms,
+         o.error_model, o.fired_at_ms, o.comparison.first_divergence_ms)
+        for o in result
+    ]
+
+
+class TestToyCampaigns:
+    def test_campaign_parity_and_reconvergence(self):
+        ff = toy_campaign().execute()
+        naive = toy_campaign(fast_forward=False).execute()
+        assert outcome_records(ff) == outcome_records(naive)
+        # The toy chain is stateless: every injected error dies within
+        # a frame or two, so every fired IR must reconverge.
+        assert ff.n_reconverged() == ff.n_fired()
+        assert ff.reconverged_fraction() > 0
+        assert ff.frames_fast_forwarded_total() > 0
+        assert naive.n_reconverged() == 0
+        assert naive.frames_fast_forwarded_total() == 0
+
+    def test_masked_error_has_zero_lifetime(self):
+        """A FILT low-byte flip never leaves the corrupted read."""
+        result = toy_campaign(
+            targets=(("FILT", "src"),), error_models=(BitFlip(3),)
+        ).execute()
+        for outcome in result:
+            assert outcome.fired
+            assert outcome.error_lifetime_ms == 0
+            assert outcome.reconverged_at_ms == outcome.fired_at_ms
+
+    def test_lifetime_statistics(self):
+        result = toy_campaign().execute()
+        stats = lifetime_statistics(result)
+        assert set(stats) == {("FILT", "src"), ("AMP", "filt")}
+        filt = stats[("FILT", "src")]
+        assert filt.n_samples == result.n_fired() - stats[("AMP", "filt")].n_samples
+        assert filt.n_censored == 0
+        assert filt.observed_fraction == 1.0
+        assert filt.min_ms >= 0
+        assert filt.max_ms >= filt.min_ms
+        table = render_lifetime_table(stats)
+        assert "FILT: src" in table
+        assert "reconvergence" in table
+
+    def test_without_fast_forward_all_censored(self):
+        result = toy_campaign(fast_forward=False).execute()
+        stats = lifetime_statistics(result)
+        for entry in stats.values():
+            assert entry.n_samples == 0
+            assert entry.observed_fraction == 0.0
+        table = render_lifetime_table(stats)
+        assert "-" in table
+
+
+# ---------------------------------------------------------------------------
+# Runtime mechanics
+# ---------------------------------------------------------------------------
+
+
+def record_golden(runner, duration_ms, times=()):
+    """Golden Run with digests, as the campaign records it."""
+    result, checkpoints, digests = runner.run_with_checkpoints(
+        duration_ms, times, frame_digests=True
+    )
+    golden = GoldenRun(
+        case_id="tc",
+        result=result,
+        digests=digests,
+        initials=runner.store.initial_values(),
+    )
+    return golden, checkpoints
+
+
+class _PassthroughTrap:
+    """A read interceptor with no ``fired`` attribute: never 'done'."""
+
+    def on_read(self, module, signal, value, now_ms):
+        return value
+
+
+class TestRuntimeFastForward:
+    def test_uninjected_run_reconverges_immediately(self):
+        runner = build_toy_run()
+        golden, _ = record_golden(runner, 50)
+        replay = runner.run(50, golden.reference)
+        assert replay.reconverged_at_ms == 0
+        assert replay.frames_fast_forwarded == 49
+        assert replay.traces.to_mapping() == golden.result.traces.to_mapping()
+        assert replay.final_signals == golden.result.final_signals
+        assert replay.telemetry == golden.result.telemetry
+
+    def test_reference_without_digests_disables_fast_forward(self):
+        runner = build_toy_run()
+        result, _ = runner.run_with_checkpoints(50, ())
+        golden = GoldenRun(
+            case_id="tc", result=result,
+            initials=runner.store.initial_values(),
+        )
+        assert golden.reference is not None
+        assert golden.reference.digests is None
+        replay = runner.run(50, golden.reference)
+        assert replay.reconverged_at_ms is None
+        assert replay.frames_fast_forwarded == 0
+        assert replay.traces.to_mapping() == result.traces.to_mapping()
+
+    def test_legacy_golden_run_has_no_reference(self):
+        runner = build_toy_run()
+        golden = GoldenRun(case_id="tc", result=runner.run(10))
+        assert golden.reference is None
+
+    def test_armed_hook_blocks_splice(self):
+        """An inert hook without ``fired`` keeps fast-forward disarmed."""
+        runner = build_toy_run()
+        golden, _ = record_golden(runner, 50)
+        runner.add_read_interceptor(_PassthroughTrap())
+        try:
+            replay = runner.run(50, golden.reference)
+        finally:
+            runner.clear_hooks()
+        assert replay.reconverged_at_ms is None
+        assert replay.frames_fast_forwarded == 0
+        assert replay.traces.to_mapping() == golden.result.traces.to_mapping()
+
+    def test_stripped_checkpoint_requires_golden(self):
+        runner = build_toy_run()
+        golden, checkpoints = record_golden(runner, 50, times=(20,))
+        stripped = checkpoints[20].without_trace_prefix()
+        assert stripped.trace_prefix is None
+        assert checkpoints[20].trace_prefix is not None  # original intact
+        with pytest.raises(SimulationError):
+            runner.run_from(stripped, 50)
+
+    def test_stripped_checkpoint_resume_identical(self):
+        runner = build_toy_run()
+        golden, checkpoints = record_golden(runner, 50, times=(20,))
+        stripped = checkpoints[20].without_trace_prefix()
+        resumed = runner.run_from(stripped, 50, golden.reference)
+        assert resumed.traces.to_mapping() == golden.result.traces.to_mapping()
+        assert resumed.final_signals == golden.result.final_signals
+
+    def test_duration_mismatch_rejected(self):
+        runner = build_toy_run()
+        golden, _ = record_golden(runner, 50)
+        with pytest.raises(SimulationError):
+            runner.run(60, golden.reference)
+
+    def test_signal_mismatch_rejected(self):
+        runner = build_toy_run()
+        golden, _ = record_golden(runner, 50)
+        other = GoldenReference(
+            signals=("ghost",),
+            duration_ms=50,
+            samples={"ghost": array("q", [0] * 50)},
+            digests=golden.digests,
+            initials={"ghost": 0},
+            final_signals={"ghost": 0},
+            telemetry={},
+        )
+        with pytest.raises(SimulationError):
+            runner.run(50, other)
+
+    def test_reference_validates_sample_lengths(self):
+        with pytest.raises(SimulationError):
+            GoldenReference(
+                signals=("a",),
+                duration_ms=5,
+                samples={"a": array("q", [0, 1])},
+                digests=None,
+                initials={"a": 0},
+                final_signals={"a": 1},
+                telemetry={},
+            )
+
+    def test_frame_changes_seeded_from_initials(self):
+        """Frame 0 compares against the declared initial values."""
+        reference = GoldenReference(
+            signals=("a", "b"),
+            duration_ms=3,
+            samples={
+                "a": array("q", [0, 0, 5]),  # unchanged at 0 (initial 0)
+                "b": array("q", [1, 1, 1]),  # changed at 0 (initial 0)
+            },
+            digests=None,
+            initials={"a": 0, "b": 0},
+            final_signals={"a": 5, "b": 1},
+            telemetry={},
+        )
+        assert reference.frame_changes() == {0: ("b",), 2: ("a",)}
+
+    def test_suffix_and_prefix_round_trip(self):
+        samples = array("q", range(10))
+        reference = GoldenReference(
+            signals=("a",),
+            duration_ms=10,
+            samples={"a": samples},
+            digests=None,
+            initials={"a": 0},
+            final_signals={"a": 9},
+            telemetry={},
+        )
+        prefix = reference.prefix_array("a", 4)
+        assert isinstance(prefix, array) and list(prefix) == [0, 1, 2, 3]
+        suffix = array("q")
+        suffix.frombytes(reference.suffix_bytes("a", 4))
+        assert list(prefix) + list(suffix) == list(range(10))

@@ -2,10 +2,28 @@
 
 from __future__ import annotations
 
+from array import array
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.model.errors import TraceMismatchError
-from repro.simulation.traces import SignalTrace, TraceSet
+from repro.simulation.traces import (
+    _SCAN_CHUNK,
+    SignalTrace,
+    TraceSet,
+    pack_trace_samples,
+    trace_views,
+)
+
+
+def naive_first_divergence(a: SignalTrace, b: SignalTrace) -> int | None:
+    """The obvious per-element scan the chunked fast path must match."""
+    for index in range(len(a)):
+        if a.samples[index] != b.samples[index]:
+            return index
+    return None
 
 
 class TestSignalTrace:
@@ -44,6 +62,136 @@ class TestSignalTrace:
     def test_values_between(self):
         trace = SignalTrace("s", list(range(10)))
         assert list(trace.values_between(3, 6)) == [3, 4, 5]
+
+
+class TestChunkedDivergenceScan:
+    """The chunked C-speed scan is pinned to the naive per-element scan."""
+
+    @pytest.mark.parametrize(
+        "flip_at",
+        [
+            0,
+            1,
+            _SCAN_CHUNK - 1,  # last element of the first chunk
+            _SCAN_CHUNK,  # first element of the second chunk
+            _SCAN_CHUNK + 1,
+            2 * _SCAN_CHUNK - 1,
+            2 * _SCAN_CHUNK + 17,
+        ],
+    )
+    def test_single_flip_positions(self, flip_at):
+        length = 2 * _SCAN_CHUNK + 100
+        reference = SignalTrace("s", array("q", [7] * length))
+        samples = array("q", [7] * length)
+        samples[flip_at] ^= 1
+        trace = SignalTrace("s", samples)
+        assert trace.first_divergence(reference) == flip_at
+        assert naive_first_divergence(trace, reference) == flip_at
+
+    def test_equal_beyond_one_chunk(self):
+        length = 3 * _SCAN_CHUNK + 5
+        reference = SignalTrace("s", array("q", range(length)))
+        trace = SignalTrace("s", array("q", range(length)))
+        assert trace.first_divergence(reference) is None
+        assert naive_first_divergence(trace, reference) is None
+
+    def test_reports_first_of_many_divergences(self):
+        samples = array("q", [0] * (_SCAN_CHUNK + 50))
+        samples[_SCAN_CHUNK - 3] = 1
+        samples[_SCAN_CHUNK + 20] = 2
+        trace = SignalTrace("s", samples)
+        reference = SignalTrace("s", array("q", [0] * len(samples)))
+        assert trace.first_divergence(reference) == _SCAN_CHUNK - 3
+
+    def test_negative_values_compare_correctly(self):
+        """Byte-level comparison must agree with value-level comparison."""
+        reference = SignalTrace("s", array("q", [-1, -2, 3]))
+        trace = SignalTrace("s", array("q", [-1, -2, -3]))
+        assert trace.first_divergence(reference) == 2
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        samples=st.lists(
+            st.integers(-(2**63), 2**63 - 1), min_size=1, max_size=300
+        ),
+        flips=st.lists(st.integers(0, 10_000), max_size=4),
+    )
+    def test_property_matches_naive_scan(self, samples, flips):
+        reference = SignalTrace("s", array("q", samples))
+        mutated = array("q", samples)
+        for flip in flips:
+            index = flip % len(mutated)
+            # XOR in the unsigned domain, then re-sign to stay in 'q'.
+            flipped = (mutated[index] ^ (1 << (flip % 64))) & (2**64 - 1)
+            mutated[index] = flipped - 2**64 if flipped >= 2**63 else flipped
+        trace = SignalTrace("s", mutated)
+        assert trace.first_divergence(reference) == naive_first_divergence(
+            trace, reference
+        )
+
+    def test_memoryview_backed_trace_compares(self):
+        """View-backed traces (shared-memory reads) use the same scan."""
+        backing = array("q", [1, 2, 3, 4])
+        view = memoryview(backing)
+        trace = SignalTrace("s", view)
+        assert trace.samples is view  # zero-copy, not re-packed
+        reference = SignalTrace("s", array("q", [1, 2, 9, 4]))
+        assert trace.first_divergence(reference) == 2
+        with pytest.raises((BufferError, TypeError, AttributeError)):
+            trace.append(5)
+
+
+class TestPackAndViews:
+    def make(self) -> TraceSet:
+        return TraceSet(
+            [SignalTrace("a", [1, 2, 3]), SignalTrace("b", [-4, 5, 6])]
+        )
+
+    def test_round_trip_through_flat_buffer(self):
+        traces = self.make()
+        signals, duration, flat = pack_trace_samples(traces)
+        assert signals == ("a", "b")
+        assert duration == 3
+        assert list(flat) == [1, 2, 3, -4, 5, 6]
+        views = trace_views(flat, signals, duration)
+        assert {s: list(v) for s, v in views.items()} == traces.to_mapping()
+
+    def test_views_from_bytes_buffer(self):
+        traces = self.make()
+        signals, duration, flat = pack_trace_samples(traces)
+        views = trace_views(flat.tobytes(), signals, duration)
+        assert list(views["b"]) == [-4, 5, 6]
+
+    def test_views_ignore_trailing_slack(self):
+        """Shared-memory segments may be longer than the payload."""
+        traces = self.make()
+        signals, duration, flat = pack_trace_samples(traces)
+        padded = flat.tobytes() + b"\x00" * 13
+        views = trace_views(padded, signals, duration)
+        assert list(views["a"]) == [1, 2, 3]
+
+    def test_short_buffer_rejected(self):
+        signals, duration, flat = pack_trace_samples(self.make())
+        with pytest.raises(TraceMismatchError):
+            trace_views(flat.tobytes()[:-8], signals, duration)
+        with pytest.raises(TraceMismatchError):
+            trace_views(array("q", [1, 2]), signals, duration)
+
+    def test_pack_requires_rectangular(self):
+        traces = self.make()
+        traces.add(SignalTrace("c", [9]))
+        with pytest.raises(TraceMismatchError):
+            pack_trace_samples(traces)
+
+    def test_view_backed_trace_set_round_trip(self):
+        traces = self.make()
+        signals, duration, flat = pack_trace_samples(traces)
+        views = trace_views(flat, signals, duration)
+        rebuilt = TraceSet(
+            SignalTrace(signal, view) for signal, view in views.items()
+        )
+        assert rebuilt.to_mapping() == traces.to_mapping()
+        assert rebuilt.first_divergences(traces) == {"a": None, "b": None}
 
 
 class TestTraceSet:
