@@ -27,11 +27,15 @@ Strategies
     metrics go to ``benchmarks/out/metrics.json`` and the overhead is
     reported relative to the unobserved ``fast_forward`` pass.
 
-Methodology: every strategy gets one untimed warmup execution, then
-the best (minimum) wall-clock of three timed executions — single-trial
-cold numbers swing with allocator/page-cache state, which is how a
-negative "overhead" once shipped in this report.  All strategies are
-asserted outcome-identical to ``naive`` before anything is written.
+Methodology: before any stopwatch starts, one untimed pass per
+strategy asserts every strategy is outcome-identical to ``naive`` —
+a diverging strategy aborts immediately rather than after minutes of
+meaningless timed trials.  Then every strategy gets one untimed warmup
+execution and the best (minimum) wall-clock of three timed executions
+is reported — single-trial cold numbers swing with allocator/page-cache
+state, which is how a negative "overhead" once shipped in this report.
+The campaign RNG seed defaults to ``$REPRO_BENCH_SEED`` (2001 when
+unset) and can be overridden with ``--seed``.
 
 Scales
 ------
@@ -80,10 +84,14 @@ SCALES: dict[str, dict] = {
 }
 
 
+DEFAULT_SEED = int(os.environ.get("REPRO_BENCH_SEED", "2001"))
+
+
 def build_campaign(
     scale: dict,
     reuse: bool,
     fast_forward: bool,
+    seed: int = DEFAULT_SEED,
     observer: CampaignObserver | None = None,
 ) -> InjectionCampaign:
     cases = {
@@ -94,7 +102,7 @@ def build_campaign(
         duration_ms=scale["duration_ms"],
         injection_times_ms=tuple(scale["times"]),
         error_models=tuple(bit_flip_models(scale["bits"])),
-        seed=2001,
+        seed=seed,
         reuse_golden_prefix=reuse,
         fast_forward=fast_forward,
     )
@@ -102,6 +110,54 @@ def build_campaign(
         build_arrestment_model(), build_arrestment_run, cases, config,
         observer=observer,
     )
+
+
+def fingerprint(result):
+    """Strategy-independent summary of a campaign result's outcomes."""
+    return [
+        (o.case_id, o.module, o.input_signal, o.scheduled_time_ms,
+         o.error_model, o.fired_at_ms, o.comparison.first_divergence_ms)
+        for o in result
+    ]
+
+
+def verify_strategies(scale: dict, seed: int, workers: int) -> None:
+    """Assert every strategy is outcome-identical to naive, before timing.
+
+    Correctness gates must not share a code path with the stopwatch: a
+    diverging strategy should abort the benchmark immediately, not after
+    minutes of timed trials whose numbers would be meaningless anyway.
+    """
+    reference = fingerprint(
+        build_campaign(scale, reuse=False, fast_forward=False, seed=seed)
+        .execute()
+    )
+    observer = CampaignObserver.to_files(
+        events_path=None, with_metrics=True, system=build_arrestment_model()
+    )
+    try:
+        candidates = {
+            "checkpointed": build_campaign(
+                scale, reuse=True, fast_forward=False, seed=seed
+            ).execute(),
+            "fast_forward": build_campaign(
+                scale, reuse=True, fast_forward=True, seed=seed
+            ).execute(),
+            "grid_sharded": build_campaign(
+                scale, reuse=True, fast_forward=True, seed=seed
+            ).execute_parallel(max_workers=workers),
+            "fast_forward_observed": build_campaign(
+                scale, reuse=True, fast_forward=True, seed=seed,
+                observer=observer,
+            ).execute(),
+        }
+    finally:
+        observer.close()
+    for label, result in candidates.items():
+        assert fingerprint(result) == reference, \
+            f"{label} path diverged from the naive path"
+    print(f"  strategy identity verified ({len(reference)} IRs, "
+          f"seed {seed})")
 
 
 def timed(label: str, make_run, warmup: int, trials: int):
@@ -140,6 +196,12 @@ def main(argv=None) -> int:
         help="worker processes for the grid-sharded path",
     )
     parser.add_argument(
+        "--seed",
+        type=int,
+        default=DEFAULT_SEED,
+        help="campaign RNG seed (default: $REPRO_BENCH_SEED or 2001)",
+    )
+    parser.add_argument(
         "--trials",
         type=int,
         default=3,
@@ -172,7 +234,9 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     scale = SCALES[args.scale]
 
-    reference = build_campaign(scale, reuse=True, fast_forward=True)
+    reference = build_campaign(
+        scale, reuse=True, fast_forward=True, seed=args.seed
+    )
     total_runs = reference.total_runs()
     total_ms = reference.simulated_ms_total()
     skipped_ms = reference.simulated_ms_skipped()
@@ -180,29 +244,39 @@ def main(argv=None) -> int:
         f"[{args.scale}] {total_runs} IRs x {scale['duration_ms']} ms; "
         f"prefix reuse skips {skipped_ms}/{total_ms} simulated ms "
         f"({skipped_ms / total_ms:.0%}); warmup={args.warmup} "
-        f"trials={args.trials}"
+        f"trials={args.trials} seed={args.seed}"
     )
 
-    naive_result, naive_s = timed(
+    verify_strategies(scale, args.seed, args.workers)
+
+    _, naive_s = timed(
         "naive serial        ",
-        lambda: build_campaign(scale, reuse=False, fast_forward=False).execute,
+        lambda: build_campaign(
+            scale, reuse=False, fast_forward=False, seed=args.seed
+        ).execute,
         args.warmup, args.trials,
     )
-    ckpt_result, ckpt_s = timed(
+    _, ckpt_s = timed(
         "checkpointed        ",
-        lambda: build_campaign(scale, reuse=True, fast_forward=False).execute,
+        lambda: build_campaign(
+            scale, reuse=True, fast_forward=False, seed=args.seed
+        ).execute,
         args.warmup, args.trials,
     )
     ff_result, ff_s = timed(
         "fast-forward        ",
-        lambda: build_campaign(scale, reuse=True, fast_forward=True).execute,
+        lambda: build_campaign(
+            scale, reuse=True, fast_forward=True, seed=args.seed
+        ).execute,
         args.warmup, args.trials,
     )
     def make_sharded():
-        campaign = build_campaign(scale, reuse=True, fast_forward=True)
+        campaign = build_campaign(
+            scale, reuse=True, fast_forward=True, seed=args.seed
+        )
         return lambda: campaign.execute_parallel(max_workers=args.workers)
 
-    sharded_result, sharded_s = timed(
+    _, sharded_s = timed(
         f"grid-sharded (x{args.workers})   ",
         make_sharded, args.warmup, args.trials,
     )
@@ -215,32 +289,16 @@ def main(argv=None) -> int:
         )
         observers.append(observer)
         return build_campaign(
-            scale, reuse=True, fast_forward=True, observer=observer
+            scale, reuse=True, fast_forward=True, seed=args.seed,
+            observer=observer,
         ).execute
 
-    observed_result, observed_s = timed(
+    _, observed_s = timed(
         "fast-forward+obs    ", make_observed, args.warmup, args.trials,
     )
     metrics_observer = observers[-1]
     for observer in observers:
         observer.close()
-
-    def fingerprint(result):
-        return [
-            (o.case_id, o.module, o.input_signal, o.scheduled_time_ms,
-             o.error_model, o.fired_at_ms, o.comparison.first_divergence_ms)
-            for o in result
-        ]
-
-    reference_print = fingerprint(naive_result)
-    for label, result in (
-        ("checkpointed", ckpt_result),
-        ("fast_forward", ff_result),
-        ("grid_sharded", sharded_result),
-        ("fast_forward_observed", observed_result),
-    ):
-        assert fingerprint(result) == reference_print, \
-            f"{label} path diverged from the naive path"
 
     prefix_speedup = naive_s / ckpt_s
     ff_speedup = ckpt_s / ff_s
@@ -257,6 +315,7 @@ def main(argv=None) -> int:
 
     report = {
         "scale": args.scale,
+        "seed": args.seed,
         "config": {
             "cases": scale["cases"],
             "duration_ms": scale["duration_ms"],

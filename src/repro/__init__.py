@@ -149,6 +149,11 @@ from repro.simulation import (
     SlotSchedule,
     TraceSet,
 )
+from repro.verify import (
+    OracleFailure,
+    generate_system,
+    verify_generated,
+)
 
 __version__ = "1.0.0"
 
@@ -246,5 +251,8 @@ __all__ = [
     "system_to_dot",
     "tree_to_dot",
     "what_if",
+    "OracleFailure",
+    "generate_system",
+    "verify_generated",
     "__version__",
 ]

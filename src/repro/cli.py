@@ -21,6 +21,11 @@ Commands
     Render a text report from a recorded ``events.jsonl`` (phase
     timings, outcome mix, hottest propagation arcs), or round-trip the
     file through the typed event parser (the CI schema check).
+``verify``
+    Differential fuzzing (see docs/TESTING.md): generate random
+    executable systems and cross-check analytical permeabilities
+    against injection campaigns under all three execution strategies.
+    Failures are shrunk and archived as corpus reproducers.
 
 The CLI is a thin layer over the library; everything it does is
 available programmatically (see README.md and docs/OBSERVABILITY.md).
@@ -316,6 +321,98 @@ def _cmd_obs_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify import (
+        OracleFailure,
+        Reproducer,
+        default_campaign,
+        generate_system,
+        iter_corpus,
+        load_reproducer,
+        replay,
+        shrink_failure,
+        verify_generated,
+        write_reproducer,
+    )
+
+    corpus_dir = Path(args.corpus)
+
+    if args.replay is not None:
+        paths = [Path(p) for p in args.replay] or iter_corpus(corpus_dir)
+        if not paths:
+            print(f"no reproducers found under {corpus_dir}", file=sys.stderr)
+            return 2
+        status = 0
+        for path in paths:
+            try:
+                report = replay(load_reproducer(path))
+            except OracleFailure as failure:
+                print(f"FAIL {path}: {failure}", file=sys.stderr)
+                status = 1
+            except Exception as exc:
+                print(
+                    f"FAIL {path}: oracle crashed: "
+                    f"{type(exc).__name__}: {exc}",
+                    file=sys.stderr,
+                )
+                status = 1
+            else:
+                print(f"ok   {path}: {report.render()}")
+        return status
+
+    deadline = None if args.budget is None else time.monotonic() + args.budget
+    verified = 0
+    feedback_seen = 0
+    for seed in range(args.start_seed, args.start_seed + args.seeds):
+        if deadline is not None and time.monotonic() >= deadline:
+            print(
+                f"time budget exhausted after {verified} system(s); stopping"
+            )
+            break
+        generated = generate_system(seed)
+        campaign = default_campaign(generated)
+        feedback_seen += 1 if generated.has_feedback else 0
+        try:
+            report = verify_generated(generated, campaign)
+        except OracleFailure as failure:
+            message = str(failure)
+        except Exception as exc:  # a crash mid-oracle is a failure too
+            message = f"oracle crashed: {type(exc).__name__}: {exc}"
+        else:
+            verified += 1
+            print(f"seed {seed}: {report.render()}")
+            continue
+        print(f"seed {seed}: ORACLE FAILURE: {message}", file=sys.stderr)
+        spec = generated.spec
+        if not args.no_shrink:
+            print("shrinking the failing system ...")
+            spec, campaign, message = shrink_failure(spec, campaign)
+            connections = sum(len(m.inputs) for m in spec.modules)
+            print(
+                f"shrunk to {len(spec.modules)} module(s), "
+                f"{connections} connection(s), "
+                f"{len(campaign.injection_times_ms)} injection time(s), "
+                f"{campaign.n_bits} bit(s)"
+            )
+        path = write_reproducer(
+            corpus_dir,
+            Reproducer(
+                kind="generated",
+                campaign=campaign,
+                spec=spec,
+                note=f"found by 'repro verify' (seed {seed})",
+                failure=message,
+            ),
+        )
+        print(f"reproducer written: {path}", file=sys.stderr)
+        return 1
+    print(
+        f"verified {verified} generated system(s), {feedback_seen} with "
+        "marked feedback: all oracle checks passed"
+    )
+    return 0
+
+
 class _WorkersAction(argparse.Action):
     """``--workers``: reject combination with the ``--parallel`` alias."""
 
@@ -467,6 +564,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     validate.add_argument("events", help="events.jsonl to validate")
     validate.set_defaults(func=_cmd_obs_validate)
+
+    verify = commands.add_parser(
+        "verify",
+        help="differential fuzzing: analysis vs. injection on generated "
+        "systems (docs/TESTING.md)",
+    )
+    verify.add_argument("--seeds", type=int, default=25,
+                        help="number of generated systems to verify")
+    verify.add_argument("--start-seed", type=int, default=0,
+                        help="first generator seed (fuzz different systems "
+                        "by sliding the window)")
+    verify.add_argument("--budget", type=float, default=None, metavar="SECS",
+                        help="wall-clock budget; stop cleanly when exceeded")
+    verify.add_argument("--corpus", metavar="DIR", default="tests/corpus",
+                        help="directory receiving shrunk reproducers "
+                        "(default: tests/corpus)")
+    verify.add_argument("--replay", metavar="FILE", nargs="*", default=None,
+                        help="replay reproducer file(s) instead of fuzzing; "
+                        "without arguments, replay the whole corpus")
+    verify.add_argument("--no-shrink", action="store_true",
+                        help="archive failures unshrunk (faster triage)")
+    verify.set_defaults(func=_cmd_verify)
     return parser
 
 

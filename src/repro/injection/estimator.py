@@ -21,7 +21,30 @@ from repro.model.errors import CampaignError
 from repro.model.system import SystemModel
 from repro.simulation.runtime import SimulationRun
 
-__all__ = ["estimate_matrix", "PermeabilityEstimator"]
+__all__ = ["estimate_matrix", "pair_trial_counts", "PermeabilityEstimator"]
+
+
+def pair_trial_counts(
+    matrix: PermeabilityMatrix,
+) -> dict[tuple[str, str, str], tuple[int, int]]:
+    """Per-pair ``(n_errors, n_injections)`` of an estimated matrix.
+
+    Exposes the raw trial counts behind every experimental estimate —
+    the inputs confidence-interval math needs (see
+    :meth:`~repro.core.permeability.PermeabilityEstimate.wilson_interval`).
+    Raises :class:`ValueError` if any assigned pair carries no counts
+    (i.e. the matrix is analytical, not measured).
+    """
+    counts: dict[tuple[str, str, str], tuple[int, int]] = {}
+    for (module, input_signal, output_signal), estimate in matrix.items():
+        if estimate.n_injections is None or estimate.n_errors is None:
+            raise ValueError(
+                "pair without trial counts (analytical estimate?): "
+                f"{module}: {input_signal} -> {output_signal}"
+            )
+        key = (module, input_signal, output_signal)
+        counts[key] = (estimate.n_errors, estimate.n_injections)
+    return counts
 
 
 def estimate_matrix(

@@ -1,0 +1,201 @@
+"""Reproducer corpus: JSON witnesses the regression suite replays forever.
+
+Every failure ``repro verify`` finds is shrunk
+(:mod:`repro.verify.shrink`) and archived as a small JSON file — a
+:class:`Reproducer` — in ``tests/corpus/``.  A parametrised test
+(``tests/test_verify_corpus.py``) replays every file through the
+differential oracle on every run, so once-found bugs stay found.
+
+Two reproducer kinds:
+
+``generated``
+    A full :class:`~repro.verify.generators.GeneratedSystemSpec` plus
+    its campaign — self-contained, rebuilt from the JSON alone, checked
+    against its exact analytical matrix.
+``builtin``
+    A named repo system (``arrestment``, ``twonode``) with a campaign
+    slice (usually a target subset) — exercises the oracle's
+    cross-strategy and obs-vs-estimator checks on the paper's real
+    target system, without analytical exactness (the plant is not
+    bit-linear).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.verify.generators import GeneratedSystem, GeneratedSystemSpec, SpecError
+from repro.verify.oracles import (
+    OracleReport,
+    VerifyCampaign,
+    differential_oracle,
+    verify_generated,
+)
+
+__all__ = [
+    "Reproducer",
+    "iter_corpus",
+    "load_reproducer",
+    "replay",
+    "write_reproducer",
+]
+
+#: Schema version of the reproducer JSON files.
+REPRODUCER_VERSION = 1
+
+#: Systems a ``builtin`` reproducer may name.
+BUILTIN_SYSTEMS = ("arrestment", "twonode")
+
+
+@dataclass(frozen=True)
+class Reproducer:
+    """One archived oracle failure (or hand-written oracle workload)."""
+
+    kind: str  # "generated" | "builtin"
+    campaign: VerifyCampaign
+    spec: GeneratedSystemSpec | None = None
+    builtin: str | None = None
+    note: str = ""
+    failure: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind == "generated":
+            if self.spec is None:
+                raise SpecError("generated reproducer requires a system spec")
+        elif self.kind == "builtin":
+            if self.builtin not in BUILTIN_SYSTEMS:
+                raise SpecError(
+                    f"unknown builtin system {self.builtin!r}; "
+                    f"expected one of {BUILTIN_SYSTEMS}"
+                )
+        else:
+            raise SpecError(f"unknown reproducer kind {self.kind!r}")
+
+    def content_id(self) -> str:
+        """Stable short hash of the workload (failure text excluded)."""
+        payload = self.to_jsonable()
+        payload.pop("failure", None)
+        canonical = json.dumps(payload, sort_keys=True).encode()
+        return hashlib.blake2b(canonical, digest_size=5).hexdigest()
+
+    def to_jsonable(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "version": REPRODUCER_VERSION,
+            "kind": self.kind,
+            "note": self.note,
+            "campaign": self.campaign.to_jsonable(),
+        }
+        if self.kind == "generated":
+            assert self.spec is not None
+            data["system"] = self.spec.to_jsonable()
+        else:
+            data["system"] = self.builtin
+        if self.failure:
+            data["failure"] = self.failure
+        return data
+
+    @classmethod
+    def from_jsonable(cls, data: Mapping[str, Any]) -> "Reproducer":
+        version = data.get("version")
+        if version != REPRODUCER_VERSION:
+            raise SpecError(
+                f"unsupported reproducer version {version!r} "
+                f"(expected {REPRODUCER_VERSION})"
+            )
+        kind = str(data["kind"])
+        campaign = VerifyCampaign.from_jsonable(data["campaign"])
+        if kind == "generated":
+            return cls(
+                kind=kind,
+                campaign=campaign,
+                spec=GeneratedSystemSpec.from_jsonable(data["system"]),
+                note=str(data.get("note", "")),
+                failure=str(data.get("failure", "")),
+            )
+        return cls(
+            kind=kind,
+            campaign=campaign,
+            builtin=str(data["system"]),
+            note=str(data.get("note", "")),
+            failure=str(data.get("failure", "")),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Disk I/O
+# ---------------------------------------------------------------------------
+
+
+def write_reproducer(
+    directory: Path, reproducer: Reproducer, stem: str = "shrunk"
+) -> Path:
+    """Write a reproducer JSON; the filename embeds a content hash."""
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{stem}-{reproducer.content_id()}.json"
+    path.write_text(
+        json.dumps(reproducer.to_jsonable(), indent=2) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def load_reproducer(path: Path) -> Reproducer:
+    """Parse one reproducer JSON file."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SpecError(f"cannot read reproducer {path}: {exc}") from exc
+    return Reproducer.from_jsonable(data)
+
+
+def iter_corpus(directory: Path) -> list[Path]:
+    """All reproducer files of a corpus directory, sorted by name."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return sorted(directory.glob("*.json"))
+
+
+# ---------------------------------------------------------------------------
+# Replay
+# ---------------------------------------------------------------------------
+
+
+def _builtin_workload(name: str):
+    if name == "arrestment":
+        from repro.arrestment.system import build_arrestment_model, build_arrestment_run
+        from repro.arrestment.testcases import ArrestmentTestCase
+
+        return (
+            build_arrestment_model(),
+            build_arrestment_run,
+            {"case": ArrestmentTestCase(mass_kg=14000.0, velocity_ms=60.0)},
+        )
+    if name == "twonode":
+        from repro.arrestment.testcases import ArrestmentTestCase
+        from repro.arrestment.twonode import build_twonode_model, build_twonode_run
+
+        return (
+            build_twonode_model(),
+            build_twonode_run,
+            {"case": ArrestmentTestCase(mass_kg=14000.0, velocity_ms=60.0)},
+        )
+    raise SpecError(f"unknown builtin system {name!r}")
+
+
+def replay(reproducer: Reproducer) -> OracleReport:
+    """Run a reproducer through the oracle; raises OracleFailure if it fails."""
+    if reproducer.kind == "generated":
+        assert reproducer.spec is not None
+        return verify_generated(
+            GeneratedSystem(reproducer.spec), reproducer.campaign
+        )
+    assert reproducer.builtin is not None
+    system, run_factory, cases = _builtin_workload(reproducer.builtin)
+    report, _ = differential_oracle(
+        system, run_factory, cases, reproducer.campaign
+    )
+    return report

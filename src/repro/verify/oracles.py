@@ -1,0 +1,468 @@
+"""Differential oracle: analysis vs. injection vs. execution strategies.
+
+Given an executable system, :func:`differential_oracle` runs one small
+injection campaign under all three execution strategies (naive,
+checkpointed, fast-forward) and asserts the cross-cutting invariants
+the rest of the repo relies on:
+
+``strategy-identity``
+    Byte-identical traces (per-IR and Golden Run) and identical
+    outcome fingerprints across all three strategies.
+``obs-vs-estimator``
+    :meth:`PropagationObservations.to_matrix` agrees with
+    :func:`estimate_matrix` — values *and* raw trial counts.
+``exact-agreement`` (generated systems)
+    Measured permeability equals the analytical matrix exactly.  The
+    XOR-mask behavioural model of :mod:`repro.verify.generators` makes
+    the analytical value exact, so any deviation — including the
+    off-by-one a wide confidence interval would forgive at n≈16 —
+    is a bug.
+``ci-containment`` / ``ci-sanity`` (generated systems)
+    The Wilson interval of every measured pair contains the analytical
+    value, and the interval itself is well-formed
+    (``0 <= lo <= p̂ <= hi <= 1``).
+``metamorphic-dead-sink`` (generated systems)
+    Adding a module that consumes an existing signal but feeds nothing
+    never changes the exposures of pre-existing modules and signals.
+``metamorphic-prerr-scaling`` (generated systems)
+    Scaling a system input's ``Pr(err)`` by ``c`` rescales every
+    adjusted propagation-path weight from that input by exactly ``c``.
+
+A violated invariant raises :class:`OracleFailure` naming the check.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.core.backtrack import build_all_backtrack_trees
+from repro.core.exposure import all_module_exposures, signal_exposures_for_matrix
+from repro.core.graph import PermeabilityGraph
+from repro.core.paths import paths_of_backtrack_tree
+from repro.core.permeability import PermeabilityEstimate, PermeabilityMatrix
+from repro.injection.campaign import CampaignConfig, InjectionCampaign
+from repro.injection.error_models import bit_flip_models
+from repro.injection.estimator import estimate_matrix, pair_trial_counts
+from repro.model.module import ModuleSpec
+from repro.model.system import SystemModel
+from repro.obs.propagation import PropagationObservations
+from repro.simulation.runtime import RunResult, SimulationRun
+from repro.verify.generators import GeneratedSystem
+
+__all__ = [
+    "OracleFailure",
+    "OracleReport",
+    "VerifyCampaign",
+    "default_campaign",
+    "differential_oracle",
+    "verify_generated",
+]
+
+#: The three execution strategies under test:
+#: (label, reuse_golden_prefix, fast_forward).
+STRATEGIES: tuple[tuple[str, bool, bool], ...] = (
+    ("naive", False, False),
+    ("checkpointed", True, False),
+    ("fast_forward", True, True),
+)
+
+#: Slack between measured floats that should be *identical* arithmetic.
+EXACT_ATOL = 1e-9
+
+
+class OracleFailure(AssertionError):
+    """A differential-oracle invariant was violated."""
+
+    def __init__(self, check: str, message: str) -> None:
+        super().__init__(f"[{check}] {message}")
+        self.check = check
+        self.message = message
+
+
+@dataclass(frozen=True)
+class OracleReport:
+    """Summary of one successful oracle pass."""
+
+    system: str
+    n_runs: int
+    has_feedback: bool
+    checks: tuple[str, ...]
+
+    def render(self) -> str:
+        feedback = "with feedback" if self.has_feedback else "acyclic"
+        return (
+            f"{self.system}: {self.n_runs} runs x "
+            f"{len(STRATEGIES)} strategies ({feedback}); "
+            f"checks: {', '.join(self.checks)}"
+        )
+
+
+@dataclass(frozen=True)
+class VerifyCampaign:
+    """JSON-able campaign shape the oracle runs per system."""
+
+    duration_ms: int
+    injection_times_ms: tuple[int, ...]
+    n_bits: int
+    seed: int
+    #: ``None`` injects every input of every module.
+    targets: tuple[tuple[str, str], ...] | None = None
+
+    def to_config(self, reuse: bool, fast_forward: bool) -> CampaignConfig:
+        return CampaignConfig(
+            duration_ms=self.duration_ms,
+            injection_times_ms=self.injection_times_ms,
+            error_models=tuple(bit_flip_models(self.n_bits)),
+            targets=self.targets,
+            seed=self.seed,
+            reuse_golden_prefix=reuse,
+            fast_forward=fast_forward,
+        )
+
+    def to_jsonable(self) -> dict[str, Any]:
+        return {
+            "duration_ms": self.duration_ms,
+            "injection_times_ms": list(self.injection_times_ms),
+            "n_bits": self.n_bits,
+            "seed": self.seed,
+            "targets": (
+                None if self.targets is None else [list(t) for t in self.targets]
+            ),
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Mapping[str, Any]) -> "VerifyCampaign":
+        targets = data.get("targets")
+        return cls(
+            duration_ms=int(data["duration_ms"]),
+            injection_times_ms=tuple(int(t) for t in data["injection_times_ms"]),
+            n_bits=int(data["n_bits"]),
+            seed=int(data["seed"]),
+            targets=(
+                None
+                if targets is None
+                else tuple((str(m), str(s)) for m, s in targets)
+            ),
+        )
+
+
+def default_campaign(generated: GeneratedSystem) -> VerifyCampaign:
+    """The standard small campaign for a generated system.
+
+    Two injection instants; the duration leaves every module at least
+    two further activations after the latest instant, so via-feedback
+    propagation is always observable within the run.
+    """
+    spec = generated.spec
+    times = (3, 7 + spec.n_slots)
+    return VerifyCampaign(
+        duration_ms=max(times) + 3 * spec.n_slots + 2,
+        injection_times_ms=times,
+        n_bits=min(8, spec.min_input_width()),
+        seed=spec.seed * 2 + 1,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fingerprinting
+# ---------------------------------------------------------------------------
+
+
+def run_digest(result: RunResult) -> str:
+    """Digest of every recorded trace of a run (order-sensitive)."""
+    h = hashlib.blake2b(digest_size=16)
+    for trace in result.traces:
+        h.update(trace.signal.encode())
+        h.update(b"\x00")
+        h.update(memoryview(trace.samples).cast("B"))
+    return h.hexdigest()
+
+
+def _outcome_fingerprint(outcome) -> tuple:
+    divergences = tuple(sorted(outcome.comparison.first_divergence_ms.items()))
+    return (
+        outcome.case_id,
+        outcome.module,
+        outcome.input_signal,
+        outcome.scheduled_time_ms,
+        outcome.error_model,
+        outcome.fired_at_ms,
+        divergences,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The oracle
+# ---------------------------------------------------------------------------
+
+
+def differential_oracle(
+    system: SystemModel,
+    run_factory: Callable[..., SimulationRun],
+    cases: Mapping[str, object],
+    campaign: VerifyCampaign,
+    analytical: PermeabilityMatrix | None = None,
+):
+    """Run the campaign under every strategy and cross-check the results.
+
+    Returns ``(OracleReport, CampaignResult)`` — the result is the
+    naive strategy's, for callers wanting further analysis.  Raises
+    :class:`OracleFailure` on the first violated invariant.
+    """
+    checks: list[str] = []
+    results = {}
+    fingerprints = {}
+    for label, reuse, fast_forward in STRATEGIES:
+        config = campaign.to_config(reuse=reuse, fast_forward=fast_forward)
+        run = InjectionCampaign(system, run_factory, cases, config)
+        ir_prints: list[tuple] = []
+
+        def inspector(outcome, result, golden, sink=ir_prints):
+            sink.append((_outcome_fingerprint(outcome), run_digest(result)))
+
+        result = run.execute(inspector=inspector)
+        golden_prints = tuple(
+            sorted(
+                (case_id, run_digest(golden.result))
+                for case_id, golden in run.golden_runs().items()
+            )
+        )
+        results[label] = result
+        fingerprints[label] = (tuple(ir_prints), golden_prints)
+
+    reference_label = STRATEGIES[0][0]
+    reference = fingerprints[reference_label]
+    for label, _, _ in STRATEGIES[1:]:
+        if fingerprints[label] != reference:
+            raise OracleFailure(
+                "strategy-identity",
+                f"{label} diverged from {reference_label} on {system.name!r}: "
+                f"{_first_difference(reference, fingerprints[label])}",
+            )
+    checks.append("strategy-identity")
+
+    result = results[reference_label]
+    require_complete = campaign.targets is None
+    measured = estimate_matrix(result, require_complete=require_complete)
+    observed = PropagationObservations.from_campaign_result(result).to_matrix()
+    diff = measured.diff(observed)
+    if not diff.agrees(atol=0.0):
+        raise OracleFailure(
+            "obs-vs-estimator",
+            f"to_matrix() disagrees with estimate_matrix on {system.name!r}: "
+            f"max |delta| = {diff.max_abs_delta}",
+        )
+    if pair_trial_counts(measured) != pair_trial_counts(observed):
+        raise OracleFailure(
+            "obs-vs-estimator",
+            f"per-pair trial counts differ on {system.name!r}",
+        )
+    checks.append("obs-vs-estimator")
+
+    if analytical is not None:
+        _check_against_analytical(system, measured, analytical, checks)
+
+    report = OracleReport(
+        system=system.name,
+        n_runs=len(result),
+        has_feedback=bool(system.feedback_modules()),
+        checks=tuple(checks),
+    )
+    return report, result
+
+
+def _first_difference(reference, candidate) -> str:
+    ref_irs, ref_golden = reference
+    cand_irs, cand_golden = candidate
+    if ref_golden != cand_golden:
+        return f"golden-run digests differ: {ref_golden} vs {cand_golden}"
+    for index, (ref_item, cand_item) in enumerate(zip(ref_irs, cand_irs)):
+        if ref_item != cand_item:
+            return (
+                f"IR #{index}: {ref_item[0]} -> outcome/digest "
+                f"{cand_item[0]!r}/{cand_item[1]} vs {ref_item[1]}"
+            )
+    return f"IR count differs: {len(ref_irs)} vs {len(cand_irs)}"
+
+
+def _check_against_analytical(
+    system: SystemModel,
+    measured: PermeabilityMatrix,
+    analytical: PermeabilityMatrix,
+    checks: list[str],
+) -> None:
+    diff = measured.diff(analytical)
+    if not diff.agrees(atol=EXACT_ATOL):
+        raise OracleFailure(
+            "exact-agreement",
+            f"measured != analytical on {system.name!r} "
+            f"(bit-deterministic behaviours must match exactly):\n"
+            f"{diff.render()}",
+        )
+    checks.append("exact-agreement")
+
+    for key, (n_errors, n_injections) in pair_trial_counts(measured).items():
+        estimate = PermeabilityEstimate.from_counts(n_errors, n_injections)
+        lo, hi = estimate.wilson_interval()
+        module, input_signal, output_signal = key
+        pair = f"{module}: {input_signal} -> {output_signal}"
+        if not (0.0 <= lo <= estimate.value + EXACT_ATOL and
+                estimate.value - EXACT_ATOL <= hi <= 1.0):
+            raise OracleFailure(
+                "ci-sanity",
+                f"Wilson interval ({lo}, {hi}) malformed around point "
+                f"estimate {estimate.value} for {pair} on {system.name!r}",
+            )
+        expected = analytical.get_or_none(*key)
+        if expected is None:
+            raise OracleFailure(
+                "ci-containment",
+                f"analytical matrix misses measured pair {pair}",
+            )
+        if not (lo - EXACT_ATOL <= expected <= hi + EXACT_ATOL):
+            raise OracleFailure(
+                "ci-containment",
+                f"analytical {expected} outside Wilson interval "
+                f"({lo}, {hi}) of {pair} on {system.name!r} "
+                f"(n={n_injections}, errors={n_errors})",
+            )
+    checks.append("ci-sanity")
+    checks.append("ci-containment")
+
+
+# ---------------------------------------------------------------------------
+# Metamorphic relations (analysis-level, generated systems)
+# ---------------------------------------------------------------------------
+
+
+def check_dead_sink_invariance(
+    generated: GeneratedSystem, analytical: PermeabilityMatrix
+) -> None:
+    """Adding a dead sink never changes pre-existing exposures."""
+    system = generated.system
+    base_modules = all_module_exposures(PermeabilityGraph(analytical))
+    base_signals = signal_exposures_for_matrix(analytical)
+
+    victim = system.system_outputs[0]
+    sink = ModuleSpec(
+        name="DEAD_SINK",
+        inputs=(victim,),
+        outputs=("dead_sink_out",),
+        description="metamorphic probe: consumes but feeds nothing",
+    )
+    mutated_system = SystemModel(
+        name=system.name,
+        modules=[*system.modules.values(), sink],
+        system_inputs=system.system_inputs,
+        system_outputs=system.system_outputs,
+        signals=list(system.signals.values()),
+        validate=False,  # the sink's output is genuinely dangling
+    )
+    mutated = PermeabilityMatrix(mutated_system)
+    for (module, input_signal, output_signal), estimate in analytical.items():
+        mutated.set(module, input_signal, output_signal, estimate.value)
+    mutated.set("DEAD_SINK", victim, "dead_sink_out", 0.7)
+
+    new_modules = all_module_exposures(PermeabilityGraph(mutated))
+    for name, base in base_modules.items():
+        after = new_modules[name]
+        if (after.exposure, after.nonweighted_exposure) != (
+            base.exposure,
+            base.nonweighted_exposure,
+        ):
+            raise OracleFailure(
+                "metamorphic-dead-sink",
+                f"module exposure of {name!r} changed after adding a dead "
+                f"sink: {base} -> {after}",
+            )
+    new_signals = signal_exposures_for_matrix(mutated)
+    for name, base_value in base_signals.items():
+        if abs(new_signals[name] - base_value) > EXACT_ATOL:
+            raise OracleFailure(
+                "metamorphic-dead-sink",
+                f"signal exposure of {name!r} changed after adding a dead "
+                f"sink: {base_value} -> {new_signals[name]}",
+            )
+
+
+def check_prerr_scaling(
+    generated: GeneratedSystem,
+    analytical: PermeabilityMatrix,
+    factor: float = 0.5,
+) -> None:
+    """Scaling Pr(err) by ``factor`` rescales adjusted weights linearly."""
+    spec = generated.spec
+    scaled_spec = dataclasses.replace(
+        spec,
+        error_probabilities={
+            name: value * factor
+            for name, value in spec.error_probabilities.items()
+        },
+    )
+    scaled_system = GeneratedSystem(scaled_spec).system
+    trees = build_all_backtrack_trees(analytical)
+    for tree in trees.values():
+        for path in paths_of_backtrack_tree(tree):
+            source = path.source
+            base_p = generated.system.signal(source).error_probability
+            scaled_p = scaled_system.signal(source).error_probability
+            if base_p is None:
+                if scaled_p is not None:
+                    raise OracleFailure(
+                        "metamorphic-prerr-scaling",
+                        f"signal {source!r} gained a Pr(err) from scaling",
+                    )
+                continue
+            if abs(scaled_p - factor * base_p) > EXACT_ATOL:
+                raise OracleFailure(
+                    "metamorphic-prerr-scaling",
+                    f"Pr(err) of {source!r} scaled to {scaled_p}, expected "
+                    f"{factor * base_p}",
+                )
+            base_weight = path.adjusted_weight(base_p)
+            scaled_weight = path.adjusted_weight(scaled_p)
+            if abs(scaled_weight - factor * base_weight) > EXACT_ATOL:
+                raise OracleFailure(
+                    "metamorphic-prerr-scaling",
+                    f"adjusted weight of path {path.signals} scaled to "
+                    f"{scaled_weight}, expected {factor * base_weight}",
+                )
+
+
+# ---------------------------------------------------------------------------
+# Entry point for generated systems
+# ---------------------------------------------------------------------------
+
+
+def verify_generated(
+    generated: GeneratedSystem,
+    campaign: VerifyCampaign | None = None,
+) -> OracleReport:
+    """Full oracle pass over one generated system.
+
+    Differential campaign checks plus the analysis-level metamorphic
+    relations.  Raises :class:`OracleFailure` on any violation.
+    """
+    if campaign is None:
+        campaign = default_campaign(generated)
+    analytical = generated.analytical_matrix(campaign.n_bits)
+    report, _ = differential_oracle(
+        generated.system,
+        generated.run_factory,
+        {"gen": None},
+        campaign,
+        analytical=analytical,
+    )
+    check_dead_sink_invariance(generated, analytical)
+    check_prerr_scaling(generated, analytical)
+    return dataclasses.replace(
+        report,
+        checks=(
+            *report.checks,
+            "metamorphic-dead-sink",
+            "metamorphic-prerr-scaling",
+        ),
+    )

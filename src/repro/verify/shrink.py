@@ -1,0 +1,207 @@
+"""Greedy shrinker for failing (system, campaign) oracle triples.
+
+When ``repro verify`` finds a generated system on which the
+differential oracle fails, the raw witness is usually bigger than the
+bug: six modules, a dozen connections, two injection instants, eight
+bit positions.  :func:`shrink_failure` minimises it with a greedy
+fixpoint of four passes — delete a module, delete a connection, drop
+an injection instant, narrow the bit-flip set — accepting each edit
+only while the oracle *still fails*.  Invalid intermediate specs
+(e.g. a module whose last input would disappear) are skipped, not
+counted as failures.
+
+The output triple is what gets archived in ``tests/corpus/`` (see
+:mod:`repro.verify.corpus`) and replayed forever by the regression
+suite.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from repro.verify.generators import GeneratedModule, GeneratedSystem, GeneratedSystemSpec
+from repro.verify.oracles import OracleFailure, VerifyCampaign, verify_generated
+
+__all__ = ["oracle_failure", "shrink_failure"]
+
+#: ``failure_of(spec, campaign)`` -> failure message, or ``None`` if the
+#: oracle passes (or the candidate is not even constructible).
+FailurePredicate = Callable[
+    [GeneratedSystemSpec, VerifyCampaign], "str | None"
+]
+
+
+def oracle_failure(
+    spec: GeneratedSystemSpec, campaign: VerifyCampaign
+) -> str | None:
+    """The default failure predicate: run the full generated-system oracle.
+
+    Returns ``None`` when the oracle passes *or* the candidate spec is
+    structurally invalid (shrink steps must not mistake a broken
+    candidate for a reproduced failure).  Unexpected exceptions during
+    the oracle run *do* count as failures — a crash is a bug too.
+    """
+    try:
+        generated = GeneratedSystem(spec)
+        generated.system  # noqa: B018 — force topology validation
+    except Exception:
+        return None
+    try:
+        verify_generated(generated, campaign)
+    except OracleFailure as failure:
+        return str(failure)
+    except Exception as exc:
+        return f"oracle crashed: {type(exc).__name__}: {exc}"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Structural edits
+# ---------------------------------------------------------------------------
+
+
+def _rebuild(
+    spec: GeneratedSystemSpec, modules: tuple[GeneratedModule, ...]
+) -> GeneratedSystemSpec | None:
+    """Re-derive boundary marks and signal tables after a module edit.
+
+    Signals that lost their producer become system inputs (the
+    environment drives them); produced signals that lost their last
+    consumer become system outputs.  Returns ``None`` when the edit
+    cannot yield a meaningful system (no modules or no outputs left).
+    """
+    if not modules:
+        return None
+    produced = {s for m in modules for s in m.outputs}
+    consumed: list[str] = []
+    for module in modules:
+        for signal in module.inputs:
+            if signal not in consumed:
+                consumed.append(signal)
+    referenced = produced | set(consumed)
+    system_inputs = [s for s in spec.system_inputs if s in referenced]
+    system_inputs += [
+        s for s in consumed if s not in produced and s not in system_inputs
+    ]
+    system_outputs = [s for s in spec.system_outputs if s in produced]
+    system_outputs += [
+        s for s in produced if s not in consumed and s not in system_outputs
+    ]
+    if not system_outputs:
+        return None
+    return dataclasses.replace(
+        spec,
+        modules=modules,
+        widths={s: w for s, w in spec.widths.items() if s in referenced},
+        system_inputs=tuple(system_inputs),
+        system_outputs=tuple(system_outputs),
+        error_probabilities={
+            s: p
+            for s, p in spec.error_probabilities.items()
+            if s in system_inputs
+        },
+    )
+
+
+def remove_module(
+    spec: GeneratedSystemSpec, name: str
+) -> GeneratedSystemSpec | None:
+    """The spec without module ``name``, or ``None`` if not removable."""
+    modules = tuple(m for m in spec.modules if m.name != name)
+    if len(modules) == len(spec.modules):
+        return None
+    return _rebuild(spec, modules)
+
+
+def remove_connection(
+    spec: GeneratedSystemSpec, module_name: str, input_signal: str
+) -> GeneratedSystemSpec | None:
+    """The spec without one (module, input) connection.
+
+    Never removes a module's last input — that edit is covered by
+    :func:`remove_module`.
+    """
+    modules: list[GeneratedModule] = []
+    edited = False
+    for module in spec.modules:
+        if module.name == module_name and input_signal in module.inputs:
+            if len(module.inputs) == 1:
+                return None
+            module = dataclasses.replace(
+                module,
+                inputs=tuple(s for s in module.inputs if s != input_signal),
+                masks={
+                    i: per for i, per in module.masks.items() if i != input_signal
+                },
+            )
+            edited = True
+        modules.append(module)
+    if not edited:
+        return None
+    return _rebuild(spec, tuple(modules))
+
+
+# ---------------------------------------------------------------------------
+# The greedy fixpoint
+# ---------------------------------------------------------------------------
+
+
+def shrink_failure(
+    spec: GeneratedSystemSpec,
+    campaign: VerifyCampaign,
+    failure_of: FailurePredicate = oracle_failure,
+) -> tuple[GeneratedSystemSpec, VerifyCampaign, str]:
+    """Minimise a failing triple while ``failure_of`` keeps failing.
+
+    Returns the shrunk ``(spec, campaign, failure_message)``.  Raises
+    :class:`ValueError` when the initial triple does not fail — a
+    shrinker run on a passing input would "minimise" it to nonsense.
+    """
+    failure = failure_of(spec, campaign)
+    if failure is None:
+        raise ValueError("cannot shrink: the initial (spec, campaign) passes")
+
+    changed = True
+    while changed:
+        changed = False
+        for name in [m.name for m in spec.modules]:
+            candidate = remove_module(spec, name)
+            if candidate is None:
+                continue
+            message = failure_of(candidate, campaign)
+            if message is not None:
+                spec, failure, changed = candidate, message, True
+        for module_name, input_signal in list(spec.connections()):
+            candidate = remove_connection(spec, module_name, input_signal)
+            if candidate is None:
+                continue
+            message = failure_of(candidate, campaign)
+            if message is not None:
+                spec, failure, changed = candidate, message, True
+        if len(campaign.injection_times_ms) > 1:
+            for time_ms in campaign.injection_times_ms:
+                if len(campaign.injection_times_ms) == 1:
+                    break
+                candidate_campaign = dataclasses.replace(
+                    campaign,
+                    injection_times_ms=tuple(
+                        t for t in campaign.injection_times_ms if t != time_ms
+                    ),
+                )
+                message = failure_of(spec, candidate_campaign)
+                if message is not None:
+                    campaign, failure, changed = (
+                        candidate_campaign,
+                        message,
+                        True,
+                    )
+        while campaign.n_bits > 1:
+            candidate_campaign = dataclasses.replace(
+                campaign, n_bits=campaign.n_bits - 1
+            )
+            message = failure_of(spec, candidate_campaign)
+            if message is None:
+                break
+            campaign, failure, changed = candidate_campaign, message, True
+    return spec, campaign, failure

@@ -14,6 +14,15 @@ from repro.core.permeability import PermeabilityMatrix
 from repro.simulation.runtime import SignalStore, SimulationRun
 from repro.simulation.scheduler import SlotSchedule
 
+# Shared hypothesis strategies, re-exported so test modules can import
+# them from either ``tests.conftest`` or ``tests.strategies``.
+from tests.strategies import (  # noqa: F401
+    dag_matrices,
+    generated_executable_systems,
+    layered_dag_systems,
+    values01,
+)
+
 # ---------------------------------------------------------------------------
 # Fig. 2 example system
 # ---------------------------------------------------------------------------

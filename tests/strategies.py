@@ -1,0 +1,104 @@
+"""Shared hypothesis strategies for random system topologies.
+
+Historically these strategies were defined in
+``tests/test_random_topologies.py`` and imported from there by other
+test modules; they now live here so every property-test file (and
+``tests/conftest.py``, which re-exports them) draws from one source.
+
+Strategies
+----------
+``layered_dag_systems``
+    Random *analysis-only* layered DAG :class:`SystemModel`s — modules
+    consume signals from earlier layers or fresh system inputs.
+``dag_matrices``
+    A layered DAG system paired with a fully populated random
+    :class:`PermeabilityMatrix`.
+``values01``
+    Floats in ``[0, 1]`` (permeability values).
+``generated_executable_systems``
+    Seeds fed through :func:`repro.verify.generate_system` — *runnable*
+    systems wired into the simulation runtime, for differential tests.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.permeability import PermeabilityMatrix
+from repro.model.builder import SystemBuilder
+from repro.model.system import SystemModel
+
+__all__ = [
+    "dag_matrices",
+    "finalise_dag",
+    "generated_executable_systems",
+    "layered_dag_systems",
+    "values01",
+]
+
+
+@st.composite
+def layered_dag_systems(draw) -> SystemModel:
+    """A random layered DAG: each module consumes signals from earlier
+    layers (or fresh system inputs) and produces new signals."""
+    n_modules = draw(st.integers(min_value=1, max_value=6))
+    builder = SystemBuilder("random-dag")
+    available: list[str] = []
+    ext_counter = 0
+    produced: list[str] = []
+    for index in range(n_modules):
+        n_inputs = draw(st.integers(min_value=1, max_value=3))
+        inputs = []
+        for _ in range(n_inputs):
+            take_existing = available and draw(st.booleans())
+            if take_existing:
+                signal = draw(st.sampled_from(available))
+                if signal in inputs:
+                    continue
+            else:
+                signal = f"ext{ext_counter}"
+                ext_counter += 1
+                builder.mark_system_input(signal)
+            inputs.append(signal)
+        n_outputs = draw(st.integers(min_value=1, max_value=2))
+        outputs = [f"s{index}_{k}" for k in range(n_outputs)]
+        builder.add_module(f"M{index}", inputs=inputs, outputs=outputs)
+        available.extend(outputs)
+        produced.extend(outputs)
+    # Anything unconsumed leaves the system.
+    return finalise_dag(builder, produced)
+
+
+def finalise_dag(builder: SystemBuilder, produced: list[str]) -> SystemModel:
+    """Mark unconsumed produced signals as system outputs and build."""
+    consumed: set[str] = set()
+    for spec in builder._modules:  # test-only introspection
+        consumed.update(spec.inputs)
+    unconsumed = [signal for signal in produced if signal not in consumed]
+    if not unconsumed:
+        # Guarantee at least one system output; the model accepts a
+        # signal that is both consumed internally and exported.
+        unconsumed = [produced[-1]]
+    builder.mark_system_outputs(unconsumed)
+    return builder.build()
+
+
+values01 = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@st.composite
+def dag_matrices(draw) -> PermeabilityMatrix:
+    system = draw(layered_dag_systems())
+    matrix = PermeabilityMatrix(system)
+    for key in system.pair_index():
+        matrix.set(*key, draw(values01))
+    return matrix
+
+
+@st.composite
+def generated_executable_systems(draw):
+    """A runnable generated system (see :mod:`repro.verify.generators`)."""
+    from repro.verify.generators import generate_system
+
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    return generate_system(seed)

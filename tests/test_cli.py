@@ -104,6 +104,94 @@ class TestWorkersFlag:
         assert "--workers" in capsys.readouterr().err
 
 
+class TestExitCodes:
+    """The documented exit-code contract: 0 pass, 1 findings, 2 usage."""
+
+    def _uniform_matrix_file(self, tmp_path, value):
+        from repro.arrestment.system import build_arrestment_model
+        from repro.core.permeability import PermeabilityMatrix
+
+        matrix = PermeabilityMatrix.uniform(build_arrestment_model(), value)
+        path = tmp_path / "matrix.json"
+        path.write_text(matrix.to_json(), encoding="utf-8")
+        return path
+
+    def test_campaign_rejects_unknown_flag(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "--frobnicate"])
+        assert excinfo.value.code == 2
+
+    def test_lint_clean_system_exits_zero(self, capsys):
+        assert main(["lint"]) == 0
+        capsys.readouterr()
+
+    def test_lint_findings_exit_one(self, tmp_path, capsys):
+        matrix_file = self._uniform_matrix_file(tmp_path, 0.0)
+        code = main(
+            ["lint", "--matrix", str(matrix_file), "--fail-on", "warning"]
+        )
+        assert code == 1
+        capsys.readouterr()
+
+    def test_lint_paper_matrix_usage_error_exits_two(self, capsys):
+        assert main(["lint", "--system", "arrestment", "--paper-matrix"]) == 2
+        assert "--system fig2" in capsys.readouterr().err
+
+    def test_analyze_exits_zero(self, tmp_path, capsys):
+        matrix_file = self._uniform_matrix_file(tmp_path, 0.5)
+        assert main(["analyze", str(matrix_file)]) == 0
+        capsys.readouterr()
+
+    def test_analyze_requires_matrix_argument(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["analyze"])
+        assert excinfo.value.code == 2
+
+    def test_obs_requires_subcommand(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["obs"])
+        assert excinfo.value.code == 2
+
+    def test_obs_validate_junk_exits_one(self, tmp_path, capsys):
+        junk = tmp_path / "events.jsonl"
+        junk.write_text("this is not jsonl {", encoding="utf-8")
+        assert main(["obs", "validate", str(junk)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+    @pytest.mark.slow
+    def test_verify_fuzz_pass_exits_zero(self, tmp_path, capsys):
+        code = main(
+            ["verify", "--seeds", "2", "--corpus", str(tmp_path / "corpus")]
+        )
+        assert code == 0
+        assert "all oracle checks passed" in capsys.readouterr().out
+
+    def test_verify_replay_failure_exits_one(self, tmp_path, capsys):
+        from repro.verify import Reproducer, write_reproducer
+
+        from tests.verify_cases import unfired_trap_triple
+
+        spec, campaign = unfired_trap_triple()
+        path = write_reproducer(
+            tmp_path,
+            Reproducer(kind="generated", campaign=campaign, spec=spec),
+        )
+        assert main(["verify", "--replay", str(path)]) == 1
+        assert "exact-agreement" in capsys.readouterr().err
+
+    def test_verify_replay_empty_corpus_exits_two(self, tmp_path, capsys):
+        code = main(
+            ["verify", "--replay", "--corpus", str(tmp_path / "nowhere")]
+        )
+        assert code == 2
+        assert "no reproducers" in capsys.readouterr().err
+
+    def test_verify_rejects_bad_seed_count(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["verify", "--seeds", "plenty"])
+        assert excinfo.value.code == 2
+
+
 class TestTwoNodeFlags:
     def test_campaign_twonode_flag(self):
         with pytest.warns(DeprecationWarning):

@@ -21,7 +21,7 @@ from repro.lint import Severity, lint_system
 from repro.model.module import ModuleSpec
 from repro.model.system import SystemModel
 
-from tests.test_random_topologies import layered_dag_systems
+from tests.strategies import layered_dag_systems
 
 
 def _rebuild(

@@ -1,7 +1,8 @@
 """Property tests over randomly generated system topologies.
 
-A hypothesis strategy builds arbitrary layered DAG systems (and a
-feedback variant), then checks the framework's global invariants:
+The layered-DAG strategies live in :mod:`tests.strategies` (shared
+with the lint property tests); this module checks the framework's
+global invariants over them:
 
 * construction always terminates and validates;
 * every analysis (graph, trees, paths, exposures, placement) runs
@@ -16,74 +17,14 @@ feedback variant), then checks the framework's global invariants:
 from __future__ import annotations
 
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.core.analysis import PropagationAnalysis
 from repro.core.backtrack import build_all_backtrack_trees
 from repro.core.paths import paths_of_backtrack_tree, paths_of_trace_tree
-from repro.core.permeability import PermeabilityMatrix
 from repro.core.trace import build_all_trace_trees
 from repro.core.treenode import NodeKind
-from repro.model.builder import SystemBuilder
-from repro.model.system import SystemModel
 
-
-@st.composite
-def layered_dag_systems(draw) -> SystemModel:
-    """A random layered DAG: each module consumes signals from earlier
-    layers (or fresh system inputs) and produces new signals."""
-    n_modules = draw(st.integers(min_value=1, max_value=6))
-    builder = SystemBuilder("random-dag")
-    available: list[str] = []
-    ext_counter = 0
-    produced: list[str] = []
-    for index in range(n_modules):
-        n_inputs = draw(st.integers(min_value=1, max_value=3))
-        inputs = []
-        for _ in range(n_inputs):
-            take_existing = available and draw(st.booleans())
-            if take_existing:
-                signal = draw(st.sampled_from(available))
-                if signal in inputs:
-                    continue
-            else:
-                signal = f"ext{ext_counter}"
-                ext_counter += 1
-                builder.mark_system_input(signal)
-            inputs.append(signal)
-        n_outputs = draw(st.integers(min_value=1, max_value=2))
-        outputs = [f"s{index}_{k}" for k in range(n_outputs)]
-        builder.add_module(f"M{index}", inputs=inputs, outputs=outputs)
-        available.extend(outputs)
-        produced.extend(outputs)
-    # Anything unconsumed leaves the system.
-    return _finalise(builder, produced)
-
-
-def _finalise(builder: SystemBuilder, produced: list[str]) -> SystemModel:
-    """Mark unconsumed produced signals as system outputs and build."""
-    consumed: set[str] = set()
-    for spec in builder._modules:  # test-only introspection
-        consumed.update(spec.inputs)
-    unconsumed = [signal for signal in produced if signal not in consumed]
-    if not unconsumed:
-        # Guarantee at least one system output; the model accepts a
-        # signal that is both consumed internally and exported.
-        unconsumed = [produced[-1]]
-    builder.mark_system_outputs(unconsumed)
-    return builder.build()
-
-
-values01 = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
-
-
-@st.composite
-def dag_matrices(draw) -> PermeabilityMatrix:
-    system = draw(layered_dag_systems())
-    matrix = PermeabilityMatrix(system)
-    for key in system.pair_index():
-        matrix.set(*key, draw(values01))
-    return matrix
+from tests.strategies import dag_matrices
 
 
 @settings(max_examples=50, deadline=None)

@@ -1,0 +1,173 @@
+"""Unit and property tests for the executable-system generator."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lint import lint_system
+from repro.verify import (
+    GeneratedModule,
+    GeneratedSystem,
+    GeneratedSystemSpec,
+    SpecError,
+    analytical_matrix,
+    generate_system,
+)
+from repro.verify.oracles import default_campaign
+
+from tests.strategies import generated_executable_systems
+from tests.verify_cases import small_passing_triple
+
+
+class TestDeterminism:
+    def test_same_seed_same_spec(self):
+        assert generate_system(7).spec == generate_system(7).spec
+
+    def test_different_seeds_differ(self):
+        specs = {
+            json.dumps(generate_system(seed).spec.to_jsonable(), sort_keys=True)
+            for seed in range(20)
+        }
+        assert len(specs) == 20
+
+    def test_runs_are_reproducible(self):
+        generated = generate_system(11)
+        first = generated.build_run().run(20)
+        second = generated.build_run().run(20)
+        assert first.final_signals == second.final_signals
+        assert first.telemetry == second.telemetry
+
+
+class TestGeneratedShape:
+    def test_first_seeds_cover_feedback_and_acyclic(self):
+        flags = {generate_system(seed).has_feedback for seed in range(10)}
+        assert flags == {True, False}
+
+    @settings(max_examples=25, deadline=None)
+    @given(generated_executable_systems())
+    def test_generated_systems_lint_clean_at_error_severity(self, generated):
+        report = lint_system(generated.system)
+        assert not report.has_errors, report.render_text()
+
+    @settings(max_examples=25, deadline=None)
+    @given(generated_executable_systems())
+    def test_generated_systems_are_runnable(self, generated):
+        duration = default_campaign(generated).duration_ms
+        result = generated.build_run().run(duration)
+        assert result.duration_ms == duration
+        assert "env_out_checksum" in result.telemetry
+
+    @settings(max_examples=25, deadline=None)
+    @given(generated_executable_systems())
+    def test_analytical_matrix_is_complete_and_bounded(self, generated):
+        campaign = default_campaign(generated)
+        matrix = generated.analytical_matrix(campaign.n_bits)
+        assert matrix.is_complete()
+        for _, estimate in matrix.items():
+            assert 0.0 <= estimate.value <= 1.0
+            assert not estimate.is_experimental
+
+    @settings(max_examples=25, deadline=None)
+    @given(generated_executable_systems())
+    def test_spec_round_trips_through_json(self, generated):
+        data = generated.spec.to_jsonable()
+        assert GeneratedSystemSpec.from_jsonable(data) == generated.spec
+
+
+class TestSpecValidation:
+    def test_rejects_two_feedback_signals(self):
+        spec, _ = small_passing_triple()
+        data = spec.to_jsonable()
+        data["modules"][0]["inputs"] = ["in0", "out0", "out1"]
+        data["modules"][0]["outputs"] = ["out0", "out1"]
+        data["modules"][0]["masks"] = {
+            i: {"out0": 1, "out1": 1} for i in ("in0", "out0", "out1")
+        }
+        data["widths"]["out1"] = 16
+        with pytest.raises(SpecError, match="feedback"):
+            GeneratedSystemSpec.from_jsonable(data)
+
+    def test_rejects_missing_mask(self):
+        spec, _ = small_passing_triple()
+        data = spec.to_jsonable()
+        data["modules"][0]["masks"] = {}
+        with pytest.raises(SpecError):
+            GeneratedSystemSpec.from_jsonable(data)
+
+    def test_rejects_period_not_dividing_slots(self):
+        spec, _ = small_passing_triple()
+        data = spec.to_jsonable()
+        data["n_slots"] = 4
+        data["modules"][0]["period_ms"] = 3
+        with pytest.raises(SpecError, match="period"):
+            GeneratedSystemSpec.from_jsonable(data)
+
+    def test_analytical_rejects_oversized_bit_count(self):
+        spec, _ = small_passing_triple()
+        with pytest.raises(SpecError, match="n_bits"):
+            analytical_matrix(spec, 32)
+
+
+class TestAnalyticalValues:
+    def test_direct_mask_permeability(self):
+        spec, campaign = small_passing_triple()
+        matrix = analytical_matrix(spec, campaign.n_bits)
+        # mask 0xA over the 4-bit flip band: bits 1 and 3 survive.
+        assert matrix.get("M0", "in0", "out0") == pytest.approx(0.5)
+
+    def test_output_width_truncates_the_mask(self):
+        spec, _ = small_passing_triple()
+        data = spec.to_jsonable()
+        data["widths"]["out0"] = 2  # only bit 1 of mask 0xA survives
+        narrow = GeneratedSystemSpec.from_jsonable(data)
+        matrix = analytical_matrix(narrow, 4)
+        assert matrix.get("M0", "in0", "out0") == pytest.approx(0.25)
+
+    def test_feedback_detour_is_included(self):
+        spec = GeneratedSystemSpec(
+            name="fb",
+            seed=0,
+            n_slots=1,
+            env_seed=1,
+            widths={"in0": 8, "out0": 8, "fb": 8},
+            system_inputs=("in0",),
+            system_outputs=("out0",),
+            modules=(
+                # No direct in0->out0 path; bit 0 reaches out0 only via
+                # the feedback store (in0 -> fb -> out0).
+                GeneratedModule(
+                    name="M0",
+                    inputs=("in0", "fb"),
+                    outputs=("out0", "fb"),
+                    masks={
+                        "in0": {"out0": 0x0, "fb": 0x1},
+                        "fb": {"out0": 0x1, "fb": 0x0},
+                    },
+                ),
+            ),
+        )
+        matrix = analytical_matrix(spec, 2)
+        assert matrix.get("M0", "in0", "out0") == pytest.approx(0.5)
+        assert matrix.get("M0", "in0", "fb") == pytest.approx(0.5)
+
+
+class TestStatelessness:
+    def test_mask_module_state_dict_is_empty(self):
+        generated = generate_system(0)
+        run = generated.build_run()
+        run.run(5)
+        checkpoint = run.checkpoint()
+        assert all(state == {} for state in checkpoint.modules.values())
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=500))
+def test_generated_system_wraps_spec_losslessly(seed):
+    generated = generate_system(seed)
+    rebuilt = GeneratedSystem(generated.spec)
+    assert rebuilt.system.name == generated.system.name
+    assert rebuilt.system.module_names() == generated.system.module_names()

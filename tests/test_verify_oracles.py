@@ -1,0 +1,166 @@
+"""Tests for the differential oracle and its metamorphic relations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.permeability import PermeabilityEstimate, PermeabilityMatrix
+from repro.injection.estimator import pair_trial_counts
+from repro.obs.propagation import ArcCounts
+from repro.verify import (
+    GeneratedSystem,
+    OracleFailure,
+    VerifyCampaign,
+    default_campaign,
+    generate_system,
+    verify_generated,
+)
+from repro.verify.oracles import (
+    check_dead_sink_invariance,
+    check_prerr_scaling,
+)
+
+from tests.verify_cases import small_passing_triple, unfired_trap_triple
+
+ALL_CHECKS = (
+    "strategy-identity",
+    "obs-vs-estimator",
+    "exact-agreement",
+    "ci-sanity",
+    "ci-containment",
+    "metamorphic-dead-sink",
+    "metamorphic-prerr-scaling",
+)
+
+
+def _feedback_seed() -> int:
+    for seed in range(10):
+        if generate_system(seed).has_feedback:
+            return seed
+    raise AssertionError("no feedback topology in the first 10 seeds")
+
+
+class TestOraclePasses:
+    def test_small_triple_passes_every_check(self):
+        spec, campaign = small_passing_triple()
+        report = verify_generated(GeneratedSystem(spec), campaign)
+        assert report.checks == ALL_CHECKS
+        assert not report.has_feedback
+        assert report.n_runs > 0
+
+    def test_feedback_topology_passes(self):
+        generated = generate_system(_feedback_seed())
+        report = verify_generated(generated)
+        assert report.has_feedback
+        assert report.checks == ALL_CHECKS
+
+    def test_report_render_mentions_strategies(self):
+        spec, campaign = small_passing_triple()
+        report = verify_generated(GeneratedSystem(spec), campaign)
+        assert "3 strategies" in report.render()
+        assert "acyclic" in report.render()
+
+
+class TestOracleCatchesBugs:
+    def test_unfired_trap_fails_exact_agreement(self):
+        spec, campaign = unfired_trap_triple()
+        with pytest.raises(OracleFailure) as excinfo:
+            verify_generated(GeneratedSystem(spec), campaign)
+        assert excinfo.value.check == "exact-agreement"
+        assert "[exact-agreement]" in str(excinfo.value)
+
+    def test_biased_point_estimate_is_caught(self, monkeypatch):
+        """An off-by-one in n_err/n_inj escapes the Wilson CI at n~16 but
+        not the exact-agreement check."""
+        original = PermeabilityEstimate.from_counts.__func__
+
+        def biased(cls, n_errors, n_injections):
+            honest = original(cls, n_errors, n_injections)
+            return PermeabilityEstimate(
+                value=min(1.0, (n_errors + 1) / n_injections),
+                n_injections=honest.n_injections,
+                n_errors=honest.n_errors,
+            )
+
+        monkeypatch.setattr(
+            PermeabilityEstimate, "from_counts", classmethod(biased)
+        )
+        spec, campaign = small_passing_triple()
+        with pytest.raises(OracleFailure) as excinfo:
+            verify_generated(GeneratedSystem(spec), campaign)
+        assert excinfo.value.check == "exact-agreement"
+
+    def test_malformed_wilson_interval_is_caught(self, monkeypatch):
+        def broken(self, z=1.96):
+            return (min(1.0, self.value + 0.01), 1.0)
+
+        monkeypatch.setattr(PermeabilityEstimate, "wilson_interval", broken)
+        spec, campaign = small_passing_triple()
+        with pytest.raises(OracleFailure) as excinfo:
+            verify_generated(GeneratedSystem(spec), campaign)
+        assert excinfo.value.check == "ci-sanity"
+
+
+class TestMetamorphicRelations:
+    def test_relations_hold_on_feedback_topology(self):
+        generated = generate_system(_feedback_seed())
+        campaign = default_campaign(generated)
+        analytical = generated.analytical_matrix(campaign.n_bits)
+        check_dead_sink_invariance(generated, analytical)
+        check_prerr_scaling(generated, analytical)
+        check_prerr_scaling(generated, analytical, factor=0.25)
+
+
+class TestVerifyCampaign:
+    def test_round_trips_without_targets(self):
+        campaign = VerifyCampaign(
+            duration_ms=20, injection_times_ms=(3, 9), n_bits=4, seed=5
+        )
+        assert VerifyCampaign.from_jsonable(campaign.to_jsonable()) == campaign
+
+    def test_round_trips_with_targets(self):
+        campaign = VerifyCampaign(
+            duration_ms=20,
+            injection_times_ms=(3,),
+            n_bits=2,
+            seed=5,
+            targets=(("M0", "in0"), ("M1", "s0_0")),
+        )
+        assert VerifyCampaign.from_jsonable(campaign.to_jsonable()) == campaign
+
+    def test_default_campaign_leaves_post_injection_headroom(self):
+        generated = generate_system(0)
+        campaign = default_campaign(generated)
+        slack = campaign.duration_ms - max(campaign.injection_times_ms)
+        assert slack >= 3 * generated.spec.n_slots
+        assert 1 <= campaign.n_bits <= 8
+
+
+class TestCountPlumbing:
+    def test_pair_trial_counts_rejects_analytical_matrix(self):
+        spec, _ = small_passing_triple()
+        matrix = PermeabilityMatrix(GeneratedSystem(spec).system)
+        matrix.set("M0", "in0", "out0", 0.5)
+        with pytest.raises(ValueError, match="trial counts"):
+            pair_trial_counts(matrix)
+
+    def test_pair_trial_counts_exposes_raw_counts(self):
+        spec, _ = small_passing_triple()
+        matrix = PermeabilityMatrix(GeneratedSystem(spec).system)
+        matrix.set_counts("M0", "in0", "out0", n_errors=3, n_injections=12)
+        assert pair_trial_counts(matrix) == {("M0", "in0", "out0"): (3, 12)}
+
+    def test_arc_counts_wilson_matches_estimate(self):
+        arc = ArcCounts(
+            module="M0",
+            input_signal="in0",
+            output_signal="out0",
+            n_injections=16,
+            n_propagated=8,
+        )
+        expected = PermeabilityEstimate.from_counts(8, 16).wilson_interval()
+        assert arc.wilson_interval() == expected
+
+    def test_arc_counts_wilson_uninformative_without_injections(self):
+        arc = ArcCounts(module="M0", input_signal="in0", output_signal="out0")
+        assert arc.wilson_interval() == (0.0, 1.0)

@@ -1,0 +1,113 @@
+"""Tests for the greedy failure shrinker and reproducer round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verify import (
+    Reproducer,
+    load_reproducer,
+    oracle_failure,
+    replay,
+    shrink_failure,
+    write_reproducer,
+)
+from repro.verify.shrink import remove_connection, remove_module
+
+from tests.verify_cases import small_passing_triple, unfired_trap_triple
+
+
+class TestStructuralEdits:
+    def test_remove_module_prunes_signal_tables(self):
+        spec, _ = unfired_trap_triple()
+        shrunk = remove_module(spec, "OK2")
+        assert shrunk is not None
+        assert [m.name for m in shrunk.modules] == ["BAD", "OK0", "OK1"]
+        # OK1's output lost its only consumer and becomes a system output.
+        assert "ok1_out" in shrunk.system_outputs
+        assert "ok2_out" not in shrunk.widths
+
+    def test_remove_module_orphan_inputs_become_system_inputs(self):
+        spec, _ = unfired_trap_triple()
+        shrunk = remove_module(spec, "OK0")
+        assert shrunk is not None
+        # OK1 now reads a producer-less signal; the environment drives it.
+        assert "ok0_out" in shrunk.system_inputs
+
+    def test_remove_unknown_module_is_a_noop(self):
+        spec, _ = unfired_trap_triple()
+        assert remove_module(spec, "NOPE") is None
+
+    def test_remove_last_module_yields_none(self):
+        spec, _ = small_passing_triple()
+        assert remove_module(spec, "M0") is None
+
+    def test_remove_connection_never_strips_last_input(self):
+        spec, _ = small_passing_triple()
+        assert remove_connection(spec, "M0", "in0") is None
+
+    def test_remove_connection_drops_input_and_mask(self):
+        spec, _ = unfired_trap_triple()
+        # Give BAD a second input so the connection pass has work to do.
+        import dataclasses
+
+        bad = spec.modules[0]
+        widened = dataclasses.replace(
+            bad,
+            inputs=("bad_in", "ok0_in"),
+            masks={"bad_in": {"bad_out": 0xF}, "ok0_in": {"bad_out": 0x3}},
+        )
+        spec = dataclasses.replace(spec, modules=(widened, *spec.modules[1:]))
+        shrunk = remove_connection(spec, "BAD", "ok0_in")
+        assert shrunk is not None
+        module = shrunk.module("BAD")
+        assert module.inputs == ("bad_in",)
+        assert "ok0_in" not in module.masks
+
+
+class TestShrinkFailure:
+    def test_refuses_to_shrink_a_passing_triple(self):
+        spec, campaign = small_passing_triple()
+        with pytest.raises(ValueError, match="passes"):
+            shrink_failure(spec, campaign)
+
+    def test_shrinks_unfired_trap_to_single_module(self):
+        spec, campaign = unfired_trap_triple()
+        shrunk_spec, shrunk_campaign, failure = shrink_failure(spec, campaign)
+        assert [m.name for m in shrunk_spec.modules] == ["BAD"]
+        assert len(list(shrunk_spec.connections())) == 1
+        assert len(shrunk_campaign.injection_times_ms) == 1
+        assert shrunk_campaign.n_bits == 1
+        assert "[exact-agreement]" in failure
+
+    def test_shrunk_triple_still_fails_the_oracle(self):
+        spec, campaign = unfired_trap_triple()
+        shrunk_spec, shrunk_campaign, _ = shrink_failure(spec, campaign)
+        assert oracle_failure(shrunk_spec, shrunk_campaign) is not None
+
+
+class TestReproducerRoundTrip:
+    def test_write_then_load_then_replay_failure(self, tmp_path):
+        spec, campaign = unfired_trap_triple()
+        reproducer = Reproducer(
+            kind="generated",
+            campaign=campaign,
+            spec=spec,
+            note="unfired trap",
+            failure="[exact-agreement] measured != analytical",
+        )
+        path = write_reproducer(tmp_path, reproducer)
+        assert path.name.startswith("shrunk-")
+        loaded = load_reproducer(path)
+        assert loaded.note == "unfired trap"
+        assert loaded.campaign == campaign
+        with pytest.raises(Exception, match="exact-agreement"):
+            replay(loaded)
+
+    def test_content_id_ignores_failure_text(self):
+        spec, campaign = unfired_trap_triple()
+        with_failure = Reproducer(
+            kind="generated", campaign=campaign, spec=spec, failure="boom"
+        )
+        without = Reproducer(kind="generated", campaign=campaign, spec=spec)
+        assert with_failure.content_id() == without.content_id()
