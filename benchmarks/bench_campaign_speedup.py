@@ -27,6 +27,18 @@ Strategies
     metrics go to ``benchmarks/out/metrics.json`` and the overhead is
     reported relative to the unobserved ``fast_forward`` pass.
 
+Systems
+-------
+The ``--system`` axis picks the workload.  ``arrestment`` (the paper's
+plant) exercises the strategies above.  ``generated`` runs a hand-built
+feedback-heavy XOR-mask system from :mod:`repro.verify.generators` —
+every module vectorizable, injected errors persisting to the end of the
+run — and times the ``fast_forward`` strategy under both simulation
+backends, reporting the ``batched`` lane kernel's speedup over the
+reference runtime (section ``batched``, key ``batched_speedup``;
+CI-gated to never regress below 1.0x, targeting >= 10x).  ``both``
+(the default) runs the two workloads back to back into one report.
+
 Methodology: before any stopwatch starts, one untimed pass per
 strategy asserts every strategy is outcome-identical to ``naive`` —
 a diverging strategy aborts immediately rather than after minutes of
@@ -112,6 +124,77 @@ def build_campaign(
     )
 
 
+#: Bit positions flipped on the generated workload — the full 16-bit
+#: signal width, so every (target, instant) group fills a wide batch.
+GENERATED_BITS = 16
+
+#: Modules in the generated benchmark chain.
+GENERATED_CHAIN = 5
+
+
+def build_generated_system():
+    """A feedback-heavy, fully vectorizable XOR-mask system.
+
+    A chain of :data:`GENERATED_CHAIN` modules, each XOR-ing the
+    previous stage with its own output (full-width masks).  The
+    self-loops make every injected bit-flip persist to the end of the
+    run, so reconvergence fast-forward never triggers and the benchmark
+    isolates raw stepping throughput — the regime the batched lane
+    kernel is built for.
+    """
+    from repro.verify.generators import (
+        GeneratedModule,
+        GeneratedSystem,
+        GeneratedSystemSpec,
+    )
+
+    full = (1 << GENERATED_BITS) - 1
+    widths = {"x_in": GENERATED_BITS}
+    modules = []
+    previous = "x_in"
+    for index in range(GENERATED_CHAIN):
+        out = f"s{index}"
+        widths[out] = GENERATED_BITS
+        modules.append(
+            GeneratedModule(
+                name=f"M{index}",
+                inputs=(previous, out),
+                outputs=(out,),
+                masks={previous: {out: full}, out: {out: full}},
+            )
+        )
+        previous = out
+    spec = GeneratedSystemSpec(
+        name="bench-feedback-chain",
+        seed=0,
+        n_slots=GENERATED_CHAIN,
+        env_seed=1234,
+        widths=widths,
+        system_inputs=("x_in",),
+        system_outputs=(previous,),
+        modules=tuple(modules),
+    )
+    return GeneratedSystem(spec)
+
+
+def build_generated_campaign(
+    scale: dict, backend: str, seed: int = DEFAULT_SEED
+) -> InjectionCampaign:
+    generated = build_generated_system()
+    config = CampaignConfig(
+        duration_ms=scale["duration_ms"],
+        injection_times_ms=tuple(scale["times"]),
+        error_models=tuple(bit_flip_models(GENERATED_BITS)),
+        seed=seed,
+        reuse_golden_prefix=True,
+        fast_forward=True,
+        backend=backend,
+    )
+    return InjectionCampaign(
+        generated.system, generated.run_factory, ["w0"], config
+    )
+
+
 def fingerprint(result):
     """Strategy-independent summary of a campaign result's outcomes."""
     return [
@@ -160,6 +243,19 @@ def verify_strategies(scale: dict, seed: int, workers: int) -> None:
           f"seed {seed})")
 
 
+def verify_backends(scale: dict, seed: int) -> None:
+    """Assert the batched backend is outcome-identical to reference."""
+    reference = fingerprint(
+        build_generated_campaign(scale, "reference", seed=seed).execute()
+    )
+    batched = fingerprint(
+        build_generated_campaign(scale, "batched", seed=seed).execute()
+    )
+    assert batched == reference, \
+        "batched backend diverged from the reference backend"
+    print(f"  backend identity verified ({len(reference)} IRs, seed {seed})")
+
+
 def timed(label: str, make_run, warmup: int, trials: int):
     """Best-of-``trials`` wall clock after ``warmup`` untimed executions.
 
@@ -188,6 +284,14 @@ def main(argv=None) -> int:
         choices=sorted(SCALES),
         default=os.environ.get("REPRO_BENCH_SCALE", "smoke"),
         help="campaign size (default: $REPRO_BENCH_SCALE or smoke)",
+    )
+    parser.add_argument(
+        "--system",
+        choices=("arrestment", "generated", "both"),
+        default=os.environ.get("REPRO_BENCH_SYSTEM", "both"),
+        help="workload: the paper's plant (execution strategies), the "
+        "vectorizable generated chain (simulation backends), or both "
+        "(default: $REPRO_BENCH_SYSTEM or both)",
     )
     parser.add_argument(
         "--workers",
@@ -234,6 +338,36 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     scale = SCALES[args.scale]
 
+    report = {
+        "scale": args.scale,
+        "seed": args.seed,
+        "system": args.system,
+        "methodology": {
+            "warmup_runs": args.warmup,
+            "timed_trials": args.trials,
+            "statistic": "min",
+        },
+    }
+    failed = False
+    metrics_observer = None
+    if args.system in ("arrestment", "both"):
+        failed, metrics_observer = _bench_arrestment(args, scale, report)
+    if args.system in ("generated", "both"):
+        failed = _bench_generated(args, scale, report) or failed
+
+    payload = json.dumps(report, indent=2) + "\n"
+    for path in (args.out, args.publish):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(payload, encoding="utf-8")
+        print(f"wrote {path}")
+    if metrics_observer is not None:
+        args.metrics_out.parent.mkdir(parents=True, exist_ok=True)
+        metrics_observer.metrics.dump_json(args.metrics_out)
+        print(f"wrote {args.metrics_out}")
+    return 1 if failed else 0
+
+
+def _bench_arrestment(args, scale: dict, report: dict):
     reference = build_campaign(
         scale, reuse=True, fast_forward=True, seed=args.seed
     )
@@ -241,7 +375,8 @@ def main(argv=None) -> int:
     total_ms = reference.simulated_ms_total()
     skipped_ms = reference.simulated_ms_skipped()
     print(
-        f"[{args.scale}] {total_runs} IRs x {scale['duration_ms']} ms; "
+        f"[{args.scale}/arrestment] {total_runs} IRs x "
+        f"{scale['duration_ms']} ms; "
         f"prefix reuse skips {skipped_ms}/{total_ms} simulated ms "
         f"({skipped_ms / total_ms:.0%}); warmup={args.warmup} "
         f"trials={args.trials} seed={args.seed}"
@@ -313,20 +448,13 @@ def main(argv=None) -> int:
           f"grid-sharded speedup: {sharded_speedup:.2f}x, "
           f"observer overhead: {observer_overhead:+.1%}")
 
-    report = {
-        "scale": args.scale,
-        "seed": args.seed,
+    report.update({
         "config": {
             "cases": scale["cases"],
             "duration_ms": scale["duration_ms"],
             "injection_times_ms": list(scale["times"]),
             "bit_positions": scale["bits"],
             "targets": len(reference.targets),
-        },
-        "methodology": {
-            "warmup_runs": args.warmup,
-            "timed_trials": args.trials,
-            "statistic": "min",
         },
         "total_runs": total_runs,
         "simulated_ms_total": total_ms,
@@ -356,15 +484,7 @@ def main(argv=None) -> int:
         "fast_forward_speedup": ff_speedup,
         "grid_sharded_speedup": sharded_speedup,
         "observer_overhead": observer_overhead,
-    }
-    payload = json.dumps(report, indent=2) + "\n"
-    for path in (args.out, args.publish):
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(payload, encoding="utf-8")
-        print(f"wrote {path}")
-    args.metrics_out.parent.mkdir(parents=True, exist_ok=True)
-    metrics_observer.metrics.dump_json(args.metrics_out)
-    print(f"wrote {args.metrics_out}")
+    })
 
     failed = False
     if prefix_speedup < 1.25:
@@ -376,7 +496,70 @@ def main(argv=None) -> int:
               "below the 1.3x target")
         # Hard floor: fast-forward must never make the campaign slower.
         failed = failed or ff_speedup < 1.0
-    return 1 if failed else 0
+    return failed, metrics_observer
+
+
+def _bench_generated(args, scale: dict, report: dict) -> bool:
+    reference = build_generated_campaign(scale, "reference", seed=args.seed)
+    total_runs = reference.total_runs()
+    print(
+        f"[{args.scale}/generated] {total_runs} IRs x "
+        f"{scale['duration_ms']} ms; {GENERATED_CHAIN}-module feedback "
+        f"chain, {GENERATED_BITS} bit positions; warmup={args.warmup} "
+        f"trials={args.trials} seed={args.seed}"
+    )
+
+    verify_backends(scale, args.seed)
+
+    ff_result, ff_s = timed(
+        "gen fast-forward    ",
+        lambda: build_generated_campaign(
+            scale, "reference", seed=args.seed
+        ).execute,
+        args.warmup, args.trials,
+    )
+    _, batched_s = timed(
+        "gen batched         ",
+        lambda: build_generated_campaign(
+            scale, "batched", seed=args.seed
+        ).execute,
+        args.warmup, args.trials,
+    )
+
+    batched_speedup = ff_s / batched_s
+    print(f"  batched-kernel speedup over fast-forward: "
+          f"{batched_speedup:.2f}x "
+          f"({ff_result.reconverged_fraction():.0%} of IRs reconverged "
+          "under the reference strategy)")
+
+    report.update({
+        "generated_config": {
+            "modules": GENERATED_CHAIN,
+            "duration_ms": scale["duration_ms"],
+            "injection_times_ms": list(scale["times"]),
+            "bit_positions": GENERATED_BITS,
+            "targets": len(reference.targets),
+            "total_runs": total_runs,
+        },
+        "generated_fast_forward": {
+            "seconds": ff_s,
+            "runs_per_sec": total_runs / ff_s,
+            "reconverged_fraction": ff_result.reconverged_fraction(),
+        },
+        "batched": {
+            "seconds": batched_s,
+            "runs_per_sec": total_runs / batched_s,
+            "speedup_vs_fast_forward": batched_speedup,
+        },
+        "batched_speedup": batched_speedup,
+    })
+
+    if batched_speedup < 10.0:
+        print(f"WARNING: batched-kernel speedup {batched_speedup:.2f}x "
+              "below the 10x target")
+    # Hard floor: the lane kernel must never lose to scalar stepping
+    # on its home workload.
+    return batched_speedup < 1.0
 
 
 if __name__ == "__main__":

@@ -24,8 +24,9 @@ Commands
 ``verify``
     Differential fuzzing (see docs/TESTING.md): generate random
     executable systems and cross-check analytical permeabilities
-    against injection campaigns under all three execution strategies.
-    Failures are shrunk and archived as corpus reproducers.
+    against injection campaigns under every execution strategy and
+    simulation backend.  Failures are shrunk and archived as corpus
+    reproducers.
 
 The CLI is a thin layer over the library; everything it does is
 available programmatically (see README.md and docs/OBSERVABILITY.md).
@@ -35,6 +36,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 import warnings
@@ -65,6 +67,7 @@ from repro.injection.selection import paper_times
 from repro.model.examples import build_fig2_system, fig2_permeabilities
 from repro.obs import CampaignObserver, validate_events
 from repro.obs.summary import summarize_events_file
+from repro.simulation.backend import available_backends
 
 __all__ = ["main", "make_progress_printer"]
 
@@ -174,6 +177,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         reuse_golden_prefix=not args.no_prefix_reuse,
         fast_forward=not args.no_fast_forward,
         lint=not args.no_lint,
+        backend=args.backend,
     )
     observer = None
     if args.events or args.metrics:
@@ -336,6 +340,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     )
 
     corpus_dir = Path(args.corpus)
+    backends = None if args.backend == "both" else (args.backend,)
 
     if args.replay is not None:
         paths = [Path(p) for p in args.replay] or iter_corpus(corpus_dir)
@@ -345,7 +350,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         status = 0
         for path in paths:
             try:
-                report = replay(load_reproducer(path))
+                report = replay(load_reproducer(path), backends=backends)
             except OracleFailure as failure:
                 print(f"FAIL {path}: {failure}", file=sys.stderr)
                 status = 1
@@ -373,7 +378,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         campaign = default_campaign(generated)
         feedback_seen += 1 if generated.has_feedback else 0
         try:
-            report = verify_generated(generated, campaign)
+            report = verify_generated(generated, campaign, backends=backends)
         except OracleFailure as failure:
             message = str(failure)
         except Exception as exc:  # a crash mid-oracle is a failure too
@@ -499,6 +504,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="disable reconvergence fast-forward "
                           "(simulate every IR to the end even after "
                           "its injected error provably died out)")
+    campaign.add_argument("--backend", choices=available_backends(),
+                          default=os.environ.get("REPRO_BACKEND", "reference"),
+                          help="simulation backend executing the injection "
+                          "runs (default: $REPRO_BACKEND or 'reference'; "
+                          "see docs/PERFORMANCE.md)")
     campaign.add_argument("--no-lint", action="store_true",
                           help="skip the pre-campaign model lint gate "
                           "(see docs/LINTING.md)")
@@ -583,6 +593,10 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--replay", metavar="FILE", nargs="*", default=None,
                         help="replay reproducer file(s) instead of fuzzing; "
                         "without arguments, replay the whole corpus")
+    verify.add_argument("--backend", choices=(*available_backends(), "both"),
+                        default="both",
+                        help="restrict the oracle's strategy matrix to one "
+                        "simulation backend (default: cross-check both)")
     verify.add_argument("--no-shrink", action="store_true",
                         help="archive failures unshrunk (faster triage)")
     verify.set_defaults(func=_cmd_verify)

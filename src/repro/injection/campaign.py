@@ -62,6 +62,7 @@ views cached across chunks.
 
 from __future__ import annotations
 
+import os
 import time
 import zlib
 from dataclasses import dataclass, field
@@ -74,6 +75,7 @@ from repro.injection.selection import paper_times
 from repro.injection.traps import InputInjectionTrap
 from repro.model.errors import CampaignError
 from repro.model.system import SystemModel
+from repro.simulation.backend import available_backends, get_backend
 from repro.simulation.runtime import (
     GoldenReference,
     RunCheckpoint,
@@ -144,6 +146,13 @@ class CampaignConfig:
         the campaign with :class:`CampaignError`, warnings are reported
         through the observer (``LintReported`` event).  ``False``
         (CLI: ``--no-lint``) skips the gate.
+    backend:
+        The :mod:`simulation backend <repro.simulation.backend>`
+        executing the injection runs: ``"reference"`` (the
+        frame-stepping runtime) or ``"batched"`` (the vectorized lane
+        kernel, byte-identical by contract).  Defaults to the
+        ``REPRO_BACKEND`` environment variable, falling back to
+        ``"reference"``.
     """
 
     duration_ms: int = 8000
@@ -156,6 +165,9 @@ class CampaignConfig:
     reuse_golden_prefix: bool = True
     fast_forward: bool = True
     lint: bool = True
+    backend: str = field(
+        default_factory=lambda: os.environ.get("REPRO_BACKEND", "reference")
+    )
 
     def __post_init__(self) -> None:
         if self.duration_ms < 1:
@@ -169,6 +181,11 @@ class CampaignConfig:
                 "latest injection time "
                 f"({max(self.injection_times_ms)} ms) must fall inside the "
                 f"run duration ({self.duration_ms} ms)"
+            )
+        if self.backend not in available_backends():
+            raise CampaignError(
+                f"unknown simulation backend {self.backend!r}; expected one "
+                f"of {', '.join(available_backends())}"
             )
 
     def runs_per_target(self) -> int:
@@ -343,6 +360,114 @@ def _run_shard(
     return outcomes, obs_payload, time.perf_counter() - started
 
 
+@dataclass(frozen=True)
+class _InjectionPoint:
+    """One planned injection of a case grid (backend work unit)."""
+
+    module: str
+    signal: str
+    time_ms: int
+    model: ErrorModel
+    checkpoint: RunCheckpoint | None
+
+
+class _CaseContext:
+    """The campaign-side view a simulation backend works against.
+
+    Owns grid order, observer emission, Golden-Run comparison and
+    outcome records for one test case, so backends only decide *how*
+    runs execute (see :mod:`repro.simulation.backend`).
+    """
+
+    def __init__(
+        self,
+        campaign: "InjectionCampaign",
+        runner: SimulationRun,
+        golden: GoldenRun,
+        targets: Sequence[tuple[str, str]],
+        checkpoints: Mapping[int, RunCheckpoint],
+    ) -> None:
+        self._campaign = campaign
+        self.runner = runner
+        self.golden = golden
+        self.golden_ref = golden.reference
+        self.config = campaign.config
+        self._targets = tuple(targets)
+        self._checkpoints = checkpoints
+
+    @property
+    def metrics(self):
+        """The observer's metrics registry, if observability is on."""
+        obs = self._campaign.observer
+        return None if obs is None else obs.metrics
+
+    def injection_points(self) -> Iterator[_InjectionPoint]:
+        """The case's planned injections, in canonical grid order."""
+        config = self.config
+        for module, signal in self._targets:
+            for time_ms in config.injection_times_ms:
+                checkpoint = self._checkpoints.get(time_ms)
+                for model in config.error_models:
+                    yield _InjectionPoint(
+                        module, signal, time_ms, model, checkpoint
+                    )
+
+    def run_reference(
+        self, point: _InjectionPoint
+    ) -> tuple[InjectionOutcome, RunResult]:
+        """Execute one injection with the frame-stepping runtime."""
+        return self._campaign._one_injection(
+            self.runner,
+            self.golden,
+            self.golden.case_id,
+            point.module,
+            point.signal,
+            point.time_ms,
+            point.model,
+            point.checkpoint,
+            self.golden_ref,
+        )
+
+    def emit_result(
+        self,
+        point: _InjectionPoint,
+        injected: RunResult,
+        fired_at_ms: int | None,
+    ) -> tuple[InjectionOutcome, RunResult]:
+        """Fold a backend-computed run into the campaign record.
+
+        Emits the same observer event sequence as the reference path
+        (``RunStarted``, ``CheckpointReused``, then the outcome chain),
+        so event streams stay comparable across backends.
+        """
+        campaign = self._campaign
+        obs = campaign.observer
+        case_id = self.golden.case_id
+        if obs is not None:
+            obs.on_run_started(
+                case_id,
+                kind="injection",
+                module=point.module,
+                signal=point.signal,
+                time_ms=point.time_ms,
+                error_model=point.model.name,
+            )
+            if point.checkpoint is not None:
+                obs.on_checkpoint_reused(
+                    case_id, point.time_ms, skipped_ms=point.checkpoint.time_ms
+                )
+        return campaign._finish_injection(
+            self.golden,
+            case_id,
+            point.module,
+            point.signal,
+            point.time_ms,
+            point.model,
+            injected,
+            fired_at_ms,
+        )
+
+
 class InjectionCampaign:
     """Runs the full GR/IR experiment grid over a set of test cases.
 
@@ -385,6 +510,7 @@ class InjectionCampaign:
         if not self._test_cases:
             raise CampaignError("at least one test case is required")
         self._config = config if config is not None else CampaignConfig()
+        self._exec_backend = get_backend(self._config.backend)
         self._targets = self._resolve_targets()
         self._golden_runs: dict[str, GoldenRun] = {}
 
@@ -513,6 +639,7 @@ class InjectionCampaign:
         started = time.perf_counter()
         if obs is not None:
             obs.on_campaign_started(self, mode="serial")
+            obs.on_backend_selected(self._exec_backend.name)
         self._lint_gate()
         result = CampaignResult(self._system)
         completed = 0
@@ -591,23 +718,14 @@ class InjectionCampaign:
         targets: Sequence[tuple[str, str]],
         checkpoints: Mapping[int, RunCheckpoint],
     ) -> Iterator[tuple[InjectionOutcome, RunResult]]:
-        """Yield every IR of ``targets`` for one test case, in grid order."""
-        golden_ref = golden.reference
-        for module, signal in targets:
-            for time_ms in self._config.injection_times_ms:
-                checkpoint = checkpoints.get(time_ms)
-                for model in self._config.error_models:
-                    yield self._one_injection(
-                        runner,
-                        golden,
-                        golden.case_id,
-                        module,
-                        signal,
-                        time_ms,
-                        model,
-                        checkpoint,
-                        golden_ref,
-                    )
+        """Yield every IR of ``targets`` for one test case, in grid order.
+
+        Execution is delegated to the configured simulation backend;
+        the campaign retains ownership of grid order, observers,
+        comparison and outcome records via the case context.
+        """
+        context = _CaseContext(self, runner, golden, targets, checkpoints)
+        return self._exec_backend.case_injections(context)
 
     def _one_injection(
         self,
@@ -670,6 +788,24 @@ class InjectionCampaign:
                 injected = runner.run(self._config.duration_ms, golden_ref)
         finally:
             runner.clear_hooks()
+        return self._finish_injection(
+            golden, case_id, module, signal, time_ms, model,
+            injected, trap.fired_at_ms,
+        )
+
+    def _finish_injection(
+        self,
+        golden: GoldenRun,
+        case_id: str,
+        module: str,
+        signal: str,
+        time_ms: int,
+        model: ErrorModel,
+        injected: "RunResult",
+        fired_at_ms: int | None,
+    ) -> tuple[InjectionOutcome, "RunResult"]:
+        """Compare an executed IR to its Golden Run and record the outcome."""
+        obs = self._observer
         if obs is not None and obs.metrics is not None:
             with obs.metrics.timer("phase.comparison.seconds"):
                 comparison = compare_to_golden_run(golden, injected)
@@ -680,7 +816,7 @@ class InjectionCampaign:
             module=module,
             input_signal=signal,
             scheduled_time_ms=time_ms,
-            fired_at_ms=trap.fired_at_ms,
+            fired_at_ms=fired_at_ms,
             error_model=model.name,
             comparison=comparison,
             reconverged_at_ms=injected.reconverged_at_ms,
@@ -752,6 +888,7 @@ class InjectionCampaign:
         started = time.perf_counter()
         if obs is not None:
             obs.on_campaign_started(self, mode="parallel")
+            obs.on_backend_selected(self._exec_backend.name)
         self._lint_gate()
         config = dataclasses.replace(
             self._config, targets=self._targets

@@ -70,6 +70,17 @@ class BitFlip(ErrorModel):
             )
         return wrap_unsigned(value ^ (1 << self.bit), width)
 
+    def vector_xor_mask(self, width: int) -> int | None:
+        """The corruption as a pure XOR mask (batched-backend contract).
+
+        ``None`` means not vectorizable at this width — the run then
+        executes through the reference path, which raises the same
+        width error :meth:`apply` would.
+        """
+        if self.bit >= width:
+            return None
+        return 1 << self.bit
+
     @property
     def name(self) -> str:
         return f"bitflip[{self.bit}]"
@@ -105,6 +116,12 @@ class DoubleBitFlip(ErrorModel):
                 f"{width}-bit signal width"
             )
         return wrap_unsigned(value ^ (1 << self.bit_a) ^ (1 << self.bit_b), width)
+
+    def vector_xor_mask(self, width: int) -> int | None:
+        """The burst as a pure XOR mask (see :meth:`BitFlip.vector_xor_mask`)."""
+        if max(self.bit_a, self.bit_b) >= width:
+            return None
+        return (1 << self.bit_a) | (1 << self.bit_b)
 
     @property
     def name(self) -> str:

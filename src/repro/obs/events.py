@@ -84,6 +84,19 @@ class CampaignStarted:
 
 
 @dataclass(frozen=True)
+class BackendSelected:
+    """The campaign resolved its simulation backend.
+
+    Emitted right after :class:`CampaignStarted` (parent process only),
+    so event streams produced by different backends are distinguishable
+    even before any backend-specific ``kernel.*`` metrics appear.  The
+    backend also participates in the manifest's config hash.
+    """
+
+    backend: str  # "reference" | "batched"
+
+
+@dataclass(frozen=True)
 class LintReported:
     """The pre-campaign lint pass finished (see :mod:`repro.lint`).
 
@@ -209,6 +222,7 @@ _EVENT_TYPES: dict[str, type] = {
     cls.__name__: cls
     for cls in (
         CampaignStarted,
+        BackendSelected,
         LintReported,
         RunStarted,
         CheckpointSaved,
@@ -498,6 +512,7 @@ class RunManifest:
     total_runs: int
     reuse_golden_prefix: bool
     fast_forward: bool
+    backend: str
     host: dict
     created_unix: float
 
@@ -516,6 +531,7 @@ def _hash_config(config, targets: tuple[tuple[str, str], ...]) -> str:
             "seed": config.seed,
             "reuse_golden_prefix": config.reuse_golden_prefix,
             "fast_forward": config.fast_forward,
+            "backend": config.backend,
         },
         sort_keys=True,
     )
@@ -540,6 +556,7 @@ def build_manifest(campaign) -> RunManifest:
         total_runs=campaign.total_runs(),
         reuse_golden_prefix=config.reuse_golden_prefix,
         fast_forward=config.fast_forward,
+        backend=config.backend,
         host={
             "platform": platform.platform(),
             "python": sys.version.split()[0],

@@ -22,6 +22,7 @@ import time
 from typing import TYPE_CHECKING, Iterable
 
 from repro.obs.events import (
+    BackendSelected,
     CampaignFinished,
     CampaignStarted,
     CheckpointReused,
@@ -130,6 +131,11 @@ class CampaignObserver:
             )
         if self.metrics is not None:
             self.metrics.gauge("campaign.total_runs").set(campaign.total_runs())
+
+    def on_backend_selected(self, backend: str) -> None:
+        """Record which simulation backend executes the injection runs."""
+        if self.events is not None:
+            self.events.emit(BackendSelected(backend=backend))
 
     def on_lint_report(self, report) -> None:
         """Record the pre-campaign lint pass (a :class:`~repro.lint.LintReport`)."""

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
 from repro.obs.events import (
+    BackendSelected,
     CampaignFinished,
     CampaignStarted,
     CheckpointReused,
@@ -44,6 +45,7 @@ PHASE_METRICS: tuple[tuple[str, str], ...] = (
     ("checkpoint.save.seconds", "checkpoint save"),
     ("checkpoint.restore.seconds", "checkpoint restore"),
     ("chunk.seconds", "worker chunk"),
+    ("kernel.batch_step.seconds", "batched kernel frame step"),
 )
 
 
@@ -55,6 +57,7 @@ class EventsSummary:
     n_events: int = 0
     total_runs: int = 0
     mode: str = "?"
+    backend: str | None = None
     outcome_mix: TallyCounter = field(default_factory=TallyCounter)
     #: (module, input, output) -> propagation count
     arc_hits: TallyCounter = field(default_factory=TallyCounter)
@@ -96,6 +99,8 @@ def summarize_events(
             summary.manifest = event.manifest
             summary.total_runs = event.total_runs
             summary.mode = event.mode
+        elif isinstance(event, BackendSelected):
+            summary.backend = event.backend
         elif isinstance(event, OutcomeClassified):
             summary.outcome_mix[event.outcome] += 1
             for output in event.propagated_outputs:
@@ -158,6 +163,27 @@ def _render_phases(metrics: Mapping) -> list[str]:
     ]
 
 
+def _render_kernel_line(metrics: Mapping) -> str | None:
+    """One-line digest of the batched kernel's ``kernel.*`` metrics."""
+
+    def _value(name: str) -> int:
+        data = metrics.get(name)
+        if not data or "value" not in data:
+            return 0
+        return int(data["value"])
+
+    retired = _value("kernel.lanes.retired")
+    fallback_runs = _value("kernel.fallback.runs")
+    scalar_modules = _value("kernel.scalar_fallback.modules")
+    if not (retired or fallback_runs or scalar_modules):
+        return None
+    return (
+        f"batched kernel: {retired} lanes retired, "
+        f"{fallback_runs} reference-fallback runs, "
+        f"{scalar_modules} scalar-fallback modules"
+    )
+
+
 def render_summary(summary: EventsSummary, top: int = 10) -> str:
     """Render the text report of one events file."""
     from repro.core.report import format_table
@@ -183,6 +209,9 @@ def render_summary(summary: EventsSummary, top: int = 10) -> str:
             f"(python {host.get('python')}, {host.get('cpu_count')} cpus)"
         )
         lines.append(f"  mode            : {summary.mode}")
+        backend = summary.backend or manifest.get("backend")
+        if backend is not None:
+            lines.append(f"  backend         : {backend}")
         lines.append("")
 
     n_classified = sum(summary.outcome_mix.values())
@@ -206,6 +235,9 @@ def render_summary(summary: EventsSummary, top: int = 10) -> str:
         )
     if summary.n_chunks:
         lines.append(f"parallel chunks completed: {summary.n_chunks}")
+    kernel_line = _render_kernel_line(summary.metrics)
+    if kernel_line is not None:
+        lines.append(kernel_line)
     lines.append("")
 
     if summary.outcome_mix:

@@ -6,6 +6,13 @@ running in simulated time against simulated hardware registers, with
 trap hook points for the fault-injection environment.
 """
 
+from repro.simulation.backend import (
+    ReferenceBackend,
+    SimulationBackend,
+    UnknownBackendError,
+    available_backends,
+    get_backend,
+)
 from repro.simulation.registers import (
     AdcRegister,
     FreeRunningCounter,
@@ -37,16 +44,21 @@ __all__ = [
     "OutputCompare",
     "PulseAccumulator",
     "ReadInterceptor",
+    "ReferenceBackend",
     "RunCheckpoint",
     "RunResult",
     "SignalStore",
     "SignalTrace",
     "SimClock",
+    "SimulationBackend",
     "SimulationRun",
     "SlotSchedule",
     "Snapshotable",
     "StoreMutator",
     "TraceSet",
+    "UnknownBackendError",
+    "available_backends",
+    "get_backend",
     "restore_state",
     "snapshot_state",
 ]

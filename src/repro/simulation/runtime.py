@@ -31,6 +31,7 @@ from __future__ import annotations
 import dataclasses
 from array import array
 from dataclasses import dataclass, field
+from types import MappingProxyType
 from typing import Any, Mapping, Protocol, Sequence
 
 from repro.model.errors import SimulationError, UnknownSignalError
@@ -451,6 +452,31 @@ class SimulationRun:
     @property
     def system(self) -> SystemModel:
         return self._system
+
+    @property
+    def schedule(self) -> SlotSchedule:
+        """The slot schedule driving module dispatch."""
+        return self._schedule
+
+    @property
+    def environment(self) -> Environment:
+        """The environment instance driving this run."""
+        return self._environment
+
+    @property
+    def modules(self) -> Mapping[str, SoftwareModule]:
+        """Module instances by name, in construction order."""
+        return MappingProxyType(self._modules)
+
+    @property
+    def slot_signal(self) -> str | None:
+        """The data-driven slot-selector signal, if configured."""
+        return self._slot_signal
+
+    @property
+    def trace_signals(self) -> tuple[str, ...]:
+        """Signals recorded into per-run traces, in trace order."""
+        return self._trace_signals
 
     def add_read_interceptor(self, interceptor: ReadInterceptor) -> None:
         """Install a consumer-scoped trap on module input reads."""

@@ -186,16 +186,23 @@ def _builtin_workload(name: str):
     raise SpecError(f"unknown builtin system {name!r}")
 
 
-def replay(reproducer: Reproducer) -> OracleReport:
-    """Run a reproducer through the oracle; raises OracleFailure if it fails."""
+def replay(
+    reproducer: Reproducer, backends: tuple[str, ...] | None = None
+) -> OracleReport:
+    """Run a reproducer through the oracle; raises OracleFailure if it fails.
+
+    ``backends`` restricts the oracle's strategy matrix to the named
+    simulation backends (``None`` exercises all of them).
+    """
     if reproducer.kind == "generated":
         assert reproducer.spec is not None
         return verify_generated(
-            GeneratedSystem(reproducer.spec), reproducer.campaign
+            GeneratedSystem(reproducer.spec), reproducer.campaign,
+            backends=backends,
         )
     assert reproducer.builtin is not None
     system, run_factory, cases = _builtin_workload(reproducer.builtin)
     report, _ = differential_oracle(
-        system, run_factory, cases, reproducer.campaign
+        system, run_factory, cases, reproducer.campaign, backends=backends
     )
     return report

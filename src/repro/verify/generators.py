@@ -62,6 +62,7 @@ __all__ = [
     "GeneratedSystemSpec",
     "LcgEnvironment",
     "MaskModule",
+    "OpaqueMaskModule",
     "SpecError",
     "analytical_matrix",
     "generate_system",
@@ -92,6 +93,10 @@ class GeneratedModule:
     masks: Mapping[str, Mapping[str, int]]
     period_ms: int = 1
     phase: int = 0
+    #: When ``True`` the module is built as :class:`OpaqueMaskModule`
+    #: (behaviourally identical, but hidden from the batched backend's
+    #: vectorizer) — exercises the scalar per-lane fallback path.
+    opaque: bool = False
 
     @property
     def feedback_signal(self) -> str | None:
@@ -210,6 +215,10 @@ class GeneratedSystemSpec:
                     "masks": {i: dict(per) for i, per in m.masks.items()},
                     "period_ms": m.period_ms,
                     "phase": m.phase,
+                    # Only serialized when set, so the content hashes of
+                    # pre-existing (fully vectorizable) corpus entries
+                    # are unchanged.
+                    **({"opaque": True} if m.opaque else {}),
                 }
                 for m in self.modules
             ],
@@ -241,6 +250,7 @@ class GeneratedSystemSpec:
                         },
                         period_ms=int(m.get("period_ms", 1)),
                         phase=int(m.get("phase", 0)),
+                        opaque=bool(m.get("opaque", False)),
                     )
                     for m in data["modules"]
                 ),
@@ -288,11 +298,34 @@ class MaskModule(SoftwareModule):
             produced[out] = acc
         return produced
 
+    def vector_plan(self) -> tuple:
+        """The mask plan for the batched backend's column kernel.
+
+        Exposing this asserts the module is stateless and its
+        ``activate`` is exactly ``out = XOR_i (in_i & mask)`` per the
+        returned ``(out, ((in, mask), ...))`` terms.
+        """
+        return self._plan
+
     def state_dict(self) -> dict:
         return {}
 
     def load_state_dict(self, state: dict) -> None:
         pass
+
+
+class OpaqueMaskModule(MaskModule):
+    """A :class:`MaskModule` hidden from the batched vectorizer.
+
+    Behaviourally identical (same masks, same activations, stateless),
+    but ``vector_plan`` is absent, so the batched backend must step it
+    through the scalar per-lane fallback.  Used by corpus reproducers
+    and tests to pin the mixed vectorized/scalar path.
+    """
+
+    #: Shadows the parent method with a non-callable: the batched
+    #: backend treats the module as non-vectorizable.
+    vector_plan = None
 
 
 class LcgEnvironment:
@@ -354,6 +387,27 @@ class LcgEnvironment:
         self._states = dict(state["states"])
         self._out_checksum = state["checksum"]
 
+    # -- batched-backend contract (lane-invariant environment) --------
+
+    #: ``before_software`` never reads the store and ``after_software``
+    #: derives its state from output values alone, so one shared
+    #: instance can drive every lane of a batch.
+    lane_invariant = True
+
+    def lane_state_dict(self, values: Mapping[str, int]) -> dict:
+        """:meth:`state_dict` as it would read on a lane with ``values``."""
+        checksum = 0
+        for signal in self._outputs:
+            checksum ^= values[signal]
+        return {"states": dict(self._states), "checksum": checksum}
+
+    def lane_telemetry(self, values: Mapping[str, int]) -> dict[str, float]:
+        """:meth:`telemetry` as it would read on a lane with ``values``."""
+        checksum = 0
+        for signal in self._outputs:
+            checksum ^= values[signal]
+        return {"env_out_checksum": float(checksum)}
+
 
 # ---------------------------------------------------------------------------
 # Spec -> executable system
@@ -408,7 +462,10 @@ class GeneratedSystem:
             schedule.assign_period(module.name, module.period_ms, module.phase)
         return SimulationRun(
             system=self.system,
-            modules=[MaskModule(m) for m in spec.modules],
+            modules=[
+                (OpaqueMaskModule if m.opaque else MaskModule)(m)
+                for m in spec.modules
+            ],
             schedule=schedule,
             environment=LcgEnvironment(
                 spec.env_seed, spec.system_inputs, spec.system_outputs

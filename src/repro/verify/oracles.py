@@ -58,15 +58,21 @@ __all__ = [
     "VerifyCampaign",
     "default_campaign",
     "differential_oracle",
+    "select_strategies",
     "verify_generated",
 ]
 
-#: The three execution strategies under test:
-#: (label, reuse_golden_prefix, fast_forward).
-STRATEGIES: tuple[tuple[str, bool, bool], ...] = (
-    ("naive", False, False),
-    ("checkpointed", True, False),
-    ("fast_forward", True, True),
+#: The execution strategies under test:
+#: (label, reuse_golden_prefix, fast_forward, backend).  The first
+#: entry is the baseline every other strategy must match byte-for-byte;
+#: the ``batched`` strategy runs the vectorized lane kernel on top of
+#: the fast-forward configuration, so one oracle pass cross-checks the
+#: campaign engine *and* the simulation backend.
+STRATEGIES: tuple[tuple[str, bool, bool, str], ...] = (
+    ("naive", False, False, "reference"),
+    ("checkpointed", True, False, "reference"),
+    ("fast_forward", True, True, "reference"),
+    ("batched", True, True, "batched"),
 )
 
 #: Slack between measured floats that should be *identical* arithmetic.
@@ -90,12 +96,13 @@ class OracleReport:
     n_runs: int
     has_feedback: bool
     checks: tuple[str, ...]
+    n_strategies: int = len(STRATEGIES)
 
     def render(self) -> str:
         feedback = "with feedback" if self.has_feedback else "acyclic"
         return (
             f"{self.system}: {self.n_runs} runs x "
-            f"{len(STRATEGIES)} strategies ({feedback}); "
+            f"{self.n_strategies} strategies ({feedback}); "
             f"checks: {', '.join(self.checks)}"
         )
 
@@ -111,7 +118,9 @@ class VerifyCampaign:
     #: ``None`` injects every input of every module.
     targets: tuple[tuple[str, str], ...] | None = None
 
-    def to_config(self, reuse: bool, fast_forward: bool) -> CampaignConfig:
+    def to_config(
+        self, reuse: bool, fast_forward: bool, backend: str = "reference"
+    ) -> CampaignConfig:
         return CampaignConfig(
             duration_ms=self.duration_ms,
             injection_times_ms=self.injection_times_ms,
@@ -120,6 +129,7 @@ class VerifyCampaign:
             seed=self.seed,
             reuse_golden_prefix=reuse,
             fast_forward=fast_forward,
+            backend=backend,
         )
 
     def to_jsonable(self) -> dict[str, Any]:
@@ -199,24 +209,49 @@ def _outcome_fingerprint(outcome) -> tuple:
 # ---------------------------------------------------------------------------
 
 
+def select_strategies(
+    backends: tuple[str, ...] | None = None,
+) -> tuple[tuple[str, bool, bool, str], ...]:
+    """The :data:`STRATEGIES` subset exercising ``backends``.
+
+    ``None`` keeps every strategy.  The baseline (first) strategy is
+    always retained so there is something to compare against.
+    """
+    if backends is None:
+        return STRATEGIES
+    wanted = set(backends)
+    selected = tuple(
+        strategy
+        for index, strategy in enumerate(STRATEGIES)
+        if index == 0 or strategy[3] in wanted
+    )
+    return selected
+
+
 def differential_oracle(
     system: SystemModel,
     run_factory: Callable[..., SimulationRun],
     cases: Mapping[str, object],
     campaign: VerifyCampaign,
     analytical: PermeabilityMatrix | None = None,
+    backends: tuple[str, ...] | None = None,
 ):
     """Run the campaign under every strategy and cross-check the results.
 
     Returns ``(OracleReport, CampaignResult)`` — the result is the
     naive strategy's, for callers wanting further analysis.  Raises
     :class:`OracleFailure` on the first violated invariant.
+    ``backends`` restricts the strategy matrix to the named simulation
+    backends (the baseline strategy always stays in).
     """
     checks: list[str] = []
     results = {}
     fingerprints = {}
-    for label, reuse, fast_forward in STRATEGIES:
-        config = campaign.to_config(reuse=reuse, fast_forward=fast_forward)
+    strategies = select_strategies(backends)
+    for label, reuse, fast_forward, backend in strategies:
+        config = campaign.to_config(
+            reuse=reuse, fast_forward=fast_forward, backend=backend
+        )
         run = InjectionCampaign(system, run_factory, cases, config)
         ir_prints: list[tuple] = []
 
@@ -233,9 +268,9 @@ def differential_oracle(
         results[label] = result
         fingerprints[label] = (tuple(ir_prints), golden_prints)
 
-    reference_label = STRATEGIES[0][0]
+    reference_label = strategies[0][0]
     reference = fingerprints[reference_label]
-    for label, _, _ in STRATEGIES[1:]:
+    for label, _, _, _ in strategies[1:]:
         if fingerprints[label] != reference:
             raise OracleFailure(
                 "strategy-identity",
@@ -270,6 +305,7 @@ def differential_oracle(
         n_runs=len(result),
         has_feedback=bool(system.feedback_modules()),
         checks=tuple(checks),
+        n_strategies=len(strategies),
     )
     return report, result
 
@@ -440,6 +476,7 @@ def check_prerr_scaling(
 def verify_generated(
     generated: GeneratedSystem,
     campaign: VerifyCampaign | None = None,
+    backends: tuple[str, ...] | None = None,
 ) -> OracleReport:
     """Full oracle pass over one generated system.
 
@@ -455,6 +492,7 @@ def verify_generated(
         {"gen": None},
         campaign,
         analytical=analytical,
+        backends=backends,
     )
     check_dead_sink_invariance(generated, analytical)
     check_prerr_scaling(generated, analytical)

@@ -1,0 +1,374 @@
+"""The SimulationBackend protocol and the batched lane kernel.
+
+The batched backend's contract is byte-identity with the reference
+frame-stepping runtime: same traces, same outcomes, same reconvergence
+instants, in the same grid order.  These tests pin that contract on
+generated XOR-mask systems (fully vectorized), mixed systems with an
+opaque module (scalar per-lane fallback), the arrestment plant (full
+per-run reference fallback) and hypothesis-drawn random systems.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from array import array
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.injection.campaign import CampaignConfig, CampaignError, InjectionCampaign
+from repro.injection.error_models import BitFlip, DoubleBitFlip, StuckAtOne
+from repro.model.errors import SimulationError
+from repro.simulation.backend import (
+    ReferenceBackend,
+    SimulationBackend,
+    UnknownBackendError,
+    available_backends,
+    get_backend,
+)
+from repro.verify.generators import GeneratedSystem, generate_system
+from repro.verify.oracles import default_campaign, run_digest
+
+from .strategies import generated_executable_systems
+
+np = pytest.importorskip("numpy")
+
+from repro.simulation.batched import (  # noqa: E402 — needs numpy
+    BatchedBackend,
+    column_to_samples,
+    pack_state_row,
+    unpack_state_row,
+)
+
+
+def _mixed_system(seed: int = 13) -> GeneratedSystem:
+    """A generated system with every other module hidden from the vectorizer."""
+    base = generate_system(seed)
+    modules = tuple(
+        dataclasses.replace(m, opaque=(index % 2 == 1))
+        for index, m in enumerate(base.spec.modules)
+    )
+    return GeneratedSystem(dataclasses.replace(base.spec, modules=modules))
+
+
+def _campaign(generated, backend, **overrides):
+    config = CampaignConfig(
+        duration_ms=overrides.pop("duration_ms", 200),
+        injection_times_ms=overrides.pop("injection_times_ms", (30, 110)),
+        error_models=overrides.pop(
+            "error_models", (BitFlip(0), BitFlip(3), DoubleBitFlip(1, 2))
+        ),
+        seed=5,
+        backend=backend,
+        **overrides,
+    )
+    return InjectionCampaign(
+        generated.system, generated.run_factory, ["case"], config
+    )
+
+
+def _collect(generated, backend, **overrides):
+    """Every (outcome, RunResult) pair of a campaign, in grid order."""
+    pairs = []
+    _campaign(generated, backend, **overrides).execute(
+        inspector=lambda outcome, injected, golden: pairs.append(
+            (outcome, injected)
+        )
+    )
+    return pairs
+
+
+def _assert_identical(reference, batched):
+    assert len(reference) == len(batched)
+    for (ref_out, ref_run), (bat_out, bat_run) in zip(reference, batched):
+        key = (
+            ref_out.module,
+            ref_out.input_signal,
+            ref_out.scheduled_time_ms,
+            ref_out.error_model,
+        )
+        assert key == (
+            bat_out.module,
+            bat_out.input_signal,
+            bat_out.scheduled_time_ms,
+            bat_out.error_model,
+        ), "grid order diverged"
+        assert ref_out.fired_at_ms == bat_out.fired_at_ms, key
+        assert ref_out.comparison.first_divergence_ms == (
+            bat_out.comparison.first_divergence_ms
+        ), key
+        assert ref_run.reconverged_at_ms == bat_run.reconverged_at_ms, key
+        assert ref_run.frames_fast_forwarded == (
+            bat_run.frames_fast_forwarded
+        ), key
+        assert ref_run.final_signals == bat_run.final_signals, key
+        assert ref_run.telemetry == bat_run.telemetry, key
+        assert run_digest(ref_run) == run_digest(bat_run), key
+
+
+# ---------------------------------------------------------------------------
+# Lane packing
+# ---------------------------------------------------------------------------
+
+
+class TestLanePacking:
+    def test_pack_unpack_round_trip(self):
+        signals = ("a", "b", "c")
+        values = {"a": 7, "b": 0, "c": 0xFFFF}
+        row = pack_state_row(values, signals)
+        assert row.dtype == np.int64
+        assert row.shape == (3,)
+        assert unpack_state_row(row, signals) == values
+
+    def test_unpack_returns_python_ints(self):
+        row = pack_state_row({"a": 3}, ("a",))
+        value = unpack_state_row(row, ("a",))["a"]
+        assert type(value) is int  # numpy ints break state digests
+
+    def test_pack_respects_signal_order(self):
+        row = pack_state_row({"b": 2, "a": 1}, ("a", "b"))
+        assert list(row) == [1, 2]
+
+    def test_column_to_samples_matches_array_q(self):
+        column = np.array([0, 1, 2**40, 9], dtype=np.int64)
+        samples = column_to_samples(column)
+        assert samples == array("q", [0, 1, 2**40, 9])
+
+    def test_column_to_samples_accepts_strided_views(self):
+        matrix = np.arange(12, dtype=np.int64).reshape(4, 3)
+        assert column_to_samples(matrix[:, 1]) == array("q", [1, 4, 7, 10])
+
+
+# ---------------------------------------------------------------------------
+# Backend registry
+# ---------------------------------------------------------------------------
+
+
+class TestBackendRegistry:
+    def test_available_backends(self):
+        assert available_backends() == ("reference", "batched")
+
+    def test_get_backend_instances(self):
+        assert isinstance(get_backend("reference"), ReferenceBackend)
+        assert isinstance(get_backend("batched"), BatchedBackend)
+        assert isinstance(get_backend("batched"), SimulationBackend)
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(UnknownBackendError, match="warp-drive"):
+            get_backend("warp-drive")
+        assert issubclass(UnknownBackendError, SimulationError)
+
+    def test_campaign_config_rejects_unknown_backend(self):
+        with pytest.raises(CampaignError, match="unknown simulation backend"):
+            CampaignConfig(
+                duration_ms=100,
+                injection_times_ms=(10,),
+                error_models=(BitFlip(0),),
+                backend="warp-drive",
+            )
+
+    def test_env_var_sets_default_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "batched")
+        config = CampaignConfig(
+            duration_ms=100,
+            injection_times_ms=(10,),
+            error_models=(BitFlip(0),),
+        )
+        assert config.backend == "batched"
+
+    def test_explicit_backend_beats_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "batched")
+        config = CampaignConfig(
+            duration_ms=100,
+            injection_times_ms=(10,),
+            error_models=(BitFlip(0),),
+            backend="reference",
+        )
+        assert config.backend == "reference"
+
+
+# ---------------------------------------------------------------------------
+# Byte-identity with the reference runtime
+# ---------------------------------------------------------------------------
+
+
+class TestBatchedIdentity:
+    def test_fully_vectorized_system(self):
+        generated = generate_system(seed=7)
+        _assert_identical(
+            _collect(generated, "reference"), _collect(generated, "batched")
+        )
+
+    def test_mixed_opaque_modules_use_scalar_fallback(self):
+        generated = _mixed_system()
+        _assert_identical(
+            _collect(generated, "reference"), _collect(generated, "batched")
+        )
+
+    def test_non_xor_models_fall_back_per_run(self):
+        generated = generate_system(seed=7)
+        models = (BitFlip(0), StuckAtOne(1))  # StuckAtOne is not XOR-able
+        _assert_identical(
+            _collect(generated, "reference", error_models=models),
+            _collect(generated, "batched", error_models=models),
+        )
+
+    def test_without_fast_forward(self):
+        generated = generate_system(seed=3)
+        _assert_identical(
+            _collect(generated, "reference", fast_forward=False),
+            _collect(generated, "batched", fast_forward=False),
+        )
+
+    def test_without_prefix_reuse(self):
+        generated = generate_system(seed=3)
+        overrides = dict(reuse_golden_prefix=False, fast_forward=False)
+        _assert_identical(
+            _collect(generated, "reference", **overrides),
+            _collect(generated, "batched", **overrides),
+        )
+
+    def test_arrestment_full_fallback(self):
+        """A non-lane-invariant environment routes every run to reference."""
+        from repro.arrestment import build_arrestment_model, build_arrestment_run
+        from repro.arrestment.testcases import ArrestmentTestCase
+
+        def run(backend):
+            config = CampaignConfig(
+                duration_ms=1500,
+                injection_times_ms=(400, 900),
+                error_models=(BitFlip(0), BitFlip(4)),
+                seed=9,
+                backend=backend,
+            )
+            campaign = InjectionCampaign(
+                build_arrestment_model(),
+                build_arrestment_run,
+                {"case": ArrestmentTestCase(mass_kg=14000.0, velocity_ms=60.0)},
+                config,
+            )
+            pairs = []
+            campaign.execute(
+                inspector=lambda o, injected, g: pairs.append((o, injected))
+            )
+            return pairs
+
+        _assert_identical(run("reference"), run("batched"))
+
+    def test_per_lane_retirement_matches_reference_and_splices_golden(self):
+        """Lanes retire individually; retired traces end on the golden suffix."""
+        generated = generate_system(seed=7)
+        reference = _collect(generated, "reference")
+        batched = _collect(generated, "batched")
+        _assert_identical(reference, batched)
+        retirements = {
+            run.reconverged_at_ms
+            for _, run in batched
+            if run.reconverged_at_ms is not None
+        }
+        assert len(retirements) > 1, (
+            "workload too easy: every reconverging lane retired at the "
+            "same frame, so per-lane retirement was not exercised"
+        )
+        golden = generated.build_run().run(200)
+        for _, run in batched:
+            if run.reconverged_at_ms is None:
+                continue
+            for signal in run.traces.signals:
+                suffix = run.traces[signal].samples[run.reconverged_at_ms + 1:]
+                assert suffix == (
+                    golden.traces[signal].samples[run.reconverged_at_ms + 1:]
+                )
+
+    @settings(max_examples=10, deadline=None)
+    @given(generated_executable_systems(), st.integers(0, 2**8))
+    def test_random_systems_are_backend_invariant(self, generated, seed):
+        campaign = default_campaign(generated)
+        overrides = dict(
+            duration_ms=campaign.duration_ms,
+            injection_times_ms=campaign.injection_times_ms,
+            error_models=tuple(
+                BitFlip(bit) for bit in range(min(4, campaign.n_bits))
+            ),
+        )
+        _assert_identical(
+            _collect(generated, "reference", **overrides),
+            _collect(generated, "batched", **overrides),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Observability
+# ---------------------------------------------------------------------------
+
+
+class TestBackendObservability:
+    def _execute(self, backend):
+        from repro.obs import CampaignObserver
+
+        generated = generate_system(seed=7)
+        observer = CampaignObserver.to_files(
+            events_path=None, with_metrics=True, system=generated.system
+        )
+        campaign = InjectionCampaign(
+            generated.system,
+            generated.run_factory,
+            ["case"],
+            CampaignConfig(
+                duration_ms=120,
+                injection_times_ms=(30,),
+                error_models=(BitFlip(0), BitFlip(1)),
+                seed=5,
+                backend=backend,
+            ),
+            observer=observer,
+        )
+        campaign.execute()
+        return observer
+
+    def test_backend_selected_event_and_manifest(self):
+        observer = self._execute("batched")
+        events = observer.events._sink.events()
+        types = [parsed.type_name for parsed in events]
+        assert types[0] == "CampaignStarted"
+        assert types[1] == "BackendSelected"
+        assert events[1].event.backend == "batched"
+        assert events[0].event.manifest["backend"] == "batched"
+
+    def test_backend_participates_in_config_hash(self):
+        reference = self._execute("reference")
+        batched = self._execute("batched")
+        hashes = {
+            obs.events._sink.events()[0].event.manifest["config_hash"]
+            for obs in (reference, batched)
+        }
+        assert len(hashes) == 2
+
+    def test_kernel_metrics_recorded(self):
+        metrics = self._execute("batched").metrics
+        assert metrics.counter("kernel.lanes.retired").value > 0
+        assert metrics.histogram("kernel.batch_step.seconds").count > 0
+
+    def test_fallback_counter_on_arrestment(self):
+        from repro.arrestment import build_arrestment_model, build_arrestment_run
+        from repro.arrestment.testcases import ArrestmentTestCase
+        from repro.obs import CampaignObserver
+
+        system = build_arrestment_model()
+        observer = CampaignObserver.to_files(
+            events_path=None, with_metrics=True, system=system
+        )
+        InjectionCampaign(
+            system,
+            build_arrestment_run,
+            {"case": ArrestmentTestCase(mass_kg=14000.0, velocity_ms=60.0)},
+            CampaignConfig(
+                duration_ms=800,
+                injection_times_ms=(300,),
+                error_models=(BitFlip(0),),
+                backend="batched",
+            ),
+            observer=observer,
+        ).execute()
+        assert observer.metrics.counter("kernel.fallback.runs").value > 0

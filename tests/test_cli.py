@@ -121,6 +121,18 @@ class TestExitCodes:
             main(["campaign", "--frobnicate"])
         assert excinfo.value.code == 2
 
+    def test_campaign_rejects_unknown_backend(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "--backend", "warp-drive"])
+        assert excinfo.value.code == 2
+        assert "--backend" in capsys.readouterr().err
+
+    def test_verify_rejects_unknown_backend(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["verify", "--backend", "warp-drive"])
+        assert excinfo.value.code == 2
+        assert "--backend" in capsys.readouterr().err
+
     def test_lint_clean_system_exits_zero(self, capsys):
         assert main(["lint"]) == 0
         capsys.readouterr()
@@ -165,6 +177,15 @@ class TestExitCodes:
         )
         assert code == 0
         assert "all oracle checks passed" in capsys.readouterr().out
+
+    @pytest.mark.slow
+    def test_verify_backend_filter_exits_zero(self, tmp_path, capsys):
+        code = main(
+            ["verify", "--seeds", "1", "--backend", "batched",
+             "--corpus", str(tmp_path / "corpus")]
+        )
+        assert code == 0
+        assert "2 strategies" in capsys.readouterr().out
 
     def test_verify_replay_failure_exits_one(self, tmp_path, capsys):
         from repro.verify import Reproducer, write_reproducer

@@ -390,8 +390,9 @@ class TestCampaignGate:
         events = observer.events._sink.events()
         types = [parsed.type_name for parsed in events]
         assert types[0] == "CampaignStarted"
-        assert types[1] == "LintReported"
-        lint_event = events[1].event
+        assert types[1] == "BackendSelected"
+        assert types[2] == "LintReported"
+        lint_event = events[2].event
         assert lint_event.errors == 0
         assert lint_event.system == system.name
 

@@ -57,7 +57,7 @@ class TestOraclePasses:
     def test_report_render_mentions_strategies(self):
         spec, campaign = small_passing_triple()
         report = verify_generated(GeneratedSystem(spec), campaign)
-        assert "3 strategies" in report.render()
+        assert "4 strategies" in report.render()
         assert "acyclic" in report.render()
 
 
