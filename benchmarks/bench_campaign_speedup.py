@@ -26,6 +26,12 @@ Strategies
     :class:`~repro.obs.observer.CampaignObserver` attached; its span
     metrics go to ``benchmarks/out/metrics.json`` and the overhead is
     reported relative to the unobserved ``fast_forward`` pass.
+``fast_forward_dashboard``
+    The observed pass with a live
+    :class:`~repro.obs.dash.DashboardSink` additionally teeing every
+    event into the dashboard state reducer (``dashboard_overhead``,
+    relative to the unobserved ``fast_forward`` pass; expected within
+    the observer-overhead envelope).
 
 Systems
 -------
@@ -435,10 +441,32 @@ def _bench_arrestment(args, scale: dict, report: dict):
     for observer in observers:
         observer.close()
 
+    def make_dashboard():
+        from repro.obs.dash import DashboardSink
+
+        observer = CampaignObserver.to_files(
+            events_path=None, with_metrics=True,
+            system=build_arrestment_model(),
+            extra_sinks=[DashboardSink()],
+        )
+        dash_observers.append(observer)
+        return build_campaign(
+            scale, reuse=True, fast_forward=True, seed=args.seed,
+            observer=observer,
+        ).execute
+
+    dash_observers: list[CampaignObserver] = []
+    _, dashboard_s = timed(
+        "fast-forward+dash   ", make_dashboard, args.warmup, args.trials,
+    )
+    for observer in dash_observers:
+        observer.close()
+
     prefix_speedup = naive_s / ckpt_s
     ff_speedup = ckpt_s / ff_s
     sharded_speedup = naive_s / sharded_s
     observer_overhead = observed_s / ff_s - 1.0
+    dashboard_overhead = dashboard_s / ff_s - 1.0
     reconverged_fraction = ff_result.reconverged_fraction()
     frames_ff = ff_result.frames_fast_forwarded_total()
     print(f"  prefix-reuse speedup: {prefix_speedup:.2f}x, "
@@ -446,7 +474,8 @@ def _bench_arrestment(args, scale: dict, report: dict):
           f"({reconverged_fraction:.0%} of IRs reconverged, "
           f"{frames_ff} frames spliced), "
           f"grid-sharded speedup: {sharded_speedup:.2f}x, "
-          f"observer overhead: {observer_overhead:+.1%}")
+          f"observer overhead: {observer_overhead:+.1%}, "
+          f"dashboard overhead: {dashboard_overhead:+.1%}")
 
     report.update({
         "config": {
@@ -480,10 +509,15 @@ def _bench_arrestment(args, scale: dict, report: dict):
             "seconds": observed_s,
             "runs_per_sec": total_runs / observed_s,
         },
+        "fast_forward_dashboard": {
+            "seconds": dashboard_s,
+            "runs_per_sec": total_runs / dashboard_s,
+        },
         "prefix_reuse_speedup": prefix_speedup,
         "fast_forward_speedup": ff_speedup,
         "grid_sharded_speedup": sharded_speedup,
         "observer_overhead": observer_overhead,
+        "dashboard_overhead": dashboard_overhead,
     })
 
     failed = False

@@ -17,10 +17,19 @@ Commands
     Run the static model linter (see docs/LINTING.md) over one of the
     shipped systems, optionally with a permeability matrix, and print
     the findings as text, JSON or SARIF 2.1.0.
-``obs summarize`` / ``obs validate``
+``obs summarize`` / ``obs validate`` / ``obs tail``
     Render a text report from a recorded ``events.jsonl`` (phase
-    timings, outcome mix, hottest propagation arcs), or round-trip the
-    file through the typed event parser (the CI schema check).
+    timings, outcome mix, hottest propagation arcs), round-trip the
+    file through the typed event parser (the CI schema check), or
+    pretty-print the stream live (``--follow``) with ``--type``
+    filtering.
+``dash``
+    Serve the live resilience dashboard over a recorded (or still
+    growing) events file: permeability heatmap with Wilson intervals,
+    progress/ETA and the error-lifetime distribution in a browser,
+    with ``GET /api/snapshot`` and an SSE event feed (see
+    docs/OBSERVABILITY.md).  ``campaign --dash`` serves the same
+    dashboard live during a campaign.
 ``verify``
     Differential fuzzing (see docs/TESTING.md): generate random
     executable systems and cross-check analytical permeabilities
@@ -178,14 +187,32 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         fast_forward=not args.no_fast_forward,
         lint=not args.no_lint,
         backend=args.backend,
+        dashboard=args.dash,
     )
+    dash_server = None
+    extra_sinks: list = []
+    if args.dash is not None:
+        from repro.obs.dash import DashboardServer, DashboardSink
+
+        address = _parse_dash_address(args.dash)
+        if address is None:
+            print(f"invalid --dash address: {args.dash!r} "
+                  "(expected HOST:PORT)", file=sys.stderr)
+            return 2
+        dash_sink = DashboardSink()
+        extra_sinks.append(dash_sink)
+        dash_server = DashboardServer(dash_sink, *address).start()
+        print(f"dashboard: {dash_server.url}")
     observer = None
-    if args.events or args.metrics:
+    if args.events or args.metrics or extra_sinks:
         for path in (args.events, args.metrics):
             if path:
                 Path(path).parent.mkdir(parents=True, exist_ok=True)
         observer = CampaignObserver.to_files(
-            events_path=args.events, with_metrics=True, system=system
+            events_path=args.events,
+            with_metrics=True,
+            system=system,
+            extra_sinks=extra_sinks,
         )
     campaign = InjectionCampaign(
         system, factory, cases, config, observer=observer
@@ -245,6 +272,117 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     print(analyse_uniform_propagation(result).render())
     print()
     print(greedy_edm_selection(result, max_monitors=args.monitors).render())
+    if dash_server is not None:
+        _linger(dash_server, args.dash_linger)
+    return 0
+
+
+def _parse_dash_address(text: str) -> tuple[str, int] | None:
+    """Parse ``HOST:PORT`` / ``:PORT`` / ``PORT`` into ``(host, port)``."""
+    host, sep, port_text = text.rpartition(":")
+    if not sep:
+        host, port_text = "", text
+    try:
+        port = int(port_text)
+    except ValueError:
+        return None
+    if not 0 <= port <= 65535:
+        return None
+    return (host or "127.0.0.1", port)
+
+
+def _linger(dash_server, linger_s: float | None) -> None:
+    """Keep the dashboard serving after the campaign/replay finished.
+
+    ``None`` serves until Ctrl-C (the interactive default for ``repro
+    dash``); a finite value bounds the wait so scripted callers (the CI
+    smoke job) can poll ``/api/snapshot`` and exit deterministically.
+    """
+    try:
+        if linger_s is None:
+            print(f"dashboard serving at {dash_server.url} "
+                  "(Ctrl-C to stop)")
+            while True:
+                time.sleep(3600)
+        elif linger_s > 0:
+            print(f"dashboard serving at {dash_server.url} "
+                  f"for {linger_s:g}s more")
+            time.sleep(linger_s)
+    except KeyboardInterrupt:
+        print()
+    finally:
+        dash_server.stop()
+
+
+def _cmd_dash(args: argparse.Namespace) -> int:
+    import threading
+
+    from repro.obs.dash import DashboardServer, DashboardSink, tail_lines
+
+    address = _parse_dash_address(args.address)
+    if address is None:
+        print(f"invalid --address: {args.address!r} (expected HOST:PORT)",
+              file=sys.stderr)
+        return 2
+    if not Path(args.events).exists() and not args.follow:
+        print(f"no such events file: {args.events}", file=sys.stderr)
+        return 2
+    sink = DashboardSink()
+    server = DashboardServer(sink, *address).start()
+    stop = threading.Event()
+
+    def feed() -> None:
+        try:
+            for line in tail_lines(
+                args.events, follow=args.follow, stop=stop.is_set
+            ):
+                sink.emit_line(line)
+        finally:
+            if not args.follow:
+                sink.close()
+
+    feeder = threading.Thread(target=feed, name="repro-dash-feed", daemon=True)
+    feeder.start()
+    try:
+        _linger(server, args.linger)
+    finally:
+        stop.set()
+        sink.close()
+    snapshot = sink.snapshot()
+    print(f"served {snapshot['stream']['n_events']} event(s) "
+          f"from {args.events}")
+    return 0
+
+
+def _cmd_obs_tail(args: argparse.Namespace) -> int:
+    from repro.obs.dash import tail_lines
+    from repro.obs.events import PrettyPrintSink, decode_event
+
+    wanted = (
+        {name.strip() for name in args.type.split(",") if name.strip()}
+        if args.type
+        else None
+    )
+    printer = PrettyPrintSink(stream=sys.stdout, verbose=True)
+    skipped = 0
+    try:
+        for line in tail_lines(args.events, follow=args.follow):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                decode_event(record)
+            except (json.JSONDecodeError, ValueError, KeyError, TypeError):
+                skipped += 1
+                continue
+            if wanted is not None and record.get("type") not in wanted:
+                continue
+            printer.emit(record)
+    except KeyboardInterrupt:
+        print()
+    if skipped:
+        print(f"({skipped} damaged line(s) skipped)", file=sys.stderr)
     return 0
 
 
@@ -497,6 +635,17 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--metrics", metavar="FILE", default=None,
                           help="dump the campaign metrics registry "
                           "(counters/histograms) as JSON")
+    campaign.add_argument("--dash", metavar="HOST:PORT", nargs="?",
+                          const="127.0.0.1:8765", default=None,
+                          help="serve the live dashboard while the "
+                          "campaign runs (default address when given "
+                          "without a value: 127.0.0.1:8765; port 0 "
+                          "picks a free port)")
+    campaign.add_argument("--dash-linger", type=float, default=None,
+                          metavar="SECS",
+                          help="with --dash: keep serving this many "
+                          "seconds after the campaign finishes "
+                          "(default: until Ctrl-C)")
     campaign.add_argument("--no-prefix-reuse", action="store_true",
                           help="disable Golden-Run checkpoint reuse "
                           "(re-run every IR from time zero)")
@@ -574,6 +723,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     validate.add_argument("events", help="events.jsonl to validate")
     validate.set_defaults(func=_cmd_obs_validate)
+    tail = obs_commands.add_parser(
+        "tail",
+        help="pretty-print an events file, optionally following a "
+        "still-growing stream",
+    )
+    tail.add_argument("events", help="events.jsonl to print")
+    tail.add_argument("--follow", "-f", action="store_true",
+                      help="keep the file open and print events as a "
+                      "running campaign appends them (Ctrl-C to stop)")
+    tail.add_argument("--type", metavar="TYPES", default=None,
+                      help="comma-separated event types to keep "
+                      "(e.g. InjectionFired,RunReconverged)")
+    tail.set_defaults(func=_cmd_obs_tail)
+
+    dash = commands.add_parser(
+        "dash",
+        help="serve the live dashboard over a recorded events file "
+        "(docs/OBSERVABILITY.md)",
+    )
+    dash.add_argument("--events", metavar="FILE", required=True,
+                      help="events.jsonl from 'campaign --events' "
+                      "(may still be growing with --follow)")
+    dash.add_argument("--follow", "-f", action="store_true",
+                      help="keep tailing the file for new events "
+                      "(live replay of a running campaign)")
+    dash.add_argument("--address", metavar="HOST:PORT",
+                      default="127.0.0.1:8765",
+                      help="listen address (default: 127.0.0.1:8765; "
+                      "port 0 picks a free port)")
+    dash.add_argument("--linger", type=float, default=None, metavar="SECS",
+                      help="stop serving after this many seconds "
+                      "(default: until Ctrl-C)")
+    dash.set_defaults(func=_cmd_dash)
 
     verify = commands.add_parser(
         "verify",

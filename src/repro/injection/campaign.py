@@ -153,6 +153,16 @@ class CampaignConfig:
         kernel, byte-identical by contract).  Defaults to the
         ``REPRO_BACKEND`` environment variable, falling back to
         ``"reference"``.
+    dashboard:
+        Optional ``host:port`` address for the live resilience
+        dashboard (CLI: ``repro campaign --dash``, see
+        docs/OBSERVABILITY.md).  Pure presentation wiring — the engine
+        itself never opens sockets (the CLI starts the
+        :class:`~repro.obs.dash.server.DashboardServer` and tees a
+        :class:`~repro.obs.dash.sink.DashboardSink` into the
+        observer), so the field does not participate in the config
+        hash: two campaigns differing only in ``dashboard`` produce
+        identical results and identical manifests.
     """
 
     duration_ms: int = 8000
@@ -168,6 +178,7 @@ class CampaignConfig:
     backend: str = field(
         default_factory=lambda: os.environ.get("REPRO_BACKEND", "reference")
     )
+    dashboard: str | None = None
 
     def __post_init__(self) -> None:
         if self.duration_ms < 1:

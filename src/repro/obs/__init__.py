@@ -12,8 +12,11 @@ Three zero-dependency layers over the injection-campaign engine:
 
 :class:`~repro.obs.observer.CampaignObserver` bundles the three behind
 the single optional hook the campaign engine calls;
-:mod:`repro.obs.summary` renders text reports from recorded streams.
-See ``docs/OBSERVABILITY.md`` for the event schema and metrics catalog.
+:mod:`repro.obs.summary` renders text reports from recorded streams;
+:mod:`repro.obs.dash` folds the same stream into a live browser
+dashboard (state reducer + SSE server, ``repro campaign --dash`` /
+``repro dash``).  See ``docs/OBSERVABILITY.md`` for the event schema,
+metrics catalog and dashboard endpoints.
 """
 
 from repro.obs.events import (
@@ -38,6 +41,12 @@ from repro.obs.events import (
     encode_event,
     read_events,
     validate_events,
+)
+from repro.obs.dash import (
+    CampaignStateReducer,
+    DashboardServer,
+    DashboardSink,
+    validate_snapshot,
 )
 from repro.obs.metrics import (
     Counter,
@@ -64,6 +73,9 @@ __all__ = [
     "CampaignFinished",
     "CampaignObserver",
     "CampaignStarted",
+    "CampaignStateReducer",
+    "DashboardServer",
+    "DashboardSink",
     "CheckpointReused",
     "CheckpointSaved",
     "ChunkCompleted",
@@ -92,4 +104,5 @@ __all__ = [
     "summarize_events",
     "summarize_events_file",
     "validate_events",
+    "validate_snapshot",
 ]

@@ -1,0 +1,42 @@
+"""repro.obs.dash — the live resilience dashboard.
+
+Four stdlib-only pieces over the recorded campaign event stream:
+
+* :mod:`repro.obs.dash.reducer` — a pure
+  :class:`~repro.obs.dash.reducer.CampaignStateReducer` folding events
+  into one JSON-able snapshot, pinned equal to the post-hoc
+  :func:`~repro.injection.estimator.estimate_matrix` /
+  :func:`~repro.injection.latency.lifetime_statistics` analyses;
+* :mod:`repro.obs.dash.sink` — a
+  :class:`~repro.obs.dash.sink.DashboardSink` teeing a live
+  :class:`~repro.obs.observer.CampaignObserver` stream into the reducer
+  and SSE subscribers (serial and parallel campaigns alike);
+* :mod:`repro.obs.dash.server` — a ``ThreadingHTTPServer`` exposing
+  ``GET /api/snapshot``, ``GET /api/events`` (SSE) and the embedded
+  single-file HTML dashboard;
+* :mod:`repro.obs.dash.tailer` — a partial-line-tolerant JSONL tailer
+  powering the offline replay mode (``repro dash --events file
+  [--follow]``) and ``repro obs tail``.
+
+See the "Live dashboard" section of ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.dash.page import DASHBOARD_HTML
+from repro.obs.dash.reducer import (
+    SNAPSHOT_SCHEMA_VERSION,
+    CampaignStateReducer,
+    validate_snapshot,
+)
+from repro.obs.dash.server import DashboardServer
+from repro.obs.dash.sink import DashboardSink
+from repro.obs.dash.tailer import tail_lines
+
+__all__ = [
+    "DASHBOARD_HTML",
+    "SNAPSHOT_SCHEMA_VERSION",
+    "CampaignStateReducer",
+    "DashboardServer",
+    "DashboardSink",
+    "tail_lines",
+    "validate_snapshot",
+]

@@ -1,0 +1,311 @@
+"""The self-contained single-file HTML/JS dashboard.
+
+Served at ``GET /`` by :class:`~repro.obs.dash.server.DashboardServer`.
+No build step, no external assets, no framework: the page subscribes to
+``/api/events`` (SSE) to learn that something changed and re-fetches
+``/api/snapshot`` (throttled) for the authoritative state — the reducer
+on the server is the single source of truth, so the page never has to
+re-implement the folding rules.
+
+Visual conventions: the permeability heatmap uses one sequential blue
+ramp (light = low, dark = high — never a rainbow), text stays in ink
+tokens rather than series colors, every cell and bar carries a hover
+tooltip, and the palette swaps for dark mode via
+``prefers-color-scheme``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DASHBOARD_HTML"]
+
+DASHBOARD_HTML = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>repro &middot; live resilience dashboard</title>
+<style>
+  .viz-root {
+    color-scheme: light;
+    --surface-1: #fcfcfb;
+    --page: #f9f9f7;
+    --text-primary: #0b0b0b;
+    --text-secondary: #52514e;
+    --text-muted: #898781;
+    --grid: #e1e0d9;
+    --baseline: #c3c2b7;
+    --border: rgba(11,11,11,0.10);
+    --seq-100: #cde2fb; --seq-150: #b7d3f6; --seq-200: #9ec5f4;
+    --seq-250: #86b6ef; --seq-300: #6da7ec; --seq-350: #5598e7;
+    --seq-400: #3987e5; --seq-450: #2a78d6; --seq-500: #256abf;
+    --seq-550: #1c5cab; --seq-600: #184f95; --seq-650: #104281;
+    --seq-700: #0d366b;
+    --series-1: #2a78d6;
+  }
+  @media (prefers-color-scheme: dark) {
+    :root:where(:not([data-theme="light"])) .viz-root {
+      color-scheme: dark;
+      --surface-1: #1a1a19;
+      --page: #0d0d0d;
+      --text-primary: #ffffff;
+      --text-secondary: #c3c2b7;
+      --text-muted: #898781;
+      --grid: #2c2c2a;
+      --baseline: #383835;
+      --border: rgba(255,255,255,0.10);
+      --series-1: #3987e5;
+    }
+  }
+  body.viz-root {
+    margin: 0; padding: 24px;
+    background: var(--page); color: var(--text-primary);
+    font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+  }
+  h1 { font-size: 18px; font-weight: 600; margin: 0 0 2px; }
+  .sub { color: var(--text-secondary); margin-bottom: 20px; }
+  .cards { display: flex; flex-wrap: wrap; gap: 12px; margin-bottom: 20px; }
+  .card {
+    background: var(--surface-1); border: 1px solid var(--border);
+    border-radius: 8px; padding: 12px 16px; min-width: 120px;
+  }
+  .card .value { font-size: 24px; font-weight: 600; }
+  .card .label { color: var(--text-muted); font-size: 12px; }
+  .panel {
+    background: var(--surface-1); border: 1px solid var(--border);
+    border-radius: 8px; padding: 16px; margin-bottom: 20px;
+  }
+  .panel h2 { font-size: 14px; font-weight: 600; margin: 0 0 12px; }
+  .progress-track {
+    height: 8px; border-radius: 4px; background: var(--grid);
+    overflow: hidden;
+  }
+  .progress-fill {
+    height: 100%; border-radius: 4px; background: var(--series-1);
+    width: 0; transition: width .3s;
+  }
+  .progress-note { color: var(--text-secondary); margin-top: 6px; font-size: 12px; }
+  table.heatmap { border-collapse: separate; border-spacing: 2px; }
+  table.heatmap th {
+    font-weight: 400; font-size: 12px; color: var(--text-muted);
+    text-align: left; padding: 2px 6px; white-space: nowrap;
+  }
+  table.heatmap th.col { text-align: center; }
+  table.heatmap td.cell {
+    width: 46px; height: 26px; border-radius: 4px; text-align: center;
+    font-size: 11px; font-variant-numeric: tabular-nums; cursor: default;
+  }
+  table.heatmap td.empty { background: transparent; border: 1px dashed var(--grid); }
+  .hist { display: flex; align-items: flex-end; gap: 2px; height: 120px; }
+  .hist .bar-slot { flex: 1; display: flex; flex-direction: column;
+    justify-content: flex-end; align-items: stretch; height: 100%; }
+  .hist .bar {
+    background: var(--series-1); border-radius: 4px 4px 0 0; min-height: 0;
+  }
+  .hist-labels { display: flex; gap: 2px; margin-top: 4px; }
+  .hist-labels span {
+    flex: 1; text-align: center; font-size: 10px; color: var(--text-muted);
+    font-variant-numeric: tabular-nums;
+  }
+  #tooltip {
+    position: fixed; display: none; pointer-events: none; z-index: 10;
+    background: var(--surface-1); border: 1px solid var(--border);
+    border-radius: 6px; padding: 6px 10px; font-size: 12px;
+    color: var(--text-primary); box-shadow: 0 2px 8px rgba(0,0,0,.15);
+    white-space: nowrap;
+  }
+  #tooltip .t2 { color: var(--text-secondary); }
+  .statusline { color: var(--text-muted); font-size: 12px; }
+</style>
+</head>
+<body class="viz-root">
+<h1>Error-propagation campaign</h1>
+<div class="sub" id="subtitle">waiting for events&hellip;</div>
+
+<div class="cards" id="cards"></div>
+
+<div class="panel">
+  <h2>Progress</h2>
+  <div class="progress-track"><div class="progress-fill" id="pfill"></div></div>
+  <div class="progress-note" id="pnote"></div>
+</div>
+
+<div class="panel">
+  <h2>Observed permeability P<sup>M</sup><sub>i,k</sub> (direct errors / injections)</h2>
+  <div id="heatmap"></div>
+</div>
+
+<div class="panel">
+  <h2>Error lifetime to proven reconvergence [ms]</h2>
+  <div class="hist" id="hist"></div>
+  <div class="hist-labels" id="histlabels"></div>
+  <div class="progress-note" id="histnote"></div>
+</div>
+
+<div class="statusline" id="statusline"></div>
+<div id="tooltip"></div>
+
+<script>
+"use strict";
+var RAMP = ["--seq-100","--seq-150","--seq-200","--seq-250","--seq-300",
+            "--seq-350","--seq-400","--seq-450","--seq-500","--seq-550",
+            "--seq-600","--seq-650","--seq-700"];
+function rampVar(value) {
+  var index = Math.min(RAMP.length - 1,
+                       Math.floor(value * (RAMP.length - 1) + 1e-9));
+  return "var(" + RAMP[index] + ")";
+}
+var tooltip = document.getElementById("tooltip");
+function showTip(evt, html) {
+  tooltip.innerHTML = html;
+  tooltip.style.display = "block";
+  var x = Math.min(evt.clientX + 12, window.innerWidth - tooltip.offsetWidth - 8);
+  tooltip.style.left = x + "px";
+  tooltip.style.top = (evt.clientY + 12) + "px";
+}
+function hideTip() { tooltip.style.display = "none"; }
+
+function card(label, value) {
+  return '<div class="card"><div class="value">' + value +
+         '</div><div class="label">' + label + "</div></div>";
+}
+function fmt(x, digits) {
+  return (x === null || x === undefined) ? "&ndash;" : x.toFixed(digits);
+}
+
+function render(s) {
+  var man = s.campaign.manifest || {};
+  var parts = [];
+  if (man.system) parts.push("system <b>" + man.system + "</b>");
+  if (s.campaign.backend) parts.push(s.campaign.backend + " backend");
+  parts.push(s.campaign.mode + " mode");
+  if (man.config_hash) parts.push("config " + man.config_hash);
+  parts.push("state: " + s.state);
+  document.getElementById("subtitle").innerHTML = parts.join(" &middot; ");
+
+  var c = s.counters;
+  var cards = card("runs", c.n_runs) + card("fired", c.n_fired) +
+    card("reconverged", (c.reconverged_fraction * 100).toFixed(0) + "%") +
+    card("ms fast-forwarded", c.frames_fast_forwarded) +
+    card("checkpoint reuses", c.checkpoint_reuses) +
+    card("chunks", c.chunks_completed);
+  document.getElementById("cards").innerHTML = cards;
+
+  var p = s.progress;
+  var pct = p.total ? (100 * p.done / p.total) : 0;
+  document.getElementById("pfill").style.width = pct.toFixed(1) + "%";
+  var note = p.done + " / " + p.total + " injection runs (" +
+             pct.toFixed(0) + "%)";
+  if (p.rate_runs_per_s) note += " &middot; " + p.rate_runs_per_s.toFixed(1) + " runs/s";
+  if (p.eta_s !== null && p.eta_s !== undefined)
+    note += " &middot; ETA " + p.eta_s.toFixed(0) + "s";
+  if (p.elapsed_s !== null && p.elapsed_s !== undefined)
+    note += " &middot; finished in " + p.elapsed_s.toFixed(1) + "s";
+  document.getElementById("pnote").innerHTML = note;
+
+  renderHeatmap(s.matrix);
+  renderHistogram(s.lifetimes);
+
+  var st = s.stream;
+  document.getElementById("statusline").textContent =
+    st.n_events + " events (last seq " + st.last_seq + ")" +
+    (st.skipped_lines ? " \\u00b7 " + st.skipped_lines + " damaged lines skipped" : "");
+}
+
+function renderHeatmap(matrix) {
+  var box = document.getElementById("heatmap");
+  if (!matrix.entries.length) {
+    box.innerHTML = '<span class="statusline">no classified outcomes yet</span>';
+    return;
+  }
+  var rows = [], rowIndex = {}, cols = [], colIndex = {};
+  matrix.entries.forEach(function (e) {
+    var rk = e.module + "." + e.input;
+    if (!(rk in rowIndex)) { rowIndex[rk] = rows.length; rows.push(rk); }
+    if (!(e.output in colIndex)) { colIndex[e.output] = cols.length; cols.push(e.output); }
+  });
+  var grid = {};
+  matrix.entries.forEach(function (e) {
+    grid[e.module + "." + e.input + "|" + e.output] = e;
+  });
+  var html = '<table class="heatmap"><tr><th></th>';
+  cols.forEach(function (cName) { html += '<th class="col">' + cName + "</th>"; });
+  html += "</tr>";
+  rows.forEach(function (rName) {
+    html += "<tr><th>" + rName + "</th>";
+    cols.forEach(function (cName) {
+      var e = grid[rName + "|" + cName];
+      if (!e) { html += '<td class="cell empty"></td>'; return; }
+      var dark = e.value > 0.45;
+      html += '<td class="cell" data-key="' + rName + "|" + cName +
+        '" style="background:' + rampVar(e.value) +
+        ";color:" + (dark ? "#ffffff" : "var(--text-primary)") + '">' +
+        e.value.toFixed(2) + "</td>";
+    });
+    html += "</tr>";
+  });
+  html += "</table>";
+  box.innerHTML = html;
+  box.querySelectorAll("td.cell[data-key]").forEach(function (cell) {
+    cell.addEventListener("mousemove", function (evt) {
+      var e = grid[cell.getAttribute("data-key")];
+      showTip(evt, "<b>" + e.module + "</b>: " + e.input + " &rarr; " + e.output +
+        '<br>P = ' + e.value.toFixed(3) + " (" + e.n_errors + "/" + e.n_injections +
+        ')<br><span class="t2">95% Wilson [' + e.wilson[0].toFixed(3) + ", " +
+        e.wilson[1].toFixed(3) + "]</span>");
+    });
+    cell.addEventListener("mouseleave", hideTip);
+  });
+}
+
+function renderHistogram(lt) {
+  var hist = document.getElementById("hist");
+  var labels = document.getElementById("histlabels");
+  var maxCount = Math.max.apply(null, lt.counts.concat([1]));
+  var html = "", lhtml = "";
+  lt.counts.forEach(function (count, index) {
+    var label = index < lt.buckets.length
+      ? "\\u2264" + lt.buckets[index] : "&gt;" + lt.buckets[lt.buckets.length - 1];
+    var height = count ? Math.max(2, 100 * count / maxCount) : 0;
+    html += '<div class="bar-slot"><div class="bar" data-n="' + count +
+            '" data-l="' + label + '" style="height:' + height + '%"></div></div>';
+    lhtml += "<span>" + label + "</span>";
+  });
+  hist.innerHTML = html;
+  labels.innerHTML = lhtml;
+  hist.querySelectorAll(".bar").forEach(function (bar) {
+    bar.addEventListener("mousemove", function (evt) {
+      showTip(evt, "<b>" + bar.getAttribute("data-n") + "</b> lifetimes " +
+                   bar.getAttribute("data-l") + " ms");
+    });
+    bar.addEventListener("mouseleave", hideTip);
+  });
+  document.getElementById("histnote").innerHTML =
+    lt.n_samples + " measured lifetimes, " + lt.n_censored +
+    " right-censored (error alive at run end)";
+}
+
+var pending = false;
+function refresh() {
+  if (pending) return;
+  pending = true;
+  fetch("/api/snapshot").then(function (r) { return r.json(); })
+    .then(function (s) { pending = false; render(s); })
+    .catch(function () { pending = false; });
+}
+refresh();
+var throttle = null;
+try {
+  var source = new EventSource("/api/events");
+  source.onmessage = function () {
+    if (throttle) return;
+    throttle = setTimeout(function () { throttle = null; refresh(); }, 400);
+  };
+  source.addEventListener("end", function () { refresh(); source.close(); });
+  source.onerror = function () { setTimeout(refresh, 2000); };
+} catch (err) {
+  setInterval(refresh, 2000);
+}
+</script>
+</body>
+</html>
+"""

@@ -1,0 +1,154 @@
+"""Stdlib-only HTTP server for the live resilience dashboard.
+
+:class:`DashboardServer` wraps a ``ThreadingHTTPServer`` (one thread
+per connection, no third-party dependency) exposing three routes over
+one :class:`~repro.obs.dash.sink.DashboardSink`:
+
+``GET /``
+    The self-contained single-file HTML/JS dashboard
+    (:data:`repro.obs.dash.page.DASHBOARD_HTML`).
+``GET /api/snapshot``
+    The reducer's current JSON snapshot (see
+    :meth:`~repro.obs.dash.reducer.CampaignStateReducer.snapshot`).
+``GET /api/events``
+    Server-Sent Events: replays every envelope seen so far (``id:`` is
+    the envelope's ``seq``), then streams new ones as they arrive.  A
+    ``: keepalive`` comment goes out during idle periods; an
+    ``event: end`` frame marks a closed sink (campaign over and replay
+    drained).
+
+The server never touches the campaign engine — it only reads the sink,
+so the same class serves a live campaign (``repro campaign --dash``)
+and an offline replay (``repro dash --events file``).
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.dash.page import DASHBOARD_HTML
+from repro.obs.dash.sink import DashboardSink
+
+__all__ = ["DashboardServer"]
+
+#: Seconds between SSE keepalive comments while no event arrives.
+_KEEPALIVE_S = 5.0
+
+
+def _make_handler(sink: DashboardSink) -> type[BaseHTTPRequestHandler]:
+    class _DashboardHandler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, format: str, *args) -> None:  # noqa: A002
+            pass  # the campaign's own progress output stays readable
+
+        def _send(self, status: int, content_type: str, body: bytes) -> None:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.send_header("Cache-Control", "no-store")
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            path = self.path.split("?", 1)[0]
+            if path in ("/", "/index.html"):
+                self._send(
+                    200, "text/html; charset=utf-8", DASHBOARD_HTML.encode("utf-8")
+                )
+            elif path == "/api/snapshot":
+                body = json.dumps(sink.snapshot()).encode("utf-8")
+                self._send(200, "application/json", body)
+            elif path == "/api/events":
+                self._stream_events()
+            else:
+                self._send(404, "text/plain; charset=utf-8", b"not found\n")
+
+        def _write_frame(self, record: dict) -> None:
+            payload = json.dumps(record, separators=(",", ":"))
+            frame = f"id: {record.get('seq', '')}\ndata: {payload}\n\n"
+            self.wfile.write(frame.encode("utf-8"))
+            self.wfile.flush()
+
+        def _stream_events(self) -> None:
+            self.send_response(200)
+            self.send_header("Content-Type", "text/event-stream")
+            self.send_header("Cache-Control", "no-store")
+            self.send_header("Connection", "close")
+            self.end_headers()
+            history, live = sink.subscribe()
+            try:
+                for record in history:
+                    self._write_frame(record)
+                while True:
+                    try:
+                        record = live.get(timeout=_KEEPALIVE_S)
+                    except queue.Empty:
+                        self.wfile.write(b": keepalive\n\n")
+                        self.wfile.flush()
+                        continue
+                    if record is None:  # sink closed
+                        self.wfile.write(b"event: end\ndata: {}\n\n")
+                        self.wfile.flush()
+                        return
+                    self._write_frame(record)
+            except (BrokenPipeError, ConnectionResetError):
+                pass  # client went away; nothing to clean up but the queue
+            finally:
+                sink.unsubscribe(live)
+
+    return _DashboardHandler
+
+
+class DashboardServer:
+    """Lifecycle wrapper: bind, serve on a daemon thread, shut down."""
+
+    def __init__(
+        self, sink: DashboardSink, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self._sink = sink
+        self._httpd = ThreadingHTTPServer((host, port), _make_handler(sink))
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def sink(self) -> DashboardSink:
+        return self._sink
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/"
+
+    def start(self) -> "DashboardServer":
+        """Serve on a background daemon thread; returns ``self``."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-dash",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "DashboardServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,130 @@
+"""DashboardSink: tee the live event stream into reducer + subscribers.
+
+A :class:`DashboardSink` plugs into a
+:class:`~repro.obs.observer.CampaignObserver`'s sink chain (next to the
+``JsonlSink`` writing ``events.jsonl``) and does two things with every
+envelope:
+
+* fold it into a :class:`~repro.obs.dash.reducer.CampaignStateReducer`
+  (the ``GET /api/snapshot`` payload), and
+* fan it out to any number of SSE subscriber queues
+  (``GET /api/events``).
+
+Both the serial and the parallel campaign path are covered for free:
+parallel workers ship their events over the chunk-result channel and
+the parent re-emits them through its own sink chain
+(:meth:`~repro.obs.observer.CampaignObserver.absorb_worker`), so a sink
+attached to the *parent* observer sees every worker event too.
+
+Everything is guarded by one lock — the campaign thread emits while
+HTTP server threads snapshot and subscribe concurrently.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+
+from repro.obs.dash.reducer import CampaignStateReducer
+
+__all__ = ["DashboardSink"]
+
+#: Sentinel put on subscriber queues when the sink closes.
+_CLOSED = None
+
+
+class DashboardSink:
+    """Event sink feeding a state reducer and live SSE subscribers."""
+
+    def __init__(self, reducer: CampaignStateReducer | None = None) -> None:
+        self._reducer = reducer if reducer is not None else CampaignStateReducer()
+        self._lock = threading.Lock()
+        self._history: list[dict] = []
+        self._subscribers: list[queue.SimpleQueue] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Sink protocol
+    # ------------------------------------------------------------------
+
+    def emit(self, record: dict) -> None:
+        with self._lock:
+            try:
+                self._reducer.feed(record)
+            except (ValueError, KeyError):
+                # A malformed envelope must not kill the campaign; the
+                # reducer tracks the damage for the snapshot instead.
+                self._reducer.skipped_lines += 1
+            self._history.append(record)
+            subscribers = list(self._subscribers)
+        for subscriber in subscribers:
+            subscriber.put(record)
+
+    def emit_line(self, line: str) -> None:
+        """Emit one raw JSONL line (the ``repro dash`` replay path).
+
+        Undecodable lines — a torn tail from a crashed campaign, or a
+        write caught mid-flush while tailing — are counted as damage on
+        the reducer and otherwise ignored.
+        """
+        line = line.strip()
+        if not line:
+            return
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            with self._lock:
+                self._reducer.skipped_lines += 1
+            return
+        if not isinstance(record, dict):
+            with self._lock:
+                self._reducer.skipped_lines += 1
+            return
+        self.emit(record)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            subscribers = list(self._subscribers)
+        for subscriber in subscribers:
+            subscriber.put(_CLOSED)
+
+    # ------------------------------------------------------------------
+    # Server-side access
+    # ------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def snapshot(self) -> dict:
+        """The reducer's current snapshot (thread-safe)."""
+        with self._lock:
+            return self._reducer.snapshot()
+
+    def subscribe(self) -> tuple[list[dict], "queue.SimpleQueue"]:
+        """Register an SSE consumer: replay history, then tail.
+
+        Returns ``(history, live_queue)`` atomically: every envelope is
+        either in the returned history list or will arrive on the
+        queue, never both, never neither.  The queue yields envelope
+        dicts and a ``None`` sentinel once the sink closes.
+        """
+        subscriber: queue.SimpleQueue = queue.SimpleQueue()
+        with self._lock:
+            history = list(self._history)
+            if self._closed:
+                subscriber.put(_CLOSED)
+            else:
+                self._subscribers.append(subscriber)
+        return history, subscriber
+
+    def unsubscribe(self, subscriber: "queue.SimpleQueue") -> None:
+        with self._lock:
+            try:
+                self._subscribers.remove(subscriber)
+            except ValueError:
+                pass

@@ -1,0 +1,60 @@
+"""Line tailer for JSONL event files, tolerant of in-flight writes.
+
+The dashboard's replay mode (``repro dash --events file --follow``) and
+``repro obs tail`` both read an ``events.jsonl`` that may still be
+written by a running campaign.  :func:`tail_lines` therefore never
+assumes a line is complete until its newline arrived: partial trailing
+bytes stay buffered across polls, so a reader positioned mid-write sees
+the line exactly once, whole, on the next poll.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterator
+
+__all__ = ["tail_lines"]
+
+
+def tail_lines(
+    path,
+    follow: bool = False,
+    poll_interval_s: float = 0.2,
+    stop: Callable[[], bool] | None = None,
+) -> Iterator[str]:
+    """Yield complete lines (newline stripped) of a growing text file.
+
+    Parameters
+    ----------
+    path:
+        The file to read.  With ``follow=False`` the generator drains
+        the file once and stops (a trailing line without a newline is
+        still yielded — the writer is assumed done).  With
+        ``follow=True`` it keeps polling for appended data until
+        ``stop()`` returns true.
+    poll_interval_s:
+        Sleep between polls when no new data arrived (follow mode).
+    stop:
+        Optional predicate checked once per poll; lets a server thread
+        shut the tail down cleanly.
+    """
+    buffer = ""
+    with open(path, "r", encoding="utf-8") as handle:
+        while True:
+            chunk = handle.read(65536)
+            if chunk:
+                buffer += chunk
+                while True:
+                    newline = buffer.find("\n")
+                    if newline < 0:
+                        break
+                    yield buffer[:newline]
+                    buffer = buffer[newline + 1 :]
+                continue
+            if not follow:
+                if buffer.strip():
+                    yield buffer
+                return
+            if stop is not None and stop():
+                return
+            time.sleep(poll_interval_s)

@@ -383,11 +383,14 @@ class RingBufferSink:
             raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
         self._capacity = capacity
         self._records: list[dict] = []
+        self._dropped = 0
 
     def emit(self, record: dict) -> None:
         self._records.append(record)
         if self._capacity is not None and len(self._records) > self._capacity:
-            del self._records[0 : len(self._records) - self._capacity]
+            evicted = len(self._records) - self._capacity
+            del self._records[0:evicted]
+            self._dropped += evicted
 
     def close(self) -> None:
         pass
@@ -396,6 +399,16 @@ class RingBufferSink:
     def records(self) -> list[dict]:
         """The buffered envelopes, oldest first."""
         return list(self._records)
+
+    @property
+    def dropped(self) -> int:
+        """Envelopes evicted because the buffer was full.
+
+        A non-zero count means the buffered stream is *incomplete*:
+        the observer surfaces it as the ``events.dropped`` counter in
+        ``metrics.json`` and ``repro obs summarize`` prints a warning.
+        """
+        return self._dropped
 
     def events(self) -> list[ParsedEvent]:
         """The buffered envelopes decoded back into typed events."""
@@ -454,6 +467,11 @@ class MultiSink:
     def __init__(self, *sinks) -> None:
         self._sinks = tuple(sinks)
 
+    @property
+    def sinks(self) -> tuple:
+        """The fan-out targets, in emission order."""
+        return self._sinks
+
     def emit(self, record: dict) -> None:
         for sink in self._sinks:
             sink.emit(record)
@@ -480,6 +498,11 @@ class EventStream:
 
     def close(self) -> None:
         self._sink.close()
+
+    @property
+    def sink(self):
+        """The sink (possibly a :class:`MultiSink`) receiving envelopes."""
+        return self._sink
 
     @property
     def n_emitted(self) -> int:
@@ -515,6 +538,14 @@ class RunManifest:
     backend: str
     host: dict
     created_unix: float
+    #: Name of the injected system model.
+    system: str = ""
+    #: Module topology: name -> {"inputs": [...], "outputs": [...]}, in
+    #: system order.  Carried so a recorded stream is self-contained:
+    #: the dashboard reducer reconstructs the (module, input, output)
+    #: pair universe — the denominators of measured permeability — from
+    #: the events file alone, without the Python system model.
+    modules: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return dataclasses.asdict(self)
@@ -543,6 +574,7 @@ def build_manifest(campaign) -> RunManifest:
     from repro import __version__
 
     config = campaign.config
+    system = campaign._system
     return RunManifest(
         schema_version=EVENT_SCHEMA_VERSION,
         package_version=__version__,
@@ -563,4 +595,12 @@ def build_manifest(campaign) -> RunManifest:
             "cpu_count": os.cpu_count(),
         },
         created_unix=time.time(),
+        system=system.name,
+        modules={
+            name: {
+                "inputs": list(system.module(name).inputs),
+                "outputs": list(system.module(name).outputs),
+            }
+            for name in system.module_names()
+        },
     )

@@ -74,12 +74,15 @@ class CampaignObserver:
         with_metrics: bool = True,
         pretty: bool = False,
         system=None,
+        extra_sinks: Iterable = (),
     ) -> "CampaignObserver":
         """Standard full observer: JSONL events + metrics + tracing.
 
         ``events_path=None`` keeps events in a bounded ring buffer
         instead of a file; ``pretty=True`` adds stderr narration;
-        ``system`` enables propagation folding.
+        ``system`` enables propagation folding; ``extra_sinks`` are
+        appended to the fan-out (e.g. a live
+        :class:`~repro.obs.dash.sink.DashboardSink`).
         """
         sinks = []
         if events_path is not None:
@@ -88,6 +91,7 @@ class CampaignObserver:
             sinks.append(RingBufferSink())
         if pretty:
             sinks.append(PrettyPrintSink())
+        sinks.extend(extra_sinks)
         sink = sinks[0] if len(sinks) == 1 else MultiSink(*sinks)
         return cls(
             events=EventStream(sink),
@@ -308,11 +312,30 @@ class CampaignObserver:
             self.metrics.histogram("chunk.seconds").observe(elapsed_s)
             self.metrics.counter("chunk.completed").inc()
 
+    def dropped_events(self) -> int:
+        """Envelopes evicted by bounded ring buffers in the sink chain.
+
+        Non-zero means the in-memory stream is incomplete (older events
+        were overwritten); surfaced as the ``events.dropped`` counter
+        in ``metrics.json`` and warned about by ``repro obs summarize``.
+        """
+        if self.events is None:
+            return 0
+        sink = self.events.sink
+        sinks = sink.sinks if isinstance(sink, MultiSink) else (sink,)
+        return sum(
+            s.dropped for s in sinks if isinstance(s, RingBufferSink)
+        )
+
     def on_campaign_finished(
         self, result: "CampaignResult", elapsed_s: float
     ) -> None:
         if self.metrics is not None:
             self.metrics.gauge("campaign.elapsed_seconds").set(elapsed_s)
+            dropped = self.dropped_events()
+            if dropped:
+                counter = self.metrics.counter("events.dropped")
+                counter.inc(dropped - counter.value)
         if self.events is not None:
             self.events.emit(
                 CampaignFinished(

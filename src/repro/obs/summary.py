@@ -238,6 +238,13 @@ def render_summary(summary: EventsSummary, top: int = 10) -> str:
     kernel_line = _render_kernel_line(summary.metrics)
     if kernel_line is not None:
         lines.append(kernel_line)
+    dropped_data = summary.metrics.get("events.dropped") or {}
+    dropped = int(dropped_data.get("value", 0) or 0)
+    if dropped:
+        lines.append(
+            f"WARNING: {dropped} event(s) were dropped by a bounded "
+            "ring-buffer sink; the recorded stream is incomplete"
+        )
     lines.append("")
 
     if summary.outcome_mix:
