@@ -42,8 +42,14 @@ every module vectorizable, injected errors persisting to the end of the
 run — and times the ``fast_forward`` strategy under both simulation
 backends, reporting the ``batched`` lane kernel's speedup over the
 reference runtime (section ``batched``, key ``batched_speedup``;
-CI-gated to never regress below 1.0x, targeting >= 10x).  ``both``
-(the default) runs the two workloads back to back into one report.
+CI-gated to never regress below 1.0x, targeting >= 10x).  The
+generated axis also times a ``static_prune`` pass on a prunable
+variant of the chain (three arc rows proven zero by the flow analysis
+of :mod:`repro.flow`): after asserting the pruned campaign's estimate
+is byte-identical to the unpruned one, it reports
+``pruned_arc_fraction`` and ``prune_speedup`` (CI-gated >= 1.0x —
+pruning must never cost more than it saves).  ``both`` (the default)
+runs the two workloads back to back into one report.
 
 Methodology: before any stopwatch starts, one untimed pass per
 strategy asserts every strategy is outcome-identical to ``naive`` —
@@ -195,6 +201,66 @@ def build_generated_campaign(
         reuse_golden_prefix=True,
         fast_forward=True,
         backend=backend,
+    )
+    return InjectionCampaign(
+        generated.system, generated.run_factory, ["w0"], config
+    )
+
+
+def build_prunable_system():
+    """The benchmark chain plus a tap module with all-dead arc rows.
+
+    ``MT`` consumes the first three chain signals through all-zero
+    transfer masks, so the static flow analysis proves its three input
+    rows zero-permeability — the workload the ``static_prune``
+    benchmark pass measures.
+    """
+    from repro.verify.generators import (
+        GeneratedModule,
+        GeneratedSystem,
+        GeneratedSystemSpec,
+    )
+
+    base = build_generated_system().spec
+    widths = dict(base.widths)
+    widths["t0"] = GENERATED_BITS
+    tap_inputs = ("x_in", "s0", "s1")
+    tap = GeneratedModule(
+        name="MT",
+        inputs=tap_inputs,
+        outputs=("t0",),
+        masks={i: {"t0": 0} for i in tap_inputs},
+    )
+    spec = GeneratedSystemSpec(
+        name="bench-prunable-chain",
+        seed=base.seed,
+        n_slots=base.n_slots,
+        env_seed=base.env_seed,
+        widths=widths,
+        system_inputs=base.system_inputs,
+        system_outputs=(*base.system_outputs, "t0"),
+        modules=(*base.modules, tap),
+    )
+    return GeneratedSystem(spec)
+
+
+def build_prunable_campaign(
+    scale: dict, static_prune: bool, seed: int = DEFAULT_SEED
+) -> InjectionCampaign:
+    # Reconvergence fast-forward stays off here: a statically-dead run
+    # reconverges on its first frame, so fast-forward already makes it
+    # nearly free dynamically and the pass would only measure timer
+    # noise.  With prefix reuse alone, the dead runs carry their full
+    # injection-to-end cost and the pass isolates what pruning removes.
+    generated = build_prunable_system()
+    config = CampaignConfig(
+        duration_ms=scale["duration_ms"],
+        injection_times_ms=tuple(scale["times"]),
+        error_models=tuple(bit_flip_models(GENERATED_BITS)),
+        seed=seed,
+        reuse_golden_prefix=True,
+        fast_forward=False,
+        static_prune=static_prune,
     )
     return InjectionCampaign(
         generated.system, generated.run_factory, ["w0"], config
@@ -588,12 +654,87 @@ def _bench_generated(args, scale: dict, report: dict) -> bool:
         "batched_speedup": batched_speedup,
     })
 
+    failed = False
     if batched_speedup < 10.0:
         print(f"WARNING: batched-kernel speedup {batched_speedup:.2f}x "
               "below the 10x target")
     # Hard floor: the lane kernel must never lose to scalar stepping
     # on its home workload.
-    return batched_speedup < 1.0
+    failed = batched_speedup < 1.0
+    return _bench_static_prune(args, scale, report) or failed
+
+
+def _bench_static_prune(args, scale: dict, report: dict) -> bool:
+    from repro.injection.estimator import estimate_matrix
+
+    reference = build_prunable_campaign(scale, static_prune=False,
+                                        seed=args.seed)
+    total_runs = reference.total_runs()
+    print(
+        f"[{args.scale}/static-prune] {total_runs} IRs on the prunable "
+        f"chain; warmup={args.warmup} trials={args.trials} seed={args.seed}"
+    )
+
+    # Correctness gate before any stopwatch: the pruned campaign's
+    # estimate must be byte-identical to the unpruned one.
+    baseline_result = build_prunable_campaign(
+        scale, static_prune=False, seed=args.seed
+    ).execute()
+    pruned_result = build_prunable_campaign(
+        scale, static_prune=True, seed=args.seed
+    ).execute()
+    assert (
+        estimate_matrix(pruned_result).to_jsonable()
+        == estimate_matrix(baseline_result).to_jsonable()
+    ), "static_prune changed the estimated matrix"
+    n_pruned_runs = pruned_result.n_pruned_runs()
+    pruned_pairs = sum(
+        len(pruned_result.system.module(module).outputs)
+        for module, _ in pruned_result.pruned_targets()
+    )
+    total_pairs = sum(1 for _ in pruned_result.system.pair_index())
+    pruned_arc_fraction = pruned_pairs / total_pairs
+    print(f"  prune parity verified: {len(pruned_result.pruned_targets())} "
+          f"target(s), {n_pruned_runs}/{total_runs} runs pruned, "
+          f"{pruned_arc_fraction:.0%} of arcs proven zero")
+
+    _, base_s = timed(
+        "prune off           ",
+        lambda: build_prunable_campaign(
+            scale, static_prune=False, seed=args.seed
+        ).execute,
+        args.warmup, args.trials,
+    )
+    _, pruned_s = timed(
+        "prune on            ",
+        lambda: build_prunable_campaign(
+            scale, static_prune=True, seed=args.seed
+        ).execute,
+        args.warmup, args.trials,
+    )
+
+    prune_speedup = base_s / pruned_s
+    print(f"  static-prune speedup: {prune_speedup:.2f}x "
+          f"({n_pruned_runs} of {total_runs} runs skipped)")
+
+    report.update({
+        "static_prune": {
+            "seconds": pruned_s,
+            "baseline_seconds": base_s,
+            "total_runs": total_runs,
+            "pruned_runs": n_pruned_runs,
+            "pruned_targets": len(pruned_result.pruned_targets()),
+        },
+        "pruned_arc_fraction": pruned_arc_fraction,
+        "prune_speedup": prune_speedup,
+    })
+
+    # Hard floor: pruning must never cost more than it saves.
+    if prune_speedup < 1.0:
+        print(f"WARNING: static-prune speedup {prune_speedup:.2f}x "
+              "below the 1.0x floor")
+        return True
+    return False
 
 
 if __name__ == "__main__":

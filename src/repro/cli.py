@@ -17,6 +17,11 @@ Commands
     Run the static model linter (see docs/LINTING.md) over one of the
     shipped systems, optionally with a permeability matrix, and print
     the findings as text, JSON or SARIF 2.1.0.
+``flow``
+    Run the static bit-flow permeability analysis (see
+    docs/STATIC_ANALYSIS.md) over one of the shipped systems and print
+    the per-arc interval bounds, exposure bounds, prunable targets and
+    flow-backed findings (R013/R014) as text, JSON or SARIF 2.1.0.
 ``obs summarize`` / ``obs validate`` / ``obs tail``
     Render a text report from a recorded ``events.jsonl`` (phase
     timings, outcome mix, hottest propagation arcs), round-trip the
@@ -188,6 +193,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         lint=not args.no_lint,
         backend=args.backend,
         dashboard=args.dash,
+        static_prune=args.static_prune,
     )
     dash_server = None
     extra_sinks: list = []
@@ -237,6 +243,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     else:
         result = campaign.execute(progress=progress)
     print(f"done in {time.time() - started:.0f}s")
+    if result.n_pruned_runs():
+        print(
+            f"static pruning: {len(result.pruned_targets())} target(s) "
+            f"proven zero-permeability, {result.n_pruned_runs()} runs "
+            "recorded as exact zeros without executing"
+        )
     if config.fast_forward and len(result):
         print(
             f"fast-forward: {result.n_reconverged()}/{len(result)} IRs "
@@ -419,6 +431,39 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         rendered = report.to_json()
     elif args.format == "sarif":
         rendered = json.dumps(to_sarif(report), indent=2)
+    else:
+        rendered = report.render_text()
+    if args.output:
+        Path(args.output).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.output).write_text(rendered + "\n", encoding="utf-8")
+        print(f"{report.summary()}; report written to {args.output}")
+    else:
+        print(rendered)
+    return 1 if report.fails_at(Severity.from_label(args.fail_on)) else 0
+
+
+def _cmd_flow(args: argparse.Namespace) -> int:
+    from repro.flow import analyse_run, analyse_system, flow_report
+    from repro.lint import Severity
+
+    if args.system == "fig2":
+        # Fig. 2 is an analysis-only model without an executable
+        # runtime, so every module is opaque (T) to the flow analysis.
+        analysis = analyse_system(build_fig2_system())
+    else:
+        case = ArrestmentTestCase(mass_kg=14000.0, velocity_ms=60.0)
+        if args.system == "twonode":
+            from repro.arrestment.twonode import build_twonode_run
+
+            runner = build_twonode_run(case)
+        else:
+            runner = build_arrestment_run(case)
+        analysis = analyse_run(runner)
+    report = flow_report(analysis)
+    if args.format == "json":
+        rendered = report.to_json()
+    elif args.format == "sarif":
+        rendered = json.dumps(report.to_sarif(), indent=2)
     else:
         rendered = report.render_text()
     if args.output:
@@ -661,6 +706,11 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--no-lint", action="store_true",
                           help="skip the pre-campaign model lint gate "
                           "(see docs/LINTING.md)")
+    campaign.add_argument("--static-prune", action="store_true",
+                          help="skip injection targets whose arcs the "
+                          "static flow analysis proves zero-permeability, "
+                          "recording them as exact zero counts "
+                          "(see docs/STATIC_ANALYSIS.md)")
     campaign.add_argument("--twonode", action="store_true",
                           help="analyse the master/slave configuration")
     campaign.add_argument("--save", metavar="FILE",
@@ -692,6 +742,24 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--output", metavar="FILE", default=None,
                       help="write the report to a file instead of stdout")
     lint.set_defaults(func=_cmd_lint)
+
+    flow = commands.add_parser(
+        "flow",
+        help="static bit-flow permeability bounds (docs/STATIC_ANALYSIS.md)",
+    )
+    flow.add_argument("--system", choices=("arrestment", "fig2", "twonode"),
+                      default="arrestment",
+                      help="which shipped model to analyse (fig2 has no "
+                      "executable runtime: every module is T)")
+    flow.add_argument("--format", choices=("text", "json", "sarif"),
+                      default="text", help="output format")
+    flow.add_argument("--fail-on", choices=("error", "warning", "info"),
+                      default="error",
+                      help="exit non-zero when a finding at or above "
+                      "this severity remains (default: error)")
+    flow.add_argument("--output", metavar="FILE", default=None,
+                      help="write the report to a file instead of stdout")
+    flow.set_defaults(func=_cmd_flow)
 
     analyze = commands.add_parser(
         "analyze", help="re-analyse a saved permeability matrix"

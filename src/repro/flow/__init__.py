@@ -1,0 +1,62 @@
+"""Static bit-flow permeability analysis (abstract interpretation).
+
+The paper estimates every error permeability :math:`P^M_{i,k}` by
+injection — thousands of simulated runs per (module, input) target.
+But for the bit-linear module family that the batched kernel already
+certifies via its vectorizability contract (``vector_plan()`` /
+``vector_xor_mask(width)``), permeability is *statically decidable*: a
+flipped bit propagates iff it survives every AND-mask along the way.
+
+This package runs a bit-level influence (taint) abstract interpretation
+over module semantics:
+
+* exact per-module transfer masks are derived from ``vector_plan()``
+  where modules expose it; everything else (opaque modules, the
+  arrestment system's behavioural modules) falls back to the
+  conservative ⊤ element ``[0, 1]``;
+* marked self-feedback (``ModuleSpec.feedback_signals()``) is closed
+  transitively, so higher-order feedback round-trips are covered;
+* the result is a :class:`StaticBoundsMatrix` of ``[lo, hi]`` interval
+  bounds for every (module, input, output) arc — mirroring
+  :class:`~repro.core.permeability.PermeabilityMatrix` — plus composed
+  input→output exposure bounds from a fixpoint over the signal graph.
+
+Consumers: :class:`~repro.injection.campaign.InjectionCampaign` prunes
+statically-proven-zero targets (``CampaignConfig.static_prune``), the
+differential oracles check measured ∈ bounds, and the linter's
+flow-backed rules R013/R014 flag dead arcs and constant-masked bits.
+"""
+
+from repro.flow.analysis import (
+    FlowAnalysis,
+    ModuleFlow,
+    analyse_run,
+    analyse_system,
+    derive_module_flows,
+)
+from repro.flow.bounds import (
+    FLOW_SCHEMA_VERSION,
+    BoundsInterval,
+    StaticBoundsMatrix,
+)
+from repro.flow.report import (
+    FLOW_TOOL_NAME,
+    FlowReport,
+    flow_report,
+    flow_rules,
+)
+
+__all__ = [
+    "FLOW_SCHEMA_VERSION",
+    "FLOW_TOOL_NAME",
+    "BoundsInterval",
+    "FlowAnalysis",
+    "FlowReport",
+    "ModuleFlow",
+    "StaticBoundsMatrix",
+    "analyse_run",
+    "analyse_system",
+    "derive_module_flows",
+    "flow_report",
+    "flow_rules",
+]

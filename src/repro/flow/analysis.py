@@ -1,0 +1,446 @@
+"""Transfer-mask derivation and the bit-level influence analysis.
+
+The abstract interpretation works on the *positionwise* bit lattice:
+every analysable module computes each output as
+``out = XOR_i (in_i & mask[i][out])`` (the vectorizability contract of
+the batched kernel), so an injected bit at position *b* of an input can
+only ever appear at position *b* downstream of mask modules — influence
+is a bitmask, and transfer is bitwise AND/OR.
+
+Three sources of (im)precision:
+
+* **Transfer masks** come from ``vector_plan()`` where a behavioural
+  module instance exposes it; a module without the contract (the
+  arrestment system's behavioural modules,
+  :class:`~repro.verify.generators.OpaqueMaskModule`) is abstracted by
+  ⊤ — any permeability in ``[0, 1]`` is possible.
+* **Error models** contribute their corruption as a pure XOR mask via
+  ``vector_xor_mask(width)``; models without the contract (stuck-at,
+  offset, random replacement) are abstracted by ⊤ per model.
+* **Feedback** — marked self-feedback (``ModuleSpec.feedback_signals``)
+  is closed transitively inside the module, which is *exact* for at
+  most one feedback signal (higher-order round-trips only AND-shrink
+  the surviving bit set, and distinct round-trips surface at distinct
+  activations, so deltas never cancel); with several feedback signals
+  or a cross-module cycle the closure is kept as an upper bound only
+  and the lower bound falls back to the direct term.
+
+Soundness argument for pruning (``docs/STATIC_ANALYSIS.md`` has the
+long form): a (module, input) target is prunable iff **every** arc of
+its row has ``hi == 0``.  That requires every error model's flip mask
+to be exactly known and to miss the transitive closure of every output
+— in which case no perturbed bit ever leaves the (stateless, by the
+``vector_plan`` contract) module, the system state stays equal to the
+Golden Run everywhere, and every injection run would classify as
+"fired, no divergence".  Recording the pruned row as exact zero-error
+counts is therefore byte-identical to executing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.flow.bounds import TOP, BoundsInterval, StaticBoundsMatrix
+from repro.injection.error_models import bit_flip_models
+from repro.model.system import SystemModel
+
+__all__ = [
+    "FlowAnalysis",
+    "ModuleFlow",
+    "analyse_run",
+    "analyse_system",
+    "derive_module_flows",
+]
+
+TargetKey = tuple[str, str]
+
+
+def _model_mask(model: Any, width: int) -> int | None:
+    """The model's corruption as a pure XOR mask, or ``None``.
+
+    Same probe as the batched kernel: only models advertising
+    ``vector_xor_mask`` (pure bit-flips) are statically analysable.
+    """
+    probe = getattr(model, "vector_xor_mask", None)
+    if not callable(probe):
+        return None
+    return probe(width)
+
+
+@dataclass(frozen=True)
+class ModuleFlow:
+    """Derived transfer masks of one module, or ⊤ (``masks is None``).
+
+    ``masks[input][output]`` is the positionwise AND-mask the module
+    applies to that input when computing that output; an absent pair
+    means no influence (mask 0).
+    """
+
+    name: str
+    masks: Mapping[str, Mapping[str, int]] | None
+
+    @property
+    def exact(self) -> bool:
+        """Whether the module's transfer function is fully known."""
+        return self.masks is not None
+
+    def mask(self, input_signal: str, output_signal: str) -> int:
+        """The transfer mask of one arc (0 when absent)."""
+        if self.masks is None:
+            raise ValueError(f"module {self.name!r} has no derived masks (T)")
+        return self.masks.get(input_signal, {}).get(output_signal, 0)
+
+
+def derive_module_flows(
+    system: SystemModel,
+    modules: Mapping[str, Any] | None = None,
+) -> dict[str, ModuleFlow]:
+    """Probe behavioural instances for the vectorizability contract.
+
+    ``modules`` maps module name to a behavioural instance (e.g.
+    ``SimulationRun.modules``); any module without an instance or
+    without a callable ``vector_plan`` falls back to ⊤.
+    """
+    instances = modules or {}
+    flows: dict[str, ModuleFlow] = {}
+    for name in system.module_names():
+        instance = instances.get(name)
+        plan_fn = getattr(instance, "vector_plan", None)
+        if not callable(plan_fn):
+            flows[name] = ModuleFlow(name, None)
+            continue
+        spec = system.module(name)
+        masks: dict[str, dict[str, int]] = {i: {} for i in spec.inputs}
+        for output_signal, terms in tuple(plan_fn()):
+            for input_signal, mask in terms:
+                masks.setdefault(input_signal, {})[output_signal] = mask
+        flows[name] = ModuleFlow(name, masks)
+    return flows
+
+
+def _on_cross_module_cycle(system: SystemModel, module_name: str) -> bool:
+    """Whether a module's outputs can re-enter it via *other* modules.
+
+    Marked self-feedback (an output wired straight back as an input) is
+    modelled exactly by the closure and does not count; any longer
+    cycle makes the within-module closure an upper bound only.
+    """
+    spec = system.module(module_name)
+    inputs = set(spec.inputs)
+    frontier = list(spec.outputs)
+    seen_signals: set[str] = set()
+    seen_modules: set[str] = set()
+    while frontier:
+        signal = frontier.pop()
+        if signal in seen_signals:
+            continue
+        seen_signals.add(signal)
+        for port in system.consumers_of(signal):
+            if port.module == module_name or port.module in seen_modules:
+                continue
+            seen_modules.add(port.module)
+            for out in system.module(port.module).outputs:
+                if out in inputs:
+                    return True
+                frontier.append(out)
+    return False
+
+
+class FlowAnalysis:
+    """The result of one static bit-flow analysis of a system.
+
+    Holds the per-arc :class:`StaticBoundsMatrix`, the derived
+    :class:`ModuleFlow` transfer masks, the live/dead bit sets of every
+    (module, input) target, and lazily-computed composed input→output
+    exposure bounds.
+    """
+
+    def __init__(
+        self,
+        system: SystemModel,
+        flows: Mapping[str, ModuleFlow],
+        error_models: Sequence[Any] | None,
+    ) -> None:
+        self._system = system
+        self._flows = dict(flows)
+        self._error_models = (
+            None if error_models is None else tuple(error_models)
+        )
+        if self._error_models is not None and not self._error_models:
+            raise ValueError("error_models must be None or non-empty")
+        self._wmask = {
+            signal: (1 << system.signal(signal).width) - 1
+            for signal in system.signal_names()
+        }
+        self._bounds = StaticBoundsMatrix(system)
+        #: (module, input) -> live source-bit mask, or None for ⊤ modules.
+        self._live: dict[TargetKey, int | None] = {}
+        self._exposure: dict[TargetKey, BoundsInterval] | None = None
+        self._analyse()
+
+    # ------------------------------------------------------------------
+    # Core per-arc analysis
+    # ------------------------------------------------------------------
+
+    def _closure(
+        self, flow: ModuleFlow, input_signal: str
+    ) -> tuple[dict[str, int], dict[str, int]]:
+        """(direct, transitive-closure) survivor masks per output.
+
+        Masks are in source-bit positions of ``input_signal`` (the
+        transfer is positionwise), already truncated to each output's
+        width.
+        """
+        spec = self._system.module(flow.name)
+        w = self._wmask
+        in_band = w[input_signal]
+        direct = {
+            o: flow.mask(input_signal, o) & in_band & w[o] for o in spec.outputs
+        }
+        reach = dict(direct)
+        feedback = spec.feedback_signals()
+        changed = True
+        while changed:
+            changed = False
+            for fb in feedback:
+                carried = reach.get(fb, 0) & w[fb]
+                if not carried:
+                    continue
+                for o in spec.outputs:
+                    add = carried & flow.mask(fb, o) & w[o]
+                    if add & ~reach[o]:
+                        reach[o] |= add
+                        changed = True
+        return direct, reach
+
+    def _models_for(self, input_signal: str) -> Sequence[Any]:
+        if self._error_models is not None:
+            return self._error_models
+        width = self._system.signal(input_signal).width
+        return bit_flip_models(width)
+
+    def _analyse(self) -> None:
+        system = self._system
+        for name in system.module_names():
+            spec = system.module(name)
+            flow = self._flows[name]
+            if not flow.exact:
+                for i in spec.inputs:
+                    self._live[(name, i)] = None
+                    for o in spec.outputs:
+                        self._bounds.set(name, i, o, TOP)
+                continue
+            cross_cycle = _on_cross_module_cycle(system, name)
+            exact_closure = len(spec.feedback_signals()) <= 1 and not cross_cycle
+            for i in spec.inputs:
+                direct, closure = self._closure(flow, i)
+                escape = 0
+                for o in spec.outputs:
+                    escape |= closure[o]
+                self._live[(name, i)] = escape
+                models = self._models_for(i)
+                width = system.signal(i).width
+                masks = [_model_mask(model, width) for model in models]
+                n = len(masks)
+                for o in spec.outputs:
+                    lo_mask = closure[o] if exact_closure else direct[o]
+                    sure = maybe = 0
+                    for m in masks:
+                        if m is None:
+                            maybe += 1
+                        elif m & lo_mask:
+                            sure += 1
+                        elif m & closure[o]:
+                            maybe += 1
+                        elif cross_cycle and m & escape:
+                            maybe += 1
+                    self._bounds.set(
+                        name, i, o,
+                        BoundsInterval(sure / n, (sure + maybe) / n),
+                    )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def system(self) -> SystemModel:
+        return self._system
+
+    @property
+    def bounds(self) -> StaticBoundsMatrix:
+        return self._bounds
+
+    @property
+    def module_flows(self) -> dict[str, ModuleFlow]:
+        return dict(self._flows)
+
+    @property
+    def error_models(self) -> tuple[Any, ...] | None:
+        """The analysed error band (``None``: full per-width bit-flip)."""
+        return self._error_models
+
+    def live_input_bits(self, module: str, input_signal: str) -> int | None:
+        """Source bits of an input that may influence some output.
+
+        ``None`` means the module is ⊤ — every bit must be assumed
+        live.
+        """
+        return self._live[(module, input_signal)]
+
+    def dead_input_bits(self, module: str, input_signal: str) -> int:
+        """Bits *provably* unable to influence any output (0 for ⊤)."""
+        live = self._live[(module, input_signal)]
+        if live is None:
+            return 0
+        return self._wmask[input_signal] & ~live
+
+    def prunable_targets(
+        self, targets: Sequence[TargetKey] | None = None
+    ) -> tuple[TargetKey, ...]:
+        """Targets whose whole arc row is statically proven zero.
+
+        Order follows ``targets`` when given, system declaration order
+        otherwise.  A module without outputs is never pruned (there is
+        no arc row to certify).
+        """
+        if targets is None:
+            targets = [
+                (name, i)
+                for name in self._system.module_names()
+                for i in self._system.module(name).inputs
+            ]
+        prunable = []
+        for module, input_signal in targets:
+            outputs = self._system.module(module).outputs
+            if not outputs:
+                continue
+            if all(
+                self._bounds.get(module, input_signal, o).proves_zero
+                for o in outputs
+            ):
+                prunable.append((module, input_signal))
+        return tuple(prunable)
+
+    # ------------------------------------------------------------------
+    # Composed input -> output exposure
+    # ------------------------------------------------------------------
+
+    def _reach_fixpoint(
+        self, source: str, skip_direct: TargetKey | None = None
+    ) -> tuple[dict[str, int], dict[str, int]]:
+        """Influence fixpoint over the signal graph from one system input.
+
+        Returns ``(pos, srcany)``: per signal, the source bits whose
+        influence is still position-aligned (pure mask-module paths)
+        and the source bits whose position was scrambled by a ⊤ module.
+        ``skip_direct=(module, output)`` zeroes the direct
+        source→output term of that module — used to test whether a
+        system output is influenced *only* through its direct arc.
+        """
+        system = self._system
+        w = self._wmask
+        pos = {signal: 0 for signal in system.signal_names()}
+        srcany = dict(pos)
+        pos[source] = w[source]
+        changed = True
+        while changed:
+            changed = False
+            for name in system.module_names():
+                spec = system.module(name)
+                flow = self._flows[name]
+                for o in spec.outputs:
+                    if flow.exact:
+                        new_pos = 0
+                        new_any = 0
+                        for i in spec.inputs:
+                            mask = flow.mask(i, o) & w[o]
+                            if (
+                                skip_direct == (name, o)
+                                and i == source
+                            ):
+                                mask = 0
+                            if not mask:
+                                continue
+                            new_pos |= pos[i] & mask
+                            new_any |= srcany[i]
+                    else:
+                        touched = 0
+                        for i in spec.inputs:
+                            touched |= pos[i] | srcany[i]
+                        new_pos = 0
+                        new_any = touched
+                    if new_pos & ~pos[o] or new_any & ~srcany[o]:
+                        pos[o] |= new_pos
+                        srcany[o] |= new_any
+                        changed = True
+        return pos, srcany
+
+    def exposure_bounds(self) -> dict[TargetKey, BoundsInterval]:
+        """Composed (system input, system output) exposure bounds.
+
+        The upper bound counts the source bits that can reach the
+        output at all (uniform single-bit-flip band at the source); the
+        lower bound is non-trivial only when the output is influenced
+        solely through a direct arc of its producing module, where the
+        arc's own lower bound applies unchanged.
+        """
+        if self._exposure is not None:
+            return dict(self._exposure)
+        system = self._system
+        exposure: dict[TargetKey, BoundsInterval] = {}
+        for source in system.system_inputs:
+            width = system.signal(source).width
+            pos, srcany = self._reach_fixpoint(source)
+            for out in system.system_outputs:
+                influence = pos[out] | srcany[out]
+                hi = bin(influence).count("1") / width
+                hi = min(1.0, hi)
+                lo = 0.0
+                producer = system.producer_of(out)
+                if (
+                    influence
+                    and producer is not None
+                    and source in system.module(producer.module).inputs
+                ):
+                    rest_pos, rest_any = self._reach_fixpoint(
+                        source, skip_direct=(producer.module, out)
+                    )
+                    if not (rest_pos[out] | rest_any[out]):
+                        arc = self._bounds.get(producer.module, source, out)
+                        lo = min(arc.lo, hi)
+                exposure[(source, out)] = BoundsInterval(lo, hi)
+        self._exposure = exposure
+        return dict(exposure)
+
+
+def analyse_system(
+    system: SystemModel,
+    modules: Mapping[str, Any] | None = None,
+    error_models: Sequence[Any] | None = None,
+) -> FlowAnalysis:
+    """Run the static bit-flow analysis over one system.
+
+    Parameters
+    ----------
+    system:
+        The system topology.
+    modules:
+        Behavioural module instances to probe for transfer masks
+        (e.g. ``SimulationRun.modules``).  ``None``: every module is ⊤.
+    error_models:
+        The error band to bound against — the campaign's model set.
+        ``None``: the canonical structural band, one
+        :class:`~repro.injection.error_models.BitFlip` per bit of each
+        target input.
+    """
+    flows = derive_module_flows(system, modules)
+    return FlowAnalysis(system, flows, error_models)
+
+
+def analyse_run(
+    runner: Any, error_models: Sequence[Any] | None = None
+) -> FlowAnalysis:
+    """Analyse a :class:`~repro.simulation.runtime.SimulationRun`."""
+    return analyse_system(runner.system, runner.modules, error_models)

@@ -1,0 +1,274 @@
+"""The interval abstract domain and its per-arc matrix container.
+
+The analysis abstracts a permeability :math:`P^M_{i,k} \\in [0, 1]` by
+a closed interval :class:`BoundsInterval` ``[lo, hi]``:
+
+* a module with derived transfer masks and a fully analyzable error
+  band gets a *point* interval (``lo == hi``) — the bit-linear
+  semantics make the permeability exactly computable;
+* the ⊤ element ``[0, 1]`` abstracts modules whose behaviour the
+  analysis cannot see (no ``vector_plan()``) or error models whose
+  corruption is not a pure XOR;
+* mixed cases land in between — every analyzable model contributes a
+  certain 0 or 1, every opaque one contributes the full interval.
+
+:class:`StaticBoundsMatrix` mirrors the container ergonomics of
+:class:`~repro.core.permeability.PermeabilityMatrix`: entries are keyed
+by (module, input signal, output signal), iterated in system pair
+order, validated against the system topology, and serialised to the
+same ``{"system": ..., "entries": [...]}`` JSON shape.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.permeability import PermeabilityMatrix
+from repro.model.errors import ModelError
+from repro.model.system import SystemModel
+
+__all__ = [
+    "FLOW_SCHEMA_VERSION",
+    "BoundsInterval",
+    "StaticBoundsMatrix",
+    "UnknownArcError",
+]
+
+#: Version of the flow JSON report layout.
+FLOW_SCHEMA_VERSION = 1
+
+#: Tolerance under which an interval counts as a point (``lo == hi``).
+_EXACT_ATOL = 1e-12
+
+PairKey = tuple[str, str, str]
+
+
+class UnknownArcError(ModelError):
+    """A (module, input, output) key not present in the system topology."""
+
+    def __init__(self, module: str, input_signal: str, output_signal: str):
+        super().__init__(
+            f"system has no arc ({module!r}, {input_signal!r}, "
+            f"{output_signal!r})"
+        )
+
+
+@dataclass(frozen=True)
+class BoundsInterval:
+    """A closed sub-interval of ``[0, 1]`` bounding one permeability."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.lo <= self.hi <= 1.0):
+            raise ValueError(
+                f"invalid bounds interval [{self.lo}, {self.hi}]: "
+                "need 0 <= lo <= hi <= 1"
+            )
+
+    @property
+    def exact(self) -> bool:
+        """Whether the interval is a point (the bound is the value)."""
+        return self.hi - self.lo <= _EXACT_ATOL
+
+    @property
+    def is_top(self) -> bool:
+        """Whether this is the no-information element ``[0, 1]``."""
+        return self.lo == 0.0 and self.hi == 1.0
+
+    @property
+    def proves_zero(self) -> bool:
+        """Whether the arc provably never propagates (``hi == 0``)."""
+        return self.hi == 0.0
+
+    def contains(self, value: float, atol: float = 1e-9) -> bool:
+        """Whether a measured permeability lies within the interval."""
+        return self.lo - atol <= value <= self.hi + atol
+
+    def to_dict(self) -> dict:
+        return {"lo": self.lo, "hi": self.hi}
+
+    def __str__(self) -> str:
+        if self.exact:
+            return f"={self.lo:.4f}"
+        return f"[{self.lo:.4f}, {self.hi:.4f}]"
+
+
+#: The no-information element: any permeability is possible.
+TOP = BoundsInterval(0.0, 1.0)
+
+
+class StaticBoundsMatrix:
+    """Interval bounds for every (module, input, output) arc.
+
+    The static counterpart of
+    :class:`~repro.core.permeability.PermeabilityMatrix`: same keying,
+    same iteration order, same completeness discipline — so measured
+    and statically-bounded matrices can be walked side by side.
+    """
+
+    def __init__(self, system: SystemModel) -> None:
+        self._system = system
+        self._entries: dict[PairKey, BoundsInterval] = {}
+        self._valid_pairs = set(system.pair_index())
+
+    @property
+    def system(self) -> SystemModel:
+        return self._system
+
+    def _check_pair(
+        self, module: str, input_signal: str, output_signal: str
+    ) -> PairKey:
+        key = (module, input_signal, output_signal)
+        if key not in self._valid_pairs:
+            raise UnknownArcError(module, input_signal, output_signal)
+        return key
+
+    def set(
+        self,
+        module: str,
+        input_signal: str,
+        output_signal: str,
+        bounds: BoundsInterval,
+    ) -> None:
+        """Assign the bounds of one arc."""
+        key = self._check_pair(module, input_signal, output_signal)
+        self._entries[key] = bounds
+
+    def get(
+        self, module: str, input_signal: str, output_signal: str
+    ) -> BoundsInterval:
+        """The bounds of one arc (raises if not yet assigned)."""
+        key = self._check_pair(module, input_signal, output_signal)
+        try:
+            return self._entries[key]
+        except KeyError:
+            raise UnknownArcError(module, input_signal, output_signal) from None
+
+    def get_or_none(
+        self, module: str, input_signal: str, output_signal: str
+    ) -> BoundsInterval | None:
+        key = self._check_pair(module, input_signal, output_signal)
+        return self._entries.get(key)
+
+    def __contains__(self, key: PairKey) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def items(self) -> Iterator[tuple[PairKey, BoundsInterval]]:
+        """All assigned (arc, bounds) entries in system pair order."""
+        for key in self._system.pair_index():
+            if key in self._entries:
+                yield key, self._entries[key]
+
+    def is_complete(self) -> bool:
+        """Whether every arc of every module has bounds."""
+        return len(self._entries) == len(self._valid_pairs)
+
+    def missing_pairs(self) -> tuple[PairKey, ...]:
+        """Arcs without bounds, in system pair order."""
+        return tuple(
+            key for key in self._system.pair_index() if key not in self._entries
+        )
+
+    def require_complete(self) -> None:
+        missing = self.missing_pairs()
+        if missing:
+            module, input_signal, output_signal = missing[0]
+            raise UnknownArcError(module, input_signal, output_signal)
+
+    # ------------------------------------------------------------------
+    # Containment against a measured matrix
+    # ------------------------------------------------------------------
+
+    def violations(
+        self, measured: PermeabilityMatrix, atol: float = 1e-9
+    ) -> tuple[str, ...]:
+        """Arcs whose measured permeability escapes the static bounds.
+
+        Only arcs present in *both* matrices are compared.  An empty
+        tuple means the measurement is consistent with the analysis —
+        the soundness contract of the abstract interpretation.
+        """
+        problems = []
+        for (module, i, o), bounds in self.items():
+            value = measured.get_or_none(module, i, o)
+            if value is None:
+                continue
+            if not bounds.contains(value, atol):
+                problems.append(
+                    f"({module}, {i}, {o}): measured {value:.6f} "
+                    f"outside static bounds {bounds}"
+                )
+        return tuple(problems)
+
+    def contains_matrix(
+        self, measured: PermeabilityMatrix, atol: float = 1e-9
+    ) -> bool:
+        """Whether every measured arc lies within its static bounds."""
+        return not self.violations(measured, atol)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+
+    def to_jsonable(self) -> dict:
+        return {
+            "schema_version": FLOW_SCHEMA_VERSION,
+            "system": self._system.name,
+            "entries": [
+                {
+                    "module": module,
+                    "input": input_signal,
+                    "output": output_signal,
+                    "lo": bounds.lo,
+                    "hi": bounds.hi,
+                }
+                for (module, input_signal, output_signal), bounds in self.items()
+            ],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_jsonable(), indent=indent)
+
+    @classmethod
+    def from_jsonable(cls, data: dict, system: SystemModel) -> "StaticBoundsMatrix":
+        if data.get("system") != system.name:
+            raise ValueError(
+                f"bounds for system {data.get('system')!r} do not match "
+                f"{system.name!r}"
+            )
+        matrix = cls(system)
+        for entry in data["entries"]:
+            matrix.set(
+                entry["module"],
+                entry["input"],
+                entry["output"],
+                BoundsInterval(entry["lo"], entry["hi"]),
+            )
+        return matrix
+
+    @classmethod
+    def from_json(cls, text: str, system: SystemModel) -> "StaticBoundsMatrix":
+        return cls.from_jsonable(json.loads(text), system)
+
+    def render_text(self) -> str:
+        """Human-readable per-arc table in system pair order."""
+        lines = [f"static permeability bounds for system {self._system.name!r}"]
+        for (module, i, o), bounds in self.items():
+            tag = " (T)" if bounds.is_top else ""
+            lines.append(f"  {module}: {i} -> {o}  {bounds}{tag}")
+        if not self._entries:
+            lines.append("  (no arcs)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<StaticBoundsMatrix {self._system.name!r} "
+            f"{len(self._entries)}/{len(self._valid_pairs)} arcs>"
+        )

@@ -1,0 +1,148 @@
+"""Rendering of a flow analysis: text, JSON and SARIF.
+
+The findings layer reuses the linter's diagnostics machinery: the
+flow-backed rules R013/R014 live in the ordinary rule registry
+(:mod:`repro.lint.rules`, gated on the ``bounds`` ingredient), so
+``repro flow`` and a bounds-equipped ``lint_system()`` call emit
+byte-identical diagnostics.  SARIF output goes through the shared
+emitter (:mod:`repro.report.sarif`) under the ``repro-flow`` tool
+identity.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.flow.analysis import FlowAnalysis
+from repro.flow.bounds import FLOW_SCHEMA_VERSION
+from repro.lint.diagnostics import LintReport, Severity
+from repro.lint.rules import LintRule, lint_system, registered_rules
+from repro.report.sarif import sarif_log
+
+__all__ = [
+    "FLOW_TOOL_NAME",
+    "FLOW_RULE_CODES",
+    "FlowReport",
+    "flow_report",
+    "flow_rules",
+]
+
+FLOW_TOOL_NAME = "repro-flow"
+
+#: The flow-backed rules of the lint registry (the ``bounds`` ingredient).
+FLOW_RULE_CODES = ("R013", "R014")
+
+
+def flow_rules() -> tuple[LintRule, ...]:
+    """The registered flow-backed lint rules, registry order."""
+    return tuple(r for r in registered_rules() if r.code in FLOW_RULE_CODES)
+
+
+class FlowReport:
+    """One flow analysis plus its findings, ready for rendering."""
+
+    def __init__(self, analysis: FlowAnalysis, findings: LintReport) -> None:
+        self.analysis = analysis
+        self.findings = findings
+
+    @property
+    def system_name(self) -> str:
+        return self.analysis.system.name
+
+    def fails_at(self, threshold: Severity) -> bool:
+        """Whether any finding is at or above ``threshold`` (CI gating)."""
+        return self.findings.fails_at(threshold)
+
+    def summary(self) -> str:
+        """One-line totals mirroring :meth:`LintReport.summary`."""
+        return self.findings.summary()
+
+    def render_text(self) -> str:
+        analysis = self.analysis
+        system = analysis.system
+        flows = analysis.module_flows
+        n_exact = sum(1 for flow in flows.values() if flow.exact)
+        lines = [f"static bit-flow analysis for system {system.name!r}"]
+        lines.append(
+            f"  transfer masks: {n_exact}/{len(flows)} modules exact, "
+            f"{len(flows) - n_exact} T (opaque)"
+        )
+        for part in analysis.bounds.render_text().splitlines()[1:]:
+            lines.append(part)
+        exposure = analysis.exposure_bounds()
+        if exposure:
+            lines.append("  exposure (system input -> system output):")
+            for (source, out), bounds in sorted(exposure.items()):
+                lines.append(f"    {source} -> {out}  {bounds}")
+        prunable = analysis.prunable_targets()
+        if prunable:
+            lines.append("  statically-proven-zero targets (prunable):")
+            for module, input_signal in prunable:
+                lines.append(f"    {module}: {input_signal}")
+        if len(self.findings):
+            lines.append("  findings:")
+            for diagnostic in self.findings:
+                for part in diagnostic.render().splitlines():
+                    lines.append(f"    {part}")
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def to_jsonable(self) -> dict:
+        analysis = self.analysis
+        return {
+            "schema_version": FLOW_SCHEMA_VERSION,
+            "system": self.system_name,
+            "bounds": analysis.bounds.to_jsonable(),
+            "exposure": [
+                {
+                    "input": source,
+                    "output": out,
+                    "lo": bounds.lo,
+                    "hi": bounds.hi,
+                }
+                for (source, out), bounds in sorted(
+                    analysis.exposure_bounds().items()
+                )
+            ],
+            "prunable_targets": [
+                {"module": module, "input": input_signal}
+                for module, input_signal in analysis.prunable_targets()
+            ],
+            "findings": self.findings.to_jsonable(),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_jsonable(), indent=indent)
+
+    def to_sarif(self) -> dict:
+        """SARIF 2.1.0 log via the shared emitter (tool ``repro-flow``)."""
+        analysis = self.analysis
+        n_zero = sum(
+            1 for _, bounds in analysis.bounds.items() if bounds.proves_zero
+        )
+        return sarif_log(
+            self.findings,
+            tool_name=FLOW_TOOL_NAME,
+            rules=flow_rules(),
+            doc_page="docs/STATIC_ANALYSIS.md",
+            properties={
+                "flow_schema_version": FLOW_SCHEMA_VERSION,
+                "arcs": len(analysis.bounds),
+                "arcs_proven_zero": n_zero,
+                "prunable_targets": len(analysis.prunable_targets()),
+            },
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FlowReport {self.system_name!r} "
+            f"arcs={len(self.analysis.bounds)} findings={len(self.findings)}>"
+        )
+
+
+def flow_report(analysis: FlowAnalysis) -> FlowReport:
+    """Run the flow-backed lint rules over an analysis and package both."""
+    findings = lint_system(
+        analysis.system, bounds=analysis, select=FLOW_RULE_CODES
+    )
+    return FlowReport(analysis, findings)

@@ -153,6 +153,19 @@ class CampaignConfig:
         kernel, byte-identical by contract).  Defaults to the
         ``REPRO_BACKEND`` environment variable, falling back to
         ``"reference"``.
+    static_prune:
+        When ``True``, the static bit-flow analysis (:mod:`repro.flow`)
+        runs before the first Golden Run and every (module, input)
+        target whose whole arc row is statically proven zero is
+        *skipped* instead of injected.  Pruned targets are recorded as
+        exact zero-error counts with the full injection denominator,
+        so ``estimate_matrix()`` (and everything downstream: the
+        tables, the dashboard reducer) stays complete and byte-stable
+        on all arcs.  Soundness: a target prunes only when every error
+        model's corruption is a known XOR mask that provably cannot
+        escape the (stateless, ``vector_plan``-certified) module — see
+        docs/STATIC_ANALYSIS.md.  Off by default (CLI:
+        ``--static-prune``).
     dashboard:
         Optional ``host:port`` address for the live resilience
         dashboard (CLI: ``repro campaign --dash``, see
@@ -179,6 +192,7 @@ class CampaignConfig:
         default_factory=lambda: os.environ.get("REPRO_BACKEND", "reference")
     )
     dashboard: str | None = None
+    static_prune: bool = False
 
     def __post_init__(self) -> None:
         if self.duration_ms < 1:
@@ -584,6 +598,44 @@ class InjectionCampaign:
         return dict(self._golden_runs)
 
     # ------------------------------------------------------------------
+    # Static pruning (repro.flow)
+    # ------------------------------------------------------------------
+
+    def _plan_pruning(
+        self,
+    ) -> tuple[tuple[tuple[str, str], ...], tuple[tuple[str, str], ...]]:
+        """Split the target grid into (live, statically-pruned) targets.
+
+        With :attr:`CampaignConfig.static_prune` off this is the
+        identity.  Otherwise one probe runtime is built to derive
+        transfer masks and every target whose whole arc row is proven
+        zero under this campaign's error models is moved to the pruned
+        set (grid order preserved on both sides).
+        """
+        if not self._config.static_prune:
+            return self._targets, ()
+        from repro.flow import analyse_run
+
+        probe = self._run_factory(next(iter(self._test_cases.values())))
+        analysis = analyse_run(probe, error_models=self._config.error_models)
+        pruned = set(analysis.prunable_targets(self._targets))
+        live = tuple(t for t in self._targets if t not in pruned)
+        return live, tuple(t for t in self._targets if t in pruned)
+
+    def _record_pruned(
+        self,
+        result: CampaignResult,
+        pruned: Sequence[tuple[str, str]],
+        runs_per_target: int,
+    ) -> int:
+        """Record pruned targets as exact zero-error counts; return arcs."""
+        n_arcs = 0
+        for module, signal in pruned:
+            result.record_pruned(module, signal, runs_per_target)
+            n_arcs += len(self._system.module(module).outputs)
+        return n_arcs
+
+    # ------------------------------------------------------------------
     # Lint gate
     # ------------------------------------------------------------------
 
@@ -652,14 +704,23 @@ class InjectionCampaign:
             obs.on_campaign_started(self, mode="serial")
             obs.on_backend_selected(self._exec_backend.name)
         self._lint_gate()
+        live_targets, pruned = self._plan_pruning()
         result = CampaignResult(self._system)
         completed = 0
         total = self.total_runs()
+        if pruned:
+            per_target = len(self._test_cases) * self._config.runs_per_target()
+            n_arcs = self._record_pruned(result, pruned, per_target)
+            if obs is not None:
+                obs.on_arcs_pruned(pruned, per_target, n_arcs)
+            completed = len(pruned) * per_target
+            if progress is not None:
+                progress(completed, total)
         for case_id, case in self._test_cases.items():
             runner, golden, checkpoints = self._golden_for_case(case_id, case)
             self._golden_runs[case_id] = golden
             for outcome, injected in self._case_injections(
-                runner, golden, self._targets, checkpoints
+                runner, golden, live_targets, checkpoints
             ):
                 if inspector is not None:
                     inspector(outcome, injected, golden)
@@ -901,13 +962,14 @@ class InjectionCampaign:
             obs.on_campaign_started(self, mode="parallel")
             obs.on_backend_selected(self._exec_backend.name)
         self._lint_gate()
+        live_targets, pruned = self._plan_pruning()
         config = dataclasses.replace(
-            self._config, targets=self._targets
+            self._config, targets=live_targets
         )
         total = self.total_runs()
         if chunk_size is None:
             workers = max_workers or os.cpu_count() or 1
-            grid = len(self._test_cases) * len(self._targets)
+            grid = len(self._test_cases) * len(live_targets)
             chunk_size = max(1, -(-grid // (4 * workers)))
         elif chunk_size < 1:
             raise CampaignError(f"chunk_size must be >= 1, got {chunk_size}")
@@ -917,6 +979,14 @@ class InjectionCampaign:
         tasks: list[tuple[str, tuple[tuple[str, str], ...]]] = []
         result = CampaignResult(self._system)
         completed = 0
+        if pruned:
+            per_target = len(self._test_cases) * self._config.runs_per_target()
+            n_arcs = self._record_pruned(result, pruned, per_target)
+            if obs is not None:
+                obs.on_arcs_pruned(pruned, per_target, n_arcs)
+            completed = len(pruned) * per_target
+            if progress is not None:
+                progress(completed, total)
         try:
             for case_id, case in self._test_cases.items():
                 runner, golden, checkpoints = self._golden_for_case(
@@ -956,9 +1026,9 @@ class InjectionCampaign:
                         "telemetry": golden.result.telemetry,
                     }
                 )
-                for start in range(0, len(self._targets), chunk_size):
+                for start in range(0, len(live_targets), chunk_size):
                     tasks.append(
-                        (case_id, self._targets[start : start + chunk_size])
+                        (case_id, live_targets[start : start + chunk_size])
                     )
 
             payload = (

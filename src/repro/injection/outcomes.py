@@ -126,6 +126,7 @@ class CampaignResult:
     def __init__(self, system: SystemModel, outcomes: Iterable[InjectionOutcome] = ()):
         self._system = system
         self._outcomes: list[InjectionOutcome] = list(outcomes)
+        self._pruned: dict[tuple[str, str], int] = {}
 
     @property
     def system(self) -> SystemModel:
@@ -134,6 +135,29 @@ class CampaignResult:
     def add(self, outcome: InjectionOutcome) -> None:
         """Record one injection run."""
         self._outcomes.append(outcome)
+
+    def record_pruned(
+        self, module: str, input_signal: str, n_injections: int
+    ) -> None:
+        """Record a statically-pruned target as exact zero-error counts.
+
+        A target is only pruned when every arc of its row is proven to
+        have zero permeability (see :mod:`repro.flow`), so the
+        ``n_injections`` runs it would have received are recorded as
+        conducted-with-zero-errors without executing them.  The counts
+        surface through :meth:`pair_counts` exactly as if the runs had
+        happened, keeping estimators and reports complete.
+        """
+        key = (module, input_signal)
+        self._pruned[key] = self._pruned.get(key, 0) + n_injections
+
+    def pruned_targets(self) -> tuple[tuple[str, str], ...]:
+        """The statically-pruned (module, input) targets, in record order."""
+        return tuple(self._pruned)
+
+    def n_pruned_runs(self) -> int:
+        """Injection runs skipped (and recorded as zeros) by pruning."""
+        return sum(self._pruned.values())
 
     def __len__(self) -> int:
         return len(self._outcomes)
@@ -177,6 +201,10 @@ class CampaignResult:
 
         Returns counts for every pair of every module that received at
         least one injection; pairs of uninjected modules are absent.
+        Statically-pruned targets (see :meth:`record_pruned`) appear
+        with their full injection count and zero errors, exactly as if
+        the runs had executed — but only when ``predicate`` is ``None``,
+        since pruned runs have no per-outcome record to filter on.
         """
         counts: dict[tuple[str, str, str], PairCounts] = {}
         injected_inputs = {
@@ -207,6 +235,15 @@ class CampaignResult:
                     hit = outcome.output_diverged(output_signal)
                 if hit:
                     counts[key].n_errors += 1
+        if predicate is None:
+            for (module, input_signal), n_injections in self._pruned.items():
+                spec = self._system.module(module)
+                for output_signal in spec.outputs:
+                    key = (module, input_signal, output_signal)
+                    entry = counts.setdefault(
+                        key, PairCounts(module, input_signal, output_signal)
+                    )
+                    entry.n_injections += n_injections
         return counts
 
     def n_fired(self) -> int:

@@ -24,13 +24,17 @@ R009    warning   all-zero permeability row (input never permeates)
 R010    warning   all-zero permeability column (output never receives)
 R011    warning   detector shadowed by an upstream detector
 R012    error     campaign target names an unknown (module, signal) pair
+R013    warning   statically-dead arc the model still declares live
+R014    info      constant-masked input bits no error model can propagate
 ======  ========  ==========================================================
 
 The structural rules (R001–R008) need only the
 :class:`~repro.model.system.SystemModel`; R009/R010 additionally need a
 :class:`~repro.core.permeability.PermeabilityMatrix`, R011 a set of
-detector placements and R012 a campaign target grid.  Rules whose
-context is absent are skipped, not failed.
+detector placements, R012 a campaign target grid, and the flow-backed
+rules R013/R014 a :class:`~repro.flow.analysis.FlowAnalysis` (the
+``bounds`` ingredient).  Rules whose context is absent are skipped, not
+failed.
 """
 
 from __future__ import annotations
@@ -49,6 +53,7 @@ from repro.model.system import SystemModel
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.permeability import PermeabilityMatrix
+    from repro.flow.analysis import FlowAnalysis
 
 __all__ = [
     "LintContext",
@@ -75,6 +80,7 @@ class LintContext:
     matrix: "PermeabilityMatrix | None" = None
     targets: tuple[tuple[str, str], ...] | None = None
     detectors: tuple[str, ...] | None = None
+    bounds: "FlowAnalysis | None" = None
 
     def available(self) -> frozenset[str]:
         tags = set()
@@ -84,6 +90,8 @@ class LintContext:
             tags.add("targets")
         if self.detectors is not None:
             tags.add("detectors")
+        if self.bounds is not None:
+            tags.add("bounds")
         return frozenset(tags)
 
 
@@ -614,6 +622,76 @@ def _r012_unknown_target(ctx: LintContext) -> Iterator[Finding]:
 
 
 # ---------------------------------------------------------------------------
+# Flow-backed rules (static bit-flow bounds)
+# ---------------------------------------------------------------------------
+
+
+def _bit_positions(mask: int) -> str:
+    """Human-readable bit positions of a mask, e.g. ``0, 2, 5-7``."""
+    positions = [b for b in range(mask.bit_length()) if mask >> b & 1]
+    parts: list[str] = []
+    start = prev = positions[0]
+    for b in positions[1:] + [None]:  # type: ignore[list-item]
+        if b is not None and b == prev + 1:
+            prev = b
+            continue
+        parts.append(str(start) if start == prev else f"{start}-{prev}")
+        if b is not None:
+            start = prev = b
+    return ", ".join(parts)
+
+
+@rule(
+    "R013",
+    Severity.WARNING,
+    "statically-dead arc: declared pair with provably zero permeability",
+    requires=("bounds",),
+)
+def _r013_dead_arc(ctx: LintContext) -> Iterator[Finding]:
+    assert ctx.bounds is not None
+    for (module, input_signal, output_signal), bounds in ctx.bounds.bounds.items():
+        if not bounds.proves_zero:
+            continue
+        yield (
+            SourceLocation(module=module, signal=output_signal, port="pair"),
+            f"pair {input_signal!r} -> {output_signal!r} of module "
+            f"{module!r} is declared live but its transfer masks prove "
+            "zero permeability for every analysed error model",
+            "injections on this arc are wasted work — enable "
+            "static_prune, or drop the pair from the declaration",
+        )
+
+
+@rule(
+    "R014",
+    Severity.INFO,
+    "constant-masked input bits no error model can propagate",
+    requires=("bounds",),
+)
+def _r014_constant_masked_bits(ctx: LintContext) -> Iterator[Finding]:
+    system = ctx.system
+    analysis = ctx.bounds
+    assert analysis is not None
+    for name in system.module_names():
+        spec = system.module(name)
+        for input_signal in spec.inputs:
+            live = analysis.live_input_bits(name, input_signal)
+            if live is None or not spec.outputs:
+                continue  # T module: every bit must be assumed live
+            dead = analysis.dead_input_bits(name, input_signal)
+            if not dead or live == 0:
+                continue  # fully-dead rows are R013's finding, per arc
+            yield (
+                SourceLocation(module=name, signal=input_signal, port="input"),
+                f"bit(s) {_bit_positions(dead)} of input {input_signal!r} "
+                f"of module {name!r} are constant-masked: no transfer "
+                "path lets them influence any output",
+                "error models flipping only these positions can never "
+                "propagate; narrow the model band or the signal width",
+            )
+
+
+# ---------------------------------------------------------------------------
 # Engine
 # ---------------------------------------------------------------------------
 
@@ -624,6 +702,7 @@ def lint_system(
     *,
     targets: Sequence[tuple[str, str]] | None = None,
     detectors: Sequence[object] | None = None,
+    bounds: "FlowAnalysis | None" = None,
     select: Sequence[str] | None = None,
     ignore: Sequence[str] | None = None,
 ) -> LintReport:
@@ -642,6 +721,9 @@ def lint_system(
         Optional detector placements enabling R011: signal names or
         :class:`~repro.edm.detectors.ErrorDetector` instances (their
         ``signal`` attribute is used).
+    bounds:
+        Optional :class:`~repro.flow.analysis.FlowAnalysis` enabling
+        the flow-backed rules R013/R014.
     select, ignore:
         Diagnostic-code prefixes to keep / suppress (e.g.
         ``ignore=("R005",)``).
@@ -662,6 +744,7 @@ def lint_system(
         matrix=matrix,
         targets=tuple(tuple(pair) for pair in targets) if targets is not None else None,
         detectors=detector_signals,
+        bounds=bounds,
     )
     available = context.available()
     diagnostics: list[Diagnostic] = []

@@ -1,25 +1,23 @@
 """SARIF 2.1.0 output for lint reports.
 
-SARIF (Static Analysis Results Interchange Format, OASIS standard) is
-the lingua franca of static-analysis tooling — code hosts render it as
-inline annotations and CI systems archive it.  The linted "source" here
-is a system topology rather than a file, so findings are expressed as
-*logical locations* (``module:CALC/signal:i/port:input``) instead of
-physical file/region locations, which SARIF supports natively via
-``locations[].logicalLocations``.
-
-:data:`SARIF_MINIMAL_SCHEMA` is an embedded subset of the official
-SARIF 2.1.0 JSON schema covering every construct this emitter produces;
-:func:`validate_sarif` checks against it when :mod:`jsonschema` is
-importable (CI additionally validates against the full upstream schema).
+The emitter itself lives in :mod:`repro.report.sarif` and is shared
+with the static bit-flow analysis (:mod:`repro.flow`); this module only
+binds the ``repro-lint`` tool identity and rule registry to it, and
+re-exports the schema/validator names the package has always offered.
 """
 
 from __future__ import annotations
 
-from typing import Mapping
-
-from repro.lint.diagnostics import Diagnostic, LintReport, Severity
-from repro.lint.rules import LintRule, registered_rules
+from repro.lint.diagnostics import LintReport
+from repro.lint.rules import registered_rules
+from repro.report.sarif import (
+    DEFAULT_TOOL_URI,
+    SARIF_MINIMAL_SCHEMA,
+    SARIF_SCHEMA_URI,
+    SARIF_VERSION,
+    sarif_log,
+    validate_sarif,
+)
 
 __all__ = [
     "SARIF_VERSION",
@@ -29,222 +27,16 @@ __all__ = [
     "validate_sarif",
 ]
 
-SARIF_VERSION = "2.1.0"
-SARIF_SCHEMA_URI = (
-    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
-    "Schemata/sarif-schema-2.1.0.json"
-)
-
 TOOL_NAME = "repro-lint"
-TOOL_URI = "https://github.com/repro/repro"
-
-#: SARIF ``result.level`` for each diagnostic severity.
-_LEVELS: Mapping[Severity, str] = {
-    Severity.ERROR: "error",
-    Severity.WARNING: "warning",
-    Severity.INFO: "note",
-}
-
-
-def _rule_descriptor(rule: LintRule) -> dict:
-    """The ``reportingDescriptor`` for one registered rule."""
-    return {
-        "id": rule.code,
-        "name": rule.code,
-        "shortDescription": {"text": rule.title},
-        "defaultConfiguration": {"level": _LEVELS[rule.severity]},
-        "helpUri": f"{TOOL_URI}/blob/main/docs/LINTING.md#{rule.code.lower()}",
-    }
-
-
-def _result(diagnostic: Diagnostic, rule_index: Mapping[str, int]) -> dict:
-    """The SARIF ``result`` for one diagnostic."""
-    message = diagnostic.message
-    if diagnostic.hint:
-        message += f" — hint: {diagnostic.hint}"
-    result = {
-        "ruleId": diagnostic.code,
-        "level": _LEVELS[diagnostic.severity],
-        "message": {"text": message},
-        "locations": [
-            {
-                "logicalLocations": [
-                    {
-                        "fullyQualifiedName": diagnostic.location.fully_qualified(),
-                        "kind": "member",
-                    }
-                ]
-            }
-        ],
-    }
-    if diagnostic.code in rule_index:
-        result["ruleIndex"] = rule_index[diagnostic.code]
-    return result
+TOOL_URI = DEFAULT_TOOL_URI
 
 
 def to_sarif(report: LintReport) -> dict:
     """Render a :class:`LintReport` as a SARIF 2.1.0 log (JSON-ready dict)."""
-    rules = registered_rules()
-    rule_index = {rule.code: index for index, rule in enumerate(rules)}
-    return {
-        "$schema": SARIF_SCHEMA_URI,
-        "version": SARIF_VERSION,
-        "runs": [
-            {
-                "tool": {
-                    "driver": {
-                        "name": TOOL_NAME,
-                        "informationUri": TOOL_URI,
-                        "rules": [_rule_descriptor(rule) for rule in rules],
-                    }
-                },
-                "properties": {"system": report.system_name},
-                "results": [
-                    _result(diagnostic, rule_index) for diagnostic in report
-                ],
-            }
-        ],
-    }
-
-
-#: Subset of the official SARIF 2.1.0 schema covering exactly the
-#: constructs :func:`to_sarif` emits.  Field names, required sets and the
-#: ``version`` / ``level`` enums match the upstream schema, so a log that
-#: passes here passes the full schema for these constructs too.
-SARIF_MINIMAL_SCHEMA: dict = {
-    "$schema": "http://json-schema.org/draft-07/schema#",
-    "type": "object",
-    "required": ["version", "runs"],
-    "properties": {
-        "$schema": {"type": "string"},
-        "version": {"const": "2.1.0"},
-        "runs": {
-            "type": "array",
-            "items": {
-                "type": "object",
-                "required": ["tool", "results"],
-                "properties": {
-                    "tool": {
-                        "type": "object",
-                        "required": ["driver"],
-                        "properties": {
-                            "driver": {
-                                "type": "object",
-                                "required": ["name"],
-                                "properties": {
-                                    "name": {"type": "string"},
-                                    "informationUri": {
-                                        "type": "string",
-                                        "format": "uri",
-                                    },
-                                    "rules": {
-                                        "type": "array",
-                                        "items": {
-                                            "type": "object",
-                                            "required": ["id"],
-                                            "properties": {
-                                                "id": {"type": "string"},
-                                                "name": {"type": "string"},
-                                                "shortDescription": {
-                                                    "type": "object",
-                                                    "required": ["text"],
-                                                    "properties": {
-                                                        "text": {"type": "string"}
-                                                    },
-                                                },
-                                                "defaultConfiguration": {
-                                                    "type": "object",
-                                                    "properties": {
-                                                        "level": {
-                                                            "enum": [
-                                                                "none",
-                                                                "note",
-                                                                "warning",
-                                                                "error",
-                                                            ]
-                                                        }
-                                                    },
-                                                },
-                                                "helpUri": {
-                                                    "type": "string",
-                                                    "format": "uri",
-                                                },
-                                            },
-                                        },
-                                    },
-                                },
-                            }
-                        },
-                    },
-                    "properties": {"type": "object"},
-                    "results": {
-                        "type": "array",
-                        "items": {
-                            "type": "object",
-                            "required": ["message"],
-                            "properties": {
-                                "ruleId": {"type": "string"},
-                                "ruleIndex": {
-                                    "type": "integer",
-                                    "minimum": 0,
-                                },
-                                "level": {
-                                    "enum": ["none", "note", "warning", "error"]
-                                },
-                                "message": {
-                                    "type": "object",
-                                    "required": ["text"],
-                                    "properties": {"text": {"type": "string"}},
-                                },
-                                "locations": {
-                                    "type": "array",
-                                    "items": {
-                                        "type": "object",
-                                        "properties": {
-                                            "logicalLocations": {
-                                                "type": "array",
-                                                "items": {
-                                                    "type": "object",
-                                                    "properties": {
-                                                        "fullyQualifiedName": {
-                                                            "type": "string"
-                                                        },
-                                                        "kind": {"type": "string"},
-                                                    },
-                                                },
-                                            }
-                                        },
-                                    },
-                                },
-                            },
-                        },
-                    },
-                },
-            },
-        },
-    },
-}
-
-
-def validate_sarif(log: dict) -> None:
-    """Validate a SARIF log against :data:`SARIF_MINIMAL_SCHEMA`.
-
-    Raises ``jsonschema.ValidationError`` on mismatch.  When
-    :mod:`jsonschema` is not installed the structural ``required`` /
-    ``version`` checks are performed by hand so the function still
-    catches gross malformations.
-    """
-    try:
-        import jsonschema
-    except ImportError:  # pragma: no cover - depends on environment
-        if log.get("version") != SARIF_VERSION:
-            raise ValueError(
-                f"not a SARIF {SARIF_VERSION} log: version={log.get('version')!r}"
-            )
-        if not isinstance(log.get("runs"), list) or not log["runs"]:
-            raise ValueError("SARIF log has no runs")
-        for run in log["runs"]:
-            if "tool" not in run or "results" not in run:
-                raise ValueError("SARIF run missing tool/results")
-        return
-    jsonschema.validate(log, SARIF_MINIMAL_SCHEMA)
+    return sarif_log(
+        report,
+        tool_name=TOOL_NAME,
+        tool_uri=TOOL_URI,
+        rules=registered_rules(),
+        doc_page="docs/LINTING.md",
+    )

@@ -48,6 +48,7 @@ from typing import Any, Iterable, Mapping
 
 from repro.core.permeability import PermeabilityEstimate
 from repro.obs.events import (
+    ArcsPruned,
     BackendSelected,
     CampaignFinished,
     CampaignStarted,
@@ -69,7 +70,9 @@ __all__ = ["CampaignStateReducer", "validate_snapshot", "SNAPSHOT_SCHEMA_VERSION
 
 #: Version stamp of the snapshot document produced by
 #: :meth:`CampaignStateReducer.snapshot`; bump on shape changes.
-SNAPSHOT_SCHEMA_VERSION = 1
+#: v2: ``counters.pruned`` (runs skipped by static pruning) and pruned
+#: targets folded into the matrix denominators.
+SNAPSHOT_SCHEMA_VERSION = 2
 
 #: Metric names surfaced in the snapshot's ``metrics`` subset (the full
 #: registry stays in ``metrics.json``; the dashboard shows the headline
@@ -139,6 +142,8 @@ class CampaignStateReducer:
         self.checkpoint_reuses = 0
         self.skipped_ms = 0
         self.n_chunks = 0
+        self.n_pruned_targets = 0
+        self.n_pruned_runs = 0
         self.outcome_mix: TallyCounter = TallyCounter()
         # Matrix state: denominators per injected location, numerators
         # per arc; the output universe comes from the manifest topology.
@@ -217,6 +222,21 @@ class CampaignStateReducer:
                 "info": event.info,
                 "codes": list(event.codes),
             }
+        elif isinstance(event, ArcsPruned):
+            # Pruned targets are exact zero-error measurements: their
+            # injections enter the matrix denominators directly (no
+            # per-IR events will arrive for them), keeping the matrix
+            # equal to estimate_matrix() over the pruned campaign.
+            self.n_pruned_targets += len(event.targets)
+            self.n_pruned_runs += (
+                len(event.targets) * event.n_injections_per_target
+            )
+            for module, signal in event.targets:
+                location = (module, signal)
+                self._injections[location] = (
+                    self._injections.get(location, 0)
+                    + event.n_injections_per_target
+                )
         elif isinstance(event, RunStarted):
             if event.kind == "golden":
                 self.n_golden += 1
@@ -364,7 +384,7 @@ class CampaignStateReducer:
 
     def snapshot(self) -> dict:
         """The campaign's current state as one JSON-able document."""
-        done = self.n_classified
+        done = self.n_classified + self.n_pruned_runs
         total = self.total_runs
         rate = None
         eta_s = None
@@ -409,7 +429,8 @@ class CampaignStateReducer:
                 "elapsed_s": self.elapsed_s,
             },
             "counters": {
-                "n_runs": done,
+                "n_runs": self.n_classified,
+                "pruned": self.n_pruned_runs,
                 "n_fired": self.n_fired,
                 "n_reconverged": self.n_reconverged,
                 "reconverged_fraction": self.reconverged_fraction(),
@@ -470,9 +491,9 @@ def validate_snapshot(snapshot: Mapping[str, Any]) -> None:
     _require(0 <= progress["done"], "progress.done >= 0")
     counters = snapshot["counters"]
     for name in (
-        "n_runs", "n_fired", "n_reconverged", "frames_fast_forwarded",
-        "checkpoints_saved", "checkpoint_reuses", "skipped_ms",
-        "chunks_completed",
+        "n_runs", "pruned", "n_fired", "n_reconverged",
+        "frames_fast_forwarded", "checkpoints_saved", "checkpoint_reuses",
+        "skipped_ms", "chunks_completed",
     ):
         _require(
             isinstance(counters.get(name), int) and counters[name] >= 0,

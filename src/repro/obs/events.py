@@ -38,6 +38,7 @@ from typing import IO, Any, Iterator, Mapping, TextIO
 __all__ = [
     "EVENT_SCHEMA_VERSION",
     "CampaignStarted",
+    "ArcsPruned",
     "LintReported",
     "RunStarted",
     "CheckpointSaved",
@@ -94,6 +95,23 @@ class BackendSelected:
     """
 
     backend: str  # "reference" | "batched"
+
+
+@dataclass(frozen=True)
+class ArcsPruned:
+    """Statically-proven-zero targets skipped by the campaign.
+
+    Emitted right after :class:`LintReported` (parent process only)
+    when :attr:`CampaignConfig.static_prune` removed targets from the
+    grid — each listed (module, input) target's whole arc row was
+    proven zero-permeability by :mod:`repro.flow`, so its
+    ``n_injections_per_target`` runs were recorded as exact zero-error
+    counts instead of executed.
+    """
+
+    targets: tuple[tuple[str, str], ...]
+    n_injections_per_target: int
+    n_arcs: int
 
 
 @dataclass(frozen=True)
@@ -223,6 +241,7 @@ _EVENT_TYPES: dict[str, type] = {
     for cls in (
         CampaignStarted,
         BackendSelected,
+        ArcsPruned,
         LintReported,
         RunStarted,
         CheckpointSaved,
@@ -303,6 +322,10 @@ def decode_event(record: Mapping) -> ParsedEvent:
             event,
             codes=tuple(event.codes),
             diagnostics=tuple(event.diagnostics),
+        )
+    elif isinstance(event, ArcsPruned):
+        event = dataclasses.replace(
+            event, targets=tuple(tuple(pair) for pair in event.targets)
         )
     return ParsedEvent(seq=int(record["seq"]), ts=float(record["ts"]), event=event)
 
@@ -553,19 +576,20 @@ class RunManifest:
 
 def _hash_config(config, targets: tuple[tuple[str, str], ...]) -> str:
     """Stable digest of everything determining campaign outcomes."""
-    canonical = json.dumps(
-        {
-            "duration_ms": config.duration_ms,
-            "injection_times_ms": list(config.injection_times_ms),
-            "error_models": [model.name for model in config.error_models],
-            "targets": [list(pair) for pair in targets],
-            "seed": config.seed,
-            "reuse_golden_prefix": config.reuse_golden_prefix,
-            "fast_forward": config.fast_forward,
-            "backend": config.backend,
-        },
-        sort_keys=True,
-    )
+    keys = {
+        "duration_ms": config.duration_ms,
+        "injection_times_ms": list(config.injection_times_ms),
+        "error_models": [model.name for model in config.error_models],
+        "targets": [list(pair) for pair in targets],
+        "seed": config.seed,
+        "reuse_golden_prefix": config.reuse_golden_prefix,
+        "fast_forward": config.fast_forward,
+        "backend": config.backend,
+    }
+    # Key present only when set, so pre-existing hashes stay stable.
+    if getattr(config, "static_prune", False):
+        keys["static_prune"] = True
+    canonical = json.dumps(keys, sort_keys=True)
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
 

@@ -22,6 +22,7 @@ import time
 from typing import TYPE_CHECKING, Iterable
 
 from repro.obs.events import (
+    ArcsPruned,
     BackendSelected,
     CampaignFinished,
     CampaignStarted,
@@ -140,6 +141,29 @@ class CampaignObserver:
         """Record which simulation backend executes the injection runs."""
         if self.events is not None:
             self.events.emit(BackendSelected(backend=backend))
+
+    def on_arcs_pruned(
+        self,
+        targets: Iterable[tuple[str, str]],
+        n_injections_per_target: int,
+        n_arcs: int,
+    ) -> None:
+        """Record statically-pruned targets (see :mod:`repro.flow`)."""
+        targets = tuple(tuple(pair) for pair in targets)
+        if self.events is not None:
+            self.events.emit(
+                ArcsPruned(
+                    targets=targets,
+                    n_injections_per_target=n_injections_per_target,
+                    n_arcs=n_arcs,
+                )
+            )
+        if self.metrics is not None:
+            self.metrics.counter("prune.targets").inc(len(targets))
+            self.metrics.counter("prune.arcs").inc(n_arcs)
+            self.metrics.counter("prune.runs_skipped").inc(
+                len(targets) * n_injections_per_target
+            )
 
     def on_lint_report(self, report) -> None:
         """Record the pre-campaign lint pass (a :class:`~repro.lint.LintReport`)."""

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
 from repro.obs.events import (
+    ArcsPruned,
     BackendSelected,
     CampaignFinished,
     CampaignStarted,
@@ -64,6 +65,8 @@ class EventsSummary:
     #: (module, input, output) -> injections contributing to the arc
     arc_injections: TallyCounter = field(default_factory=TallyCounter)
     n_fired: int = 0
+    n_pruned_targets: int = 0
+    n_pruned_runs: int = 0
     n_checkpoint_reuses: int = 0
     skipped_ms: int = 0
     n_reconverged: int = 0
@@ -111,6 +114,11 @@ def summarize_events(
             summary.arc_injections[(event.module, event.signal, "*")] += 1
         elif isinstance(event, InjectionFired):
             summary.n_fired += 1
+        elif isinstance(event, ArcsPruned):
+            summary.n_pruned_targets += len(event.targets)
+            summary.n_pruned_runs += (
+                len(event.targets) * event.n_injections_per_target
+            )
         elif isinstance(event, CheckpointReused):
             summary.n_checkpoint_reuses += 1
             summary.skipped_ms += event.skipped_ms
@@ -223,6 +231,11 @@ def render_summary(summary: EventsSummary, top: int = 10) -> str:
             else " (stream has no CampaignFinished event)"
         )
     )
+    if summary.n_pruned_targets:
+        lines.append(
+            f"static pruning: {summary.n_pruned_targets} target(s) proven "
+            f"zero-permeability, {summary.n_pruned_runs} runs skipped"
+        )
     if summary.n_checkpoint_reuses:
         lines.append(
             f"checkpoint reuse: {summary.n_checkpoint_reuses} resumes, "

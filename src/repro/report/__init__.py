@@ -1,0 +1,23 @@
+"""Shared report emitters used by more than one analysis subsystem.
+
+The model linter (:mod:`repro.lint`) and the static bit-flow analysis
+(:mod:`repro.flow`) both publish their findings as SARIF; the emitter
+and its embedded validation schema live here exactly once so the two
+tools cannot drift apart.
+"""
+
+from repro.report.sarif import (
+    SARIF_MINIMAL_SCHEMA,
+    SARIF_SCHEMA_URI,
+    SARIF_VERSION,
+    sarif_log,
+    validate_sarif,
+)
+
+__all__ = [
+    "SARIF_MINIMAL_SCHEMA",
+    "SARIF_SCHEMA_URI",
+    "SARIF_VERSION",
+    "sarif_log",
+    "validate_sarif",
+]

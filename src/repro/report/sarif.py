@@ -1,0 +1,290 @@
+"""Generic SARIF 2.1.0 emitter shared by every analysis tool.
+
+SARIF (Static Analysis Results Interchange Format, OASIS standard) is
+the lingua franca of static-analysis tooling — code hosts render it as
+inline annotations and CI systems archive it.  The analysed "source"
+here is a system topology rather than a file, so findings are expressed
+as *logical locations* (``module:CALC/signal:i/port:input``) instead of
+physical file/region locations, which SARIF supports natively via
+``locations[].logicalLocations``.
+
+The emitter is tool-agnostic: :func:`sarif_log` takes the tool identity
+and rule registry as parameters, so :mod:`repro.lint` (``repro-lint``)
+and :mod:`repro.flow` (``repro-flow``) share one implementation and one
+embedded schema.  Reports and rules are duck-typed — a report iterates
+diagnostics carrying ``code`` / ``severity`` / ``message`` /
+``location`` / ``hint``; a rule carries ``code`` / ``title`` /
+``severity`` — so this module depends on no analysis package.
+
+:data:`SARIF_MINIMAL_SCHEMA` is an embedded subset of the official
+SARIF 2.1.0 JSON schema covering every construct this emitter produces;
+:func:`validate_sarif` checks against it when :mod:`jsonschema` is
+importable (CI additionally validates against the full upstream schema).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "SARIF_VERSION",
+    "SARIF_SCHEMA_URI",
+    "SARIF_MINIMAL_SCHEMA",
+    "DEFAULT_TOOL_URI",
+    "sarif_log",
+    "validate_sarif",
+]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+DEFAULT_TOOL_URI = "https://github.com/repro/repro"
+
+#: SARIF ``result.level`` for each diagnostic severity label.
+_LEVELS: Mapping[str, str] = {
+    "error": "error",
+    "warning": "warning",
+    "info": "note",
+}
+
+
+def _level(severity: Any) -> str:
+    """Map a :class:`~repro.lint.diagnostics.Severity` to a SARIF level."""
+    return _LEVELS[severity.label]
+
+
+def _rule_descriptor(rule: Any, tool_uri: str, doc_page: str) -> dict:
+    """The ``reportingDescriptor`` for one registered rule."""
+    return {
+        "id": rule.code,
+        "name": rule.code,
+        "shortDescription": {"text": rule.title},
+        "defaultConfiguration": {"level": _level(rule.severity)},
+        "helpUri": f"{tool_uri}/blob/main/{doc_page}#{rule.code.lower()}",
+    }
+
+
+def _result(diagnostic: Any, rule_index: Mapping[str, int]) -> dict:
+    """The SARIF ``result`` for one diagnostic."""
+    message = diagnostic.message
+    if diagnostic.hint:
+        message += f" — hint: {diagnostic.hint}"
+    result = {
+        "ruleId": diagnostic.code,
+        "level": _level(diagnostic.severity),
+        "message": {"text": message},
+        "locations": [
+            {
+                "logicalLocations": [
+                    {
+                        "fullyQualifiedName": diagnostic.location.fully_qualified(),
+                        "kind": "member",
+                    }
+                ]
+            }
+        ],
+    }
+    if diagnostic.code in rule_index:
+        result["ruleIndex"] = rule_index[diagnostic.code]
+    return result
+
+
+def sarif_log(
+    report: Any,
+    *,
+    tool_name: str,
+    rules: Iterable[Any] = (),
+    tool_uri: str = DEFAULT_TOOL_URI,
+    doc_page: str = "docs/LINTING.md",
+    properties: Mapping[str, Any] | None = None,
+) -> dict:
+    """Render a diagnostic report as a SARIF 2.1.0 log (JSON-ready dict).
+
+    Parameters
+    ----------
+    report:
+        A :class:`~repro.lint.diagnostics.LintReport` (or anything that
+        iterates diagnostics and exposes ``system_name``).
+    tool_name:
+        SARIF ``tool.driver.name``, e.g. ``"repro-lint"``.
+    rules:
+        Registered rules to publish as ``reportingDescriptor`` entries.
+    tool_uri / doc_page:
+        Build the per-rule ``helpUri`` anchors.
+    properties:
+        Extra entries merged into the run's ``properties`` bag (the
+        ``system`` name is always present).
+    """
+    rules = tuple(rules)
+    rule_index = {rule.code: index for index, rule in enumerate(rules)}
+    bag: dict[str, Any] = {"system": report.system_name}
+    if properties:
+        bag.update(properties)
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "informationUri": tool_uri,
+                        "rules": [
+                            _rule_descriptor(rule, tool_uri, doc_page)
+                            for rule in rules
+                        ],
+                    }
+                },
+                "properties": bag,
+                "results": [
+                    _result(diagnostic, rule_index) for diagnostic in report
+                ],
+            }
+        ],
+    }
+
+
+#: Subset of the official SARIF 2.1.0 schema covering exactly the
+#: constructs :func:`sarif_log` emits.  Field names, required sets and the
+#: ``version`` / ``level`` enums match the upstream schema, so a log that
+#: passes here passes the full schema for these constructs too.
+SARIF_MINIMAL_SCHEMA: dict = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "$schema": {"type": "string"},
+        "version": {"const": "2.1.0"},
+        "runs": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "informationUri": {
+                                        "type": "string",
+                                        "format": "uri",
+                                    },
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "name": {"type": "string"},
+                                                "shortDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                    "properties": {
+                                                        "text": {"type": "string"}
+                                                    },
+                                                },
+                                                "defaultConfiguration": {
+                                                    "type": "object",
+                                                    "properties": {
+                                                        "level": {
+                                                            "enum": [
+                                                                "none",
+                                                                "note",
+                                                                "warning",
+                                                                "error",
+                                                            ]
+                                                        }
+                                                    },
+                                                },
+                                                "helpUri": {
+                                                    "type": "string",
+                                                    "format": "uri",
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "properties": {"type": "object"},
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "ruleIndex": {
+                                    "type": "integer",
+                                    "minimum": 0,
+                                },
+                                "level": {
+                                    "enum": ["none", "note", "warning", "error"]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                    "properties": {"text": {"type": "string"}},
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "logicalLocations": {
+                                                "type": "array",
+                                                "items": {
+                                                    "type": "object",
+                                                    "properties": {
+                                                        "fullyQualifiedName": {
+                                                            "type": "string"
+                                                        },
+                                                        "kind": {"type": "string"},
+                                                    },
+                                                },
+                                            }
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def validate_sarif(log: dict) -> None:
+    """Validate a SARIF log against :data:`SARIF_MINIMAL_SCHEMA`.
+
+    Raises ``jsonschema.ValidationError`` on mismatch.  When
+    :mod:`jsonschema` is not installed the structural ``required`` /
+    ``version`` checks are performed by hand so the function still
+    catches gross malformations.
+    """
+    try:
+        import jsonschema
+    except ImportError:  # pragma: no cover - depends on environment
+        if log.get("version") != SARIF_VERSION:
+            raise ValueError(
+                f"not a SARIF {SARIF_VERSION} log: version={log.get('version')!r}"
+            )
+        if not isinstance(log.get("runs"), list) or not log["runs"]:
+            raise ValueError("SARIF log has no runs")
+        for run in log["runs"]:
+            if "tool" not in run or "results" not in run:
+                raise ValueError("SARIF run missing tool/results")
+        return
+    jsonschema.validate(log, SARIF_MINIMAL_SCHEMA)

@@ -21,6 +21,10 @@ the rest of the repo relies on:
     The Wilson interval of every measured pair contains the analytical
     value, and the interval itself is well-formed
     (``0 <= lo <= p̂ <= hi <= 1``).
+``static-containment`` (generated systems)
+    The static flow bounds of :mod:`repro.flow` contain the measured
+    permeability of every arc, and are exact-tight (``lo == hi ==``
+    the analytical value) on the pure-XOR generated modules.
 ``metamorphic-dead-sink`` (generated systems)
     Adding a module that consumes an existing signal but feeds nothing
     never changes the exposures of pre-existing modules and signals.
@@ -56,6 +60,7 @@ __all__ = [
     "OracleFailure",
     "OracleReport",
     "VerifyCampaign",
+    "check_static_containment",
     "default_campaign",
     "differential_oracle",
     "select_strategies",
@@ -370,6 +375,67 @@ def _check_against_analytical(
 
 
 # ---------------------------------------------------------------------------
+# Static flow bounds (generated systems)
+# ---------------------------------------------------------------------------
+
+
+def check_static_containment(
+    generated: GeneratedSystem,
+    campaign: VerifyCampaign,
+    measured: PermeabilityMatrix,
+    analytical: PermeabilityMatrix,
+) -> None:
+    """The static flow bounds contain the measurement and are tight.
+
+    Soundness applies everywhere: the measured matrix must lie within
+    the bounds on every arc.  Tightness applies to the analysable part:
+    a pure XOR-mask module loses nothing under the abstract
+    interpretation of :mod:`repro.flow`, so each of its arcs must come
+    out as a *point* interval equal to the analytical permeability.
+    Arcs of opaque modules (``OpaqueMaskModule`` hides its plan) stay
+    at ⊤ and are only checked for containment.
+    """
+    from repro.flow import analyse_run
+
+    runner = generated.build_run()
+    analysis = analyse_run(
+        runner, error_models=tuple(bit_flip_models(campaign.n_bits))
+    )
+    bounds = analysis.bounds
+    if not bounds.is_complete():
+        raise OracleFailure(
+            "static-containment",
+            f"flow analysis left arcs unbounded on "
+            f"{generated.system.name!r}: {bounds.missing_pairs()[:3]}",
+        )
+    violations = bounds.violations(measured, atol=EXACT_ATOL)
+    if violations:
+        raise OracleFailure(
+            "static-containment",
+            f"measured permeability escapes static bounds on "
+            f"{generated.system.name!r}: " + "; ".join(violations[:3]),
+        )
+    flows = analysis.module_flows
+    for (module, input_signal, output_signal), interval in bounds.items():
+        if not flows[module].exact:
+            continue  # opaque module: T is the best (and a sound) answer
+        pair = f"{module}: {input_signal} -> {output_signal}"
+        if not interval.exact:
+            raise OracleFailure(
+                "static-containment",
+                f"bounds {interval} not tight on pure-XOR arc {pair} "
+                f"of {generated.system.name!r}",
+            )
+        expected = analytical.get_or_none(module, input_signal, output_signal)
+        if expected is None or abs(interval.lo - expected) > EXACT_ATOL:
+            raise OracleFailure(
+                "static-containment",
+                f"static point bound {interval.lo} != analytical "
+                f"{expected} on {pair} of {generated.system.name!r}",
+            )
+
+
+# ---------------------------------------------------------------------------
 # Metamorphic relations (analysis-level, generated systems)
 # ---------------------------------------------------------------------------
 
@@ -486,7 +552,7 @@ def verify_generated(
     if campaign is None:
         campaign = default_campaign(generated)
     analytical = generated.analytical_matrix(campaign.n_bits)
-    report, _ = differential_oracle(
+    report, result = differential_oracle(
         generated.system,
         generated.run_factory,
         {"gen": None},
@@ -494,12 +560,15 @@ def verify_generated(
         analytical=analytical,
         backends=backends,
     )
+    measured = estimate_matrix(result, require_complete=campaign.targets is None)
+    check_static_containment(generated, campaign, measured, analytical)
     check_dead_sink_invariance(generated, analytical)
     check_prerr_scaling(generated, analytical)
     return dataclasses.replace(
         report,
         checks=(
             *report.checks,
+            "static-containment",
             "metamorphic-dead-sink",
             "metamorphic-prerr-scaling",
         ),

@@ -213,6 +213,74 @@ class TestExitCodes:
         assert excinfo.value.code == 2
 
 
+class TestFlowExitCodes:
+    """``repro flow`` mirrors the lint exit-code matrix.
+
+    0 on a clean analysis, 1 when findings reach ``--fail-on``, 2 on a
+    usage error — same contract as ``repro lint``.
+    """
+
+    def _stub_runner_with_findings(self):
+        """A runner whose flow analysis yields R013 and R014 findings."""
+        from tests.test_flow import StubXorModule, build_chain_system
+
+        class _Runner:
+            system = build_chain_system(width=8)
+            modules = {
+                "M0": StubXorModule((("s0", (("ext", 0x0F),)),)),
+                "M1": StubXorModule((("out", (("s0", 0),)),)),
+            }
+
+        return _Runner()
+
+    def test_flow_clean_shipped_systems_exit_zero(self, capsys):
+        # Shipped systems are all-opaque: no findings even at --fail-on
+        # info, matching lint's clean-system behaviour.
+        for system in ("arrestment", "fig2", "twonode"):
+            assert main(["flow", "--system", system, "--fail-on", "info"]) == 0
+            capsys.readouterr()
+
+    def test_flow_findings_exit_one_at_threshold(self, capsys, monkeypatch):
+        import repro.cli as cli_module
+
+        runner = self._stub_runner_with_findings()
+        monkeypatch.setattr(
+            cli_module, "build_arrestment_run", lambda case: runner
+        )
+        # R013 is a warning: below the default error threshold...
+        assert main(["flow"]) == 0
+        capsys.readouterr()
+        # ...and at or above --fail-on warning/info it gates, like lint.
+        assert main(["flow", "--fail-on", "warning"]) == 1
+        out = capsys.readouterr().out
+        assert "R013" in out
+        assert main(["flow", "--fail-on", "info"]) == 1
+        assert "R014" in capsys.readouterr().out
+
+    def test_flow_usage_errors_exit_two(self, capsys):
+        for argv in (
+            ["flow", "--system", "warp-drive"],
+            ["flow", "--format", "xml"],
+            ["flow", "--fail-on", "never"],
+        ):
+            with pytest.raises(SystemExit) as excinfo:
+                main(argv)
+            assert excinfo.value.code == 2
+            capsys.readouterr()
+
+    def test_flow_sarif_output_file(self, tmp_path, capsys):
+        from repro.report.sarif import validate_sarif
+
+        target = tmp_path / "flow.sarif"
+        assert main(
+            ["flow", "--format", "sarif", "--output", str(target)]
+        ) == 0
+        assert str(target) in capsys.readouterr().out
+        log = json.loads(target.read_text(encoding="utf-8"))
+        validate_sarif(log)
+        assert log["runs"][0]["tool"]["driver"]["name"] == "repro-flow"
+
+
 class TestTwoNodeFlags:
     def test_campaign_twonode_flag(self):
         with pytest.warns(DeprecationWarning):

@@ -111,7 +111,7 @@ class TestReferenceSystems:
     def test_registry_is_complete(self):
         codes = [rule.code for rule in registered_rules()]
         assert codes == sorted(codes)
-        assert codes == [f"R{n:03d}" for n in range(1, 13)]
+        assert codes == [f"R{n:03d}" for n in range(1, 15)]
 
     def test_arrestment_is_clean(self):
         report = lint_system(build_arrestment_model())

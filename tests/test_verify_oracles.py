@@ -28,6 +28,7 @@ ALL_CHECKS = (
     "exact-agreement",
     "ci-sanity",
     "ci-containment",
+    "static-containment",
     "metamorphic-dead-sink",
     "metamorphic-prerr-scaling",
 )
