@@ -48,7 +48,13 @@ variant of the chain (three arc rows proven zero by the flow analysis
 of :mod:`repro.flow`): after asserting the pruned campaign's estimate
 is byte-identical to the unpruned one, it reports
 ``pruned_arc_fraction`` and ``prune_speedup`` (CI-gated >= 1.0x —
-pruning must never cost more than it saves).  ``both`` (the default)
+pruning must never cost more than it saves).  The generated axis
+finally times the content-addressed result store of :mod:`repro.store`
+(``docs/INCREMENTAL.md``): a cold campaign writing a fresh store vs. a
+warm campaign recomposing every row from cache without executing a
+single injection run — after asserting the warm pass executes zero
+runs and reproduces the estimate matrix byte-identically — reported as
+``incremental_speedup`` (CI-gated >= 1.0x).  ``both`` (the default)
 runs the two workloads back to back into one report.
 
 Methodology: before any stopwatch starts, one untimed pass per
@@ -190,7 +196,10 @@ def build_generated_system():
 
 
 def build_generated_campaign(
-    scale: dict, backend: str, seed: int = DEFAULT_SEED
+    scale: dict,
+    backend: str,
+    seed: int = DEFAULT_SEED,
+    store: str | None = None,
 ) -> InjectionCampaign:
     generated = build_generated_system()
     config = CampaignConfig(
@@ -201,6 +210,7 @@ def build_generated_campaign(
         reuse_golden_prefix=True,
         fast_forward=True,
         backend=backend,
+        store=store,
     )
     return InjectionCampaign(
         generated.system, generated.run_factory, ["w0"], config
@@ -661,7 +671,8 @@ def _bench_generated(args, scale: dict, report: dict) -> bool:
     # Hard floor: the lane kernel must never lose to scalar stepping
     # on its home workload.
     failed = batched_speedup < 1.0
-    return _bench_static_prune(args, scale, report) or failed
+    failed = _bench_static_prune(args, scale, report) or failed
+    return _bench_incremental(args, scale, report) or failed
 
 
 def _bench_static_prune(args, scale: dict, report: dict) -> bool:
@@ -733,6 +744,97 @@ def _bench_static_prune(args, scale: dict, report: dict) -> bool:
     if prune_speedup < 1.0:
         print(f"WARNING: static-prune speedup {prune_speedup:.2f}x "
               "below the 1.0x floor")
+        return True
+    return False
+
+
+def _bench_incremental(args, scale: dict, report: dict) -> bool:
+    """Warm-cache pass: a fully cached campaign vs. a cold one.
+
+    Cold trials execute into a *fresh* result store each time (the
+    write-path overhead is part of the cold cost); warm trials replay
+    against one prepared store.  Correctness gates run before any
+    stopwatch: the warm pass must execute zero injection runs and
+    recompose a byte-identical estimate matrix.
+    """
+    import shutil
+    import tempfile
+
+    from repro.injection.estimator import estimate_matrix
+
+    total_runs = build_generated_campaign(scale, "reference",
+                                          seed=args.seed).total_runs()
+    print(
+        f"[{args.scale}/incremental] {total_runs} IRs on the benchmark "
+        f"chain; warmup={args.warmup} trials={args.trials} seed={args.seed}"
+    )
+
+    store_dir = tempfile.mkdtemp(prefix="repro-bench-store-")
+    cold_dirs: list[str] = []
+    try:
+        cold_campaign = build_generated_campaign(
+            scale, "reference", seed=args.seed, store=store_dir
+        )
+        cold_result = cold_campaign.execute()
+        cold_stats = cold_campaign.last_store_stats
+        assert cold_stats.misses and not cold_stats.hits, \
+            "cold pass unexpectedly hit the fresh store"
+        warm_campaign = build_generated_campaign(
+            scale, "reference", seed=args.seed, store=store_dir
+        )
+        warm_result = warm_campaign.execute()
+        warm_stats = warm_campaign.last_store_stats
+        assert warm_stats.runs_executed == 0 and warm_stats.misses == 0, \
+            f"warm pass executed work: {warm_stats.to_jsonable()}"
+        assert (
+            estimate_matrix(warm_result).to_jsonable()
+            == estimate_matrix(cold_result).to_jsonable()
+        ), "warm cache replay changed the estimated matrix"
+        print(f"  incremental parity verified: warm pass reused "
+              f"{warm_stats.runs_reused}/{total_runs} runs, executed 0")
+
+        def make_cold():
+            fresh = tempfile.mkdtemp(prefix="repro-bench-store-")
+            cold_dirs.append(fresh)
+            return build_generated_campaign(
+                scale, "reference", seed=args.seed, store=fresh
+            ).execute
+
+        _, cold_s = timed(
+            "store cold          ", make_cold, args.warmup, args.trials,
+        )
+        _, warm_s = timed(
+            "store warm          ",
+            lambda: build_generated_campaign(
+                scale, "reference", seed=args.seed, store=store_dir
+            ).execute,
+            args.warmup, args.trials,
+        )
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+        for path in cold_dirs:
+            shutil.rmtree(path, ignore_errors=True)
+
+    incremental_speedup = cold_s / warm_s
+    print(f"  incremental warm-cache speedup: {incremental_speedup:.2f}x "
+          f"({total_runs} runs recomposed without simulation)")
+
+    report.update({
+        "incremental": {
+            "seconds": warm_s,
+            "cold_seconds": cold_s,
+            "total_runs": total_runs,
+            "runs_reused": warm_stats.runs_reused,
+            "runs_per_sec": total_runs / warm_s,
+        },
+        "incremental_speedup": incremental_speedup,
+    })
+
+    # Hard floor: replaying a fully cached campaign must never be
+    # slower than simulating it.
+    if incremental_speedup < 1.0:
+        print(f"WARNING: incremental warm-cache speedup "
+              f"{incremental_speedup:.2f}x below the 1.0x floor")
         return True
     return False
 

@@ -194,6 +194,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         backend=args.backend,
         dashboard=args.dash,
         static_prune=args.static_prune,
+        store=args.store,
+        no_cache=args.no_cache,
     )
     dash_server = None
     extra_sinks: list = []
@@ -243,6 +245,24 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     else:
         result = campaign.execute(progress=progress)
     print(f"done in {time.time() - started:.0f}s")
+    stats = campaign.last_store_stats
+    if stats is not None and args.no_cache:
+        print(
+            f"result store: cache bypassed (--no-cache), "
+            f"{stats.runs_executed} run(s) executed and refreshed"
+        )
+    elif stats is not None:
+        print(
+            f"result store: {stats.hits} row(s) reused "
+            f"({stats.runs_reused} runs recomposed from cache), "
+            f"{stats.misses} row(s) executed fresh"
+            + (f", {stats.uncacheable} uncacheable" if stats.uncacheable else "")
+            + (
+                f"; WARNING: {stats.rejected} corrupt artifact(s) re-executed"
+                if stats.rejected
+                else ""
+            )
+        )
     if result.n_pruned_runs():
         print(
             f"static pruning: {len(result.pruned_targets())} target(s) "
@@ -508,6 +528,57 @@ def _cmd_obs_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store_ls(args: argparse.Namespace) -> int:
+    from repro.store import ResultStore
+
+    store = ResultStore(args.dir)
+    n_ok = n_bad = n_runs = 0
+    for record in store.iter_artifacts():
+        if not record.ok:
+            n_bad += 1
+            print(f"INVALID  {record.path}  ({record.reason})")
+            continue
+        n_ok += 1
+        payload = record.payload
+        kind = payload.get("kind", "?")
+        runs = int(payload.get("n_runs", 0))
+        n_runs += runs if kind == "unit" else 0
+        print(
+            f"{record.key[:16]}  {kind:<6} "
+            f"{payload.get('case_id', '?')}/{payload.get('module', '?')}"
+            f".{payload.get('signal', '?')}  {runs} runs"
+        )
+    print(
+        f"{n_ok} valid artifact(s) ({n_runs} cached injection runs)"
+        + (f", {n_bad} invalid" if n_bad else "")
+    )
+    return 0
+
+
+def _cmd_store_gc(args: argparse.Namespace) -> int:
+    from repro.store import ResultStore
+
+    removed = ResultStore(args.dir).gc(max_age_days=args.max_age_days)
+    print(f"removed {len(removed)} artifact(s)")
+    for path in removed:
+        print(f"  {path}")
+    return 0
+
+
+def _cmd_store_verify(args: argparse.Namespace) -> int:
+    from repro.store import ResultStore
+
+    n_ok = n_bad = 0
+    for record in ResultStore(args.dir).iter_artifacts():
+        if record.ok:
+            n_ok += 1
+        else:
+            n_bad += 1
+            print(f"INVALID  {record.path}  ({record.reason})", file=sys.stderr)
+    print(f"{args.dir}: {n_ok} valid artifact(s), {n_bad} invalid")
+    return 1 if n_bad else 0
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.verify import (
         OracleFailure,
@@ -711,6 +782,13 @@ def build_parser() -> argparse.ArgumentParser:
                           "static flow analysis proves zero-permeability, "
                           "recording them as exact zero counts "
                           "(see docs/STATIC_ANALYSIS.md)")
+    campaign.add_argument("--store", metavar="DIR", default=None,
+                          help="content-addressed result store: reuse "
+                          "cached target rows and record fresh ones "
+                          "(see docs/INCREMENTAL.md)")
+    campaign.add_argument("--no-cache", action="store_true",
+                          help="with --store: re-execute everything and "
+                          "refresh the store instead of reading it")
     campaign.add_argument("--twonode", action="store_true",
                           help="analyse the master/slave configuration")
     campaign.add_argument("--save", metavar="FILE",
@@ -804,6 +882,35 @@ def build_parser() -> argparse.ArgumentParser:
                       help="comma-separated event types to keep "
                       "(e.g. InjectionFired,RunReconverged)")
     tail.set_defaults(func=_cmd_obs_tail)
+
+    store = commands.add_parser(
+        "store",
+        help="inspect a content-addressed campaign result store "
+        "(docs/INCREMENTAL.md)",
+    )
+    store_commands = store.add_subparsers(dest="store_command", required=True)
+    store_ls = store_commands.add_parser(
+        "ls", help="list the store's artifacts and their cached runs"
+    )
+    store_ls.add_argument("dir", help="store directory (campaign --store)")
+    store_ls.set_defaults(func=_cmd_store_ls)
+    store_gc = store_commands.add_parser(
+        "gc",
+        help="delete invalid artifacts, leftover temp files and "
+        "(optionally) artifacts older than --max-age-days",
+    )
+    store_gc.add_argument("dir", help="store directory to clean")
+    store_gc.add_argument("--max-age-days", type=float, default=None,
+                          metavar="DAYS",
+                          help="also delete artifacts not rewritten in "
+                          "this many days")
+    store_gc.set_defaults(func=_cmd_store_gc)
+    store_verify = store_commands.add_parser(
+        "verify",
+        help="re-hash every artifact; exit 1 if any fails validation",
+    )
+    store_verify.add_argument("dir", help="store directory to check")
+    store_verify.set_defaults(func=_cmd_store_verify)
 
     dash = commands.add_parser(
         "dash",

@@ -176,6 +176,21 @@ class CampaignConfig:
         observer), so the field does not participate in the config
         hash: two campaigns differing only in ``dashboard`` produce
         identical results and identical manifests.
+    store:
+        Optional directory of a content-addressed campaign result
+        store (CLI: ``--store DIR``, see docs/INCREMENTAL.md).  Each
+        (case, module, signal) target row is keyed on a content hash
+        of everything its outcomes depend on; rows whose key is
+        already stored are *reused* instead of injected, and freshly
+        executed rows are published for the next campaign.  The
+        recomposed result is byte-identical to a cold run (pinned by
+        the ``incremental-parity`` verify oracle).  Like
+        ``dashboard``, the field is pure execution strategy and does
+        not participate in the config hash or the unit keys.
+    no_cache:
+        With a ``store`` configured, skip *reads* (every unit
+        re-executes) but still publish results — a forced refresh
+        (CLI: ``--no-cache``).  No effect without ``store``.
     """
 
     duration_ms: int = 8000
@@ -193,6 +208,8 @@ class CampaignConfig:
     )
     dashboard: str | None = None
     static_prune: bool = False
+    store: str | None = None
+    no_cache: bool = False
 
     def __post_init__(self) -> None:
         if self.duration_ms < 1:
@@ -538,6 +555,9 @@ class InjectionCampaign:
         self._exec_backend = get_backend(self._config.backend)
         self._targets = self._resolve_targets()
         self._golden_runs: dict[str, GoldenRun] = {}
+        #: Store traffic of the most recent execute()/execute_parallel()
+        #: (a :class:`repro.store.StoreStats`), ``None`` without a store.
+        self.last_store_stats = None
 
     def _resolve_targets(self) -> tuple[tuple[str, str], ...]:
         if self._config.targets is not None:
@@ -636,6 +656,185 @@ class InjectionCampaign:
         return n_arcs
 
     # ------------------------------------------------------------------
+    # Incremental execution (repro.store)
+    # ------------------------------------------------------------------
+
+    def _store_session(self):
+        """Open the configured result store, or ``None`` without one.
+
+        Returns ``(store, key_builder, stats)``; digest-mismatch
+        rejections are routed to the observer as warning events.
+        """
+        if self._config.store is None:
+            return None
+        from repro.store import ResultStore, StoreStats, UnitKeyBuilder
+
+        stats = StoreStats()
+        obs = self._observer
+
+        def reject(key: str, path: str, reason: str) -> None:
+            stats.rejected += 1
+            if obs is not None:
+                obs.on_store_artifact_rejected(key, path, reason)
+
+        store = ResultStore(self._config.store, on_reject=reject)
+        builder = UnitKeyBuilder(self._system, self._run_factory, self._config)
+        return store, builder, stats
+
+    def _encode_unit(
+        self,
+        case_id: str,
+        module: str,
+        signal: str,
+        outcomes: Sequence[InjectionOutcome],
+    ) -> dict:
+        """Store payload of one executed target row.
+
+        The outcome records are the authoritative data (recomposition
+        rebuilds :class:`CampaignResult` from them alone); the per-arc
+        direct-error counts and lifetime records ride along so
+        ``repro store ls`` is informative without re-deriving.
+        """
+        spec = self._system.module(module)
+        input_is_feedback = signal in spec.outputs
+        arc_counts = {}
+        for output in spec.outputs:
+            n_errors = sum(
+                1
+                for outcome in outcomes
+                if outcome.fired
+                and outcome.direct_output_error(
+                    output, input_is_feedback=input_is_feedback
+                )
+            )
+            arc_counts[output] = [len(outcomes), n_errors]
+        return {
+            "kind": "unit",
+            "case_id": case_id,
+            "module": module,
+            "signal": signal,
+            "n_runs": len(outcomes),
+            "outcomes": [outcome.to_jsonable() for outcome in outcomes],
+            "arc_counts": arc_counts,
+            "lifetimes_ms": [
+                outcome.error_lifetime_ms
+                for outcome in outcomes
+                if outcome.error_lifetime_ms is not None
+            ],
+            "n_fired": sum(1 for outcome in outcomes if outcome.fired),
+            "n_reconverged": sum(
+                1 for outcome in outcomes if outcome.reconverged
+            ),
+        }
+
+    def _decode_unit(
+        self, payload: dict, case_id: str, module: str, signal: str
+    ) -> list[InjectionOutcome] | None:
+        """Outcomes of a stored unit, or ``None`` when it cannot be reused.
+
+        Pruned records (``kind != "unit"``) carry no per-run data and a
+        payload whose outcome count does not match this campaign's grid
+        cannot recompose byte-identically — both are treated as misses.
+        """
+        if payload.get("kind") != "unit":
+            return None
+        raw = payload.get("outcomes")
+        if not isinstance(raw, list) or len(raw) != self._config.runs_per_target():
+            return None
+        try:
+            decoded = [InjectionOutcome.from_jsonable(entry) for entry in raw]
+        except (KeyError, TypeError):
+            return None
+        for outcome in decoded:
+            if (
+                outcome.case_id != case_id
+                or outcome.module != module
+                or outcome.input_signal != signal
+            ):
+                return None
+        return decoded
+
+    def _plan_case_store(
+        self,
+        store,
+        builder,
+        stats,
+        case_id: str,
+        case: CaseT,
+        live_targets: Sequence[tuple[str, str]],
+        pruned: Sequence[tuple[str, str]],
+    ) -> tuple[dict, dict]:
+        """Compute one case's unit keys and fetch every reusable row.
+
+        Returns ``(keys, cached)`` where ``cached`` maps hit targets to
+        their decoded outcome lists.  Keys cover pruned targets too so
+        their records can be published.
+        """
+        obs = self._observer
+        keys = builder.keys_for_case(
+            case_id, case, (*live_targets, *pruned)
+        )
+        cached: dict[tuple[str, str], list[InjectionOutcome]] = {}
+        for target in live_targets:
+            key = keys[target]
+            if not key.cacheable:
+                stats.uncacheable += 1
+                continue
+            if self._config.no_cache:
+                continue
+            payload = store.fetch(key.digest)
+            decoded = (
+                None
+                if payload is None
+                else self._decode_unit(payload, case_id, *target)
+            )
+            if decoded is None:
+                stats.misses += 1
+                if obs is not None:
+                    obs.on_store_miss(case_id, *target)
+            else:
+                cached[target] = decoded
+                stats.hits += 1
+                stats.runs_reused += len(decoded)
+        return keys, cached
+
+    def _publish_case_units(
+        self,
+        store,
+        keys: dict,
+        case_id: str,
+        fresh: Mapping[tuple[str, str], list[InjectionOutcome]],
+        pruned: Sequence[tuple[str, str]],
+    ) -> None:
+        """Publish freshly executed rows and pruned-target records.
+
+        A pruned record shares its key with the full unit the target
+        would produce if executed (the key excludes ``static_prune``),
+        so it is only written where nothing is stored yet — a full unit
+        is never clobbered by the poorer pruned form.
+        """
+        for (module, signal), outcomes in fresh.items():
+            key = keys[(module, signal)]
+            if key.cacheable:
+                store.put(
+                    key.digest,
+                    self._encode_unit(case_id, module, signal, outcomes),
+                )
+        for module, signal in pruned:
+            key = keys[(module, signal)]
+            if key.cacheable and not store.contains(key.digest):
+                store.put(
+                    key.digest,
+                    {
+                        "kind": "pruned",
+                        "case_id": case_id,
+                        "module": module,
+                        "signal": signal,
+                        "n_runs": self._config.runs_per_target(),
+                    },
+                )
+
+    # ------------------------------------------------------------------
     # Lint gate
     # ------------------------------------------------------------------
 
@@ -696,7 +895,9 @@ class InjectionCampaign:
             afterwards to bound memory).  Receives the outcome record,
             the injection run's :class:`RunResult` and the test case's
             Golden Run.  Used e.g. by the EDM evaluation layer to replay
-            detectors over the traces.
+            detectors over the traces.  With a result store configured,
+            only freshly *executed* runs reach the inspector — reused
+            rows carry outcome records, not traces.
         """
         obs = self._observer
         started = time.perf_counter()
@@ -705,6 +906,7 @@ class InjectionCampaign:
             obs.on_backend_selected(self._exec_backend.name)
         self._lint_gate()
         live_targets, pruned = self._plan_pruning()
+        session = self._store_session()
         result = CampaignResult(self._system)
         completed = 0
         total = self.total_runs()
@@ -717,17 +919,72 @@ class InjectionCampaign:
             if progress is not None:
                 progress(completed, total)
         for case_id, case in self._test_cases.items():
-            runner, golden, checkpoints = self._golden_for_case(case_id, case)
-            self._golden_runs[case_id] = golden
-            for outcome, injected in self._case_injections(
-                runner, golden, live_targets, checkpoints
-            ):
-                if inspector is not None:
-                    inspector(outcome, injected, golden)
-                result.add(outcome)
-                completed += 1
-                if progress is not None:
-                    progress(completed, total)
+            if session is None:
+                runner, golden, checkpoints = self._golden_for_case(
+                    case_id, case
+                )
+                self._golden_runs[case_id] = golden
+                for outcome, injected in self._case_injections(
+                    runner, golden, live_targets, checkpoints
+                ):
+                    if inspector is not None:
+                        inspector(outcome, injected, golden)
+                    result.add(outcome)
+                    completed += 1
+                    if progress is not None:
+                        progress(completed, total)
+                continue
+            store, builder, stats = session
+            keys, cached = self._plan_case_store(
+                store, builder, stats, case_id, case, live_targets, pruned
+            )
+            miss_targets = tuple(
+                target for target in live_targets if target not in cached
+            )
+            fresh: dict[tuple[str, str], list[InjectionOutcome]] = {}
+            if miss_targets:
+                # Fully reused cases skip even their Golden Run.
+                runner, golden, checkpoints = self._golden_for_case(
+                    case_id, case
+                )
+                self._golden_runs[case_id] = golden
+                for outcome, injected in self._case_injections(
+                    runner, golden, miss_targets, checkpoints
+                ):
+                    if inspector is not None:
+                        inspector(outcome, injected, golden)
+                    fresh.setdefault(
+                        (outcome.module, outcome.input_signal), []
+                    ).append(outcome)
+                    stats.runs_executed += 1
+                    completed += 1
+                    if progress is not None:
+                        progress(completed, total)
+            self._publish_case_units(store, keys, case_id, fresh, pruned)
+            # Recompose in canonical grid order: cache hits interleave
+            # with fresh rows exactly where a cold run would put them.
+            for target in live_targets:
+                if target in cached:
+                    outcomes = cached[target]
+                    if obs is not None:
+                        obs.on_unit_reused(
+                            case_id,
+                            target[0],
+                            target[1],
+                            len(outcomes),
+                            keys[target].digest,
+                        )
+                        for outcome in outcomes:
+                            obs.on_outcome(outcome)
+                    for outcome in outcomes:
+                        result.add(outcome)
+                    completed += len(outcomes)
+                    if progress is not None:
+                        progress(completed, total)
+                else:
+                    for outcome in fresh.get(target, []):
+                        result.add(outcome)
+        self.last_store_stats = session[2] if session is not None else None
         if obs is not None:
             obs.on_campaign_finished(result, time.perf_counter() - started)
         return result
@@ -963,6 +1220,7 @@ class InjectionCampaign:
             obs.on_backend_selected(self._exec_backend.name)
         self._lint_gate()
         live_targets, pruned = self._plan_pruning()
+        session = self._store_session()
         config = dataclasses.replace(
             self._config, targets=live_targets
         )
@@ -987,8 +1245,29 @@ class InjectionCampaign:
             completed = len(pruned) * per_target
             if progress is not None:
                 progress(completed, total)
+        case_plans: dict[str, tuple[dict, dict]] = {}
+        fresh_by_case: dict[str, dict[tuple[str, str], list[InjectionOutcome]]] = {}
         try:
             for case_id, case in self._test_cases.items():
+                case_targets = live_targets
+                if session is not None:
+                    store, builder, stats = session
+                    keys, cached = self._plan_case_store(
+                        store, builder, stats, case_id, case,
+                        live_targets, pruned,
+                    )
+                    case_plans[case_id] = (keys, cached)
+                    case_targets = tuple(
+                        target
+                        for target in live_targets
+                        if target not in cached
+                    )
+                    completed += sum(len(runs) for runs in cached.values())
+                    if cached and progress is not None:
+                        progress(completed, total)
+                    if not case_targets:
+                        # Fully reused: no Golden Run, no blob, no tasks.
+                        continue
                 runner, golden, checkpoints = self._golden_for_case(
                     case_id, case
                 )
@@ -1026,44 +1305,55 @@ class InjectionCampaign:
                         "telemetry": golden.result.telemetry,
                     }
                 )
-                for start in range(0, len(live_targets), chunk_size):
+                for start in range(0, len(case_targets), chunk_size):
                     tasks.append(
-                        (case_id, live_targets[start : start + chunk_size])
+                        (case_id, case_targets[start : start + chunk_size])
                     )
 
-            payload = (
-                self._system,
-                self._run_factory,
-                config,
-                obs is not None,
-                tuple(case_blobs),
-            )
-            with concurrent.futures.ProcessPoolExecutor(
-                max_workers=max_workers,
-                initializer=_worker_init,
-                initargs=(payload,),
-            ) as pool:
-                for index, (outcomes, obs_payload, elapsed_s) in enumerate(
-                    pool.map(_run_shard, tasks)
-                ):
-                    for outcome in outcomes:
-                        result.add(outcome)
-                    completed += len(outcomes)
-                    if obs is not None:
-                        if obs_payload is not None:
-                            obs.absorb_worker(obs_payload)
-                        if obs.propagation is not None:
-                            obs.propagation.record_all(outcomes)
-                        chunk_case, chunk_targets = tasks[index]
-                        obs.on_chunk_completed(
-                            chunk_index=index,
-                            case_id=chunk_case,
-                            n_targets=len(chunk_targets),
-                            n_runs=len(outcomes),
-                            elapsed_s=elapsed_s,
-                        )
-                    if progress is not None:
-                        progress(completed, total)
+            if tasks:
+                payload = (
+                    self._system,
+                    self._run_factory,
+                    config,
+                    obs is not None,
+                    tuple(case_blobs),
+                )
+                with concurrent.futures.ProcessPoolExecutor(
+                    max_workers=max_workers,
+                    initializer=_worker_init,
+                    initargs=(payload,),
+                ) as pool:
+                    for index, (outcomes, obs_payload, elapsed_s) in enumerate(
+                        pool.map(_run_shard, tasks)
+                    ):
+                        if session is None:
+                            for outcome in outcomes:
+                                result.add(outcome)
+                        else:
+                            per_case = fresh_by_case.setdefault(
+                                tasks[index][0], {}
+                            )
+                            for outcome in outcomes:
+                                per_case.setdefault(
+                                    (outcome.module, outcome.input_signal), []
+                                ).append(outcome)
+                            session[2].runs_executed += len(outcomes)
+                        completed += len(outcomes)
+                        if obs is not None:
+                            if obs_payload is not None:
+                                obs.absorb_worker(obs_payload)
+                            if obs.propagation is not None:
+                                obs.propagation.record_all(outcomes)
+                            chunk_case, chunk_targets = tasks[index]
+                            obs.on_chunk_completed(
+                                chunk_index=index,
+                                case_id=chunk_case,
+                                n_targets=len(chunk_targets),
+                                n_runs=len(outcomes),
+                                elapsed_s=elapsed_s,
+                            )
+                        if progress is not None:
+                            progress(completed, total)
         finally:
             for segment in segments:
                 try:
@@ -1071,6 +1361,34 @@ class InjectionCampaign:
                     segment.unlink()
                 except OSError:  # pragma: no cover - already gone
                     pass
+        if session is not None:
+            store, builder, stats = session
+            for case_id in self._test_cases:
+                keys, cached = case_plans[case_id]
+                fresh = fresh_by_case.get(case_id, {})
+                self._publish_case_units(store, keys, case_id, fresh, pruned)
+                # Recompose in canonical grid order (see execute()).
+                for target in live_targets:
+                    if target in cached:
+                        for_unit = cached[target]
+                        if obs is not None:
+                            obs.on_unit_reused(
+                                case_id,
+                                target[0],
+                                target[1],
+                                len(for_unit),
+                                keys[target].digest,
+                            )
+                            for outcome in for_unit:
+                                obs.on_outcome(outcome)
+                        for outcome in for_unit:
+                            result.add(outcome)
+                    else:
+                        for outcome in fresh.get(target, []):
+                            result.add(outcome)
+            self.last_store_stats = stats
+        else:
+            self.last_store_stats = None
         if obs is not None:
             obs.on_campaign_finished(result, time.perf_counter() - started)
         return result

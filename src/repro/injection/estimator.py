@@ -8,6 +8,12 @@ permeability :math:`P_{i,k}` to be :math:`n_{err} / n_{inj}`."
 :func:`estimate_matrix` turns a :class:`CampaignResult` into a
 :class:`PermeabilityMatrix`; :class:`PermeabilityEstimator` bundles
 campaign execution and aggregation behind one call.
+
+Statically-pruned targets (``CampaignConfig(static_prune=True)``) need
+no special handling here: ``CampaignResult.pair_counts`` merges them as
+their full injection count with exactly zero errors, so the estimated
+matrix — and every table derived from it — is byte-identical to the
+unpruned campaign's.
 """
 
 from __future__ import annotations
@@ -67,6 +73,11 @@ def estimate_matrix(
     require_complete:
         Verify every pair of every module received injections; disable
         when deliberately estimating a subset of the system.
+
+    Targets skipped by static pruning still count: they arrive from
+    ``pair_counts`` as ``(n_errors=0, n_injections=<full grid>)``, so a
+    pruned campaign satisfies ``require_complete`` and estimates the
+    same matrix as an unpruned one.
     """
     matrix = PermeabilityMatrix(result.system)
     counts = result.pair_counts(direct_only=direct_only, predicate=predicate)

@@ -120,6 +120,21 @@ class GoldenRunComparison:
             return None
         return time - injection_time_ms
 
+    def to_jsonable(self) -> dict:
+        """JSON-safe form; signal order is preserved (it is trace order)."""
+        return {
+            "case_id": self.case_id,
+            "first_divergence_ms": dict(self.first_divergence_ms),
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Mapping) -> "GoldenRunComparison":
+        """Rebuild a comparison persisted by :meth:`to_jsonable`."""
+        return cls(
+            case_id=data["case_id"],
+            first_divergence_ms=dict(data["first_divergence_ms"]),
+        )
+
 
 def compare_to_golden_run(
     golden: GoldenRun, injected: RunResult, case_id: str | None = None

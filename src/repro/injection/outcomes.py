@@ -9,7 +9,7 @@ Table 1 estimates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator
+from typing import Callable, Iterable, Iterator, Mapping
 
 from repro.injection.golden_run import GoldenRunComparison
 from repro.model.system import SystemModel
@@ -70,6 +70,35 @@ class InjectionOutcome:
     def output_diverged(self, output_signal: str) -> bool:
         """Whether the given signal diverged from the Golden Run."""
         return self.comparison.diverged(output_signal)
+
+    def to_jsonable(self) -> dict:
+        """JSON-safe form for the campaign result store (repro.store)."""
+        return {
+            "case_id": self.case_id,
+            "module": self.module,
+            "input_signal": self.input_signal,
+            "scheduled_time_ms": self.scheduled_time_ms,
+            "fired_at_ms": self.fired_at_ms,
+            "error_model": self.error_model,
+            "comparison": self.comparison.to_jsonable(),
+            "reconverged_at_ms": self.reconverged_at_ms,
+            "frames_fast_forwarded": self.frames_fast_forwarded,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Mapping) -> "InjectionOutcome":
+        """Rebuild an outcome persisted by :meth:`to_jsonable`."""
+        return cls(
+            case_id=data["case_id"],
+            module=data["module"],
+            input_signal=data["input_signal"],
+            scheduled_time_ms=data["scheduled_time_ms"],
+            fired_at_ms=data["fired_at_ms"],
+            error_model=data["error_model"],
+            comparison=GoldenRunComparison.from_jsonable(data["comparison"]),
+            reconverged_at_ms=data["reconverged_at_ms"],
+            frames_fast_forwarded=data["frames_fast_forwarded"],
+        )
 
     def direct_output_error(
         self, output_signal: str, input_is_feedback: bool = False

@@ -187,6 +187,7 @@ function render(s) {
     card("reconverged", (c.reconverged_fraction * 100).toFixed(0) + "%") +
     card("ms fast-forwarded", c.frames_fast_forwarded) +
     card("checkpoint reuses", c.checkpoint_reuses) +
+    card("cached", c.cached || 0) +
     card("chunks", c.chunks_completed);
   document.getElementById("cards").innerHTML = cards;
 

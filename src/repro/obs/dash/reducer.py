@@ -61,6 +61,7 @@ from repro.obs.events import (
     ParsedEvent,
     RunReconverged,
     RunStarted,
+    UnitReused,
     decode_event,
     read_events,
 )
@@ -72,7 +73,10 @@ __all__ = ["CampaignStateReducer", "validate_snapshot", "SNAPSHOT_SCHEMA_VERSION
 #: :meth:`CampaignStateReducer.snapshot`; bump on shape changes.
 #: v2: ``counters.pruned`` (runs skipped by static pruning) and pruned
 #: targets folded into the matrix denominators.
-SNAPSHOT_SCHEMA_VERSION = 2
+#: v3: ``counters.cached`` (runs reused from the result store; their
+#: replayed OutcomeClassified events still drive the matrix, so the
+#: counter is informational, not a denominator).
+SNAPSHOT_SCHEMA_VERSION = 3
 
 #: Metric names surfaced in the snapshot's ``metrics`` subset (the full
 #: registry stays in ``metrics.json``; the dashboard shows the headline
@@ -144,6 +148,8 @@ class CampaignStateReducer:
         self.n_chunks = 0
         self.n_pruned_targets = 0
         self.n_pruned_runs = 0
+        self.n_cached_units = 0
+        self.n_cached_runs = 0
         self.outcome_mix: TallyCounter = TallyCounter()
         # Matrix state: denominators per injected location, numerators
         # per arc; the output universe comes from the manifest topology.
@@ -281,6 +287,12 @@ class CampaignStateReducer:
                 ).append(lifetime)
                 self._lifetimes_sorted = False
                 self._observe_lifetime(lifetime)
+        elif isinstance(event, UnitReused):
+            # The row's recorded outcomes are replayed right after this
+            # event as ordinary OutcomeClassified events (driving the
+            # matrix and progress), so only the reuse itself is counted.
+            self.n_cached_units += 1
+            self.n_cached_runs += event.n_runs
         elif isinstance(event, ChunkCompleted):
             self.n_chunks += 1
         elif isinstance(event, CampaignFinished):
@@ -431,6 +443,7 @@ class CampaignStateReducer:
             "counters": {
                 "n_runs": self.n_classified,
                 "pruned": self.n_pruned_runs,
+                "cached": self.n_cached_runs,
                 "n_fired": self.n_fired,
                 "n_reconverged": self.n_reconverged,
                 "reconverged_fraction": self.reconverged_fraction(),
@@ -491,7 +504,7 @@ def validate_snapshot(snapshot: Mapping[str, Any]) -> None:
     _require(0 <= progress["done"], "progress.done >= 0")
     counters = snapshot["counters"]
     for name in (
-        "n_runs", "pruned", "n_fired", "n_reconverged",
+        "n_runs", "pruned", "cached", "n_fired", "n_reconverged",
         "frames_fast_forwarded", "checkpoints_saved", "checkpoint_reuses",
         "skipped_ms", "chunks_completed",
     ):

@@ -46,6 +46,8 @@ __all__ = [
     "InjectionFired",
     "RunReconverged",
     "OutcomeClassified",
+    "UnitReused",
+    "StoreArtifactRejected",
     "ChunkCompleted",
     "CampaignFinished",
     "ParsedEvent",
@@ -216,6 +218,39 @@ class OutcomeClassified:
 
 
 @dataclass(frozen=True)
+class UnitReused:
+    """One target row was recomposed from the result store, not executed.
+
+    Emitted (parent process only) before the row's replayed
+    :class:`OutcomeClassified` events when an incremental campaign
+    (``--store DIR``, see docs/INCREMENTAL.md) found the row's content
+    key already stored — its ``n_runs`` injection runs were skipped and
+    their recorded outcomes fed into the result instead.
+    """
+
+    case_id: str
+    module: str
+    signal: str
+    n_runs: int
+    key: str
+
+
+@dataclass(frozen=True)
+class StoreArtifactRejected:
+    """A store artifact parsed but failed content verification.
+
+    A digest or key mismatch means corruption survived the JSON parse
+    (torn or truncated files are silent misses instead); the artifact
+    is ignored and the unit re-executes, but the event makes the
+    corruption visible (``store.rejected`` counter).
+    """
+
+    key: str
+    path: str
+    reason: str
+
+
+@dataclass(frozen=True)
 class ChunkCompleted:
     """One grid-sharded work item came back from a worker."""
 
@@ -249,6 +284,8 @@ _EVENT_TYPES: dict[str, type] = {
         InjectionFired,
         RunReconverged,
         OutcomeClassified,
+        UnitReused,
+        StoreArtifactRejected,
         ChunkCompleted,
         CampaignFinished,
     )

@@ -39,6 +39,8 @@ from repro.obs.events import (
     RingBufferSink,
     RunReconverged,
     RunStarted,
+    StoreArtifactRejected,
+    UnitReused,
     build_manifest,
     decode_event,
 )
@@ -164,6 +166,40 @@ class CampaignObserver:
             self.metrics.counter("prune.runs_skipped").inc(
                 len(targets) * n_injections_per_target
             )
+
+    def on_unit_reused(
+        self, case_id: str, module: str, signal: str, n_runs: int, key: str
+    ) -> None:
+        """Record one target row recomposed from the result store."""
+        if self.events is not None:
+            self.events.emit(
+                UnitReused(
+                    case_id=case_id,
+                    module=module,
+                    signal=signal,
+                    n_runs=n_runs,
+                    key=key,
+                )
+            )
+        if self.metrics is not None:
+            self.metrics.counter("store.hits").inc()
+            self.metrics.counter("store.runs_reused").inc(n_runs)
+
+    def on_store_miss(self, case_id: str, module: str, signal: str) -> None:
+        """Count one target row the result store could not answer."""
+        if self.metrics is not None:
+            self.metrics.counter("store.misses").inc()
+
+    def on_store_artifact_rejected(
+        self, key: str, path: str, reason: str
+    ) -> None:
+        """Record a store artifact that failed content verification."""
+        if self.events is not None:
+            self.events.emit(
+                StoreArtifactRejected(key=key, path=path, reason=reason)
+            )
+        if self.metrics is not None:
+            self.metrics.counter("store.rejected").inc()
 
     def on_lint_report(self, report) -> None:
         """Record the pre-campaign lint pass (a :class:`~repro.lint.LintReport`)."""

@@ -33,6 +33,8 @@ from repro.obs.events import (
     OutcomeClassified,
     ParsedEvent,
     RunReconverged,
+    StoreArtifactRejected,
+    UnitReused,
     read_events,
 )
 
@@ -67,6 +69,9 @@ class EventsSummary:
     n_fired: int = 0
     n_pruned_targets: int = 0
     n_pruned_runs: int = 0
+    n_cached_units: int = 0
+    n_cached_runs: int = 0
+    n_store_rejected: int = 0
     n_checkpoint_reuses: int = 0
     skipped_ms: int = 0
     n_reconverged: int = 0
@@ -119,6 +124,11 @@ def summarize_events(
             summary.n_pruned_runs += (
                 len(event.targets) * event.n_injections_per_target
             )
+        elif isinstance(event, UnitReused):
+            summary.n_cached_units += 1
+            summary.n_cached_runs += event.n_runs
+        elif isinstance(event, StoreArtifactRejected):
+            summary.n_store_rejected += 1
         elif isinstance(event, CheckpointReused):
             summary.n_checkpoint_reuses += 1
             summary.skipped_ms += event.skipped_ms
@@ -235,6 +245,16 @@ def render_summary(summary: EventsSummary, top: int = 10) -> str:
         lines.append(
             f"static pruning: {summary.n_pruned_targets} target(s) proven "
             f"zero-permeability, {summary.n_pruned_runs} runs skipped"
+        )
+    if summary.n_cached_units:
+        lines.append(
+            f"result store: {summary.n_cached_units} target row(s) reused, "
+            f"{summary.n_cached_runs} injection runs recomposed from cache"
+        )
+    if summary.n_store_rejected:
+        lines.append(
+            f"WARNING: {summary.n_store_rejected} store artifact(s) failed "
+            "content verification and were re-executed"
         )
     if summary.n_checkpoint_reuses:
         lines.append(

@@ -1,0 +1,29 @@
+"""Content-addressed campaign result store for incremental campaigns.
+
+See docs/INCREMENTAL.md for the hash-key definition, the invalidation
+rules, and the soundness argument for byte-identical recomposition.
+"""
+
+from repro.store.fingerprints import (
+    STORE_SCHEMA_VERSION,
+    UnitKey,
+    UnitKeyBuilder,
+    canonical_json,
+    content_digest,
+    dependency_cone,
+    environment_couples_signals,
+)
+from repro.store.store import ArtifactRecord, ResultStore, StoreStats
+
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "ArtifactRecord",
+    "ResultStore",
+    "StoreStats",
+    "UnitKey",
+    "UnitKeyBuilder",
+    "canonical_json",
+    "content_digest",
+    "dependency_cone",
+    "environment_couples_signals",
+]

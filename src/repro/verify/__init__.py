@@ -38,6 +38,7 @@ from repro.verify.oracles import (
     OracleFailure,
     OracleReport,
     VerifyCampaign,
+    check_incremental_parity,
     default_campaign,
     differential_oracle,
     verify_generated,
@@ -56,6 +57,7 @@ __all__ = [
     "SpecError",
     "VerifyCampaign",
     "analytical_matrix",
+    "check_incremental_parity",
     "default_campaign",
     "differential_oracle",
     "generate_system",

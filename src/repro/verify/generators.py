@@ -340,6 +340,13 @@ class LcgEnvironment:
     has something to fast-forward.
     """
 
+    #: The stimulus is a function of the LCG state alone — nothing read
+    #: from the signal store influences any write — so this environment
+    #: cannot carry an injected error between signals.  Incremental
+    #: campaigns (repro.store) may therefore use narrow signal-graph
+    #: dependency cones for generated systems.
+    SIGNAL_COUPLING = False
+
     _A = 1103515245
     _C = 12345
     _MASK = 0x7FFFFFFF

@@ -25,6 +25,10 @@ the rest of the repo relies on:
     The static flow bounds of :mod:`repro.flow` contain the measured
     permeability of every arc, and are exact-tight (``lo == hi ==``
     the analytical value) on the pure-XOR generated modules.
+``incremental-parity`` (generated systems)
+    Re-running the campaign against a warm :mod:`repro.store` result
+    store executes zero injection runs yet recomposes outcomes and the
+    estimate matrix byte-identical to the cold pass.
 ``metamorphic-dead-sink`` (generated systems)
     Adding a module that consumes an existing signal but feeds nothing
     never changes the exposures of pre-existing modules and signals.
@@ -60,6 +64,7 @@ __all__ = [
     "OracleFailure",
     "OracleReport",
     "VerifyCampaign",
+    "check_incremental_parity",
     "check_static_containment",
     "default_campaign",
     "differential_oracle",
@@ -436,6 +441,73 @@ def check_static_containment(
 
 
 # ---------------------------------------------------------------------------
+# Incremental result store (generated systems)
+# ---------------------------------------------------------------------------
+
+
+def check_incremental_parity(
+    generated: GeneratedSystem, campaign: VerifyCampaign
+) -> None:
+    """A warm result store replays the campaign without executing.
+
+    Runs the campaign cold into a fresh store, then warm from it, and
+    asserts the contract of :mod:`repro.store`: the warm pass executes
+    zero injection runs (every row a cache hit) yet recomposes outcomes
+    and estimate matrix byte-identical to the cold pass — and to a
+    store-less run, since the cold pass itself is compared against the
+    baseline fingerprints by ``strategy-identity`` conventions.
+    """
+    import tempfile
+
+    cases = {"gen": None}
+
+    def run(store_dir: str):
+        config = campaign.to_config(reuse=True, fast_forward=True)
+        config = dataclasses.replace(config, store=store_dir)
+        run_ = InjectionCampaign(
+            generated.system, generated.run_factory, cases, config
+        )
+        result = run_.execute()
+        return result, run_.last_store_stats
+
+    with tempfile.TemporaryDirectory(prefix="repro-store-") as store_dir:
+        cold_result, cold_stats = run(store_dir)
+        warm_result, warm_stats = run(store_dir)
+    if cold_stats.hits or not cold_stats.misses:
+        raise OracleFailure(
+            "incremental-parity",
+            f"cold pass expected all misses on {generated.system.name!r}, "
+            f"got {cold_stats.to_jsonable()}",
+        )
+    if warm_stats.runs_executed or warm_stats.misses or warm_stats.rejected:
+        raise OracleFailure(
+            "incremental-parity",
+            f"warm pass executed work on {generated.system.name!r}: "
+            f"{warm_stats.to_jsonable()}",
+        )
+    cold_prints = [outcome.to_jsonable() for outcome in cold_result]
+    warm_prints = [outcome.to_jsonable() for outcome in warm_result]
+    if cold_prints != warm_prints:
+        raise OracleFailure(
+            "incremental-parity",
+            f"warm outcomes differ from cold on {generated.system.name!r}",
+        )
+    require_complete = campaign.targets is None
+    cold_matrix = estimate_matrix(
+        cold_result, require_complete=require_complete
+    ).to_jsonable()
+    warm_matrix = estimate_matrix(
+        warm_result, require_complete=require_complete
+    ).to_jsonable()
+    if cold_matrix != warm_matrix:
+        raise OracleFailure(
+            "incremental-parity",
+            f"warm estimate matrix differs from cold on "
+            f"{generated.system.name!r}",
+        )
+
+
+# ---------------------------------------------------------------------------
 # Metamorphic relations (analysis-level, generated systems)
 # ---------------------------------------------------------------------------
 
@@ -562,6 +634,7 @@ def verify_generated(
     )
     measured = estimate_matrix(result, require_complete=campaign.targets is None)
     check_static_containment(generated, campaign, measured, analytical)
+    check_incremental_parity(generated, campaign)
     check_dead_sink_invariance(generated, analytical)
     check_prerr_scaling(generated, analytical)
     return dataclasses.replace(
@@ -569,6 +642,7 @@ def verify_generated(
         checks=(
             *report.checks,
             "static-containment",
+            "incremental-parity",
             "metamorphic-dead-sink",
             "metamorphic-prerr-scaling",
         ),

@@ -29,6 +29,7 @@ ALL_CHECKS = (
     "ci-sanity",
     "ci-containment",
     "static-containment",
+    "incremental-parity",
     "metamorphic-dead-sink",
     "metamorphic-prerr-scaling",
 )
