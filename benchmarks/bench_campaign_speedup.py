@@ -36,7 +36,12 @@ Strategies
 Systems
 -------
 The ``--system`` axis picks the workload.  ``arrestment`` (the paper's
-plant) exercises the strategies above.  ``generated`` runs a hand-built
+plant) exercises the strategies above, then times the adaptive
+confidence-driven campaign of :mod:`repro.adaptive` against the
+exhaustive grid on a 16-bit variant of the same plant (after asserting
+every sampled outcome is byte-identical to the exhaustive one at the
+same grid coordinates), reporting ``adaptive_speedup`` (CI-gated
+>= 1.0x) and ``trials_saved_fraction`` (target >= 30%).  ``generated`` runs a hand-built
 feedback-heavy XOR-mask system from :mod:`repro.verify.generators` —
 every module vectorizable, injected errors persisting to the end of the
 run — and times the ``fast_forward`` strategy under both simulation
@@ -139,6 +144,40 @@ def build_campaign(
     return InjectionCampaign(
         build_arrestment_model(), build_arrestment_run, cases, config,
         observer=observer,
+    )
+
+
+#: Bit positions flipped on the adaptive workload — a 48-deep grid per
+#: target (16 bits x 3 instants at smoke scale), deep enough for the
+#: sequential controller to retire deterministic arcs long before the
+#: grid is exhausted.
+ADAPTIVE_BITS = 16
+
+#: Wilson half-width at which the adaptive benchmark retires a target.
+#: 0.1 needs ~16 trials on a deterministic (p in {0, 1}) arc, so a
+#: 48-deep grid saves about two thirds of its runs there.
+ADAPTIVE_CI_WIDTH = 0.1
+
+
+def build_adaptive_campaign(
+    scale: dict, adaptive: bool, seed: int = DEFAULT_SEED
+) -> InjectionCampaign:
+    cases = {
+        f"case{i:02d}": ArrestmentTestCase(14000.0 - 2000.0 * i, 60.0 - 5.0 * i)
+        for i in range(scale["cases"])
+    }
+    config = CampaignConfig(
+        duration_ms=scale["duration_ms"],
+        injection_times_ms=tuple(scale["times"]),
+        error_models=tuple(bit_flip_models(ADAPTIVE_BITS)),
+        seed=seed,
+        reuse_golden_prefix=True,
+        fast_forward=True,
+        adaptive=adaptive,
+        ci_width=ADAPTIVE_CI_WIDTH if adaptive else None,
+    )
+    return InjectionCampaign(
+        build_arrestment_model(), build_arrestment_run, cases, config
     )
 
 
@@ -606,7 +645,100 @@ def _bench_arrestment(args, scale: dict, report: dict):
               "below the 1.3x target")
         # Hard floor: fast-forward must never make the campaign slower.
         failed = failed or ff_speedup < 1.0
-    return failed, metrics_observer
+    return _bench_adaptive(args, scale, report) or failed, metrics_observer
+
+
+def _bench_adaptive(args, scale: dict, report: dict) -> bool:
+    """Sequential stopping vs. the exhaustive grid on the same targets.
+
+    Correctness gates run before any stopwatch: every outcome the
+    adaptive controller samples must be byte-identical to the
+    exhaustive campaign's at the same grid coordinates, and the
+    adaptive estimate matrix must still cover every arc.
+    """
+    exhaustive_runs = build_adaptive_campaign(
+        scale, adaptive=False, seed=args.seed
+    ).total_runs()
+    print(
+        f"[{args.scale}/adaptive] {exhaustive_runs} IR grid, "
+        f"ci_width={ADAPTIVE_CI_WIDTH}; warmup={args.warmup} "
+        f"trials={args.trials} seed={args.seed}"
+    )
+
+    exhaustive_result = build_adaptive_campaign(
+        scale, adaptive=False, seed=args.seed
+    ).execute()
+    adaptive_result = build_adaptive_campaign(
+        scale, adaptive=True, seed=args.seed
+    ).execute()
+    by_coord = {
+        (o.case_id, o.module, o.input_signal, o.scheduled_time_ms,
+         o.error_model): o.to_jsonable()
+        for o in exhaustive_result
+    }
+    for o in adaptive_result:
+        coord = (o.case_id, o.module, o.input_signal, o.scheduled_time_ms,
+                 o.error_model)
+        assert by_coord.get(coord) == o.to_jsonable(), \
+            f"adaptive outcome at {coord} diverged from the exhaustive grid"
+    from repro.injection.estimator import estimate_matrix
+
+    estimate_matrix(adaptive_result, require_complete=True)
+    rows = adaptive_result.adaptive_rows()
+    n_trials = adaptive_result.n_adaptive_trials()
+    trials_saved_fraction = adaptive_result.n_adaptive_trials_saved() / (
+        exhaustive_runs
+    )
+    n_confidence = sum(1 for row in rows if row.reason == "confidence")
+    print(f"  adaptive parity verified: {len(rows)} target(s) retired "
+          f"({n_confidence} by confidence), {n_trials}/{exhaustive_runs} "
+          f"trials executed ({trials_saved_fraction:.0%} saved)")
+
+    _, exhaustive_s = timed(
+        "exhaustive grid     ",
+        lambda: build_adaptive_campaign(
+            scale, adaptive=False, seed=args.seed
+        ).execute,
+        args.warmup, args.trials,
+    )
+    _, adaptive_s = timed(
+        "adaptive stopping   ",
+        lambda: build_adaptive_campaign(
+            scale, adaptive=True, seed=args.seed
+        ).execute,
+        args.warmup, args.trials,
+    )
+
+    adaptive_speedup = exhaustive_s / adaptive_s
+    print(f"  adaptive-stopping speedup: {adaptive_speedup:.2f}x "
+          f"({trials_saved_fraction:.0%} of the grid never executed)")
+
+    report.update({
+        "adaptive": {
+            "seconds": adaptive_s,
+            "exhaustive_seconds": exhaustive_s,
+            "ci_width": ADAPTIVE_CI_WIDTH,
+            "grid_runs": exhaustive_runs,
+            "trials_executed": n_trials,
+            "targets_retired": len(rows),
+            "retired_by_confidence": n_confidence,
+        },
+        "trials_saved_fraction": trials_saved_fraction,
+        "adaptive_speedup": adaptive_speedup,
+    })
+
+    failed = False
+    # Hard floor: stopping early must never cost more than it saves.
+    if adaptive_speedup < 1.0:
+        print(f"WARNING: adaptive-stopping speedup {adaptive_speedup:.2f}x "
+              "below the 1.0x floor")
+        failed = True
+    if trials_saved_fraction < 0.30:
+        print(f"WARNING: adaptive stopping saved only "
+              f"{trials_saved_fraction:.0%} of the grid, below the 30% "
+              "target")
+        failed = True
+    return failed
 
 
 def _bench_generated(args, scale: dict, report: dict) -> bool:

@@ -1,0 +1,46 @@
+"""repro.adaptive — confidence-driven sequential-stopping campaigns.
+
+Runs injection campaigns in rounds, retiring each (module, input)
+target once the Wilson intervals of its output arcs are tight enough
+(``ci_width``), and reallocating every round's budget to the widest
+open intervals.  See docs/ADAPTIVE.md for the stopping rule, the
+allocator and the soundness argument; the campaign engine wires this in
+through ``CampaignConfig(adaptive=True, ...)`` / ``repro campaign
+--adaptive``.
+
+* :mod:`repro.adaptive.controller` — the round loop and stopping rule;
+* :mod:`repro.adaptive.policy` — budget allocation policies
+  (widest-first, uniform) behind the :class:`BudgetPolicy` protocol.
+"""
+
+from repro.adaptive.controller import (
+    REASON_CAP,
+    REASON_CONFIDENCE,
+    REASON_EXHAUSTED,
+    AdaptiveController,
+    RetiredTarget,
+    TargetMeasurement,
+)
+from repro.adaptive.policy import (
+    BudgetPolicy,
+    TargetSnapshot,
+    UniformPolicy,
+    WidestFirstPolicy,
+    get_policy,
+    projected_half_width,
+)
+
+__all__ = [
+    "REASON_CAP",
+    "REASON_CONFIDENCE",
+    "REASON_EXHAUSTED",
+    "AdaptiveController",
+    "BudgetPolicy",
+    "RetiredTarget",
+    "TargetMeasurement",
+    "TargetSnapshot",
+    "UniformPolicy",
+    "WidestFirstPolicy",
+    "get_policy",
+    "projected_half_width",
+]

@@ -1,0 +1,278 @@
+"""Sequential-stopping controller for adaptive injection campaigns.
+
+The exhaustive campaign spends ``cases x times x models`` injection
+runs on *every* (module, input) target, no matter how quickly its
+per-arc estimates tighten.  The adaptive controller instead runs the
+grid in *rounds*:
+
+1. each round, the configured :class:`~repro.adaptive.policy.BudgetPolicy`
+   splits ``round_size`` trials over the still-open targets;
+2. a target's trials are drawn (without replacement) from its own
+   deterministically shuffled pool of the full exhaustive grid, so any
+   prefix is a simple random sample of the grid;
+3. after the round's outcomes are folded into live per-arc counts, a
+   target *retires* once the widest Wilson interval across its output
+   arcs has half-width below ``ci_width`` — or its per-target trial cap
+   is hit, or its pool runs dry.
+
+The controller is engine-agnostic: trials are opaque tokens (the
+campaign uses ``(case_id, time_ms, model_index)`` triples), and the
+uncertainty measurements come in from outside via
+:meth:`AdaptiveController.complete_round`.  This keeps the stopping
+logic unit-testable without a simulator.
+
+Soundness sketch (docs/ADAPTIVE.md has the full argument): per-run
+seeds are derived from the run's grid coordinates, not execution order,
+so the sampled outcomes are *identical* to the exhaustive campaign's at
+the same coordinates; the shuffled pool makes each target's achieved
+trial set a uniform random subset of the exhaustive grid, for which the
+Wilson interval at the achieved counts is a (finite-population
+conservative) confidence interval around the exhaustive proportion.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Generic, Mapping, Sequence, TypeVar
+
+from repro.adaptive.policy import BudgetPolicy, TargetSnapshot, WidestFirstPolicy
+
+__all__ = ["AdaptiveController", "RetiredTarget", "TargetMeasurement"]
+
+TrialT = TypeVar("TrialT")
+
+#: Retirement reasons, in the order they are checked.
+REASON_CONFIDENCE = "confidence"
+REASON_CAP = "cap"
+REASON_EXHAUSTED = "exhausted"
+
+
+@dataclass(frozen=True)
+class TargetMeasurement:
+    """One open target's uncertainty after a round, measured externally.
+
+    ``half_width`` is the maximum Wilson half-width across the target's
+    output arcs; ``point_estimate`` the observed permeability of that
+    widest arc (feeds the allocator's projection).
+    """
+
+    half_width: float
+    point_estimate: float
+
+
+@dataclass(frozen=True)
+class RetiredTarget:
+    """The stopping record of one retired (module, input) target."""
+
+    module: str
+    signal: str
+    n_trials: int
+    half_width: float
+    reason: str
+    round_index: int
+
+
+class AdaptiveController(Generic[TrialT]):
+    """Round-based sequential stopping over a set of injection targets.
+
+    Parameters
+    ----------
+    pools:
+        Per-target trial pools in canonical grid order (the controller
+        shuffles a copy; the caller's sequences are not mutated).
+    ci_width:
+        Retire a target once its widest arc's Wilson half-width drops
+        below this (requires at least one trial, so every target always
+        contributes to the estimate matrix).
+    round_size:
+        Trials distributed per round.
+    max_trials_per_target:
+        Optional per-target cap; a target reaching it retires with
+        reason ``"cap"`` even if still wide.  ``None``: the pool is the
+        only cap (reason ``"exhausted"``).
+    seed:
+        Campaign master seed; each target's pool shuffle is seeded from
+        it plus the target identity, so schedules are reproducible and
+        independent of target enumeration order.
+    z:
+        Normal quantile of the interval (1.96: 95%).
+    policy:
+        The budget allocator; default widest-first.
+    """
+
+    def __init__(
+        self,
+        pools: Mapping[tuple[str, str], Sequence[TrialT]],
+        *,
+        ci_width: float,
+        round_size: int,
+        max_trials_per_target: int | None = None,
+        seed: int = 0,
+        z: float = 1.96,
+        policy: BudgetPolicy | None = None,
+    ) -> None:
+        if not 0.0 < ci_width < 0.5:
+            raise ValueError(
+                f"ci_width must lie in (0, 0.5), got {ci_width} "
+                "(0.5 is the half-width of total ignorance)"
+            )
+        if round_size < 1:
+            raise ValueError(f"round_size must be >= 1, got {round_size}")
+        if max_trials_per_target is not None and max_trials_per_target < 1:
+            raise ValueError(
+                "max_trials_per_target must be >= 1, "
+                f"got {max_trials_per_target}"
+            )
+        self._ci_width = ci_width
+        self._round_size = round_size
+        self._cap = max_trials_per_target
+        self._z = z
+        self._policy: BudgetPolicy = (
+            policy if policy is not None else WidestFirstPolicy()
+        )
+        self._pools: dict[tuple[str, str], list[TrialT]] = {}
+        for key, pool in pools.items():
+            if not pool:
+                raise ValueError(f"target {key} has an empty trial pool")
+            shuffled = list(pool)
+            # Seed from the target identity, not enumeration order, so
+            # the schedule survives target-set changes (e.g. pruning).
+            random.Random(f"{seed}|adaptive|{key[0]}|{key[1]}").shuffle(
+                shuffled
+            )
+            self._pools[key] = shuffled
+        self._taken: dict[tuple[str, str], int] = dict.fromkeys(self._pools, 0)
+        self._measure: dict[tuple[str, str], TargetMeasurement] = {
+            key: TargetMeasurement(half_width=0.5, point_estimate=0.5)
+            for key in self._pools
+        }
+        self._retired: dict[tuple[str, str], RetiredTarget] = {}
+        self._round_index = 0
+        self._n_scheduled = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def policy(self) -> BudgetPolicy:
+        return self._policy
+
+    @property
+    def z(self) -> float:
+        return self._z
+
+    @property
+    def ci_width(self) -> float:
+        return self._ci_width
+
+    @property
+    def round_index(self) -> int:
+        """Completed rounds so far."""
+        return self._round_index
+
+    @property
+    def n_scheduled(self) -> int:
+        """Trials scheduled across all rounds so far."""
+        return self._n_scheduled
+
+    def open_targets(self) -> tuple[tuple[str, str], ...]:
+        """Targets still accumulating trials, in canonical order."""
+        return tuple(key for key in self._pools if key not in self._retired)
+
+    def retired(self) -> tuple[RetiredTarget, ...]:
+        """Stopping records of every retired target, in retirement order."""
+        return tuple(self._retired.values())
+
+    @property
+    def finished(self) -> bool:
+        return len(self._retired) == len(self._pools)
+
+    def n_taken(self, key: tuple[str, str]) -> int:
+        """Trials scheduled so far for one target."""
+        return self._taken[key]
+
+    def _capacity(self, key: tuple[str, str]) -> int:
+        limit = len(self._pools[key])
+        if self._cap is not None:
+            limit = min(limit, self._cap)
+        return limit - self._taken[key]
+
+    # ------------------------------------------------------------------
+    # The round loop
+    # ------------------------------------------------------------------
+
+    def next_round(self) -> dict[tuple[str, str], list[TrialT]]:
+        """Schedule the next round: target -> trials, in target order.
+
+        Trials come off each target's shuffled pool in order, so a
+        target's accumulated trials are always a prefix of its own
+        deterministic permutation of the exhaustive grid.
+        """
+        snapshots = [
+            TargetSnapshot(
+                module=key[0],
+                signal=key[1],
+                point_estimate=self._measure[key].point_estimate,
+                n_trials=self._taken[key],
+                capacity=self._capacity(key),
+            )
+            for key in self.open_targets()
+        ]
+        allocation = self._policy.allocate(
+            self._round_size, snapshots, self._z
+        )
+        schedule: dict[tuple[str, str], list[TrialT]] = {}
+        for key in self.open_targets():
+            n = allocation.get(key, 0)
+            if n <= 0:
+                continue
+            if n > self._capacity(key):
+                raise ValueError(
+                    f"policy {self._policy.name!r} over-allocated {key}: "
+                    f"{n} > capacity {self._capacity(key)}"
+                )
+            taken = self._taken[key]
+            schedule[key] = self._pools[key][taken : taken + n]
+            self._taken[key] = taken + n
+            self._n_scheduled += n
+        return schedule
+
+    def complete_round(
+        self, measurements: Mapping[tuple[str, str], TargetMeasurement]
+    ) -> list[RetiredTarget]:
+        """Fold the round's measurements; retire targets; return retirees.
+
+        ``measurements`` must cover every open target.  Retirement
+        checks confidence first (a tight interval beats hitting a cap),
+        then the per-target cap, then pool exhaustion — so a retiree's
+        ``reason`` tells whether the requested confidence was reached.
+        """
+        retirees: list[RetiredTarget] = []
+        for key in self.open_targets():
+            self._measure[key] = measurements[key]
+        self._round_index += 1
+        for key in self.open_targets():
+            measurement = self._measure[key]
+            taken = self._taken[key]
+            reason = None
+            if taken >= 1 and measurement.half_width < self._ci_width:
+                reason = REASON_CONFIDENCE
+            elif self._cap is not None and taken >= self._cap:
+                reason = REASON_CAP
+            elif taken >= len(self._pools[key]):
+                reason = REASON_EXHAUSTED
+            if reason is None:
+                continue
+            record = RetiredTarget(
+                module=key[0],
+                signal=key[1],
+                n_trials=taken,
+                half_width=measurement.half_width,
+                reason=reason,
+                round_index=self._round_index,
+            )
+            self._retired[key] = record
+            retirees.append(record)
+        return retirees

@@ -1,0 +1,170 @@
+"""Budget allocation policies for adaptive campaigns.
+
+Each round, the adaptive controller hands the configured
+:class:`BudgetPolicy` the round's trial budget plus a snapshot of every
+*open* (not yet retired) target; the policy decides how many of the
+round's trials each target receives.  Policies are pure functions of
+their inputs — all randomness in the adaptive path lives in the
+controller's seeded pool shuffles — so a (seed, config) pair fully
+determines the round schedule.
+
+``widest-first`` (the default)
+    Greedy: repeatedly award one trial to the target whose *projected*
+    Wilson half-width — the half-width it would still have after the
+    trials already awarded this round — is largest.  Spends the budget
+    where uncertainty is widest; when all targets are equally uncertain
+    (e.g. the first round, where nothing has run), the projection ties
+    and the greedy loop degenerates to round-robin.
+
+``uniform``
+    Round-robin in target order, one trial at a time.  The
+    non-prioritising baseline; useful for ablations of the allocator
+    itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.core.stats import wilson_interval
+
+__all__ = [
+    "BudgetPolicy",
+    "TargetSnapshot",
+    "UniformPolicy",
+    "WidestFirstPolicy",
+    "get_policy",
+    "projected_half_width",
+]
+
+
+@dataclass(frozen=True)
+class TargetSnapshot:
+    """One open target as the allocator sees it.
+
+    ``point_estimate`` is the observed permeability of the target's
+    currently widest arc (0.5 before any trial ran — maximal binomial
+    variance, i.e. "we know nothing"); ``n_trials`` the trials taken so
+    far; ``capacity`` how many more the target can still absorb before
+    its pool or per-target cap runs out.
+    """
+
+    module: str
+    signal: str
+    point_estimate: float
+    n_trials: int
+    capacity: int
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.module, self.signal)
+
+
+def projected_half_width(
+    point_estimate: float, n_trials: int, z: float = 1.96
+) -> float:
+    """Wilson half-width a target would have after ``n_trials`` trials.
+
+    Holds the point estimate fixed and rescales the counts — the
+    allocator's look-ahead for "how much would one more trial shrink
+    this target".  With no trials there is no information: the
+    half-width is the full-uncertainty 0.5.
+    """
+    if n_trials <= 0:
+        return 0.5
+    lo, hi = wilson_interval(point_estimate * n_trials, n_trials, z)
+    return (hi - lo) / 2.0
+
+
+@runtime_checkable
+class BudgetPolicy(Protocol):
+    """Strategy distributing one round's trial budget over open targets."""
+
+    name: str
+
+    def allocate(
+        self, budget: int, targets: Sequence[TargetSnapshot], z: float = 1.96
+    ) -> dict[tuple[str, str], int]:
+        """Trials per target for this round.
+
+        Must conserve the budget: the allocations sum to
+        ``min(budget, sum of capacities)`` and never exceed any
+        target's capacity.  Targets awarded zero trials may be omitted.
+        """
+
+
+class WidestFirstPolicy:
+    """Greedy widest-first: each trial goes where uncertainty is largest.
+
+    Ties (equal projected half-widths) break deterministically in favour
+    of the earlier target in the snapshot order, which is the campaign's
+    canonical target order.
+    """
+
+    name = "widest-first"
+
+    def allocate(
+        self, budget: int, targets: Sequence[TargetSnapshot], z: float = 1.96
+    ) -> dict[tuple[str, str], int]:
+        pending = {target.key: 0 for target in targets}
+        widths = {
+            target.key: projected_half_width(
+                target.point_estimate, target.n_trials, z
+            )
+            for target in targets
+        }
+        remaining = min(budget, sum(t.capacity for t in targets))
+        while remaining > 0:
+            best = None
+            best_width = -1.0
+            for target in targets:
+                if pending[target.key] >= target.capacity:
+                    continue
+                width = widths[target.key]
+                if width > best_width:
+                    best, best_width = target, width
+            assert best is not None  # remaining > 0 implies spare capacity
+            pending[best.key] += 1
+            widths[best.key] = projected_half_width(
+                best.point_estimate, best.n_trials + pending[best.key], z
+            )
+            remaining -= 1
+        return {key: n for key, n in pending.items() if n > 0}
+
+
+class UniformPolicy:
+    """Round-robin baseline: one trial per open target until budget ends."""
+
+    name = "uniform"
+
+    def allocate(
+        self, budget: int, targets: Sequence[TargetSnapshot], z: float = 1.96
+    ) -> dict[tuple[str, str], int]:
+        pending = {target.key: 0 for target in targets}
+        remaining = min(budget, sum(t.capacity for t in targets))
+        while remaining > 0:
+            for target in targets:
+                if remaining == 0:
+                    break
+                if pending[target.key] < target.capacity:
+                    pending[target.key] += 1
+                    remaining -= 1
+        return {key: n for key, n in pending.items() if n > 0}
+
+
+_POLICIES = {
+    WidestFirstPolicy.name: WidestFirstPolicy,
+    UniformPolicy.name: UniformPolicy,
+}
+
+
+def get_policy(name: str) -> BudgetPolicy:
+    """Instantiate the policy registered under ``name``."""
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown budget policy {name!r}; "
+            f"expected one of {', '.join(sorted(_POLICIES))}"
+        ) from None

@@ -78,6 +78,7 @@ from repro.injection.latency import (
     render_lifetime_table,
 )
 from repro.injection.selection import paper_times
+from repro.model.errors import CampaignError
 from repro.model.examples import build_fig2_system, fig2_permeabilities
 from repro.obs import CampaignObserver, validate_events
 from repro.obs.summary import summarize_events_file
@@ -183,20 +184,29 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             for index in range(args.times)
         )
     )
-    config = CampaignConfig(
-        duration_ms=args.duration,
-        injection_times_ms=times,
-        error_models=tuple(bit_flip_models(args.bits)),
-        seed=args.seed,
-        reuse_golden_prefix=not args.no_prefix_reuse,
-        fast_forward=not args.no_fast_forward,
-        lint=not args.no_lint,
-        backend=args.backend,
-        dashboard=args.dash,
-        static_prune=args.static_prune,
-        store=args.store,
-        no_cache=args.no_cache,
-    )
+    try:
+        config = CampaignConfig(
+            duration_ms=args.duration,
+            injection_times_ms=times,
+            error_models=tuple(bit_flip_models(args.bits)),
+            seed=args.seed,
+            reuse_golden_prefix=not args.no_prefix_reuse,
+            fast_forward=not args.no_fast_forward,
+            lint=not args.no_lint,
+            backend=args.backend,
+            dashboard=args.dash,
+            static_prune=args.static_prune,
+            store=args.store,
+            no_cache=args.no_cache,
+            adaptive=args.adaptive,
+            ci_width=args.ci_width,
+            round_size=args.round_size,
+            max_trials_per_target=args.max_trials_per_target,
+            budget_policy=args.budget_policy,
+        )
+    except CampaignError as exc:
+        print(f"invalid campaign configuration: {exc}", file=sys.stderr)
+        return 2
     dash_server = None
     extra_sinks: list = []
     if args.dash is not None:
@@ -268,6 +278,23 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             f"static pruning: {len(result.pruned_targets())} target(s) "
             f"proven zero-permeability, {result.n_pruned_runs()} runs "
             "recorded as exact zeros without executing"
+        )
+    if config.adaptive:
+        rows = result.adaptive_rows()
+        n_trials = result.n_adaptive_trials()
+        n_saved = result.n_adaptive_trials_saved()
+        n_grid = n_trials + n_saved
+        saved_pct = n_saved / n_grid if n_grid else 0.0
+        by_reason: dict[str, int] = {}
+        for row in rows:
+            by_reason[row.reason] = by_reason.get(row.reason, 0) + 1
+        reasons = ", ".join(
+            f"{count} {reason}" for reason, count in sorted(by_reason.items())
+        )
+        print(
+            f"adaptive stopping: {len(rows)} target(s) retired ({reasons}), "
+            f"{n_trials}/{n_grid} trials executed "
+            f"({saved_pct:.0%} saved)"
         )
     if config.fast_forward and len(result):
         print(
@@ -777,6 +804,27 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--no-lint", action="store_true",
                           help="skip the pre-campaign model lint gate "
                           "(see docs/LINTING.md)")
+    campaign.add_argument("--adaptive", action="store_true",
+                          help="confidence-driven sequential stopping: "
+                          "run injections in rounds and retire each "
+                          "(module, input) target once its widest Wilson "
+                          "interval is narrow enough (see docs/ADAPTIVE.md)")
+    campaign.add_argument("--ci-width", type=float, default=None,
+                          metavar="W",
+                          help="with --adaptive: retire a target when "
+                          "every output arc's Wilson half-width drops "
+                          "below W (default 0.05)")
+    campaign.add_argument("--round-size", type=int, default=None, metavar="N",
+                          help="with --adaptive: injection budget per "
+                          "round (default: 2x the open target count)")
+    campaign.add_argument("--max-trials-per-target", type=int, default=None,
+                          metavar="N",
+                          help="with --adaptive: hard trial cap per "
+                          "target (default: the full grid)")
+    campaign.add_argument("--budget-policy",
+                          choices=("widest-first", "uniform"), default=None,
+                          help="with --adaptive: round budget allocator "
+                          "(default widest-first)")
     campaign.add_argument("--static-prune", action="store_true",
                           help="skip injection targets whose arcs the "
                           "static flow analysis proves zero-permeability, "

@@ -58,6 +58,7 @@ from repro.core.sensitivity import (
     output_sensitivities,
     what_if,
 )
+from repro.core.stats import wilson_half_width, wilson_interval
 from repro.core.trace import TraceTree, build_all_trace_trees, build_trace_tree
 from repro.core.treenode import NodeKind, PropagationNode
 
@@ -110,4 +111,6 @@ __all__ = [
     "spearman_rank_correlation",
     "system_to_dot",
     "tree_to_dot",
+    "wilson_half_width",
+    "wilson_interval",
 ]

@@ -29,10 +29,10 @@ counts when the value was experimentally estimated (Section 6:
 from __future__ import annotations
 
 import json
-import math
 from dataclasses import dataclass
 from typing import Iterator, Mapping, Sequence
 
+from repro.core.stats import wilson_interval
 from repro.model.errors import (
     InvalidProbabilityError,
     MissingPermeabilityError,
@@ -103,17 +103,8 @@ class PermeabilityEstimate:
         if not self.is_experimental:
             return (self.value, self.value)
         assert self.n_injections is not None
-        n = self.n_injections
-        p = self.value
-        denom = 1.0 + z * z / n
-        centre = (p + z * z / (2 * n)) / denom
-        half = (z / denom) * math.sqrt(p * (1 - p) / n + z * z / (4 * n * n))
-        # The Wilson interval always contains the point estimate; the
-        # min/max guards absorb floating-point round-off at p = 0 or 1.
-        return (
-            max(0.0, min(centre - half, p)),
-            min(1.0, max(centre + half, p)),
-        )
+        assert self.n_errors is not None
+        return wilson_interval(self.n_errors, self.n_injections, z)
 
 
 @dataclass(frozen=True)

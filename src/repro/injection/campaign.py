@@ -70,7 +70,7 @@ from typing import TYPE_CHECKING, Callable, Iterator, Mapping, Sequence, TypeVar
 
 from repro.injection.error_models import ErrorModel, bit_flip_models
 from repro.injection.golden_run import GoldenRun, compare_to_golden_run
-from repro.injection.outcomes import CampaignResult, InjectionOutcome
+from repro.injection.outcomes import AdaptiveRow, CampaignResult, InjectionOutcome
 from repro.injection.selection import paper_times
 from repro.injection.traps import InputInjectionTrap
 from repro.model.errors import CampaignError
@@ -191,6 +191,35 @@ class CampaignConfig:
         With a ``store`` configured, skip *reads* (every unit
         re-executes) but still publish results — a forced refresh
         (CLI: ``--no-cache``).  No effect without ``store``.
+    adaptive:
+        When ``True`` (CLI: ``--adaptive``), the campaign runs as a
+        confidence-driven sequential-stopping experiment instead of the
+        exhaustive grid: injections execute in rounds, each (module,
+        input) target draws its trials from a seeded random permutation
+        of its own exhaustive grid, and a target stops ("retires") once
+        the widest Wilson interval across its output arcs is narrower
+        than ``ci_width`` — see :mod:`repro.adaptive` and
+        docs/ADAPTIVE.md.  Per-run seeds derive from grid coordinates,
+        not execution order, so sampled outcomes are byte-identical to
+        the exhaustive campaign's at the same coordinates.  Off by
+        default; ``False`` leaves :meth:`InjectionCampaign.execute` /
+        :meth:`~InjectionCampaign.execute_parallel` byte-identical to
+        their exhaustive behaviour.
+    ci_width:
+        Adaptive stopping threshold: retire a target once its widest
+        output-arc Wilson half-width drops below this.  ``None``
+        resolves to 0.05.  Requires ``adaptive=True``.
+    round_size:
+        Trials distributed per adaptive round.  ``None`` resolves to
+        twice the live-target count.  Requires ``adaptive=True``.
+    max_trials_per_target:
+        Per-target adaptive trial cap; a target hitting it retires with
+        reason ``"cap"`` even while still wide.  ``None``: only pool
+        exhaustion caps a target.  Requires ``adaptive=True``.
+    budget_policy:
+        Name of the :class:`repro.adaptive.BudgetPolicy` splitting each
+        round's budget (``"widest-first"`` or ``"uniform"``).  ``None``
+        resolves to ``"widest-first"``.  Requires ``adaptive=True``.
     """
 
     duration_ms: int = 8000
@@ -210,6 +239,11 @@ class CampaignConfig:
     static_prune: bool = False
     store: str | None = None
     no_cache: bool = False
+    adaptive: bool = False
+    ci_width: float | None = None
+    round_size: int | None = None
+    max_trials_per_target: int | None = None
+    budget_policy: str | None = None
 
     def __post_init__(self) -> None:
         if self.duration_ms < 1:
@@ -229,6 +263,46 @@ class CampaignConfig:
                 f"unknown simulation backend {self.backend!r}; expected one "
                 f"of {', '.join(available_backends())}"
             )
+        if not self.adaptive:
+            stray = [
+                name
+                for name, value in (
+                    ("ci_width", self.ci_width),
+                    ("round_size", self.round_size),
+                    ("max_trials_per_target", self.max_trials_per_target),
+                    ("budget_policy", self.budget_policy),
+                )
+                if value is not None
+            ]
+            if stray:
+                raise CampaignError(
+                    f"{', '.join(stray)} require(s) adaptive=True "
+                    "(--adaptive)"
+                )
+            return
+        if self.ci_width is not None and not 0.0 < self.ci_width < 0.5:
+            raise CampaignError(
+                f"ci_width must lie in (0, 0.5), got {self.ci_width}"
+            )
+        if self.round_size is not None and self.round_size < 1:
+            raise CampaignError(
+                f"round_size must be >= 1, got {self.round_size}"
+            )
+        if (
+            self.max_trials_per_target is not None
+            and self.max_trials_per_target < 1
+        ):
+            raise CampaignError(
+                "max_trials_per_target must be >= 1, "
+                f"got {self.max_trials_per_target}"
+            )
+        if self.budget_policy is not None:
+            from repro.adaptive import get_policy
+
+            try:
+                get_policy(self.budget_policy)
+            except ValueError as exc:
+                raise CampaignError(str(exc)) from None
 
     def runs_per_target(self) -> int:
         """IRs per targeted signal per test case (the paper: 16·10 = 160)."""
@@ -402,6 +476,64 @@ def _run_shard(
     return outcomes, obs_payload, time.perf_counter() - started
 
 
+def _run_adaptive_shard(
+    task: tuple[str, tuple[tuple[str, str, int, int], ...]],
+) -> tuple[list[InjectionOutcome], dict | None, float]:
+    """Worker entry point for one adaptive round's fresh trials of a case.
+
+    A task is ``(case_id, specs)`` where each spec is ``(module, signal,
+    time_ms, model_index)`` — the parent's round scheduler decides the
+    exact points, so no grid expansion happens worker-side.  Outcomes
+    return in spec order.
+    """
+    case_id, specs = task
+    started = time.perf_counter()
+    state = _WORKER_STATE
+    assert state is not None, "worker used before _worker_init ran"
+    entry = state["cases"].get(case_id)
+    if entry is None:
+        entry = _materialize_case(state, case_id)
+    observer = None
+    if state["observe"]:
+        from repro.obs.observer import CampaignObserver
+
+        observer = CampaignObserver.for_worker(state["system"])
+    runner = entry["runner"]
+    if observer is not None and observer.metrics is not None:
+        runner.set_metrics(observer.metrics)
+    config = state["config"]
+    checkpoints = entry["checkpoints"]
+    try:
+        campaign = InjectionCampaign(
+            state["system"],
+            state["run_factory"],
+            {case_id: entry["case"]},
+            config,
+            observer=observer,
+        )
+        points = [
+            _InjectionPoint(
+                module,
+                signal,
+                time_ms,
+                config.error_models[model_index],
+                checkpoints.get(time_ms),
+            )
+            for module, signal, time_ms, model_index in specs
+        ]
+        context = _PointsContext(
+            campaign, runner, entry["golden"], points, checkpoints
+        )
+        outcomes = [
+            outcome
+            for outcome, _ in campaign._exec_backend.case_injections(context)
+        ]
+    finally:
+        runner.set_metrics(None)
+    obs_payload = observer.worker_payload() if observer is not None else None
+    return outcomes, obs_payload, time.perf_counter() - started
+
+
 @dataclass(frozen=True)
 class _InjectionPoint:
     """One planned injection of a case grid (backend work unit)."""
@@ -508,6 +640,31 @@ class _CaseContext:
             injected,
             fired_at_ms,
         )
+
+
+class _PointsContext(_CaseContext):
+    """A case context over an explicit list of injection points.
+
+    The adaptive round loop schedules arbitrary subsets of the
+    exhaustive grid; wrapping them in a context keeps execution on the
+    normal backend path (:meth:`SimulationBackend.case_injections`), so
+    adaptive campaigns run under both the reference and the batched
+    backend without backend changes.
+    """
+
+    def __init__(
+        self,
+        campaign: "InjectionCampaign",
+        runner: SimulationRun,
+        golden: GoldenRun,
+        points: Sequence[_InjectionPoint],
+        checkpoints: Mapping[int, RunCheckpoint],
+    ) -> None:
+        super().__init__(campaign, runner, golden, (), checkpoints)
+        self._points = tuple(points)
+
+    def injection_points(self) -> Iterator[_InjectionPoint]:
+        return iter(self._points)
 
 
 class InjectionCampaign:
@@ -754,6 +911,35 @@ class InjectionCampaign:
                 return None
         return decoded
 
+    def _decode_adaptive_unit(
+        self, payload: dict, case_id: str, module: str, signal: str
+    ) -> list[InjectionOutcome] | None:
+        """Outcomes of a stored adaptive row, or ``None`` on any mismatch.
+
+        Unlike :meth:`_decode_unit` the outcome count is free — an
+        adaptive row holds however many trials the stopping rule needed.
+        Reuse stays sound at trial granularity: the round loop only
+        consumes cached outcomes whose exact grid coordinates it
+        scheduled, and per-run seeds depend on coordinates alone.
+        """
+        if payload.get("kind") != "adaptive-unit":
+            return None
+        raw = payload.get("outcomes")
+        if not isinstance(raw, list) or not raw:
+            return None
+        try:
+            decoded = [InjectionOutcome.from_jsonable(entry) for entry in raw]
+        except (KeyError, TypeError):
+            return None
+        for outcome in decoded:
+            if (
+                outcome.case_id != case_id
+                or outcome.module != module
+                or outcome.input_signal != signal
+            ):
+                return None
+        return decoded
+
     def _plan_case_store(
         self,
         store,
@@ -835,6 +1021,472 @@ class InjectionCampaign:
                 )
 
     # ------------------------------------------------------------------
+    # Adaptive execution (repro.adaptive)
+    # ------------------------------------------------------------------
+
+    def _execute_adaptive(
+        self,
+        progress: ProgressCallback | None,
+        mode: str,
+        make_run_batches,
+    ) -> CampaignResult:
+        """The confidence-driven round loop shared by both execute paths.
+
+        ``make_run_batches(need_cases)`` returns ``(run_batches,
+        cleanup)``: ``run_batches`` executes one round's fresh trial
+        batches (``[(case_id, specs)]`` with specs ``(module, signal,
+        time_ms, model_index)``) and returns ``{case_id: [outcomes in
+        spec order]}``; ``cleanup`` releases executor resources.
+        ``need_cases`` are the cases that may execute at all (rows not
+        fully covered by the result store) so the parallel path only
+        records Golden Runs and ships worker blobs for those.
+        """
+        from repro.adaptive import (
+            AdaptiveController,
+            TargetMeasurement,
+            get_policy,
+        )
+        from repro.obs.propagation import PropagationObservations
+
+        obs = self._observer
+        config = self._config
+        started = time.perf_counter()
+        if obs is not None:
+            obs.on_campaign_started(self, mode=mode)
+            obs.on_backend_selected(self._exec_backend.name)
+        self._lint_gate()
+        live_targets, pruned = self._plan_pruning()
+        session = self._store_session()
+        result = CampaignResult(self._system)
+        completed = 0
+        total = self.total_runs()
+        if pruned:
+            per_target = len(self._test_cases) * config.runs_per_target()
+            n_arcs = self._record_pruned(result, pruned, per_target)
+            if obs is not None:
+                obs.on_arcs_pruned(pruned, per_target, n_arcs)
+            completed = len(pruned) * per_target
+            if progress is not None:
+                progress(completed, total)
+
+        # Resolved stopping parameters (store keys use the resolved
+        # values, so configs that only spell the defaults differently
+        # share adaptive rows).
+        z = 1.96
+        ci_width = config.ci_width if config.ci_width is not None else 0.05
+        round_size = (
+            config.round_size
+            if config.round_size is not None
+            else max(1, 2 * len(live_targets))
+        )
+        cap = config.max_trials_per_target
+        policy_name = (
+            config.budget_policy
+            if config.budget_policy is not None
+            else "widest-first"
+        )
+        case_ids = tuple(self._test_cases)
+        runs_per_target = config.runs_per_target()
+        n_pool = len(case_ids) * runs_per_target
+
+        # Store planning: per (case, target) a map of cached outcomes
+        # keyed by exact grid coordinates.  A full exhaustive unit
+        # satisfies any adaptive request; failing that, a previously
+        # published adaptive row under the resolved stopping parameters.
+        cache: dict[
+            tuple[str, tuple[str, str]],
+            dict[tuple[int, str], InjectionOutcome],
+        ] = {}
+        row_key: dict[tuple[str, tuple[str, str]], str] = {}
+        full_rows: set[tuple[str, tuple[str, str]]] = set()
+        case_keys: dict[str, dict] = {}
+        if session is not None:
+            from repro.store.fingerprints import content_digest
+
+            store, builder, stats = session
+            for case_id, case in self._test_cases.items():
+                keys = builder.keys_for_case(
+                    case_id, case, (*live_targets, *pruned)
+                )
+                case_keys[case_id] = keys
+                for target in live_targets:
+                    key = keys[target]
+                    if not key.cacheable:
+                        stats.uncacheable += 1
+                        continue
+                    row_key[(case_id, target)] = content_digest(
+                        {
+                            "kind": "adaptive",
+                            "base": key.digest,
+                            "ci_width": ci_width,
+                            "round_size": round_size,
+                            "max_trials_per_target": (
+                                cap if cap is not None else n_pool
+                            ),
+                            "z": z,
+                            "policy": policy_name,
+                        }
+                    )
+                    if config.no_cache:
+                        continue
+                    payload = store.fetch(key.digest)
+                    decoded = (
+                        None
+                        if payload is None
+                        else self._decode_unit(payload, case_id, *target)
+                    )
+                    if decoded is None:
+                        payload = store.fetch(row_key[(case_id, target)])
+                        decoded = (
+                            None
+                            if payload is None
+                            else self._decode_adaptive_unit(
+                                payload, case_id, *target
+                            )
+                        )
+                    if decoded is None:
+                        stats.misses += 1
+                        if obs is not None:
+                            obs.on_store_miss(case_id, *target)
+                        continue
+                    stats.hits += 1
+                    trial_map = {
+                        (o.scheduled_time_ms, o.error_model): o
+                        for o in decoded
+                    }
+                    cache[(case_id, target)] = trial_map
+                    if len(trial_map) >= runs_per_target:
+                        full_rows.add((case_id, target))
+
+        need_cases = tuple(
+            case_id
+            for case_id in case_ids
+            if any(
+                (case_id, target) not in full_rows for target in live_targets
+            )
+        )
+        pool_triples = tuple(
+            (case_id, time_ms, model_index)
+            for case_id in case_ids
+            for time_ms in config.injection_times_ms
+            for model_index in range(len(config.error_models))
+        )
+        controller: AdaptiveController[tuple[str, int, int]] = (
+            AdaptiveController(
+                {target: pool_triples for target in live_targets},
+                ci_width=ci_width,
+                round_size=round_size,
+                max_trials_per_target=cap,
+                seed=config.seed,
+                z=z,
+                policy=get_policy(policy_name),
+            )
+        )
+        observations = PropagationObservations(self._system)
+        achieved: dict[
+            tuple[str, tuple[str, str]], list[InjectionOutcome]
+        ] = {}
+        fresh_rows: set[tuple[str, tuple[str, str]]] = set()
+        run_batches, cleanup = make_run_batches(need_cases)
+        try:
+            while not controller.finished:
+                schedule = controller.next_round()
+                per_case: dict[str, list] = {cid: [] for cid in case_ids}
+                for target, trials in schedule.items():
+                    for case_id, time_ms, model_index in trials:
+                        per_case[case_id].append(
+                            (target, time_ms, model_index)
+                        )
+                batches = []
+                plan: list[tuple[str, list]] = []
+                for case_id in case_ids:
+                    entries = per_case[case_id]
+                    if not entries:
+                        continue
+                    specs: list[tuple[str, str, int, int]] = []
+                    rows: list = []
+                    for target, time_ms, model_index in entries:
+                        model_name = config.error_models[model_index].name
+                        trial_map = cache.get((case_id, target))
+                        outcome = (
+                            None
+                            if trial_map is None
+                            else trial_map.get((time_ms, model_name))
+                        )
+                        if outcome is None:
+                            rows.append((target, None, len(specs)))
+                            specs.append(
+                                (target[0], target[1], time_ms, model_index)
+                            )
+                        else:
+                            rows.append((target, outcome, -1))
+                    if specs:
+                        batches.append((case_id, tuple(specs)))
+                    plan.append((case_id, rows))
+                executed = run_batches(batches) if batches else {}
+                n_round = 0
+                for case_id, rows in plan:
+                    fresh_list = executed.get(case_id, [])
+                    for target, cached_outcome, index in rows:
+                        if cached_outcome is None:
+                            outcome = fresh_list[index]
+                            fresh_rows.add((case_id, target))
+                            if session is not None:
+                                session[2].runs_executed += 1
+                        else:
+                            outcome = cached_outcome
+                            if session is not None:
+                                session[2].runs_reused += 1
+                            if obs is not None:
+                                obs.on_outcome(outcome)
+                        observations.record(outcome)
+                        result.add(outcome)
+                        achieved.setdefault((case_id, target), []).append(
+                            outcome
+                        )
+                        n_round += 1
+                        completed += 1
+                if progress is not None:
+                    progress(completed, total)
+                measurements = {}
+                for target in controller.open_targets():
+                    module, signal = target
+                    if controller.n_taken(target) == 0:
+                        measurements[target] = TargetMeasurement(0.5, 0.5)
+                        continue
+                    half = -1.0
+                    point = 0.0
+                    for output in self._system.module(module).outputs:
+                        arc = observations.arc(module, signal, output)
+                        lo, hi = arc.wilson_interval(z)
+                        if (hi - lo) / 2.0 > half:
+                            half = (hi - lo) / 2.0
+                            point = arc.observed_permeability
+                    if half < 0.0:
+                        half = 0.0  # a target with no output arcs
+                    measurements[target] = TargetMeasurement(
+                        half_width=half, point_estimate=point
+                    )
+                for retiree in controller.complete_round(measurements):
+                    result.record_adaptive(
+                        AdaptiveRow(
+                            module=retiree.module,
+                            input_signal=retiree.signal,
+                            n_trials=retiree.n_trials,
+                            n_grid=n_pool,
+                            half_width=retiree.half_width,
+                            reason=retiree.reason,
+                            round_index=retiree.round_index,
+                        )
+                    )
+                    if obs is not None:
+                        obs.on_target_retired(
+                            retiree.module,
+                            retiree.signal,
+                            retiree.n_trials,
+                            retiree.half_width,
+                            retiree.reason,
+                            retiree.round_index,
+                        )
+                if obs is not None:
+                    obs.on_round_completed(
+                        controller.round_index,
+                        n_round,
+                        len(controller.open_targets()),
+                    )
+        finally:
+            cleanup()
+        unconverged: dict[str, int] = {}
+        for retiree in controller.retired():
+            if retiree.reason != "confidence":
+                unconverged[retiree.reason] = (
+                    unconverged.get(retiree.reason, 0) + 1
+                )
+        if unconverged and obs is not None:
+            obs.on_budget_exhausted(unconverged)
+        if session is not None:
+            store, builder, stats = session
+            for case_id in case_ids:
+                self._publish_case_units(
+                    store, case_keys[case_id], case_id, {}, pruned
+                )
+                for target in live_targets:
+                    row = (case_id, target)
+                    if row not in fresh_rows or row not in row_key:
+                        continue
+                    payload = self._encode_unit(
+                        case_id, target[0], target[1], achieved[row]
+                    )
+                    payload["kind"] = "adaptive-unit"
+                    store.put(row_key[row], payload)
+            self.last_store_stats = stats
+        else:
+            self.last_store_stats = None
+        if obs is not None:
+            obs.on_campaign_finished(result, time.perf_counter() - started)
+        return result
+
+    def _execute_adaptive_serial(
+        self,
+        progress: ProgressCallback | None,
+        inspector: "InspectorCallback | None",
+    ) -> CampaignResult:
+        """Adaptive rounds on the serial path (lazy Golden Runs per case)."""
+        config = self._config
+        case_state: dict[str, tuple] = {}
+
+        def run_batches(batches):
+            executed: dict[str, list[InjectionOutcome]] = {}
+            for case_id, specs in batches:
+                entry = case_state.get(case_id)
+                if entry is None:
+                    entry = self._golden_for_case(
+                        case_id, self._test_cases[case_id]
+                    )
+                    self._golden_runs[case_id] = entry[1]
+                    case_state[case_id] = entry
+                runner, golden, checkpoints = entry
+                points = [
+                    _InjectionPoint(
+                        module,
+                        signal,
+                        time_ms,
+                        config.error_models[model_index],
+                        checkpoints.get(time_ms),
+                    )
+                    for module, signal, time_ms, model_index in specs
+                ]
+                context = _PointsContext(
+                    self, runner, golden, points, checkpoints
+                )
+                outcomes = []
+                for outcome, injected in self._exec_backend.case_injections(
+                    context
+                ):
+                    if inspector is not None:
+                        inspector(outcome, injected, golden)
+                    outcomes.append(outcome)
+                executed[case_id] = outcomes
+            return executed
+
+        def make(need_cases):
+            return run_batches, (lambda: None)
+
+        return self._execute_adaptive(progress, "serial", make)
+
+    def _execute_adaptive_parallel(
+        self,
+        max_workers: int | None,
+        progress: ProgressCallback | None,
+    ) -> CampaignResult:
+        """Adaptive rounds over a long-lived worker pool.
+
+        Golden Runs (and shared-memory blobs) are prepared only for the
+        cases the store cannot fully answer; the pool stays up across
+        rounds so workers keep their per-case runtimes cached.
+        """
+        import concurrent.futures
+        from multiprocessing import shared_memory
+
+        obs = self._observer
+        segments: list = []
+        chunk_counter = [0]
+
+        def make(need_cases):
+            case_blobs = []
+            for case_id in need_cases:
+                runner, golden, checkpoints = self._golden_for_case(
+                    case_id, self._test_cases[case_id]
+                )
+                self._golden_runs[case_id] = golden
+                signals, duration_ms, flat = pack_trace_samples(
+                    golden.result.traces
+                )
+                n_bytes = len(flat) * flat.itemsize
+                shm_name = None
+                raw = None
+                try:
+                    segment = shared_memory.SharedMemory(
+                        create=True, size=max(1, n_bytes)
+                    )
+                    segment.buf[:n_bytes] = memoryview(flat).cast("B")
+                    segments.append(segment)
+                    shm_name = segment.name
+                except OSError:
+                    raw = flat.tobytes()
+                case_blobs.append(
+                    {
+                        "case_id": case_id,
+                        "case": self._test_cases[case_id],
+                        "signals": signals,
+                        "duration_ms": duration_ms,
+                        "shm_name": shm_name,
+                        "raw": raw,
+                        "checkpoints": {
+                            time_ms: cp.without_trace_prefix()
+                            for time_ms, cp in checkpoints.items()
+                        },
+                        "digests": golden.digests,
+                        "initials": golden.initials,
+                        "final_signals": golden.result.final_signals,
+                        "telemetry": golden.result.telemetry,
+                    }
+                )
+            pool = None
+            if case_blobs:
+                payload = (
+                    self._system,
+                    self._run_factory,
+                    self._config,
+                    obs is not None,
+                    tuple(case_blobs),
+                )
+                pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=max_workers,
+                    initializer=_worker_init,
+                    initargs=(payload,),
+                )
+
+            def run_batches(batches):
+                assert pool is not None, "fresh trials without worker blobs"
+                executed: dict[str, list[InjectionOutcome]] = {}
+                for index, (outcomes, obs_payload, elapsed_s) in enumerate(
+                    pool.map(_run_adaptive_shard, batches)
+                ):
+                    case_id, specs = batches[index]
+                    executed[case_id] = outcomes
+                    if obs is not None:
+                        if obs_payload is not None:
+                            obs.absorb_worker(obs_payload)
+                        if obs.propagation is not None:
+                            obs.propagation.record_all(outcomes)
+                        obs.on_chunk_completed(
+                            chunk_index=chunk_counter[0],
+                            case_id=case_id,
+                            n_targets=len(
+                                {(m, s) for m, s, _, _ in specs}
+                            ),
+                            n_runs=len(outcomes),
+                            elapsed_s=elapsed_s,
+                        )
+                        chunk_counter[0] += 1
+                return executed
+
+            def cleanup():
+                if pool is not None:
+                    pool.shutdown()
+                for segment in segments:
+                    try:
+                        segment.close()
+                        segment.unlink()
+                    except OSError:  # pragma: no cover - already gone
+                        pass
+
+            return run_batches, cleanup
+
+        return self._execute_adaptive(progress, "parallel", make)
+
+    # ------------------------------------------------------------------
     # Lint gate
     # ------------------------------------------------------------------
 
@@ -899,6 +1551,8 @@ class InjectionCampaign:
             only freshly *executed* runs reach the inspector — reused
             rows carry outcome records, not traces.
         """
+        if self._config.adaptive:
+            return self._execute_adaptive_serial(progress, inspector)
         obs = self._observer
         started = time.perf_counter()
         if obs is not None:
@@ -1208,6 +1862,8 @@ class InjectionCampaign:
             cheap (the Golden Run is already worker-resident), so
             fine sharding costs little.
         """
+        if self._config.adaptive:
+            return self._execute_adaptive_parallel(max_workers, progress)
         import concurrent.futures
         import dataclasses
         import os

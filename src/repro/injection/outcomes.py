@@ -14,7 +14,40 @@ from typing import Callable, Iterable, Iterator, Mapping
 from repro.injection.golden_run import GoldenRunComparison
 from repro.model.system import SystemModel
 
-__all__ = ["InjectionOutcome", "PairCounts", "CampaignResult"]
+__all__ = ["AdaptiveRow", "InjectionOutcome", "PairCounts", "CampaignResult"]
+
+
+@dataclass(frozen=True)
+class AdaptiveRow:
+    """Stopping record of one adaptively sampled (module, input) target.
+
+    Attached to a :class:`CampaignResult` by the adaptive campaign path
+    (``CampaignConfig(adaptive=True)``): how many of the target's grid
+    trials actually ran, the achieved Wilson half-width of its widest
+    output arc at retirement, and why sampling stopped
+    (``"confidence"``: the interval got tight enough; ``"cap"``: the
+    per-target trial cap; ``"exhausted"``: the full grid ran).  Lets
+    reports annotate each estimate with its achieved confidence.
+    """
+
+    module: str
+    input_signal: str
+    n_trials: int
+    n_grid: int
+    half_width: float
+    reason: str
+    round_index: int
+
+    def to_jsonable(self) -> dict:
+        return {
+            "module": self.module,
+            "input_signal": self.input_signal,
+            "n_trials": self.n_trials,
+            "n_grid": self.n_grid,
+            "half_width": self.half_width,
+            "reason": self.reason,
+            "round_index": self.round_index,
+        }
 
 
 @dataclass(frozen=True)
@@ -156,6 +189,7 @@ class CampaignResult:
         self._system = system
         self._outcomes: list[InjectionOutcome] = list(outcomes)
         self._pruned: dict[tuple[str, str], int] = {}
+        self._adaptive: dict[tuple[str, str], AdaptiveRow] = {}
 
     @property
     def system(self) -> SystemModel:
@@ -187,6 +221,30 @@ class CampaignResult:
     def n_pruned_runs(self) -> int:
         """Injection runs skipped (and recorded as zeros) by pruning."""
         return sum(self._pruned.values())
+
+    def record_adaptive(self, row: AdaptiveRow) -> None:
+        """Attach one adaptive target's stopping record."""
+        self._adaptive[(row.module, row.input_signal)] = row
+
+    def adaptive_rows(self) -> tuple[AdaptiveRow, ...]:
+        """Stopping records of an adaptive campaign, in retirement order.
+
+        Empty for exhaustive campaigns; an adaptive campaign records one
+        row per sampled (module, input) target.  Statically-pruned
+        targets never appear here — their arcs are exact zeros, not
+        samples.
+        """
+        return tuple(self._adaptive.values())
+
+    def n_adaptive_trials(self) -> int:
+        """Injection runs an adaptive campaign actually scheduled."""
+        return sum(row.n_trials for row in self._adaptive.values())
+
+    def n_adaptive_trials_saved(self) -> int:
+        """Grid runs adaptive stopping skipped (vs the exhaustive grid)."""
+        return sum(
+            row.n_grid - row.n_trials for row in self._adaptive.values()
+        )
 
     def __len__(self) -> int:
         return len(self._outcomes)

@@ -50,6 +50,7 @@ from repro.core.permeability import PermeabilityEstimate
 from repro.obs.events import (
     ArcsPruned,
     BackendSelected,
+    BudgetExhausted,
     CampaignFinished,
     CampaignStarted,
     CheckpointReused,
@@ -59,8 +60,10 @@ from repro.obs.events import (
     LintReported,
     OutcomeClassified,
     ParsedEvent,
+    RoundCompleted,
     RunReconverged,
     RunStarted,
+    TargetRetired,
     UnitReused,
     decode_event,
     read_events,
@@ -76,7 +79,11 @@ __all__ = ["CampaignStateReducer", "validate_snapshot", "SNAPSHOT_SCHEMA_VERSION
 #: v3: ``counters.cached`` (runs reused from the result store; their
 #: replayed OutcomeClassified events still drive the matrix, so the
 #: counter is informational, not a denominator).
-SNAPSHOT_SCHEMA_VERSION = 3
+#: v4: ``adaptive`` section (rounds, retired targets with their
+#: achieved Wilson half-widths and stopping reasons, open-target count)
+#: fed by the TargetRetired/RoundCompleted/BudgetExhausted events of
+#: ``--adaptive`` campaigns; all-zero for exhaustive streams.
+SNAPSHOT_SCHEMA_VERSION = 4
 
 #: Metric names surfaced in the snapshot's ``metrics`` subset (the full
 #: registry stays in ``metrics.json``; the dashboard shows the headline
@@ -151,6 +158,13 @@ class CampaignStateReducer:
         self.n_cached_units = 0
         self.n_cached_runs = 0
         self.outcome_mix: TallyCounter = TallyCounter()
+        # Adaptive (sequential-stopping) state.
+        self.n_rounds = 0
+        self.n_open_targets: int | None = None
+        self.adaptive_trials = 0
+        self.retired_targets: list[dict] = []
+        self.retired_by_reason: TallyCounter = TallyCounter()
+        self.n_unconverged_targets = 0
         # Matrix state: denominators per injected location, numerators
         # per arc; the output universe comes from the manifest topology.
         self._modules: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {}
@@ -295,6 +309,24 @@ class CampaignStateReducer:
             self.n_cached_runs += event.n_runs
         elif isinstance(event, ChunkCompleted):
             self.n_chunks += 1
+        elif isinstance(event, TargetRetired):
+            self.adaptive_trials += event.n_trials
+            self.retired_by_reason[event.reason] += 1
+            self.retired_targets.append(
+                {
+                    "module": event.module,
+                    "input": event.signal,
+                    "n_trials": event.n_trials,
+                    "half_width": event.half_width,
+                    "reason": event.reason,
+                    "round": event.round_index,
+                }
+            )
+        elif isinstance(event, RoundCompleted):
+            self.n_rounds += 1
+            self.n_open_targets = event.n_open
+        elif isinstance(event, BudgetExhausted):
+            self.n_unconverged_targets = event.n_targets
         elif isinstance(event, CampaignFinished):
             self.state = "finished"
             self.elapsed_s = event.elapsed_s
@@ -454,6 +486,15 @@ class CampaignStateReducer:
                 "chunks_completed": self.n_chunks,
                 "outcome_mix": dict(self.outcome_mix),
             },
+            "adaptive": {
+                "rounds": self.n_rounds,
+                "targets_retired": len(self.retired_targets),
+                "targets_open": self.n_open_targets,
+                "trials": self.adaptive_trials,
+                "unconverged": self.n_unconverged_targets,
+                "by_reason": dict(self.retired_by_reason),
+                "retired": list(self.retired_targets),
+            },
             "matrix": self._matrix_with_intervals(),
             "lifetimes": {
                 "buckets": list(DEFAULT_MS_BUCKETS),
@@ -492,8 +533,8 @@ def validate_snapshot(snapshot: Mapping[str, Any]) -> None:
         f"state {snapshot.get('state')!r}",
     )
     for section in (
-        "campaign", "progress", "counters", "matrix", "lifetimes",
-        "metrics", "stream",
+        "campaign", "progress", "counters", "adaptive", "matrix",
+        "lifetimes", "metrics", "stream",
     ):
         _require(isinstance(snapshot.get(section), Mapping), f"missing {section}")
     progress = snapshot["progress"]
@@ -520,6 +561,29 @@ def validate_snapshot(snapshot: Mapping[str, Any]) -> None:
     _require(
         0.0 <= counters["reconverged_fraction"] <= 1.0, "reconverged_fraction"
     )
+    adaptive = snapshot["adaptive"]
+    for name in ("rounds", "targets_retired", "trials", "unconverged"):
+        _require(
+            isinstance(adaptive.get(name), int) and adaptive[name] >= 0,
+            f"adaptive.{name}",
+        )
+    _require(isinstance(adaptive.get("retired"), list), "adaptive.retired")
+    _require(
+        len(adaptive["retired"]) == adaptive["targets_retired"],
+        "adaptive retired count",
+    )
+    for entry in adaptive["retired"]:
+        _require(
+            isinstance(entry.get("n_trials"), int) and entry["n_trials"] >= 1,
+            "adaptive retiree trials",
+        )
+        _require(
+            0.0 <= entry["half_width"] <= 0.5, "adaptive retiree half-width"
+        )
+        _require(
+            entry.get("reason") in ("confidence", "cap", "exhausted"),
+            "adaptive retiree reason",
+        )
     matrix = snapshot["matrix"]
     _require(isinstance(matrix.get("entries"), list), "matrix.entries")
     for entry in matrix["entries"]:

@@ -49,6 +49,9 @@ __all__ = [
     "UnitReused",
     "StoreArtifactRejected",
     "ChunkCompleted",
+    "TargetRetired",
+    "RoundCompleted",
+    "BudgetExhausted",
     "CampaignFinished",
     "ParsedEvent",
     "EventStream",
@@ -262,6 +265,49 @@ class ChunkCompleted:
 
 
 @dataclass(frozen=True)
+class TargetRetired:
+    """An adaptive campaign stopped sampling one (module, input) target.
+
+    Emitted once per target by adaptive campaigns (``--adaptive``; see
+    docs/ADAPTIVE.md).  ``reason`` is ``"confidence"`` when the widest
+    Wilson interval across the target's output arcs reached the
+    requested ``ci_width``, ``"cap"`` when the per-target trial cap cut
+    sampling short, ``"exhausted"`` when the target's full exhaustive
+    pool was spent first.
+    """
+
+    module: str
+    signal: str
+    n_trials: int
+    half_width: float
+    reason: str
+    round_index: int
+
+
+@dataclass(frozen=True)
+class RoundCompleted:
+    """One adaptive round finished: budget spent, targets still open."""
+
+    round_index: int
+    n_trials: int
+    n_open: int
+
+
+@dataclass(frozen=True)
+class BudgetExhausted:
+    """Some targets retired without reaching the requested confidence.
+
+    Emitted at most once, after the adaptive round loop, when at least
+    one target retired for a non-``"confidence"`` reason; ``reasons``
+    counts the retirees per non-confidence reason.  Its absence from an
+    adaptive event stream means every interval met ``ci_width``.
+    """
+
+    n_targets: int
+    reasons: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
 class CampaignFinished:
     """Last event: totals plus the final metrics snapshot."""
 
@@ -287,6 +333,9 @@ _EVENT_TYPES: dict[str, type] = {
         UnitReused,
         StoreArtifactRejected,
         ChunkCompleted,
+        TargetRetired,
+        RoundCompleted,
+        BudgetExhausted,
         CampaignFinished,
     )
 }
@@ -626,6 +675,12 @@ def _hash_config(config, targets: tuple[tuple[str, str], ...]) -> str:
     # Key present only when set, so pre-existing hashes stay stable.
     if getattr(config, "static_prune", False):
         keys["static_prune"] = True
+    if getattr(config, "adaptive", False):
+        keys["adaptive"] = True
+        keys["ci_width"] = config.ci_width
+        keys["round_size"] = config.round_size
+        keys["max_trials_per_target"] = config.max_trials_per_target
+        keys["budget_policy"] = config.budget_policy
     canonical = json.dumps(keys, sort_keys=True)
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 

@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Iterable
 from repro.obs.events import (
     ArcsPruned,
     BackendSelected,
+    BudgetExhausted,
     CampaignFinished,
     CampaignStarted,
     CheckpointReused,
@@ -37,9 +38,11 @@ from repro.obs.events import (
     OutcomeClassified,
     PrettyPrintSink,
     RingBufferSink,
+    RoundCompleted,
     RunReconverged,
     RunStarted,
     StoreArtifactRejected,
+    TargetRetired,
     UnitReused,
     build_manifest,
     decode_event,
@@ -200,6 +203,56 @@ class CampaignObserver:
             )
         if self.metrics is not None:
             self.metrics.counter("store.rejected").inc()
+
+    def on_target_retired(
+        self,
+        module: str,
+        signal: str,
+        n_trials: int,
+        half_width: float,
+        reason: str,
+        round_index: int,
+    ) -> None:
+        """Record one adaptive target's stopping decision."""
+        if self.events is not None:
+            self.events.emit(
+                TargetRetired(
+                    module=module,
+                    signal=signal,
+                    n_trials=n_trials,
+                    half_width=half_width,
+                    reason=reason,
+                    round_index=round_index,
+                )
+            )
+        if self.metrics is not None:
+            self.metrics.counter("adaptive.targets_retired").inc()
+            self.metrics.counter(f"adaptive.retired.{reason}").inc()
+            self.metrics.counter("adaptive.trials").inc(n_trials)
+
+    def on_round_completed(
+        self, round_index: int, n_trials: int, n_open: int
+    ) -> None:
+        """Record one finished adaptive round."""
+        if self.events is not None:
+            self.events.emit(
+                RoundCompleted(
+                    round_index=round_index, n_trials=n_trials, n_open=n_open
+                )
+            )
+        if self.metrics is not None:
+            self.metrics.counter("adaptive.rounds").inc()
+            self.metrics.gauge("adaptive.targets_open").set(n_open)
+
+    def on_budget_exhausted(self, reasons: dict[str, int]) -> None:
+        """Record targets that retired without reaching confidence."""
+        n_targets = sum(reasons.values())
+        if self.events is not None:
+            self.events.emit(
+                BudgetExhausted(n_targets=n_targets, reasons=dict(reasons))
+            )
+        if self.metrics is not None:
+            self.metrics.counter("adaptive.unconverged_targets").inc(n_targets)
 
     def on_lint_report(self, report) -> None:
         """Record the pre-campaign lint pass (a :class:`~repro.lint.LintReport`)."""

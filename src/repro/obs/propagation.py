@@ -23,7 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
-from repro.core.permeability import PermeabilityEstimate, PermeabilityMatrix
+from repro.core.permeability import PermeabilityMatrix
+from repro.core.stats import wilson_interval
 from repro.injection.outcomes import CampaignResult, InjectionOutcome
 from repro.model.system import SystemModel
 
@@ -78,17 +79,14 @@ class ArcCounts:
     def wilson_interval(self, z: float = 1.96) -> tuple[float, float]:
         """Wilson score interval of the arc's observed permeability.
 
-        Delegates to
+        Delegates to :func:`repro.core.stats.wilson_interval` — the same
+        implementation behind
         :meth:`~repro.core.permeability.PermeabilityEstimate.wilson_interval`
-        so live observations and post-hoc estimates share one CI
+        — so live observations and post-hoc estimates share one CI
         definition.  An arc without injections spans the whole ``[0, 1]``
         range (no information).
         """
-        if self.n_injections == 0:
-            return (0.0, 1.0)
-        return PermeabilityEstimate.from_counts(
-            n_errors=self.n_propagated, n_injections=self.n_injections
-        ).wilson_interval(z)
+        return wilson_interval(self.n_propagated, self.n_injections, z)
 
 
 class PropagationObservations:

@@ -38,6 +38,7 @@ from repro.verify.oracles import (
     OracleFailure,
     OracleReport,
     VerifyCampaign,
+    check_adaptive_soundness,
     check_incremental_parity,
     default_campaign,
     differential_oracle,
@@ -57,6 +58,7 @@ __all__ = [
     "SpecError",
     "VerifyCampaign",
     "analytical_matrix",
+    "check_adaptive_soundness",
     "check_incremental_parity",
     "default_campaign",
     "differential_oracle",

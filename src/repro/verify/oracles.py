@@ -29,6 +29,13 @@ the rest of the repo relies on:
     Re-running the campaign against a warm :mod:`repro.store` result
     store executes zero injection runs yet recomposes outcomes and the
     estimate matrix byte-identical to the cold pass.
+``adaptive-soundness`` (generated systems)
+    The confidence-driven campaign (``CampaignConfig(adaptive=True)``,
+    see :mod:`repro.adaptive`) samples only outcomes that are
+    byte-identical to the exhaustive campaign's at the same grid
+    coordinates, retires every target, records stopping half-widths
+    that agree with its achieved counts, and every retired Wilson
+    interval contains the analytical permeability of each output arc.
 ``metamorphic-dead-sink`` (generated systems)
     Adding a module that consumes an existing signal but feeds nothing
     never changes the exposures of pre-existing modules and signals.
@@ -51,6 +58,7 @@ from repro.core.exposure import all_module_exposures, signal_exposures_for_matri
 from repro.core.graph import PermeabilityGraph
 from repro.core.paths import paths_of_backtrack_tree
 from repro.core.permeability import PermeabilityEstimate, PermeabilityMatrix
+from repro.core.stats import wilson_interval
 from repro.injection.campaign import CampaignConfig, InjectionCampaign
 from repro.injection.error_models import bit_flip_models
 from repro.injection.estimator import estimate_matrix, pair_trial_counts
@@ -64,6 +72,7 @@ __all__ = [
     "OracleFailure",
     "OracleReport",
     "VerifyCampaign",
+    "check_adaptive_soundness",
     "check_incremental_parity",
     "check_static_containment",
     "default_campaign",
@@ -508,6 +517,151 @@ def check_incremental_parity(
 
 
 # ---------------------------------------------------------------------------
+# Adaptive stopping (generated systems)
+# ---------------------------------------------------------------------------
+
+
+def check_adaptive_soundness(
+    generated: GeneratedSystem,
+    campaign: VerifyCampaign,
+    analytical: PermeabilityMatrix,
+    ci_width: float = 0.2,
+) -> None:
+    """The confidence-driven campaign stops early without lying.
+
+    Runs the campaign exhaustively and adaptively (same seed, same
+    grid) and asserts the contract of :mod:`repro.adaptive`:
+
+    - every sampled adaptive outcome is byte-identical to the
+      exhaustive outcome at the same grid coordinates (the sequential
+      controller only *selects*, it never perturbs a run);
+    - every live target retires, with ``1 <= n_trials <= n_grid``;
+    - the recorded stopping half-width of each retired target agrees
+      with the Wilson half-width recomputed from its achieved counts;
+    - targets retired for ``confidence`` actually meet the configured
+      interval width;
+    - the achieved Wilson interval of every output arc contains the
+      analytical permeability (XOR-mask systems measure exactly, so
+      containment is necessary, not merely probable);
+    - the adaptive estimate matrix is still complete.
+    """
+    cases = {"gen": None}
+    base = campaign.to_config(reuse=True, fast_forward=True)
+    exhaustive = InjectionCampaign(
+        generated.system, generated.run_factory, cases, base
+    ).execute()
+    adaptive_config = dataclasses.replace(base, adaptive=True, ci_width=ci_width)
+    adaptive = InjectionCampaign(
+        generated.system, generated.run_factory, cases, adaptive_config
+    ).execute()
+    name = generated.system.name
+
+    by_coord = {
+        (
+            outcome.case_id,
+            outcome.module,
+            outcome.input_signal,
+            outcome.scheduled_time_ms,
+            outcome.error_model,
+        ): outcome
+        for outcome in exhaustive
+    }
+    for outcome in adaptive:
+        coord = (
+            outcome.case_id,
+            outcome.module,
+            outcome.input_signal,
+            outcome.scheduled_time_ms,
+            outcome.error_model,
+        )
+        reference = by_coord.get(coord)
+        if reference is None:
+            raise OracleFailure(
+                "adaptive-soundness",
+                f"adaptive run sampled {coord} outside the exhaustive "
+                f"grid of {name!r}",
+            )
+        if reference.to_jsonable() != outcome.to_jsonable():
+            raise OracleFailure(
+                "adaptive-soundness",
+                f"adaptive outcome at {coord} differs from the "
+                f"exhaustive outcome on {name!r}",
+            )
+
+    rows = adaptive.adaptive_rows()
+    live_targets = {(o.module, o.input_signal) for o in exhaustive}
+    retired = {(row.module, row.input_signal) for row in rows}
+    if retired != live_targets:
+        raise OracleFailure(
+            "adaptive-soundness",
+            f"retired targets {sorted(retired)} != campaign targets "
+            f"{sorted(live_targets)} on {name!r}",
+        )
+    n_grid = len(cases) * base.runs_per_target()
+    for row in rows:
+        if row.n_grid != n_grid or not 1 <= row.n_trials <= row.n_grid:
+            raise OracleFailure(
+                "adaptive-soundness",
+                f"retired target {(row.module, row.input_signal)} of "
+                f"{name!r} reports {row.n_trials}/{row.n_grid} trials "
+                f"against a grid of {n_grid}",
+            )
+
+    measured = estimate_matrix(
+        adaptive, require_complete=campaign.targets is None
+    )
+    counts = pair_trial_counts(measured)
+    outputs_of = {
+        (module, input_signal): sorted(
+            output
+            for (m, i, output) in counts
+            if (m, i) == (module, input_signal)
+        )
+        for (module, input_signal, _) in counts
+    }
+    for row in rows:
+        achieved_half = 0.0
+        for output in outputs_of.get((row.module, row.input_signal), ()):
+            n_errors, n_injections = counts[
+                (row.module, row.input_signal, output)
+            ]
+            lo, hi = wilson_interval(n_errors, n_injections)
+            achieved_half = max(achieved_half, (hi - lo) / 2)
+            expected = analytical.get_or_none(
+                row.module, row.input_signal, output
+            )
+            if expected is None:
+                raise OracleFailure(
+                    "adaptive-soundness",
+                    f"no analytical value for arc "
+                    f"{(row.module, row.input_signal, output)} of {name!r}",
+                )
+            if not lo - EXACT_ATOL <= expected <= hi + EXACT_ATOL:
+                raise OracleFailure(
+                    "adaptive-soundness",
+                    f"retired interval ({lo}, {hi}) of arc "
+                    f"{(row.module, row.input_signal, output)} excludes "
+                    f"the analytical permeability {expected} on {name!r}",
+                )
+        if abs(achieved_half - row.half_width) > EXACT_ATOL:
+            raise OracleFailure(
+                "adaptive-soundness",
+                f"recorded stopping half-width {row.half_width} of "
+                f"{(row.module, row.input_signal)} disagrees with the "
+                f"achieved counts ({achieved_half}) on {name!r}",
+            )
+        if row.reason == "confidence" and not achieved_half < (
+            ci_width + EXACT_ATOL
+        ):
+            raise OracleFailure(
+                "adaptive-soundness",
+                f"target {(row.module, row.input_signal)} retired for "
+                f"confidence at half-width {achieved_half} >= requested "
+                f"{ci_width} on {name!r}",
+            )
+
+
+# ---------------------------------------------------------------------------
 # Metamorphic relations (analysis-level, generated systems)
 # ---------------------------------------------------------------------------
 
@@ -635,6 +789,7 @@ def verify_generated(
     measured = estimate_matrix(result, require_complete=campaign.targets is None)
     check_static_containment(generated, campaign, measured, analytical)
     check_incremental_parity(generated, campaign)
+    check_adaptive_soundness(generated, campaign, analytical)
     check_dead_sink_invariance(generated, analytical)
     check_prerr_scaling(generated, analytical)
     return dataclasses.replace(
@@ -643,6 +798,7 @@ def verify_generated(
             *report.checks,
             "static-containment",
             "incremental-parity",
+            "adaptive-soundness",
             "metamorphic-dead-sink",
             "metamorphic-prerr-scaling",
         ),

@@ -30,6 +30,7 @@ ALL_CHECKS = (
     "ci-containment",
     "static-containment",
     "incremental-parity",
+    "adaptive-soundness",
     "metamorphic-dead-sink",
     "metamorphic-prerr-scaling",
 )
